@@ -1,0 +1,65 @@
+"""Ablation — view selection under a storage budget (DESIGN.md §6).
+
+The paper's problem is unconstrained; real warehouses cap the space
+materialized views may occupy.  This benchmark sweeps the budget from
+zero to the unconstrained design's footprint and traces the cost/space
+trade-off curve, checking monotonicity and that the heuristic stays close
+to the budget-constrained exhaustive optimum.
+"""
+
+from repro.analysis import format_blocks, render_table
+from repro.mvpp import MVPPCostCalculator, exhaustive_optimal, select_views
+
+
+def sweep(paper_mvpp):
+    calc = MVPPCostCalculator(paper_mvpp)
+    unconstrained = select_views(paper_mvpp, calc, refine=True)
+    footprint = sum(v.stats.blocks for v in unconstrained.materialized)
+    rows = []
+    for fraction in (0.0, 0.05, 0.25, 0.5, 0.75, 1.0):
+        budget = footprint * fraction
+        chosen = select_views(
+            paper_mvpp, calc, refine=True, space_budget=budget
+        )
+        used = sum(v.stats.blocks for v in chosen.materialized)
+        total = calc.breakdown(chosen.materialized).total
+        _, optimum = exhaustive_optimal(
+            paper_mvpp, calc, max_candidates=16, space_budget=budget
+        )
+        rows.append((fraction, budget, chosen.names, used, total, optimum.total))
+    return rows
+
+
+def test_budget_tradeoff_curve(benchmark, paper_mvpp):
+    rows = benchmark.pedantic(lambda: sweep(paper_mvpp), rounds=1, iterations=1)
+
+    # Budgets are respected and the achieved cost is monotone in budget.
+    previous_cost = None
+    for fraction, budget, names, used, total, optimum in rows:
+        assert used <= budget + 1e-9
+        if previous_cost is not None:
+            assert total <= previous_cost + 1e-6
+        previous_cost = total
+        # Heuristic within 2x of the space-constrained optimum everywhere.
+        assert total <= 2.0 * optimum + 1e-9, fraction
+
+    # Full budget recovers the unconstrained design's cost.
+    assert rows[-1][4] == min(r[4] for r in rows)
+
+    print()
+    print(
+        render_table(
+            ["Budget", "Views", "Blocks used", "Total cost", "Optimal (same budget)"],
+            [
+                [
+                    f"{fraction:.0%}",
+                    ", ".join(names) or "(none)",
+                    f"{used:,.0f}",
+                    format_blocks(total),
+                    format_blocks(optimum),
+                ]
+                for fraction, budget, names, used, total, optimum in rows
+            ],
+            title="Space-budget trade-off (paper example)",
+        )
+    )

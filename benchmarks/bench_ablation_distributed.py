@@ -1,0 +1,107 @@
+"""Ablation — distributed communication costs (DESIGN.md §6.5).
+
+The paper notes the cost function "should incorporate the costs of data
+transferring among different sites" in a distributed warehouse.  This
+ablation compares:
+
+* the centralized design vs the site-aware design on the same MVPP;
+* the penalty of deploying the centralized choice under distributed
+  costs (ignoring transfer when designing is never better);
+* the Figure-1 mirroring decisions for the member databases.
+"""
+
+from repro.analysis import format_blocks, render_table
+from repro.distributed import (
+    DistributedCostCalculator,
+    Topology,
+    assign_round_robin,
+    mirror_decisions,
+)
+from repro.mvpp import MVPPCostCalculator, select_views
+
+
+def build_setup(paper_mvpp):
+    topology = Topology(["warehouse", "site1", "site2", "site3"])
+    topology.set_link("site1", "warehouse", 1.0)
+    topology.set_link("site2", "warehouse", 8.0)
+    topology.set_link("site3", "warehouse", 2.0)
+    placement = assign_round_robin(
+        sorted(leaf.name for leaf in paper_mvpp.leaves),
+        ["site1", "site2", "site3"],
+    )
+    calculator = DistributedCostCalculator(
+        paper_mvpp, topology, placement, warehouse_site="warehouse"
+    )
+    return topology, placement, calculator
+
+
+def test_distributed_design(benchmark, paper_mvpp):
+    def run():
+        topology, placement, distributed = build_setup(paper_mvpp)
+        centralized = MVPPCostCalculator(paper_mvpp)
+        central_choice = select_views(paper_mvpp, centralized, refine=True)
+        distributed_choice = select_views(paper_mvpp, distributed, refine=True)
+        return (
+            centralized.breakdown(central_choice.materialized).total,
+            distributed.breakdown(central_choice.materialized).total,
+            distributed.breakdown(distributed_choice.materialized).total,
+            central_choice.names,
+            distributed_choice.names,
+        )
+
+    (
+        central_total,
+        cross_total,
+        distributed_total,
+        central_names,
+        distributed_names,
+    ) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Designing with the right cost model never loses.
+    assert distributed_total <= cross_total + 1e-6
+    # Transfer charges make everything dearer than the centralized view.
+    assert cross_total >= central_total
+
+    print()
+    print(
+        render_table(
+            ["Design", "Priced under", "Total"],
+            [
+                [f"centralized {central_names}", "centralized", format_blocks(central_total)],
+                [f"centralized {central_names}", "distributed", format_blocks(cross_total)],
+                [f"distributed {distributed_names}", "distributed", format_blocks(distributed_total)],
+            ],
+            title="Distributed-cost ablation",
+        )
+    )
+
+
+def test_mirror_decisions(benchmark, paper_mvpp):
+    def run():
+        topology, placement, _ = build_setup(paper_mvpp)
+        return mirror_decisions(
+            paper_mvpp, topology, placement, "warehouse"
+        )
+
+    decisions = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(decisions) == 5
+    # With fu=1 everywhere and hot queries, mirroring should win for the
+    # relations feeding the hot queries.
+    by_name = {d.relation: d for d in decisions}
+    assert by_name["Division"].choice == "mirror"
+    print()
+    print(
+        render_table(
+            ["Relation", "Choice", "Mirror cost/period", "Remote cost/period"],
+            [
+                [
+                    d.relation,
+                    d.choice,
+                    format_blocks(d.mirror_cost),
+                    format_blocks(d.remote_cost),
+                ]
+                for d in decisions
+            ],
+            title="Figure-1 member-database mirroring decisions",
+        )
+    )

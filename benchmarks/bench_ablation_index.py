@@ -1,0 +1,71 @@
+"""Ablation — indexing materialized views (paper Section 3.2).
+
+The paper argues that sharing a temporary result can be a *loss* in
+classic multiple-query processing when base relations are indexed, but
+never for MVPP materialization, because "if an intermediate result is
+materialized, we can establish a proper index on it afterwards".
+
+This benchmark measures that claim end to end: the same query answered
+(a) by recomputing from base relations, (b) by scanning the stored view,
+and (c) through an index-nested-loop engine that probes indexes on the
+stored tables.
+"""
+
+from repro.analysis import render_table
+from repro.executor.engine import INDEX_NESTED_LOOP
+from repro.warehouse import DataWarehouse
+from repro.workload import paper_rows, paper_workload
+
+
+def measure():
+    scan_wh = DataWarehouse.from_workload(paper_workload())
+    index_wh = DataWarehouse.from_workload(
+        paper_workload(), join_method=INDEX_NESTED_LOOP
+    )
+    data = paper_rows(scale=0.05, seed=41)
+    for wh in (scan_wh, index_wh):
+        wh.design()
+        for relation, rows in data.items():
+            wh.load(relation, rows)
+        wh.materialize()
+
+    out = {}
+    for name in ("Q1", "Q2", "Q3", "Q4"):
+        _, io_recompute = scan_wh.execute(name, use_views=False)
+        _, io_scan = scan_wh.execute(name, use_views=True)
+        # Warm the index once, then measure the steady state.
+        index_wh.execute(name, use_views=True)
+        _, io_indexed = index_wh.execute(name, use_views=True)
+        out[name] = (io_recompute.total, io_scan.total, io_indexed.total)
+    return out
+
+
+def test_indexed_views_never_lose(benchmark):
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = []
+    for name, (recompute, scan, indexed) in measured.items():
+        # The paper's guarantee: materialized (scanned or indexed) never
+        # costs more than recomputing from base relations.
+        assert scan <= recompute, name
+        assert indexed <= recompute, name
+        rows.append(
+            [
+                name,
+                f"{recompute:,}",
+                f"{scan:,}",
+                f"{indexed:,}",
+                f"{recompute / max(min(scan, indexed), 1):.1f}x",
+            ]
+        )
+    # Somewhere the index probe beats even the plain view scan.
+    assert any(
+        indexed < scan for _, scan, indexed in measured.values()
+    )
+    print()
+    print(
+        render_table(
+            ["Query", "Recompute I/O", "View-scan I/O", "Indexed I/O", "Best gain"],
+            rows,
+            title="Section 3.2 — indexing materialized views (measured)",
+        )
+    )

@@ -1,0 +1,97 @@
+"""Ablation — join method (DESIGN.md §6.4).
+
+The paper assumes nested-loop joins.  Re-running the Table-2 comparison
+under a hash-join cost model changes every absolute number but must not
+change the paper's qualitative conclusion: the shared intermediates
+{tmp2, tmp4} remain the best strategy and the heuristic still finds a
+design no worse than the naive extremes.
+"""
+
+from repro.analysis import format_blocks, render_table, strategy_table
+from repro.mvpp import MVPPCostCalculator, generate_mvpps, select_views, strategies
+from repro.optimizer import HashJoinCostModel, SortMergeCostModel
+from repro.workload import paper_workload
+
+
+def run_model(cost_model):
+    workload = paper_workload()
+    mvpp = generate_mvpps(workload, cost_model=cost_model, rotations=1)[0]
+    calc = MVPPCostCalculator(mvpp)
+    from repro.algebra.operators import Join
+
+    def join_over(bases):
+        for v in mvpp.operations:
+            if isinstance(v.operator, Join) and v.operator.base_relations() == frozenset(bases):
+                return v
+        raise AssertionError(bases)
+
+    tmp2 = join_over({"Product", "Division"})
+    tmp4 = join_over({"Order", "Customer"})
+    rows = {
+        "all-virtual": strategies.materialize_nothing(mvpp, calc),
+        "{tmp2,tmp4}": strategies.custom(
+            mvpp, calc, "{tmp2,tmp4}", [tmp2.name, tmp4.name]
+        ),
+        "materialize-queries": strategies.materialize_all_queries(mvpp, calc),
+        "heuristic": strategies.heuristic(mvpp, calc),
+    }
+    return mvpp, rows
+
+
+def test_hash_join_shifts_balance_toward_materialization(benchmark):
+    """Finding: under hash joins recomputation is so cheap that *more*
+    materialization pays off — materialize-queries overtakes the shared
+    pair, and the heuristic mixes shared nodes with a query result.  The
+    paper's exact Table-2 ordering is a property of its nested-loop
+    model; the robust claims (sharing beats all-virtual, the heuristic
+    at least ties every baseline) survive."""
+    _, rows = benchmark.pedantic(
+        lambda: run_model(HashJoinCostModel()), rounds=1, iterations=1
+    )
+    assert rows["{tmp2,tmp4}"].total_cost < rows["all-virtual"].total_cost
+    assert rows["heuristic"].total_cost <= min(
+        rows["{tmp2,tmp4}"].total_cost,
+        rows["all-virtual"].total_cost,
+        rows["materialize-queries"].total_cost,
+    ) * 1.01
+    print()
+    print(strategy_table(list(rows.values()), title="Table 2 under hash joins"))
+    print("note: materialize-queries overtakes {tmp2,tmp4} here — the")
+    print("paper's ordering depends on its nested-loop cost model.")
+
+
+def test_sort_merge_preserves_core_conclusions(benchmark):
+    _, rows = benchmark.pedantic(
+        lambda: run_model(SortMergeCostModel()), rounds=1, iterations=1
+    )
+    assert rows["{tmp2,tmp4}"].total_cost < rows["all-virtual"].total_cost
+    assert rows["heuristic"].total_cost <= min(
+        r.total_cost for r in rows.values()
+    ) * 1.01
+    print()
+    print(strategy_table(list(rows.values()), title="Table 2 under sort-merge joins"))
+
+
+def test_magnitudes_shift_across_models(benchmark):
+    """Absolute costs differ wildly across join methods — the reason only
+    qualitative agreement with the paper's arithmetic is claimed."""
+
+    def run():
+        from repro.optimizer import NestedLoopCostModel
+
+        out = {}
+        for model in (NestedLoopCostModel(), HashJoinCostModel(), SortMergeCostModel()):
+            _, rows = run_model(model)
+            out[model.name] = rows["all-virtual"].total_cost
+        return out
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert totals["nested-loop"] > totals["hash"]
+    print()
+    print(
+        render_table(
+            ["Join method", "All-virtual total"],
+            [[name, format_blocks(total)] for name, total in totals.items()],
+            title="Cost magnitude by join method",
+        )
+    )

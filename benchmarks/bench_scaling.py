@@ -1,0 +1,183 @@
+"""Scaling study — the Figure-9 heuristic vs baselines on synthetic
+workloads (our extension; the paper evaluates only the worked example).
+
+Measures, across seeded random SPJ design problems:
+
+* solution quality: heuristic total cost vs the exhaustive 2^n optimum
+  (small instances) and vs forward-greedy;
+* runtime: heuristic vs exhaustive as candidate count grows.
+
+The paper's claim that the weight-greedy search "captures a reasonable
+subset" translates here to a bounded optimality gap on small instances.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import render_table
+from repro.mvpp import (
+    AnnealingConfig,
+    GeneticConfig,
+    MVPPCostCalculator,
+    exhaustive_optimal,
+    generate_mvpps,
+    genetic_search,
+    greedy_forward,
+    select_views,
+    simulated_annealing,
+)
+from repro.workload import GeneratorConfig, generate_workload
+
+SMALL_SEEDS = list(range(6))
+
+
+def build_mvpp(seed, relations=4, queries=3, max_query_relations=3):
+    workload = generate_workload(
+        GeneratorConfig(
+            num_relations=relations,
+            num_queries=queries,
+            max_query_relations=max_query_relations,
+            seed=seed,
+        )
+    ).workload
+    return generate_mvpps(workload, rotations=1)[0]
+
+
+def test_quality_vs_exhaustive(benchmark):
+    def sweep():
+        rows = []
+        for seed in SMALL_SEEDS:
+            mvpp = build_mvpp(seed)
+            if len(mvpp.operations) > 14:
+                continue
+            calc = MVPPCostCalculator(mvpp)
+            heuristic = select_views(mvpp, calc, refine=True)
+            heuristic_cost = calc.breakdown(heuristic.materialized).total
+            greedy_cost = greedy_forward(mvpp, calc)[1].total
+            annealing_cost = simulated_annealing(
+                mvpp, calc, config=AnnealingConfig(seed=seed)
+            )[1].total
+            genetic_cost = genetic_search(
+                mvpp, calc, config=GeneticConfig(seed=seed)
+            )[1].total
+            optimum = exhaustive_optimal(mvpp, calc)[1].total
+            rows.append(
+                (
+                    seed,
+                    len(mvpp.operations),
+                    heuristic_cost,
+                    greedy_cost,
+                    annealing_cost,
+                    genetic_cost,
+                    optimum,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert rows, "no instance was small enough for exhaustive search"
+    table = []
+    for (
+        seed,
+        candidates,
+        heuristic_cost,
+        greedy_cost,
+        annealing_cost,
+        genetic_cost,
+        optimum,
+    ) in rows:
+        gap = heuristic_cost / optimum if optimum else 1.0
+        assert heuristic_cost <= 2.0 * optimum + 1e-9, seed
+        assert annealing_cost <= 2.0 * optimum + 1e-9, seed
+        assert genetic_cost <= 2.0 * optimum + 1e-9, seed
+        table.append(
+            [
+                f"seed {seed}",
+                candidates,
+                f"{optimum:,.0f}",
+                f"{heuristic_cost:,.0f}",
+                f"{greedy_cost:,.0f}",
+                f"{annealing_cost:,.0f}",
+                f"{genetic_cost:,.0f}",
+                f"{gap:.3f}x",
+            ]
+        )
+    mean_gap = sum(r[2] / r[6] for r in rows) / len(rows)
+    print()
+    print(
+        render_table(
+            [
+                "Instance",
+                "Candidates",
+                "Optimal",
+                "Heuristic",
+                "Greedy",
+                "Annealing",
+                "Genetic",
+                "Gap",
+            ],
+            table,
+            title="Heuristic vs baselines vs exhaustive optimum",
+        )
+    )
+    print(f"mean heuristic/optimal gap: {mean_gap:.3f}x")
+    assert mean_gap <= 1.25
+
+
+def test_heuristic_runtime_scaling(benchmark):
+    """The heuristic stays near-linear while exhaustive explodes."""
+
+    def sweep():
+        rows = []
+        for relations, queries in ((4, 3), (6, 5), (8, 8), (10, 12)):
+            workload = generate_workload(
+                GeneratorConfig(
+                    num_relations=relations,
+                    num_queries=queries,
+                    max_query_relations=min(4, relations),
+                    seed=99,
+                )
+            ).workload
+            mvpp = generate_mvpps(workload, rotations=1)[0]
+            calc = MVPPCostCalculator(mvpp)
+            start = time.perf_counter()
+            select_views(mvpp, calc)
+            elapsed = time.perf_counter() - start
+            rows.append((relations, queries, len(mvpp.operations), elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["Relations", "Queries", "Candidates", "Heuristic time"],
+            [
+                [r, q, c, f"{t * 1e3:.1f} ms"]
+                for r, q, c, t in rows
+            ],
+            title="Heuristic runtime scaling",
+        )
+    )
+    # Even the largest instance finishes fast.
+    assert rows[-1][3] < 5.0
+
+
+def test_bench_heuristic_medium_instance(benchmark):
+    """Steady-state timing of the selection heuristic on a mid-size MVPP."""
+    mvpp = build_mvpp(7, relations=8, queries=8, max_query_relations=4)
+    calc = MVPPCostCalculator(mvpp)
+    result = benchmark(lambda: select_views(mvpp, calc))
+    assert calc.breakdown(result.materialized).total <= calc.breakdown(()).total * 1.05
+
+
+def test_bench_generation_medium_instance(benchmark):
+    """Timing of full MVPP generation (all rotations) on a mid-size
+    workload."""
+    workload = generate_workload(
+        GeneratorConfig(num_relations=8, num_queries=6, max_query_relations=4, seed=21)
+    ).workload
+    mvpps = benchmark.pedantic(
+        lambda: generate_mvpps(workload), rounds=3, iterations=1
+    )
+    assert len(mvpps) == 6

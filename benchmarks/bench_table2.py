@@ -1,0 +1,109 @@
+"""Table 2 — costs for different view materialization strategies.
+
+The headline reproduction.  The paper's rows (its arithmetic):
+
+    base relations only        95.671m   0         95.671m
+    {tmp2, tmp4, tmp6}         85.237m   12.583m   97.82m
+    {tmp2, tmp6}               25.506m   12.382m   37.888m
+    {tmp2, tmp4}               25.512m   12.065m   37.577m   <- best
+    {Q1, Q2, Q3, Q4}            7.25k    62.653m   62.66m
+
+Our cost model pushes selections below joins (the paper's Figure-3
+arithmetic does not), so absolute values differ; the claims that must —
+and do — hold:
+
+  * ``{tmp2, tmp4}`` (the shared intermediates) is the cheapest strategy;
+  * materializing every query result has the lowest query cost and the
+    highest maintenance cost;
+  * keeping everything virtual has zero maintenance and the highest
+    query cost;
+  * the Figure-9 heuristic lands exactly on ``{tmp2, tmp4}``.
+"""
+
+from repro.analysis import strategy_table
+from repro.mvpp import strategies
+from repro.mvpp.cost import MVPPCostCalculator
+
+PAPER_ROWS = {
+    "all-virtual": (95_671_000, 0, 95_671_000),
+    "{tmp2,tmp4,tmp6}": (85_237_000, 12_583_000, 97_820_000),
+    "{tmp2,tmp6}": (25_506_000, 12_382_000, 37_888_000),
+    "{tmp2,tmp4}": (25_512_000, 12_065_000, 37_577_000),
+    "materialize-queries": (7_250, 62_653_000, 62_660_000),
+}
+
+
+def build_rows(paper_mvpp, paper_nodes):
+    calc = MVPPCostCalculator(paper_mvpp)
+    tmp2, tmp4, tmp6 = (
+        paper_nodes["tmp2"],
+        paper_nodes["tmp4"],
+        paper_nodes["tmp6"],
+    )
+    return {
+        "all-virtual": strategies.materialize_nothing(paper_mvpp, calc),
+        "{tmp2,tmp4,tmp6}": strategies.custom(
+            paper_mvpp, calc, "{tmp2,tmp4,tmp6}", [tmp2.name, tmp4.name, tmp6.name]
+        ),
+        "{tmp2,tmp6}": strategies.custom(
+            paper_mvpp, calc, "{tmp2,tmp6}", [tmp2.name, tmp6.name]
+        ),
+        "{tmp2,tmp4}": strategies.custom(
+            paper_mvpp, calc, "{tmp2,tmp4}", [tmp2.name, tmp4.name]
+        ),
+        "materialize-queries": strategies.materialize_all_queries(
+            paper_mvpp, calc
+        ),
+        "heuristic (Fig.9)": strategies.heuristic(paper_mvpp, calc),
+    }
+
+
+def test_table2_reproduction(benchmark, paper_mvpp, paper_nodes):
+    rows = benchmark(lambda: build_rows(paper_mvpp, paper_nodes))
+
+    listed = [
+        rows[name]
+        for name in (
+            "all-virtual",
+            "{tmp2,tmp4,tmp6}",
+            "{tmp2,tmp6}",
+            "{tmp2,tmp4}",
+            "materialize-queries",
+        )
+    ]
+
+    # Claim 1: {tmp2, tmp4} is the best of the five listed strategies.
+    best = min(listed, key=lambda r: r.total_cost)
+    assert best is rows["{tmp2,tmp4}"]
+
+    # Claim 2: all queries materialized -> min query cost, max maintenance.
+    queries_row = rows["materialize-queries"]
+    assert queries_row.query_cost == min(r.query_cost for r in listed)
+    assert queries_row.maintenance_cost == max(r.maintenance_cost for r in listed)
+
+    # Claim 3: all virtual -> zero maintenance, max query cost.
+    virtual = rows["all-virtual"]
+    assert virtual.maintenance_cost == 0.0
+    assert virtual.query_cost == max(r.query_cost for r in listed)
+
+    # Claim 4: the heuristic selects exactly {tmp2, tmp4}.
+    assert set(rows["heuristic (Fig.9)"].materialized) == set(
+        rows["{tmp2,tmp4}"].materialized
+    )
+
+    print()
+    print(strategy_table(listed + [rows["heuristic (Fig.9)"]],
+                         title="Table 2 analogue (our cost model)"))
+    print()
+    print("Paper's Table 2 (its arithmetic), for comparison:")
+    for name, (q, m, total) in PAPER_ROWS.items():
+        print(f"  {name:22} q={q / 1e6:8.3f}m  m={m / 1e6:8.3f}m  total={total / 1e6:8.3f}m")
+
+
+def test_table2_cost_evaluation_speed(benchmark, paper_mvpp, paper_nodes):
+    """Time a single total-cost evaluation (the inner loop of every
+    search strategy)."""
+    calc = MVPPCostCalculator(paper_mvpp)
+    pair = [paper_nodes["tmp2"], paper_nodes["tmp4"]]
+    breakdown = benchmark(lambda: calc.breakdown(pair))
+    assert breakdown.total > 0

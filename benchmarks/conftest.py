@@ -1,0 +1,69 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper
+(printing a paper-style table, asserting the qualitative claims) and
+times the algorithm behind it with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mvpp import MVPPCostCalculator, generate_mvpps
+from repro.optimizer import CardinalityEstimator
+from repro.workload import paper_workload, paper_workload_fig7
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return paper_workload()
+
+
+@pytest.fixture(scope="session")
+def fig7_workload():
+    return paper_workload_fig7()
+
+
+@pytest.fixture(scope="session")
+def estimator(workload):
+    return CardinalityEstimator(workload.statistics)
+
+
+@pytest.fixture(scope="session")
+def paper_mvpps(workload):
+    return generate_mvpps(workload)
+
+
+@pytest.fixture(scope="session")
+def paper_mvpp(paper_mvpps):
+    """The paper-seeded MVPP (Q4's plan first, like the paper's list l)."""
+    return paper_mvpps[0]
+
+
+@pytest.fixture(scope="session")
+def paper_calculator(paper_mvpp):
+    return MVPPCostCalculator(paper_mvpp)
+
+
+def join_vertex(mvpp, bases):
+    """The unique join vertex over exactly the given base relations."""
+    from repro.algebra.operators import Join
+
+    for vertex in mvpp.operations:
+        if isinstance(vertex.operator, Join) and vertex.operator.base_relations() == frozenset(bases):
+            return vertex
+    raise AssertionError(f"no join vertex over {bases}")
+
+
+@pytest.fixture(scope="session")
+def paper_nodes(paper_mvpp):
+    """The paper's named nodes: tmp2, tmp4 (Section 4.3), tmp6."""
+    return {
+        "tmp2": join_vertex(paper_mvpp, {"Product", "Division"}),
+        "tmp4": join_vertex(paper_mvpp, {"Order", "Customer"}),
+        "tmp6": join_vertex(
+            paper_mvpp, {"Product", "Division", "Order", "Customer"}
+        ),
+    }

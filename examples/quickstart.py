@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Quickstart: design materialized views for a tiny warehouse.
+
+Covers the full public API in ~60 lines:
+
+1. declare schemas and statistics,
+2. register warehouse queries with access frequencies,
+3. run the MVPP design pipeline (paper Figures 4 + 9),
+4. load data, materialize the chosen views, and run queries through them.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import random
+
+from repro import DataWarehouse
+from repro.analysis import format_blocks
+from repro.catalog import Catalog, DataType, StatisticsCatalog
+
+
+def main() -> None:
+    # 1. Schemas and statistics ------------------------------------------
+    catalog = Catalog()
+    catalog.register_relation(
+        "Sale",
+        [
+            ("id", DataType.INTEGER),
+            ("store_fk", DataType.INTEGER),
+            ("amount", DataType.INTEGER),
+        ],
+    )
+    catalog.register_relation(
+        "Store",
+        [("id", DataType.INTEGER), ("region", DataType.STRING)],
+    )
+
+    statistics = StatisticsCatalog()
+    statistics.set_relation("Sale", 50_000)
+    statistics.set_relation("Store", 500)
+    statistics.set_column("Sale.amount", 1_000, minimum=0, maximum=999)
+    statistics.set_column("Store.region", 10)
+    statistics.set_join_selectivity("Sale.store_fk", "Store.id", 1 / 500)
+
+    # 2. Warehouse queries -------------------------------------------------
+    warehouse = DataWarehouse(catalog, statistics)
+    warehouse.add_query(
+        "hot_dashboard",
+        "SELECT Store.region, Sale.amount FROM Sale, Store "
+        "WHERE Sale.store_fk = Store.id AND Sale.amount > 500",
+        frequency=50,
+    )
+    warehouse.add_query(
+        "weekly_report",
+        "SELECT Store.region, Sale.amount FROM Sale, Store "
+        "WHERE Sale.store_fk = Store.id AND Store.region = 'west'",
+        frequency=2,
+    )
+    warehouse.set_update_frequency("Sale", 1.0)
+    warehouse.set_update_frequency("Store", 0.1)
+
+    # 3. Design ------------------------------------------------------------
+    result = warehouse.design()
+    print(f"chosen MVPP: {result.mvpp.name}")
+    print(f"materialize: {', '.join(result.materialized_names) or '(nothing)'}")
+    print(
+        f"predicted per-period cost: "
+        f"query={format_blocks(result.breakdown.query_processing)} "
+        f"maintenance={format_blocks(result.breakdown.maintenance)} "
+        f"total={format_blocks(result.breakdown.total)}"
+    )
+
+    # 4. Load data, materialize, and query ----------------------------------
+    rng = random.Random(42)
+    warehouse.load(
+        "Store",
+        (
+            {"id": i, "region": rng.choice(["west", "east", "north", "south"])}
+            for i in range(500)
+        ),
+    )
+    warehouse.load(
+        "Sale",
+        (
+            {"id": i, "store_fk": rng.randrange(500), "amount": rng.randrange(1000)}
+            for i in range(5_000)
+        ),
+    )
+    warehouse.materialize()
+
+    for query in ("hot_dashboard", "weekly_report"):
+        with_views, io_views = warehouse.execute(query, use_views=True)
+        _, io_plain = warehouse.execute(query, use_views=False)
+        print(
+            f"{query}: {with_views.cardinality} rows, "
+            f"{io_views.total} block I/Os with views "
+            f"vs {io_plain.total} without "
+            f"({io_plain.total / max(io_views.total, 1):.1f}x fewer)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Designing from *collected* statistics instead of hand-written ones.
+
+The paper's Table 1 hands the designer exact selectivities.  A running
+warehouse derives them from data: this example loads synthetic rows,
+collects cardinalities / distinct counts / histograms / measured join
+selectivities with :func:`repro.catalog.collect_statistics`, and shows
+that the design found from collected statistics matches the one found
+from the hand-written Table-1 numbers.
+
+Run with::
+
+    python examples/statistics_collection.py
+"""
+
+from repro.analysis import format_blocks
+from repro.catalog import collect_statistics
+from repro.executor.engine import load_database
+from repro.mvpp import design
+from repro.workload import paper_rows, paper_workload
+from repro.workload.spec import Workload
+
+
+def main() -> None:
+    workload = paper_workload()
+
+    # 1. Load data drawn to match Table 1's distributions (20% scale).
+    data = paper_rows(scale=0.2, seed=5)
+    database = load_database(data, workload.catalog)
+
+    # 2. Collect statistics from the loaded tables, measuring the join
+    #    selectivities of the four foreign-key joins exactly.
+    collected = collect_statistics(
+        {name: database.table(name) for name in workload.catalog.relation_names},
+        join_keys=[
+            ("Product.Did", "Division.Did"),
+            ("Part.Pid", "Product.Pid"),
+            ("Order.Cid", "Customer.Cid"),
+            ("Product.Pid", "Order.Pid"),
+        ],
+    )
+    for name in workload.catalog.relation_names:
+        registered = workload.statistics.relation(name)
+        measured = collected.relation(name)
+        print(
+            f"{name:>9}: Table 1 {registered.cardinality:,} rows, "
+            f"measured {measured.cardinality:,} rows "
+            f"({measured.blocks:,} blocks)"
+        )
+    js = collected.join_selectivity("Order.Cid", "Customer.Cid")
+    print(f"measured js(Order.Cid, Customer.Cid) = {js:.2e} "
+          f"(Table 1: {1 / (20_000 * 0.2):.2e} at this scale)")
+    print()
+
+    # 3. Design once with the paper's statistics, once with collected.
+    paper_design = design(workload)
+    collected_workload = Workload(
+        name="paper-collected",
+        catalog=workload.catalog,
+        statistics=collected,
+        queries=workload.queries,
+        update_frequencies=dict(workload.update_frequencies),
+    )
+    collected_design = design(collected_workload)
+
+    def shapes(result):
+        return sorted(
+            frozenset(v.operator.base_relations()) for v in result.materialized
+        )
+
+    print(f"design from Table 1 stats:   {paper_design.materialized_names} "
+          f"(total {format_blocks(paper_design.total_cost)})")
+    print(f"design from collected stats: {collected_design.materialized_names} "
+          f"(total {format_blocks(collected_design.total_cost)})")
+    if shapes(paper_design) == shapes(collected_design):
+        print("-> both statistics sources select views over the same "
+              "base-relation sets")
+    else:
+        print("-> designs differ (collected data deviates from Table 1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — MVPP materialized view design for data warehousing.
+
+Reproduction of Yang, Karlapalem & Li, "A Framework for Designing
+Materialized Views in Data Warehousing Environment" (ICDCS 1997).
+
+Subpackages:
+
+* :mod:`repro.catalog` — schemas, types, statistics
+* :mod:`repro.algebra` — relational algebra and rewrites
+* :mod:`repro.sql` — SQL front end
+* :mod:`repro.optimizer` — cost model and join ordering
+* :mod:`repro.storage` / :mod:`repro.executor` — physical layer
+* :mod:`repro.mvpp` — the paper's contribution (MVPP generation and
+  materialized view selection)
+* :mod:`repro.warehouse` — end-to-end data warehouse facade
+* :mod:`repro.workload` — the paper's example and synthetic workloads
+* :mod:`repro.distributed` — multi-site cost extension
+* :mod:`repro.analysis` — reports and DOT rendering
+"""
+
+__version__ = "1.0.0"
+
+from repro.mvpp import (  # noqa: E402  (re-exports after docstring/version)
+    MVPP,
+    DesignResult,
+    MVPPCostCalculator,
+    design,
+    generate_mvpps,
+    select_views,
+)
+from repro.warehouse import DataWarehouse  # noqa: E402
+from repro.workload import (  # noqa: E402
+    QuerySpec,
+    Workload,
+    paper_workload,
+)
+
+__all__ = [
+    "DataWarehouse",
+    "DesignResult",
+    "MVPP",
+    "MVPPCostCalculator",
+    "QuerySpec",
+    "Workload",
+    "design",
+    "generate_mvpps",
+    "paper_workload",
+    "select_views",
+    "__version__",
+]

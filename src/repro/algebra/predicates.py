@@ -1,0 +1,223 @@
+"""Predicate manipulation utilities.
+
+The MVPP algorithms lean on three predicate operations:
+
+* splitting a ``WHERE`` clause into conjuncts and classifying them as
+  selections versus join predicates (plan construction);
+* forming the **disjunction of select conditions** on a base relation that
+  is shared by several queries (paper Figure 4, step 5 — the pushed-down
+  condition must admit every sharing query's tuples);
+* syntactic **implication** checks so a query's residual selection can be
+  recognised as redundant or re-applied above a shared node.
+
+Everything here is purely syntactic; no data is touched.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.expressions import (
+    And,
+    Comparison,
+    Expression,
+    Literal,
+    Not,
+    Or,
+)
+
+TRUE: Optional[Expression] = None
+"""The ``True`` predicate is represented as ``None`` throughout the
+algebra (a ``Select`` with a ``None`` predicate is never constructed; the
+node is simply omitted)."""
+
+
+def conjuncts(predicate: Optional[Expression]) -> Tuple[Expression, ...]:
+    """The top-level AND-factors of ``predicate`` (itself if not an AND)."""
+    if predicate is None:
+        return ()
+    if isinstance(predicate, And):
+        return predicate.children
+    return (predicate,)
+
+
+def disjuncts(predicate: Optional[Expression]) -> Tuple[Expression, ...]:
+    """The top-level OR-terms of ``predicate`` (itself if not an OR)."""
+    if predicate is None:
+        return ()
+    if isinstance(predicate, Or):
+        return predicate.children
+    return (predicate,)
+
+
+def conjunction(parts: Iterable[Optional[Expression]]) -> Optional[Expression]:
+    """AND together a sequence of predicates, treating ``None`` as TRUE.
+
+    Returns ``None`` when every part is TRUE, the single part when only
+    one remains, and a flattened/deduplicated :class:`And` otherwise.
+    """
+    collected: List[Expression] = []
+    for part in parts:
+        if part is not None:
+            collected.extend(conjuncts(part))
+    unique = {e.signature: e for e in collected}
+    if not unique:
+        return None
+    if len(unique) == 1:
+        return next(iter(unique.values()))
+    return And(unique.values())
+
+
+def disjunction(parts: Iterable[Optional[Expression]]) -> Optional[Expression]:
+    """OR together predicates, treating ``None`` (TRUE) as absorbing.
+
+    This is the operation Figure 4 step 5 applies to the select conditions
+    of queries sharing a base relation: if *any* sharing query applies no
+    selection, the pushed-down condition must be TRUE (``None``).
+    """
+    collected: List[Expression] = []
+    for part in parts:
+        if part is None:
+            return None  # TRUE OR anything == TRUE
+        collected.extend(disjuncts(part))
+    unique = {e.signature: e for e in collected}
+    if not unique:
+        return None
+    if len(unique) == 1:
+        return next(iter(unique.values()))
+    return Or(unique.values())
+
+
+def negate(predicate: Expression) -> Expression:
+    """Logical negation with double-negation elimination."""
+    if isinstance(predicate, Not):
+        return predicate.operand
+    return Not(predicate)
+
+
+def is_join_predicate(predicate: Expression) -> bool:
+    """True for ``column = column`` equi-join conjuncts."""
+    return isinstance(predicate, Comparison) and predicate.is_equijoin
+
+
+def split_selection_and_join(
+    predicate: Optional[Expression],
+) -> Tuple[Tuple[Expression, ...], Tuple[Expression, ...]]:
+    """Partition a WHERE clause's conjuncts into (selections, join predicates)."""
+    selections: List[Expression] = []
+    joins: List[Expression] = []
+    for part in conjuncts(predicate):
+        if is_join_predicate(part):
+            joins.append(part)
+        else:
+            selections.append(part)
+    return tuple(selections), tuple(joins)
+
+
+def conjuncts_covered_by(
+    predicate: Optional[Expression], columns: Set[str]
+) -> Tuple[Tuple[Expression, ...], Tuple[Expression, ...]]:
+    """Split conjuncts into those referencing only ``columns`` and the rest.
+
+    This is the core test of selection push-down: a conjunct may move below
+    an operator exactly when every column it mentions is available there.
+    """
+    inside: List[Expression] = []
+    outside: List[Expression] = []
+    for part in conjuncts(predicate):
+        if part.columns() <= columns:
+            inside.append(part)
+        else:
+            outside.append(part)
+    return tuple(inside), tuple(outside)
+
+
+def implies(stronger: Optional[Expression], weaker: Optional[Expression]) -> bool:
+    """Syntactic implication test: does ``stronger`` imply ``weaker``?
+
+    Sound but deliberately incomplete.  Handles:
+
+    * TRUE on the weak side (everything implies TRUE);
+    * identical signatures;
+    * the weak side being a disjunction containing an implied term;
+    * the strong side being a conjunction containing an implying term;
+    * constant-range subsumption on a single column, e.g.
+      ``x > 200`` implies ``x > 100`` and ``x = 5`` implies ``x <= 9``.
+
+    A ``False`` return means "could not prove", not "does not hold".
+    """
+    if weaker is None:
+        return True
+    if stronger is None:
+        return False
+    if stronger.signature == weaker.signature:
+        return True
+    if isinstance(weaker, Or):
+        if any(implies(stronger, term) for term in weaker.children):
+            return True
+    if isinstance(weaker, And):
+        return all(implies(stronger, term) for term in weaker.children)
+    if isinstance(stronger, And):
+        if any(implies(term, weaker) for term in stronger.children):
+            return True
+    if isinstance(stronger, Comparison) and isinstance(weaker, Comparison):
+        return _comparison_implies(stronger, weaker)
+    return False
+
+
+def _comparison_implies(stronger: Comparison, weaker: Comparison) -> bool:
+    """Range subsumption for two comparisons on the same column vs literals."""
+    if not (
+        isinstance(stronger.right, Literal)
+        and isinstance(weaker.right, Literal)
+        and stronger.left.signature == weaker.left.signature
+    ):
+        return False
+    a, b = stronger.right.value, weaker.right.value
+    try:
+        if stronger.op == "=":
+            if weaker.op == "=":
+                return bool(a == b)
+            if weaker.op == "!=":
+                return bool(a != b)
+            if weaker.op == "<":
+                return bool(a < b)
+            if weaker.op == "<=":
+                return bool(a <= b)
+            if weaker.op == ">":
+                return bool(a > b)
+            if weaker.op == ">=":
+                return bool(a >= b)
+        if stronger.op in (">", ">="):
+            boundary_in = stronger.op == ">="
+            if weaker.op == ">":
+                return bool(a > b) or (bool(a == b) and not boundary_in)
+            if weaker.op == ">=":
+                return bool(a >= b)
+        if stronger.op in ("<", "<="):
+            boundary_in = stronger.op == "<="
+            if weaker.op == "<":
+                return bool(a < b) or (bool(a == b) and not boundary_in)
+            if weaker.op == "<=":
+                return bool(a <= b)
+    except TypeError:
+        return False
+    return False
+
+
+def equijoin_pairs(predicate: Optional[Expression]) -> Tuple[Tuple[str, str], ...]:
+    """The (left column, right column) pairs of every equi-join conjunct."""
+    pairs = []
+    for part in conjuncts(predicate):
+        if is_join_predicate(part):
+            pairs.append((part.left.name, part.right.name))  # type: ignore[union-attr]
+    return tuple(pairs)
+
+
+def referenced_columns(predicates: Sequence[Optional[Expression]]) -> Set[str]:
+    """Union of the columns referenced by a sequence of predicates."""
+    out: Set[str] = set()
+    for predicate in predicates:
+        if predicate is not None:
+            out |= predicate.columns()
+    return out

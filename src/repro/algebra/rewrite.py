@@ -1,0 +1,235 @@
+"""Plan rewrites: pull-up and push-down of selections and projections.
+
+These are the tree-level transformations the MVPP generation algorithm
+(paper Figure 4) is built from:
+
+* **step 2** — "for any query involving join operations, push up all the
+  select and project operations": :func:`pull_up` strips a plan to its
+  join skeleton plus a residual selection and output projection;
+* **steps 5/6** — push the (possibly disjunctive) selection conditions and
+  (union-of-attributes) projections back down as deep as possible:
+  :func:`push_down_selections` / :func:`push_down_projections`.
+
+:func:`optimize_tree` chains them into the classic heuristic single-query
+optimization the paper assumes as its starting point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.algebra import predicates as P
+from repro.algebra.expressions import Expression
+from repro.algebra.operators import (
+    Aggregate,
+    Join,
+    Limit,
+    Operator,
+    Project,
+    Relation,
+    Select,
+    Sort,
+    project_if,
+    select_if,
+)
+from repro.errors import AlgebraError
+
+
+@dataclass(frozen=True)
+class PulledPlan:
+    """A plan normal form: join skeleton + residual selection + output.
+
+    ``skeleton`` contains only :class:`Relation` leaves and :class:`Join`
+    nodes (conditions kept on the joins); every non-join filter lives in
+    ``selection`` and the query's visible output in ``projection``.
+    ``aggregate`` preserves an optional GROUP BY layer (the aggregation
+    extension); it is applied between selection and projection.  ``sort``
+    and ``limit`` are presentation-layer caps re-applied last.
+    """
+
+    skeleton: Operator
+    selection: Optional[Expression]
+    projection: Tuple[str, ...]
+    aggregate: Optional[Aggregate] = None
+    sort: Optional[Sort] = None
+    limit: Optional[Limit] = None
+
+    def assemble(self) -> Operator:
+        """Rebuild an executable operator tree from the normal form."""
+        plan = select_if(self.skeleton, self.selection)
+        if self.aggregate is not None:
+            plan = self.aggregate.with_children((plan,))
+        plan = project_if(plan, self.projection)
+        return self.decorate(plan)
+
+    def decorate(self, plan: Operator) -> Operator:
+        """Re-apply the presentation layers (sort, then limit) on top."""
+        if self.sort is not None:
+            plan = self.sort.with_children((plan,))
+        if self.limit is not None:
+            plan = self.limit.with_children((plan,))
+        return plan
+
+
+def pull_up(plan: Operator) -> PulledPlan:
+    """Normalize ``plan`` by pulling selections and projections to the top.
+
+    Join conditions stay attached to their join nodes (they define the
+    join pattern that Figure 4 merges on); everything else floats up.
+    """
+    aggregate: Optional[Aggregate] = None
+    sort: Optional[Sort] = None
+    limit: Optional[Limit] = None
+    projection: Tuple[str, ...] = plan.schema.attribute_names
+
+    node = plan
+    # Peel the output layers: Limit / Sort / Project / Aggregate may cap
+    # the plan (in presentation order: LIMIT above ORDER BY above SELECT).
+    while True:
+        if isinstance(node, Limit) and limit is None and sort is None:
+            limit = node
+            node = node.child
+        elif isinstance(node, Sort) and sort is None:
+            sort = node
+            node = node.child
+        elif isinstance(node, Project):
+            node = node.child
+        elif isinstance(node, Aggregate):
+            if aggregate is not None:
+                raise AlgebraError("nested aggregation is not supported")
+            aggregate = node
+            node = node.child
+        else:
+            break
+
+    skeleton, selections = _strip(node)
+    return PulledPlan(
+        skeleton=skeleton,
+        selection=P.conjunction(selections),
+        projection=projection,
+        aggregate=aggregate,
+        sort=sort,
+        limit=limit,
+    )
+
+
+def _strip(node: Operator) -> Tuple[Operator, List[Expression]]:
+    """Remove Select/Project layers below ``node``, collecting predicates."""
+    if isinstance(node, Relation):
+        return node, []
+    if isinstance(node, Select):
+        skeleton, selections = _strip(node.child)
+        return skeleton, selections + list(P.conjuncts(node.predicate))
+    if isinstance(node, Project):
+        return _strip(node.child)
+    if isinstance(node, Join):
+        left, left_sel = _strip(node.left)
+        right, right_sel = _strip(node.right)
+        return Join(left, right, node.condition), left_sel + right_sel
+    if isinstance(node, Aggregate):
+        raise AlgebraError("aggregation below a join cannot be pulled up")
+    if isinstance(node, (Sort, Limit)):
+        raise AlgebraError(
+            f"{type(node).__name__} below a join cannot be pulled up; "
+            f"ORDER BY/LIMIT are presentation-layer operators"
+        )
+    raise AlgebraError(f"unsupported operator in pull_up: {type(node).__name__}")
+
+
+def push_down_selections(
+    skeleton: Operator, selection: Optional[Expression]
+) -> Operator:
+    """Place each conjunct of ``selection`` at the deepest covering node.
+
+    A conjunct moves below a join when the columns it references are all
+    available on one side; conjuncts spanning both sides (non-equijoin
+    residuals) stay above that join.
+    """
+    conjs = list(P.conjuncts(selection))
+    return _place(skeleton, conjs)
+
+
+def _place(node: Operator, conjs: List[Expression]) -> Operator:
+    if not conjs:
+        return node
+    if isinstance(node, Join):
+        left_cols = set(node.left.schema.attribute_names)
+        right_cols = set(node.right.schema.attribute_names)
+        to_left, to_right, here = [], [], []
+        for conjunct in conjs:
+            columns = conjunct.columns()
+            if columns <= left_cols:
+                to_left.append(conjunct)
+            elif columns <= right_cols:
+                to_right.append(conjunct)
+            else:
+                here.append(conjunct)
+        rebuilt = Join(
+            _place(node.left, to_left),
+            _place(node.right, to_right),
+            node.condition,
+        )
+        return select_if(rebuilt, P.conjunction(here))
+    return select_if(node, P.conjunction(conjs))
+
+
+def push_down_projections(plan: Operator, needed: Sequence[str]) -> Operator:
+    """Insert projections keeping only columns needed above each point.
+
+    ``needed`` is the query's output attribute list; predicate and join
+    columns are added automatically on the way down (the paper's "union of
+    the projection attributes ... plus the join attribute(s)").
+    """
+    return _project_down(plan, set(_resolve_all(plan, needed)))
+
+
+def _resolve_all(plan: Operator, names: Sequence[str]) -> List[str]:
+    return [plan.schema.attribute(n).name for n in names]
+
+
+def _project_down(node: Operator, needed: Set[str]) -> Operator:
+    if isinstance(node, Relation):
+        keep = [a for a in node.schema.attribute_names if a in needed]
+        return project_if(node, keep or node.schema.attribute_names[:1])
+    if isinstance(node, Select):
+        below = needed | set(node.predicate.columns())
+        return Select(_project_down(node.child, below), node.predicate)
+    if isinstance(node, Project):
+        keep = [a for a in node.attributes if a in needed] or list(node.attributes)
+        below = set(keep)
+        return project_if(_project_down(node.child, below), keep)
+    if isinstance(node, Join):
+        below = set(needed)
+        if node.condition is not None:
+            below |= node.condition.columns()
+        left_needed = {a for a in node.left.schema.attribute_names if a in below}
+        right_needed = {a for a in node.right.schema.attribute_names if a in below}
+        return Join(
+            _project_down(node.left, left_needed or set(node.left.schema.attribute_names)),
+            _project_down(node.right, right_needed or set(node.right.schema.attribute_names)),
+            node.condition,
+        )
+    if isinstance(node, Aggregate):
+        below = set(node.group_by) | {
+            s.attribute for s in node.aggregates if s.attribute is not None
+        }
+        return node.with_children((_project_down(node.child, below),))
+    raise AlgebraError(f"unsupported operator in projection push-down: {node!r}")
+
+
+def optimize_tree(plan: Operator, project_leaves: bool = True) -> Operator:
+    """Heuristic single-tree optimization: selections then projections down.
+
+    This is the classic textbook rewrite the paper assumes has produced
+    each query's plan before join ordering; the join order itself is
+    chosen by :mod:`repro.optimizer.join_order`.
+    """
+    pulled = pull_up(plan)
+    body = push_down_selections(pulled.skeleton, pulled.selection)
+    if pulled.aggregate is not None:
+        body = pulled.aggregate.with_children((body,))
+    result = project_if(body, pulled.projection)
+    if project_leaves:
+        result = push_down_projections(result, result.schema.attribute_names)
+    return pulled.decorate(result)

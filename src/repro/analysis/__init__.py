@@ -1,0 +1,34 @@
+"""Reporting and visualization helpers."""
+
+from repro.analysis.dot import to_dot, vertex_label
+from repro.analysis.sensitivity import (
+    FrequencyBreakpoint,
+    MarginalValue,
+    add_one,
+    drop_one,
+    frequency_breakpoints,
+)
+from repro.analysis.report import (
+    design_report,
+    format_blocks,
+    mvpp_cost_table,
+    relation_table,
+    render_table,
+    strategy_table,
+)
+
+__all__ = [
+    "FrequencyBreakpoint",
+    "MarginalValue",
+    "add_one",
+    "design_report",
+    "drop_one",
+    "format_blocks",
+    "frequency_breakpoints",
+    "mvpp_cost_table",
+    "relation_table",
+    "render_table",
+    "strategy_table",
+    "to_dot",
+    "vertex_label",
+]

@@ -1,0 +1,62 @@
+"""Graphviz/DOT export of MVPPs.
+
+Recreates the paper's figures: base relations as boxes (the paper's □),
+operations as ellipses, query roots as double circles (the paper's ●),
+each labeled with its cost annotations.  The output is plain DOT text;
+render it with ``dot -Tpng`` if Graphviz is available.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.analysis.report import format_blocks
+from repro.mvpp.graph import MVPP, Vertex, VertexKind
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def vertex_label(vertex: Vertex) -> str:
+    lines = [vertex.name or vertex.operator.label]
+    if vertex.kind is VertexKind.OPERATION:
+        lines.append(vertex.operator.label)
+        lines.append(f"Ca={format_blocks(vertex.access_cost)}")
+    elif vertex.is_root:
+        lines.append(f"fq={vertex.frequency:g}")
+    elif vertex.is_leaf:
+        lines.append(f"fu={vertex.frequency:g}")
+    return "\\n".join(_escape(line) for line in lines)
+
+
+def to_dot(
+    mvpp: MVPP,
+    highlight: Optional[Iterable[Vertex]] = None,
+    rankdir: str = "BT",
+) -> str:
+    """Render ``mvpp`` as DOT; ``highlight`` marks materialized vertices."""
+    highlighted: Set[int] = {v.vertex_id for v in (highlight or ())}
+    lines = [
+        f'digraph "{_escape(mvpp.name)}" {{',
+        f"  rankdir={rankdir};",
+        '  node [fontsize=10, fontname="Helvetica"];',
+    ]
+    for vertex in mvpp.topological_order():
+        shape = {
+            VertexKind.BASE: "box",
+            VertexKind.OPERATION: "ellipse",
+            VertexKind.QUERY: "doublecircle",
+        }[vertex.kind]
+        style = ""
+        if vertex.vertex_id in highlighted:
+            style = ', style=filled, fillcolor="lightblue"'
+        lines.append(
+            f'  v{vertex.vertex_id} [shape={shape}, '
+            f'label="{vertex_label(vertex)}"{style}];'
+        )
+    for vertex in mvpp.topological_order():
+        for child_id in vertex.children:
+            lines.append(f"  v{child_id} -> v{vertex.vertex_id};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Paper-style reporting: number formatting and ASCII tables.
+
+The paper prints costs as ``35.37k`` / ``50.082m`` block accesses and
+compares strategies in Table 2; these helpers render the same style so
+the benchmark output is visually comparable with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.mvpp.graph import MVPP
+from repro.mvpp.strategies import StrategyResult
+from repro.workload.spec import Workload
+
+
+def format_blocks(value: float) -> str:
+    """Render a block count the way the paper does (``35.37k``, ``50.08m``)."""
+    if value >= 1e9:
+        return f"{value / 1e9:.3f}g"
+    if value >= 1e6:
+        return f"{value / 1e6:.3f}m"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f}k"
+    return f"{value:.0f}"
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[str]], title: Optional[str] = None
+) -> str:
+    """Plain fixed-width table with a header rule."""
+    materialized_rows: List[List[str]] = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in materialized_rows)
+    return "\n".join(parts)
+
+
+def strategy_table(results: Sequence[StrategyResult], title: str = "") -> str:
+    """A Table-2-style comparison of materialization strategies."""
+    rows = []
+    best = min(r.total_cost for r in results) if results else 0.0
+    for result in results:
+        marker = " *" if result.total_cost == best else ""
+        views = ", ".join(result.materialized) if result.materialized else "(none)"
+        rows.append(
+            [
+                result.name,
+                views,
+                format_blocks(result.query_cost),
+                format_blocks(result.maintenance_cost),
+                format_blocks(result.total_cost) + marker,
+            ]
+        )
+    return render_table(
+        ["Strategy", "Materialized views", "Query cost", "Maintenance", "Total"],
+        rows,
+        title=title or "Costs for different view materialization strategies",
+    )
+
+
+def relation_table(workload: Workload) -> str:
+    """A Table-1-style listing of base relation statistics."""
+    rows = []
+    for name in workload.catalog.relation_names:
+        if not workload.statistics.has_relation(name):
+            continue
+        stats = workload.statistics.relation(name)
+        rows.append(
+            [
+                name,
+                f"{stats.cardinality:,} records",
+                f"{format_blocks(stats.blocks)} blocks",
+                f"fu={workload.update_frequency(name):g}",
+            ]
+        )
+    return render_table(
+        ["Relation", "Size", "Blocks", "Update freq"],
+        rows,
+        title=f"Relation statistics — workload {workload.name!r}",
+    )
+
+
+def design_report(result) -> str:
+    """A complete human-readable report for a
+    :class:`~repro.mvpp.generation.DesignResult`: the chosen views with
+    their sizes and costs, the predicted cost breakdown against the naive
+    extremes, and a drop-one sensitivity table.
+    """
+    from repro.analysis.sensitivity import drop_one
+    from repro.mvpp import strategies
+
+    mvpp = result.mvpp
+    calculator = result.calculator
+    parts = [f"Materialized view design for MVPP {mvpp.name!r}"]
+
+    rows = []
+    for vertex in result.materialized:
+        queries = ", ".join(q.name for q in mvpp.queries_using(vertex))
+        rows.append(
+            [
+                vertex.name,
+                vertex.operator.label,
+                f"{vertex.stats.cardinality:,}" if vertex.stats else "",
+                f"{vertex.stats.blocks:,}" if vertex.stats else "",
+                format_blocks(vertex.access_cost),
+                queries,
+            ]
+        )
+    parts.append(
+        render_table(
+            ["View", "Operation", "Rows", "Blocks", "Ca", "Serves"],
+            rows,
+            title="Chosen views",
+        )
+    )
+
+    comparison = [
+        strategies.materialize_nothing(mvpp, calculator),
+        strategies.materialize_all_queries(mvpp, calculator),
+        strategies.evaluate(mvpp, calculator, "this design", result.materialized),
+    ]
+    parts.append(strategy_table(comparison, title="Against the extremes"))
+
+    marginals = drop_one(mvpp, calculator, result.materialized)
+    parts.append(
+        render_table(
+            ["View", "Cost if dropped", "Marginal value"],
+            [
+                [m.vertex, format_blocks(m.new_total), format_blocks(m.delta)]
+                for m in marginals
+            ],
+            title="Drop-one sensitivity",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+def mvpp_cost_table(mvpp: MVPP) -> str:
+    """Per-vertex Ca/Cm listing (the Figure-3 node labels)."""
+    rows = []
+    for vertex in mvpp.topological_order():
+        frequency = ""
+        if vertex.is_root:
+            frequency = f"fq={vertex.frequency:g}"
+        elif vertex.is_leaf:
+            frequency = f"fu={vertex.frequency:g}"
+        stats = vertex.stats
+        rows.append(
+            [
+                vertex.name,
+                vertex.kind.value,
+                frequency,
+                f"{stats.cardinality:,}" if stats else "",
+                f"{stats.blocks:,}" if stats else "",
+                format_blocks(vertex.access_cost),
+                format_blocks(vertex.maintenance_cost),
+                vertex.operator.label,
+            ]
+        )
+    return render_table(
+        ["Node", "Kind", "Freq", "Rows", "Blocks", "Ca", "Cm", "Operation"],
+        rows,
+        title=f"MVPP {mvpp.name!r}",
+    )

@@ -1,0 +1,149 @@
+"""Sensitivity analysis for a materialization design.
+
+Operations teams need to know *why* a view is in the design and what it
+would cost to drop it (or to add a candidate that just missed the cut).
+This module computes marginal values against a fixed design:
+
+* **drop-one**: total-cost increase if one chosen view is removed —
+  the view's marginal contribution;
+* **add-one**: total-cost change if one unchosen candidate is added —
+  negative values reveal candidates the heuristic missed (on the paper's
+  example there are none: the design matches the exhaustive optimum);
+* **frequency sensitivity**: how far a single query's ``fq`` can fall
+  before dropping some chosen view becomes profitable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.mvpp.cost import MVPPCostCalculator
+from repro.mvpp.graph import MVPP, Vertex
+
+
+@dataclass(frozen=True)
+class MarginalValue:
+    """The effect of toggling one vertex against a fixed design."""
+
+    vertex: str
+    action: str  # "drop" | "add"
+    base_total: float
+    new_total: float
+
+    @property
+    def delta(self) -> float:
+        """Positive = the action makes the design worse."""
+        return self.new_total - self.base_total
+
+
+def drop_one(
+    mvpp: MVPP,
+    calculator: MVPPCostCalculator,
+    design: Sequence[Vertex],
+) -> List[MarginalValue]:
+    """Marginal contribution of every chosen view."""
+    base_total = calculator.breakdown(design).total
+    out = []
+    for vertex in design:
+        without = [v for v in design if v.vertex_id != vertex.vertex_id]
+        out.append(
+            MarginalValue(
+                vertex=vertex.name,
+                action="drop",
+                base_total=base_total,
+                new_total=calculator.breakdown(without).total,
+            )
+        )
+    return sorted(out, key=lambda m: -m.delta)
+
+
+def add_one(
+    mvpp: MVPP,
+    calculator: MVPPCostCalculator,
+    design: Sequence[Vertex],
+    limit: Optional[int] = None,
+) -> List[MarginalValue]:
+    """Effect of adding each unchosen operation vertex (best first)."""
+    chosen_ids = {v.vertex_id for v in design}
+    base_total = calculator.breakdown(design).total
+    out = []
+    for vertex in mvpp.operations:
+        if vertex.vertex_id in chosen_ids:
+            continue
+        out.append(
+            MarginalValue(
+                vertex=vertex.name,
+                action="add",
+                base_total=base_total,
+                new_total=calculator.breakdown(list(design) + [vertex]).total,
+            )
+        )
+    out.sort(key=lambda m: m.delta)
+    return out[:limit] if limit is not None else out
+
+
+@dataclass(frozen=True)
+class FrequencyBreakpoint:
+    """How far one query's fq can drop before the design should change."""
+
+    query: str
+    current_frequency: float
+    breakpoint_frequency: Optional[float]  # None = design stable down to 0
+
+    @property
+    def headroom(self) -> Optional[float]:
+        if self.breakpoint_frequency is None:
+            return None
+        if self.current_frequency <= 0:
+            return 0.0
+        return 1.0 - self.breakpoint_frequency / self.current_frequency
+
+
+def frequency_breakpoints(
+    mvpp: MVPP,
+    calculator: MVPPCostCalculator,
+    design: Sequence[Vertex],
+    steps: int = 20,
+) -> List[FrequencyBreakpoint]:
+    """For each query, bisect the fq value below which dropping some
+    chosen view beats keeping the design intact."""
+    out = []
+    for root in mvpp.roots:
+        original = root.frequency
+        try:
+            breakpoint_value = _bisect_breakpoint(
+                root, calculator, design, original, steps
+            )
+        finally:
+            root.frequency = original
+        out.append(
+            FrequencyBreakpoint(root.name, original, breakpoint_value)
+        )
+    return out
+
+
+def _design_is_locally_optimal(
+    calculator: MVPPCostCalculator, design: Sequence[Vertex]
+) -> bool:
+    total = calculator.breakdown(design).total
+    for vertex in design:
+        without = [v for v in design if v.vertex_id != vertex.vertex_id]
+        if calculator.breakdown(without).total < total:
+            return False
+    return True
+
+
+def _bisect_breakpoint(root, calculator, design, original, steps):
+    root.frequency = 0.0
+    if _design_is_locally_optimal(calculator, design):
+        return None  # stable all the way down
+    low, high = 0.0, original
+    for _ in range(steps):
+        mid = (low + high) / 2
+        root.frequency = mid
+        if _design_is_locally_optimal(calculator, design):
+            high = mid
+        else:
+            low = mid
+    return high

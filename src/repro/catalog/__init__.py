@@ -1,0 +1,37 @@
+"""Schemas, types, and statistics — the logical/physical metadata layer."""
+
+from repro.catalog.collector import collect_statistics
+from repro.catalog.datatypes import DataType, common_type, infer_type
+from repro.catalog.histogram import (
+    DEFAULT_BUCKETS,
+    EquiWidthHistogram,
+    build_histogram,
+)
+from repro.catalog.schema import Attribute, Catalog, RelationSchema
+from repro.catalog.statistics import (
+    DEFAULT_RANGE_SELECTIVITY,
+    DEFAULT_SELECTION_SELECTIVITY,
+    ColumnStatistics,
+    RelationStatistics,
+    StatisticsCatalog,
+    blocks_for,
+)
+
+__all__ = [
+    "Attribute",
+    "Catalog",
+    "ColumnStatistics",
+    "DEFAULT_BUCKETS",
+    "DataType",
+    "EquiWidthHistogram",
+    "build_histogram",
+    "collect_statistics",
+    "DEFAULT_RANGE_SELECTIVITY",
+    "DEFAULT_SELECTION_SELECTIVITY",
+    "RelationSchema",
+    "RelationStatistics",
+    "StatisticsCatalog",
+    "blocks_for",
+    "common_type",
+    "infer_type",
+]

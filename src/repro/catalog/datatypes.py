@@ -1,0 +1,119 @@
+"""Attribute type system.
+
+The relational substrate supports a small set of scalar types that is
+sufficient for the warehouse workloads in the paper (select/project/join
+queries over products, orders, customers and dates) plus the aggregation
+extension.  Dates are represented as :class:`datetime.date`.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from typing import Any
+
+from repro.errors import TypeMismatchError
+
+
+class DataType(enum.Enum):
+    """Scalar attribute types supported by the engine."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"
+    BOOLEAN = "boolean"
+
+    @property
+    def python_type(self) -> type:
+        """The Python type used to represent values of this type."""
+        return _PYTHON_TYPES[self]
+
+    def validate(self, value: Any) -> Any:
+        """Return ``value`` if it conforms to this type, else raise.
+
+        ``None`` is accepted for every type (SQL NULL).  Integers are
+        accepted where floats are expected, mirroring SQL numeric
+        coercion.
+        """
+        if value is None:
+            return value
+        if self is DataType.FLOAT and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if self is DataType.INTEGER and isinstance(value, bool):
+            raise TypeMismatchError(f"boolean {value!r} is not a valid INTEGER")
+        if not isinstance(value, self.python_type):
+            raise TypeMismatchError(
+                f"value {value!r} of type {type(value).__name__} is not a valid {self.name}"
+            )
+        return value
+
+    def parse(self, text: str) -> Any:
+        """Parse a string literal into a value of this type.
+
+        Used by the data generator and the SQL translator for typed
+        literals such as dates written as ``'1996-07-01'``.
+        """
+        if self is DataType.INTEGER:
+            return int(text)
+        if self is DataType.FLOAT:
+            return float(text)
+        if self is DataType.DATE:
+            return datetime.date.fromisoformat(text)
+        if self is DataType.BOOLEAN:
+            lowered = text.strip().lower()
+            if lowered in ("true", "t", "1"):
+                return True
+            if lowered in ("false", "f", "0"):
+                return False
+            raise TypeMismatchError(f"cannot parse {text!r} as BOOLEAN")
+        return text
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+    @property
+    def is_orderable(self) -> bool:
+        """Whether ``<``/``>`` comparisons are meaningful for this type."""
+        return self is not DataType.BOOLEAN
+
+
+_PYTHON_TYPES = {
+    DataType.INTEGER: int,
+    DataType.FLOAT: float,
+    DataType.STRING: str,
+    DataType.DATE: datetime.date,
+    DataType.BOOLEAN: bool,
+}
+
+
+def infer_type(value: Any) -> DataType:
+    """Infer the :class:`DataType` of a Python value.
+
+    Raises :class:`TypeMismatchError` for unsupported value types.
+    """
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        return DataType.STRING
+    if isinstance(value, datetime.date):
+        return DataType.DATE
+    raise TypeMismatchError(f"unsupported value type: {type(value).__name__}")
+
+
+def common_type(left: DataType, right: DataType) -> DataType:
+    """The type two comparison operands are promoted to.
+
+    INTEGER and FLOAT are compatible (promoted to FLOAT); any other pair
+    must match exactly.
+    """
+    if left is right:
+        return left
+    if left.is_numeric and right.is_numeric:
+        return DataType.FLOAT
+    raise TypeMismatchError(f"incompatible types: {left.name} and {right.name}")

@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+Usage (also via ``python -m repro``)::
+
+    repro workloads                       # list built-in workloads
+    repro design   --workload paper       # run the full design pipeline
+    repro compare  --workload paper       # Table-2-style strategy table
+    repro trace    --workload paper       # Figure-9 selection trace
+    repro dot      --workload paper       # DOT export of the chosen MVPP
+
+Synthetic workloads accept ``--seed/--relations/--queries``; ``design``
+can persist the result with ``--json FILE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_blocks, strategy_table, to_dot
+from repro.errors import ReproError
+from repro.mvpp import MVPPCostCalculator, design, generate_mvpps, select_views, strategies
+from repro.mvpp.serialize import design_to_dict
+from repro.workload import (
+    GeneratorConfig,
+    StarConfig,
+    generate_workload,
+    paper_workload,
+    paper_workload_fig7,
+    star_workload,
+)
+
+WORKLOADS = ("paper", "paper-fig7", "star", "synthetic")
+
+
+def resolve_workload(args: argparse.Namespace):
+    if args.workload == "paper":
+        return paper_workload()
+    if args.workload == "paper-fig7":
+        return paper_workload_fig7()
+    if args.workload == "star":
+        return star_workload(
+            StarConfig(num_queries=args.queries, seed=args.seed)
+        )
+    return generate_workload(
+        GeneratorConfig(
+            num_relations=args.relations,
+            num_queries=args.queries,
+            seed=args.seed,
+        )
+    ).workload
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", choices=WORKLOADS, default="paper",
+        help="built-in workload to design for (default: paper)",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for generated workloads")
+    parser.add_argument("--relations", type=int, default=6,
+                        help="relation count for synthetic workloads")
+    parser.add_argument("--queries", type=int, default=5,
+                        help="query count for generated workloads")
+    parser.add_argument(
+        "--rotations", type=int, default=None,
+        help="limit the number of MVPP rotations (default: one per query)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MVPP materialized view design (Yang/Karlapalem/Li, ICDCS'97)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("workloads", help="list built-in workloads")
+
+    design_parser = commands.add_parser("design", help="run the design pipeline")
+    _add_workload_arguments(design_parser)
+    design_parser.add_argument("--json", metavar="FILE", default=None,
+                               help="write the design result as JSON")
+
+    compare_parser = commands.add_parser(
+        "compare", help="compare materialization strategies (Table 2)"
+    )
+    _add_workload_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--exhaustive", action="store_true",
+        help="include the 2^n optimum (small MVPPs only)",
+    )
+
+    trace_parser = commands.add_parser(
+        "trace", help="print the Figure-9 selection trace"
+    )
+    _add_workload_arguments(trace_parser)
+
+    report_parser = commands.add_parser(
+        "report", help="full design report (views, extremes, sensitivity)"
+    )
+    _add_workload_arguments(report_parser)
+
+    dot_parser = commands.add_parser("dot", help="export the designed MVPP as DOT")
+    _add_workload_arguments(dot_parser)
+    dot_parser.add_argument("--output", metavar="FILE", default=None,
+                            help="write DOT here instead of stdout")
+    return parser
+
+
+def command_workloads(args: argparse.Namespace) -> int:
+    print("built-in workloads:")
+    print("  paper       — the paper's Section-2 example (Table 1, Q1..Q4)")
+    print("  paper-fig7  — the Figure 5/7/8 variant (divergent selections)")
+    print("  star        — generated star schema (--queries, --seed)")
+    print("  synthetic   — generated SPJ workload (--relations, --queries, --seed)")
+    return 0
+
+
+def command_design(args: argparse.Namespace) -> int:
+    workload = resolve_workload(args)
+    result = design(workload, rotations=args.rotations)
+    print(f"workload: {workload.name} ({len(workload.queries)} queries)")
+    print(f"chosen MVPP: {result.mvpp.name} ({len(result.mvpp)} vertices)")
+    print(f"materialize: {', '.join(result.materialized_names) or '(nothing)'}")
+    breakdown = result.breakdown
+    print(
+        f"per-period cost: query={format_blocks(breakdown.query_processing)} "
+        f"maintenance={format_blocks(breakdown.maintenance)} "
+        f"total={format_blocks(breakdown.total)}"
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(design_to_dict(result), handle, indent=2)
+        print(f"design written to {args.json}")
+    return 0
+
+
+def command_compare(args: argparse.Namespace) -> int:
+    workload = resolve_workload(args)
+    mvpp = generate_mvpps(workload, rotations=args.rotations or 1)[0]
+    calculator = MVPPCostCalculator(mvpp)
+    rows = strategies.compare(
+        mvpp, calculator, include_exhaustive=args.exhaustive
+    )
+    rows.append(strategies.annealing(mvpp, calculator))
+    print(strategy_table(rows, title=f"Strategies on {mvpp.name}"))
+    return 0
+
+
+def command_trace(args: argparse.Namespace) -> int:
+    workload = resolve_workload(args)
+    mvpp = generate_mvpps(workload, rotations=args.rotations or 1)[0]
+    calculator = MVPPCostCalculator(mvpp)
+    result = select_views(mvpp, calculator)
+    print(f"Figure-9 trace on {mvpp.name}:")
+    for step in result.trace:
+        saving = "-" if step.saving is None else format_blocks(step.saving)
+        pruned = f"  pruned={list(step.pruned)}" if step.pruned else ""
+        print(
+            f"  {step.vertex:>10}: w={format_blocks(step.weight):>10} "
+            f"Cs={saving:>10} -> {step.decision}{pruned}"
+        )
+    print(f"M = {{{', '.join(result.names)}}}")
+    breakdown = calculator.breakdown(result.materialized)
+    print(f"total cost: {format_blocks(breakdown.total)}")
+    return 0
+
+
+def command_report(args: argparse.Namespace) -> int:
+    from repro.analysis import design_report
+
+    workload = resolve_workload(args)
+    result = design(workload, rotations=args.rotations)
+    print(design_report(result))
+    return 0
+
+
+def command_dot(args: argparse.Namespace) -> int:
+    workload = resolve_workload(args)
+    result = design(workload, rotations=args.rotations)
+    text = to_dot(result.mvpp, highlight=result.materialized)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"DOT written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+COMMANDS = {
+    "workloads": command_workloads,
+    "design": command_design,
+    "compare": command_compare,
+    "trace": command_trace,
+    "report": command_report,
+    "dot": command_dot,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Distributed-warehouse extension: sites, transfer costs, mirroring."""
+
+from repro.distributed.comm_cost import DistributedCostCalculator
+from repro.distributed.placement import (
+    MIRROR,
+    REMOTE,
+    MirrorDecision,
+    assign_round_robin,
+    mirror_decisions,
+)
+from repro.distributed.sites import DEFAULT_LINK_COST, Site, Topology
+
+__all__ = [
+    "DEFAULT_LINK_COST",
+    "DistributedCostCalculator",
+    "MIRROR",
+    "MirrorDecision",
+    "REMOTE",
+    "Site",
+    "Topology",
+    "assign_round_robin",
+    "mirror_decisions",
+]

@@ -1,0 +1,123 @@
+"""Site-aware MVPP costing.
+
+Extends the centralized :class:`~repro.mvpp.cost.MVPPCostCalculator` with
+the data-transfer term the paper calls for in distributed warehouses:
+computing anything at the warehouse from a *virtual* (non-materialized)
+lineage requires shipping the involved base relations' blocks from their
+member-database sites; refreshing a materialized view does the same, once
+per refresh trigger.  Materialized views live at the warehouse site, so
+reading them incurs no communication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping
+
+from repro.distributed.sites import Topology
+from repro.errors import DistributedError
+from repro.mvpp.cost import MVPPCostCalculator, PER_PERIOD
+from repro.mvpp.graph import MVPP, Vertex
+
+
+class DistributedCostCalculator(MVPPCostCalculator):
+    """MVPP cost model with inter-site block-transfer charges."""
+
+    def __init__(
+        self,
+        mvpp: MVPP,
+        topology: Topology,
+        placement: Mapping[str, str],
+        warehouse_site: str,
+        maintenance_trigger: str = PER_PERIOD,
+    ):
+        super().__init__(mvpp, maintenance_trigger)
+        if warehouse_site not in topology:
+            raise DistributedError(f"unknown warehouse site {warehouse_site!r}")
+        for relation, site in placement.items():
+            if site not in topology:
+                raise DistributedError(
+                    f"relation {relation!r} placed at unknown site {site!r}"
+                )
+        missing = [
+            leaf.name for leaf in mvpp.leaves if leaf.name not in placement
+        ]
+        if missing:
+            raise DistributedError(
+                f"no site assigned for base relations: {sorted(missing)}"
+            )
+        self.topology = topology
+        self.placement = dict(placement)
+        self.warehouse_site = warehouse_site
+
+    # ------------------------------------------------------------- transfers
+    def leaf_transfer_cost(self, leaf: Vertex) -> float:
+        """Cost of shipping one copy of a base relation to the warehouse."""
+        if leaf.stats is None:
+            return 0.0
+        return self.topology.transfer_cost(
+            self.placement[leaf.name], self.warehouse_site, leaf.stats.blocks
+        )
+
+    def lineage_transfer_cost(self, vertex: Vertex) -> float:
+        """Transfer cost of every base relation feeding ``vertex``."""
+        return sum(
+            self.leaf_transfer_cost(leaf)
+            for leaf in self.mvpp.base_relations_of(vertex)
+        )
+
+    # --------------------------------------------------- overridden costing
+    def _access(
+        self, vertex: Vertex, materialized: FrozenSet[int], cache: Dict[int, float]
+    ) -> float:
+        cached = cache.get(vertex.vertex_id)
+        if cached is not None:
+            return cached
+        if vertex.vertex_id in materialized and vertex.stats is not None:
+            cost = float(vertex.stats.blocks)  # stored at the warehouse
+        elif vertex.is_leaf:
+            cost = self.leaf_transfer_cost(vertex)
+        else:
+            cost = vertex.local_cost + sum(
+                self._access(child, materialized, cache)
+                for child in self.mvpp.children_of(vertex)
+            )
+        cache[vertex.vertex_id] = cost
+        return cost
+
+    def maintenance_cost(self, materialized: FrozenSet[int]) -> float:
+        total = 0.0
+        for vertex_id in materialized:
+            vertex = self.mvpp.vertex(vertex_id)
+            if vertex.is_leaf:
+                continue
+            per_refresh = vertex.maintenance_cost + self.lineage_transfer_cost(vertex)
+            total += self.refresh_trigger(vertex) * per_refresh
+        return total
+
+    def weight(self, vertex: Vertex) -> float:
+        if vertex.is_leaf:
+            return 0.0
+        distributed_ca = vertex.access_cost + self.lineage_transfer_cost(vertex)
+        saving = sum(
+            q.frequency for q in self.mvpp.queries_using(vertex)
+        ) * distributed_ca
+        per_refresh = vertex.maintenance_cost + self.lineage_transfer_cost(vertex)
+        return saving - self.refresh_trigger(vertex) * per_refresh
+
+    def incremental_saving(
+        self, vertex: Vertex, materialized: FrozenSet[int]
+    ) -> float:
+        if vertex.is_leaf:
+            return 0.0
+        distributed_ca = vertex.access_cost + self.lineage_transfer_cost(vertex)
+        already_saved = sum(
+            self.mvpp.vertex(i).access_cost
+            + self.lineage_transfer_cost(self.mvpp.vertex(i))
+            for i in self.mvpp.descendants(vertex) & materialized
+        )
+        effective = distributed_ca - already_saved
+        saving = sum(
+            q.frequency for q in self.mvpp.queries_using(vertex)
+        ) * effective
+        per_refresh = vertex.maintenance_cost + self.lineage_transfer_cost(vertex)
+        return saving - self.refresh_trigger(vertex) * per_refresh

@@ -1,0 +1,83 @@
+"""Member-database mirroring decisions.
+
+The paper's architecture (Figure 1) keeps a *member database* per local
+database and notes that "when the member database views are decided
+whether to be materialized or not, it shall be calculated based on cost of
+view maintenance and data communication between different sites".
+
+:func:`mirror_decisions` implements exactly that trade-off per base
+relation: mirror it at the warehouse (pay its transfer once per update
+period) or access it remotely (pay its transfer once per query use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.distributed.sites import Topology
+from repro.errors import DistributedError
+from repro.mvpp.graph import MVPP
+
+MIRROR = "mirror"
+REMOTE = "remote"
+
+
+@dataclass(frozen=True)
+class MirrorDecision:
+    """Outcome for one base relation."""
+
+    relation: str
+    choice: str  # MIRROR | REMOTE
+    mirror_cost: float  # per-period cost if mirrored at the warehouse
+    remote_cost: float  # per-period cost if accessed remotely
+
+    @property
+    def saving(self) -> float:
+        return abs(self.mirror_cost - self.remote_cost)
+
+
+def assign_round_robin(
+    relations: Sequence[str], sites: Sequence[str]
+) -> Dict[str, str]:
+    """Spread base relations across member-database sites round-robin."""
+    if not sites:
+        raise DistributedError("need at least one site")
+    return {
+        relation: sites[index % len(sites)]
+        for index, relation in enumerate(relations)
+    }
+
+
+def mirror_decisions(
+    mvpp: MVPP,
+    topology: Topology,
+    placement: Mapping[str, str],
+    warehouse_site: str,
+) -> Tuple[MirrorDecision, ...]:
+    """Decide, per base relation, mirror-at-warehouse vs remote access.
+
+    * mirroring costs ``fu(b) · transfer(site(b) → warehouse, B(b))`` per
+      period (refresh the mirror on every update);
+    * remote access costs
+      ``(Σ_{q uses b} fq(q)) · transfer(site(b) → warehouse, B(b))``
+      (ship the relation for every query evaluation that reads it).
+    """
+    decisions = []
+    for leaf in sorted(mvpp.leaves, key=lambda v: v.name):
+        if leaf.name not in placement:
+            raise DistributedError(f"no site assigned for {leaf.name!r}")
+        blocks = leaf.stats.blocks if leaf.stats is not None else 0
+        transfer = topology.transfer_cost(
+            placement[leaf.name], warehouse_site, blocks
+        )
+        total_query_frequency = sum(
+            q.frequency for q in mvpp.queries_using(leaf)
+        )
+        mirror_cost = leaf.frequency * transfer
+        remote_cost = total_query_frequency * transfer
+        choice = MIRROR if mirror_cost <= remote_cost else REMOTE
+        decisions.append(
+            MirrorDecision(leaf.name, choice, mirror_cost, remote_cost)
+        )
+    return tuple(decisions)

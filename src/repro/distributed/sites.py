@@ -1,0 +1,87 @@
+"""Sites and the communication topology.
+
+The paper notes (Section 4.1) that in a distributed warehouse "the cost C
+should incorporate the costs of data transferring among different sites".
+A :class:`Topology` prices moving blocks between named sites; transfers
+within a site are free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.errors import DistributedError
+
+#: Blocks-transferred multiplier used when a link has no explicit cost.
+DEFAULT_LINK_COST = 2.0
+
+
+@dataclass(frozen=True)
+class Site:
+    """A named location holding data (a member database or the warehouse)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DistributedError("site name must be non-empty")
+
+
+class Topology:
+    """Symmetric per-block transfer costs between sites."""
+
+    def __init__(
+        self,
+        sites: Iterable[str],
+        default_link_cost: float = DEFAULT_LINK_COST,
+    ):
+        self._sites: Dict[str, Site] = {name: Site(name) for name in sites}
+        if not self._sites:
+            raise DistributedError("topology needs at least one site")
+        if default_link_cost < 0:
+            raise DistributedError("link cost must be >= 0")
+        self.default_link_cost = default_link_cost
+        self._links: Dict[FrozenSet[str], float] = {}
+
+    @property
+    def site_names(self) -> Tuple[str, ...]:
+        return tuple(self._sites)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sites
+
+    def add_site(self, name: str) -> Site:
+        if name in self._sites:
+            raise DistributedError(f"site {name!r} already exists")
+        site = Site(name)
+        self._sites[name] = site
+        return site
+
+    def set_link(self, a: str, b: str, cost_per_block: float) -> None:
+        """Set the symmetric per-block cost between two sites."""
+        self._require(a)
+        self._require(b)
+        if a == b:
+            raise DistributedError("cannot set a link from a site to itself")
+        if cost_per_block < 0:
+            raise DistributedError("link cost must be >= 0")
+        self._links[frozenset((a, b))] = cost_per_block
+
+    def link_cost(self, a: str, b: str) -> float:
+        """Per-block transfer cost between two sites (0 within a site)."""
+        self._require(a)
+        self._require(b)
+        if a == b:
+            return 0.0
+        return self._links.get(frozenset((a, b)), self.default_link_cost)
+
+    def transfer_cost(self, source: str, destination: str, blocks: float) -> float:
+        """Cost of shipping ``blocks`` blocks from ``source`` to ``destination``."""
+        if blocks < 0:
+            raise DistributedError(f"negative block count: {blocks}")
+        return self.link_cost(source, destination) * blocks
+
+    def _require(self, name: str) -> None:
+        if name not in self._sites:
+            raise DistributedError(f"unknown site {name!r}")

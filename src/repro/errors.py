@@ -1,0 +1,102 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at an API boundary.  Subsystems raise
+the most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CatalogError(ReproError):
+    """Schema or statistics lookup/registration failed."""
+
+
+class UnknownRelationError(CatalogError):
+    """A relation name was not found in the catalog."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown relation: {name!r}")
+        self.name = name
+
+
+class UnknownAttributeError(CatalogError):
+    """An attribute name was not found in a relation schema."""
+
+    def __init__(self, attribute: str, relation: str = ""):
+        where = f" in relation {relation!r}" if relation else ""
+        super().__init__(f"unknown attribute: {attribute!r}{where}")
+        self.attribute = attribute
+        self.relation = relation
+
+
+class DuplicateRelationError(CatalogError):
+    """A relation with the same name is already registered."""
+
+    def __init__(self, name: str):
+        super().__init__(f"relation already registered: {name!r}")
+        self.name = name
+
+
+class AlgebraError(ReproError):
+    """An operator tree or scalar expression is malformed."""
+
+
+class TypeMismatchError(AlgebraError):
+    """Operands of an expression have incompatible types."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class LexerError(SQLError):
+    """The SQL text contains a character sequence that is not a token."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class ParseError(SQLError):
+    """The SQL token stream does not match the grammar."""
+
+
+class TranslationError(SQLError):
+    """A parsed statement cannot be translated to the algebra."""
+
+
+class OptimizerError(ReproError):
+    """Plan enumeration or cost estimation failed."""
+
+
+class StorageError(ReproError):
+    """Physical storage operation failed."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a physical plan."""
+
+
+class MVPPError(ReproError):
+    """The MVPP graph is malformed or an MVPP algorithm precondition failed."""
+
+
+class CycleError(MVPPError):
+    """An operation would introduce a cycle into the MVPP DAG."""
+
+
+class WarehouseError(ReproError):
+    """Data warehouse facade misuse (unknown query, missing data, ...)."""
+
+
+class WorkloadError(ReproError):
+    """Workload or data generation parameters are invalid."""
+
+
+class DistributedError(ReproError):
+    """Site topology or placement constraint violated."""

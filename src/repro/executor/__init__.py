@@ -1,0 +1,40 @@
+"""Execution engine: physical operators with measured block I/O."""
+
+from repro.executor.engine import (
+    HASH,
+    INDEX_NESTED_LOOP,
+    NESTED_LOOP,
+    SORT_MERGE,
+    Database,
+    ExecutionEngine,
+    load_database,
+)
+from repro.executor.indexes import IndexManager, index_nested_loop_join
+from repro.executor.iterators import (
+    aggregate_table,
+    sort_merge_join,
+    hash_join,
+    linear_select,
+    materialize_table,
+    nested_loop_join,
+    project_table,
+)
+
+__all__ = [
+    "Database",
+    "ExecutionEngine",
+    "HASH",
+    "INDEX_NESTED_LOOP",
+    "IndexManager",
+    "NESTED_LOOP",
+    "SORT_MERGE",
+    "index_nested_loop_join",
+    "sort_merge_join",
+    "aggregate_table",
+    "hash_join",
+    "linear_select",
+    "load_database",
+    "materialize_table",
+    "nested_loop_join",
+    "project_table",
+]

@@ -1,0 +1,105 @@
+"""Naive reference evaluator — the correctness oracle.
+
+Evaluates a logical plan by the textbook denotational semantics: joins
+are cartesian products filtered by their condition, with no physical
+optimizations, no I/O accounting, no shared code with the real engine's
+operators.  Property-based tests compare the production executor against
+this oracle on randomized plans and data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.algebra.operators import (
+    Aggregate,
+    AggregateFunction,
+    Join,
+    Limit,
+    Operator,
+    Project,
+    Relation,
+    Select,
+    Sort,
+)
+from repro.errors import ExecutionError
+
+Row = Dict[str, Any]
+
+
+def evaluate(plan: Operator, tables: Mapping[str, List[Row]]) -> List[Row]:
+    """Evaluate ``plan`` against raw row lists (qualified column names)."""
+    if isinstance(plan, Relation):
+        try:
+            return [dict(row) for row in tables[plan.name]]
+        except KeyError:
+            raise ExecutionError(f"no rows provided for {plan.name!r}") from None
+    if isinstance(plan, Select):
+        rows = evaluate(plan.child, tables)
+        return [row for row in rows if plan.predicate.evaluate(row) is True]
+    if isinstance(plan, Project):
+        rows = evaluate(plan.child, tables)
+        return [{name: row[name] for name in plan.attributes} for row in rows]
+    if isinstance(plan, Join):
+        left = evaluate(plan.left, tables)
+        right = evaluate(plan.right, tables)
+        out = []
+        for left_row in left:
+            for right_row in right:
+                merged = {**left_row, **right_row}
+                if plan.condition is None or plan.condition.evaluate(merged) is True:
+                    out.append(merged)
+        return out
+    if isinstance(plan, Aggregate):
+        return _aggregate(plan, evaluate(plan.child, tables))
+    if isinstance(plan, Sort):
+        rows = evaluate(plan.child, tables)
+        for name, ascending in reversed(plan.keys):
+            rows.sort(
+                key=lambda r, n=name: (r[n] is not None, r[n])
+                if r[n] is not None
+                else (False, 0),
+                reverse=not ascending,
+            )
+        return rows
+    if isinstance(plan, Limit):
+        return evaluate(plan.child, tables)[: plan.count]
+    raise ExecutionError(f"reference evaluator: unsupported {type(plan).__name__}")
+
+
+def _aggregate(plan: Aggregate, rows: List[Row]) -> List[Row]:
+    groups: Dict[tuple, List[Row]] = {}
+    for row in rows:
+        key = tuple(row[k] for k in plan.group_by)
+        groups.setdefault(key, []).append(row)
+    if not groups and not plan.group_by:
+        groups[()] = []
+    out = []
+    for key, members in groups.items():
+        result: Row = dict(zip(plan.group_by, key))
+        for spec in plan.aggregates:
+            if spec.function is AggregateFunction.COUNT:
+                if spec.attribute is None:
+                    result[spec.alias] = len(members)
+                else:
+                    result[spec.alias] = sum(
+                        1 for m in members if m[spec.attribute] is not None
+                    )
+                continue
+            values = [
+                m[spec.attribute]
+                for m in members
+                if m[spec.attribute] is not None
+            ]
+            if not values:
+                result[spec.alias] = None
+            elif spec.function is AggregateFunction.SUM:
+                result[spec.alias] = float(sum(values))
+            elif spec.function is AggregateFunction.AVG:
+                result[spec.alias] = float(sum(values)) / len(values)
+            elif spec.function is AggregateFunction.MIN:
+                result[spec.alias] = min(values)
+            else:
+                result[spec.alias] = max(values)
+        out.append(result)
+    return out

@@ -1,0 +1,69 @@
+"""The paper's contribution: MVPP construction and materialized view design."""
+
+from repro.mvpp.builder import build_from_plans, build_from_workload
+from repro.mvpp.cost import (
+    PER_BASE,
+    PER_PERIOD,
+    CostBreakdown,
+    MVPPCostCalculator,
+)
+from repro.mvpp.exhaustive import (
+    MAX_EXHAUSTIVE_CANDIDATES,
+    exhaustive_optimal,
+    greedy_forward,
+)
+from repro.mvpp.generation import (
+    DesignResult,
+    QueryPlanInfo,
+    build_mvpp,
+    design,
+    generate_mvpps,
+    prepare_queries,
+)
+from repro.mvpp.graph import MVPP, Vertex, VertexKind
+from repro.mvpp.materialization import (
+    MaterializationResult,
+    SelectionStep,
+    select_views,
+)
+from repro.mvpp import mqo, serialize, strategies
+from repro.mvpp.annealing import AnnealingConfig, simulated_annealing
+from repro.mvpp.genetic import GeneticConfig, genetic_search
+from repro.mvpp.mqo import batch_execution, mqo_as_design
+from repro.mvpp.merge import SkeletonPool, merge_skeletons, skeleton_join_conjuncts
+
+__all__ = [
+    "AnnealingConfig",
+    "CostBreakdown",
+    "GeneticConfig",
+    "batch_execution",
+    "genetic_search",
+    "mqo",
+    "mqo_as_design",
+    "serialize",
+    "simulated_annealing",
+    "DesignResult",
+    "MAX_EXHAUSTIVE_CANDIDATES",
+    "MVPP",
+    "MVPPCostCalculator",
+    "MaterializationResult",
+    "PER_BASE",
+    "PER_PERIOD",
+    "QueryPlanInfo",
+    "SelectionStep",
+    "SkeletonPool",
+    "Vertex",
+    "VertexKind",
+    "build_from_plans",
+    "build_from_workload",
+    "build_mvpp",
+    "design",
+    "exhaustive_optimal",
+    "generate_mvpps",
+    "greedy_forward",
+    "merge_skeletons",
+    "prepare_queries",
+    "select_views",
+    "skeleton_join_conjuncts",
+    "strategies",
+]

@@ -1,0 +1,71 @@
+"""Direct MVPP construction from ready-made query plans.
+
+:func:`build_from_plans` interns a set of (already optimized or
+hand-built) plans into one MVPP, sharing common subexpressions by
+signature — the Figure 2(b) merge, without the Figure-4 reordering.  It is
+the entry point used when the caller controls plan shapes (tests, the
+Figure-2/3 benchmarks, and the warehouse facade's custom-plan path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.algebra.operators import Operator
+from repro.mvpp.graph import MVPP
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.workload.spec import Workload
+
+
+def build_from_plans(
+    plans: Sequence[Tuple[str, Operator, float]],
+    estimator: CardinalityEstimator,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    update_frequencies: Optional[Dict[str, float]] = None,
+    name: str = "mvpp",
+    maintenance_write: bool = False,
+) -> MVPP:
+    """Intern ``(query name, plan, fq)`` triples into an annotated MVPP."""
+    mvpp = MVPP(name=name)
+    for query_name, plan, frequency in plans:
+        mvpp.add_query(query_name, plan, frequency)
+    for leaf in mvpp.leaves:
+        if update_frequencies and leaf.name in update_frequencies:
+            leaf.frequency = update_frequencies[leaf.name]
+    mvpp.annotate(estimator, cost_model, maintenance_write=maintenance_write)
+    mvpp.assign_names()
+    return mvpp
+
+
+def build_from_workload(
+    workload: Workload,
+    estimator: Optional[CardinalityEstimator] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    optimize: bool = True,
+    name: Optional[str] = None,
+) -> MVPP:
+    """Parse, (optionally) optimize, and intern a workload's queries.
+
+    Unlike :func:`repro.mvpp.generation.generate_mvpps` this performs no
+    join-pattern merging or push-down rewriting: sharing arises only where
+    the individually-built plans already coincide.  Useful as the "naive
+    merge" baseline against the Figure-4 generator.
+    """
+    from repro.optimizer.heuristics import optimize_query
+    from repro.sql.translator import parse_query
+
+    estimator = estimator or CardinalityEstimator(workload.statistics)
+    plans = []
+    for spec in workload.queries:
+        plan = parse_query(spec.sql, workload.catalog)
+        if optimize:
+            plan = optimize_query(plan, estimator, cost_model)
+        plans.append((spec.name, plan, spec.frequency))
+    return build_from_plans(
+        plans,
+        estimator,
+        cost_model,
+        update_frequencies=dict(workload.update_frequencies),
+        name=name or f"{workload.name}-naive",
+    )

@@ -1,0 +1,171 @@
+"""Cost functions over an MVPP for a chosen set of materialized vertices.
+
+Implements the paper's Section 4.1 framework::
+
+    C_queryprocessing = Σ_i fq(qi) · C(mv → ri)
+    C_maintenance     = Σ_j fu(j)  · C(l  → mv_j)
+    C_total           = C_queryprocessing + C_maintenance
+
+``C(mv → r)`` — the cost of answering query ``r`` from the materialized
+views — is evaluated by walking ``r``'s plan and *cutting off* every
+materialized descendant: accessing a materialized vertex costs a scan of
+its stored blocks instead of a recomputation.
+
+Maintenance uses recompute semantics (the paper's assumption): each
+materialized view is reconstructed from base relations whenever a base
+relation it depends on is updated.  The trigger count is
+``Σ_{b ∈ Iv} fu(b)`` by default (the paper's weight formula in
+Section 4.3); ``per_period`` counts one refresh per period instead, which
+is the accounting used in the paper's worked example and Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.errors import MVPPError
+from repro.mvpp.graph import MVPP, Vertex, VertexKind
+
+#: Maintenance trigger accounting modes.
+PER_BASE = "per-base"  # Σ_{b∈Iv} fu(b) refreshes (Section 4.3 weight formula)
+PER_PERIOD = "per-period"  # max over bases: one refresh per update period
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Query-processing, maintenance and total cost of a design."""
+
+    query_processing: float
+    maintenance: float
+
+    @property
+    def total(self) -> float:
+        return self.query_processing + self.maintenance
+
+
+class MVPPCostCalculator:
+    """Evaluates designs (sets of materialized vertices) over one MVPP."""
+
+    def __init__(self, mvpp: MVPP, maintenance_trigger: str = PER_PERIOD):
+        mvpp.require_annotation()
+        if maintenance_trigger not in (PER_BASE, PER_PERIOD):
+            raise MVPPError(
+                f"unknown maintenance trigger mode: {maintenance_trigger!r}"
+            )
+        self.mvpp = mvpp
+        self.maintenance_trigger = maintenance_trigger
+
+    # ------------------------------------------------------------------ cost
+    def access_cost(self, vertex: Vertex, materialized: FrozenSet[int]) -> float:
+        """Cost of producing ``R(v)`` given ``materialized`` vertices.
+
+        If ``vertex`` itself is materialized this is the cost of scanning
+        it; otherwise its operation cost plus the (recursive) cost of its
+        inputs.  Memoized per call via an explicit cache.
+        """
+        cache: Dict[int, float] = {}
+        return self._access(vertex, materialized, cache)
+
+    def _access(
+        self, vertex: Vertex, materialized: FrozenSet[int], cache: Dict[int, float]
+    ) -> float:
+        cached = cache.get(vertex.vertex_id)
+        if cached is not None:
+            return cached
+        if vertex.vertex_id in materialized and vertex.stats is not None:
+            cost = float(vertex.stats.blocks)
+        elif vertex.is_leaf:
+            cost = 0.0  # base relations are stored; Ca(leaf) = 0 per paper
+        else:
+            cost = vertex.local_cost + sum(
+                self._access(child, materialized, cache)
+                for child in self.mvpp.children_of(vertex)
+            )
+        cache[vertex.vertex_id] = cost
+        return cost
+
+    def query_processing_cost(self, materialized: FrozenSet[int]) -> float:
+        """``Σ fq(qi) · C(mv → ri)`` over all query roots."""
+        total = 0.0
+        for root in self.mvpp.roots:
+            total += root.frequency * self.access_cost(root, materialized)
+        return total
+
+    def maintenance_cost(self, materialized: FrozenSet[int]) -> float:
+        """``Σ fu · Cm(v)`` over materialized vertices (recompute)."""
+        total = 0.0
+        for vertex_id in materialized:
+            vertex = self.mvpp.vertex(vertex_id)
+            if vertex.is_leaf:
+                continue  # base relations carry no view-maintenance cost
+            total += self.refresh_trigger(vertex) * vertex.maintenance_cost
+        return total
+
+    def refresh_trigger(self, vertex: Vertex) -> float:
+        """How many refreshes per period ``vertex`` incurs if materialized."""
+        bases = self.mvpp.base_relations_of(vertex)
+        if not bases:
+            return 0.0
+        if self.maintenance_trigger == PER_BASE:
+            return sum(b.frequency for b in bases)
+        return max(b.frequency for b in bases)
+
+    def breakdown(self, materialized: Iterable[Vertex]) -> CostBreakdown:
+        """Full cost breakdown for a set of vertices to materialize."""
+        ids = frozenset(self._as_ids(materialized))
+        return CostBreakdown(
+            query_processing=self.query_processing_cost(ids),
+            maintenance=self.maintenance_cost(ids),
+        )
+
+    def total_cost(self, materialized: Iterable[Vertex]) -> float:
+        return self.breakdown(materialized).total
+
+    # ---------------------------------------------------------------- weight
+    def weight(self, vertex: Vertex) -> float:
+        """The paper's ``w(v)``: query saving minus maintenance cost.
+
+        ``w(v) = Σ_{q ∈ Ov} fq(q)·Ca(v)  −  (refresh trigger)·Cm(v)``
+        """
+        if vertex.is_leaf:
+            return 0.0
+        saving = sum(
+            q.frequency for q in self.mvpp.queries_using(vertex)
+        ) * vertex.access_cost
+        return saving - self.refresh_trigger(vertex) * vertex.maintenance_cost
+
+    def incremental_saving(
+        self, vertex: Vertex, materialized: FrozenSet[int]
+    ) -> float:
+        """The paper's ``Cs`` (Figure 9, step 5).
+
+        Query-side saving of materializing ``vertex`` given the vertices
+        already in ``M``: the access saving ``Ca(v)`` is reduced by the
+        savings already captured by materialized descendants of ``v``,
+        then the maintenance cost of ``v`` is subtracted.
+        """
+        if vertex.is_leaf:
+            return 0.0
+        descendant_ids = self.mvpp.descendants(vertex)
+        already_saved = sum(
+            self.mvpp.vertex(i).access_cost
+            for i in descendant_ids & materialized
+        )
+        effective = vertex.access_cost - already_saved
+        saving = sum(
+            q.frequency for q in self.mvpp.queries_using(vertex)
+        ) * effective
+        return saving - self.refresh_trigger(vertex) * vertex.maintenance_cost
+
+    # ----------------------------------------------------------------- utils
+    def _as_ids(self, vertices: Iterable[Vertex]) -> Set[int]:
+        out: Set[int] = set()
+        for vertex in vertices:
+            if isinstance(vertex, Vertex):
+                out.add(vertex.vertex_id)
+            elif isinstance(vertex, int):
+                out.add(vertex)
+            else:
+                raise MVPPError(f"not a vertex: {vertex!r}")
+        return out

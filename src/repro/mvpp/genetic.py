@@ -1,0 +1,109 @@
+"""Genetic-algorithm view selection.
+
+The direct follow-up to the MVPP paper (Zhang, Yang & Kao) applied
+evolutionary search to the same 2^n selection space; this module provides
+a compact, fully seeded genetic algorithm over materialization bitmasks:
+tournament selection, uniform crossover, bit-flip mutation, and elitism.
+It completes the baseline suite (weight-greedy, forward-greedy,
+simulated annealing, exhaustive) used by the scaling benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import MVPPError
+from repro.mvpp.cost import CostBreakdown, MVPPCostCalculator
+from repro.mvpp.graph import MVPP, Vertex
+
+
+@dataclass(frozen=True)
+class GeneticConfig:
+    """Search knobs; defaults suit up to ~60 candidates."""
+
+    seed: int = 0
+    population_size: int = 24
+    generations: int = 40
+    tournament_size: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.05  # per-bit flip probability
+    elitism: int = 2
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise MVPPError("population_size must be >= 2")
+        if self.generations < 1:
+            raise MVPPError("generations must be >= 1")
+        if not 2 <= self.tournament_size <= self.population_size:
+            raise MVPPError("tournament_size out of range")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise MVPPError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise MVPPError("mutation_rate must be in [0, 1]")
+        if not 0 <= self.elitism < self.population_size:
+            raise MVPPError("elitism must be < population_size")
+
+
+def genetic_search(
+    mvpp: MVPP,
+    calculator: Optional[MVPPCostCalculator] = None,
+    candidates: Optional[Sequence[Vertex]] = None,
+    config: GeneticConfig = GeneticConfig(),
+) -> Tuple[List[Vertex], CostBreakdown]:
+    """Evolve a low-cost materialization bitmask.
+
+    The all-zero individual is always injected into the initial
+    population, so the result never loses to all-virtual.
+    """
+    calculator = calculator or MVPPCostCalculator(mvpp)
+    pool = list(candidates) if candidates is not None else mvpp.operations
+    if not pool:
+        return [], calculator.breakdown(())
+    rng = random.Random(config.seed)
+    n = len(pool)
+
+    def fitness(mask: Tuple[bool, ...]) -> float:
+        chosen = [pool[i] for i in range(n) if mask[i]]
+        return calculator.breakdown(chosen).total
+
+    population: List[Tuple[bool, ...]] = [tuple([False] * n)]
+    while len(population) < config.population_size:
+        population.append(tuple(rng.random() < 0.25 for _ in range(n)))
+    scores = {mask: fitness(mask) for mask in set(population)}
+
+    def tournament() -> Tuple[bool, ...]:
+        contenders = [rng.choice(population) for _ in range(config.tournament_size)]
+        return min(contenders, key=lambda m: scores[m])
+
+    best_mask = min(population, key=lambda m: scores[m])
+    best_score = scores[best_mask]
+
+    for _ in range(config.generations):
+        ranked = sorted(population, key=lambda m: scores[m])
+        next_population: List[Tuple[bool, ...]] = ranked[: config.elitism]
+        while len(next_population) < config.population_size:
+            mother, father = tournament(), tournament()
+            if rng.random() < config.crossover_rate:
+                child = tuple(
+                    mother[i] if rng.random() < 0.5 else father[i]
+                    for i in range(n)
+                )
+            else:
+                child = mother
+            child = tuple(
+                (not bit) if rng.random() < config.mutation_rate else bit
+                for bit in child
+            )
+            next_population.append(child)
+        population = next_population
+        for mask in population:
+            if mask not in scores:
+                scores[mask] = fitness(mask)
+        generation_best = min(population, key=lambda m: scores[m])
+        if scores[generation_best] < best_score:
+            best_mask, best_score = generation_best, scores[generation_best]
+
+    chosen = [pool[i] for i in range(n) if best_mask[i]]
+    return chosen, calculator.breakdown(chosen)

@@ -1,0 +1,206 @@
+"""Merging individual query plans into one MVPP (paper Figure 4, step 4.3).
+
+Merging operates on *join skeletons* — plans whose selections and
+projections have been pulled up (Figure 4 step 2), leaving only base
+relation leaves and join nodes.  The invariant the paper's step 4.3
+maintains is: *reuse the join patterns already present in the MVPP*.  For
+each incoming plan we
+
+1. partition its leaf set into subsets that are already joined in the
+   MVPP (largest first — the "common ancestor" nodes of step 4.3.2) plus
+   leftover single leaves;
+2. join those pieces left-deep, following the incoming plan's own join
+   predicates, starting from the piece containing the plan's first leaf.
+
+A pooled node is only reused when its join predicates agree exactly with
+the incoming query's predicates over the same leaves — reusing a node with
+different conditions would change the query's meaning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra import predicates as P
+from repro.algebra.expressions import Expression
+from repro.algebra.operators import Join, Operator, Relation
+from repro.algebra.tree import leaves as tree_leaves
+from repro.errors import MVPPError
+
+
+def skeleton_join_conjuncts(skeleton: Operator) -> List[Expression]:
+    """All join-condition conjuncts attached to joins of a skeleton."""
+    out: List[Expression] = []
+    for node in skeleton.walk():
+        if isinstance(node, Join) and node.condition is not None:
+            out.extend(P.conjuncts(node.condition))
+    return out
+
+
+class SkeletonPool:
+    """The join nodes currently present in an MVPP under construction."""
+
+    def __init__(self) -> None:
+        self._nodes: List[Operator] = []  # creation order
+        self._signatures: Set[str] = set()
+
+    def add_tree(self, skeleton: Operator) -> None:
+        """Register every subtree of ``skeleton`` as available for reuse."""
+        for node in skeleton.walk():
+            if node.signature not in self._signatures:
+                self._signatures.add(node.signature)
+                self._nodes.append(node)
+
+    def reusable_pieces(
+        self, leaf_names: Set[str], predicates: Sequence[Expression]
+    ) -> List[Operator]:
+        """Greedy maximal cover of ``leaf_names`` by existing join nodes.
+
+        Only nodes whose internal join predicates match the query's
+        predicates over the covered leaves are candidates.  Larger nodes
+        are preferred; earlier-created nodes break ties (the paper keeps
+        the join pattern of the more expensive, earlier-merged plans).
+        """
+        predicate_signatures = {p.signature for p in predicates}
+        candidates = []
+        for position, node in enumerate(self._nodes):
+            if not isinstance(node, Join):
+                continue
+            node_leaves = {leaf.name for leaf in tree_leaves(node)}
+            if not node_leaves <= leaf_names:
+                continue
+            if not self._conditions_match(node, predicates, predicate_signatures):
+                continue
+            candidates.append((len(node_leaves), -position, node, node_leaves))
+        candidates.sort(key=lambda item: (-item[0], -item[1]))
+
+        chosen: List[Operator] = []
+        covered: Set[str] = set()
+        for _, _, node, node_leaves in candidates:
+            if node_leaves & covered:
+                continue
+            chosen.append(node)
+            covered |= node_leaves
+        return chosen
+
+    @staticmethod
+    def _conditions_match(
+        node: Operator,
+        query_predicates: Sequence[Expression],
+        query_signatures: Set[str],
+    ) -> bool:
+        """Node reusable iff its predicates == query's predicates over its leaves."""
+        node_signatures = {p.signature for p in skeleton_join_conjuncts(node)}
+        if not node_signatures <= query_signatures:
+            return False
+        node_columns = set(node.schema.attribute_names)
+        within = {
+            p.signature
+            for p in query_predicates
+            if p.columns() <= node_columns
+        }
+        return within == node_signatures
+
+
+def merge_skeletons(
+    ordered: Sequence[Tuple[str, Operator]],
+) -> Dict[str, Operator]:
+    """Merge query skeletons in the given order (Figure 4 steps 4.1–4.3).
+
+    ``ordered`` holds ``(query name, join skeleton)`` pairs, most
+    expensive plan first (the caller applies the ``fq · Ca`` ordering and
+    the rotation).  Returns each query's merged skeleton; shared structure
+    is shared as identical subtree objects, so interning the results into
+    an :class:`~repro.mvpp.graph.MVPP` produces the shared DAG.
+    """
+    pool = SkeletonPool()
+    merged: Dict[str, Operator] = {}
+    for index, (name, skeleton) in enumerate(ordered):
+        if index == 0:
+            result = skeleton  # step 4.1/4.2: the seed keeps its join order
+        else:
+            result = _merge_one(skeleton, pool)
+        merged[name] = result
+        pool.add_tree(result)
+    return merged
+
+
+def _merge_one(skeleton: Operator, pool: SkeletonPool) -> Operator:
+    plan_leaves = tree_leaves(skeleton)
+    leaf_names = {leaf.name for leaf in plan_leaves}
+    predicates = skeleton_join_conjuncts(skeleton)
+
+    pieces = pool.reusable_pieces(leaf_names, predicates)
+    covered = {leaf.name for piece in pieces for leaf in tree_leaves(piece)}
+    for leaf in plan_leaves:
+        if leaf.name not in covered:
+            pieces.append(leaf)
+
+    if len(pieces) == 1:
+        return pieces[0]
+    return _join_pieces(pieces, predicates, first_leaf=plan_leaves[0].name)
+
+
+def _join_pieces(
+    pieces: List[Operator], predicates: Sequence[Expression], first_leaf: str
+) -> Operator:
+    """Left-deep join of ``pieces`` along the query's join predicates."""
+    remaining = list(pieces)
+    pending = list(predicates)
+
+    start = next(
+        (
+            p
+            for p in remaining
+            if first_leaf in {leaf.name for leaf in tree_leaves(p)}
+        ),
+        remaining[0],
+    )
+    remaining.remove(start)
+    current = start
+
+    # Drop predicates already satisfied inside the pieces.
+    def internal(piece: Operator) -> Set[str]:
+        return {p.signature for p in skeleton_join_conjuncts(piece)}
+
+    satisfied = internal(current)
+    for piece in remaining:
+        satisfied |= internal(piece)
+    pending = [p for p in pending if p.signature not in satisfied]
+
+    while remaining:
+        chosen: Optional[Operator] = None
+        for piece in remaining:
+            if _connecting(pending, current, piece):
+                chosen = piece
+                break
+        if chosen is None:
+            chosen = remaining[0]  # cross join as a last resort
+        remaining.remove(chosen)
+        applicable = _connecting(pending, current, chosen)
+        for predicate in applicable:
+            pending.remove(predicate)
+        current = Join(current, chosen, P.conjunction(applicable))
+    if pending:
+        raise MVPPError(
+            f"join predicates left over after merging: "
+            f"{[p.signature for p in pending]}"
+        )
+    return current
+
+
+def _connecting(
+    predicates: Sequence[Expression], left: Operator, right: Operator
+) -> List[Expression]:
+    left_cols = set(left.schema.attribute_names)
+    right_cols = set(right.schema.attribute_names)
+    out = []
+    for predicate in predicates:
+        columns = predicate.columns()
+        if (
+            columns & left_cols
+            and columns & right_cols
+            and columns <= (left_cols | right_cols)
+        ):
+            out.append(predicate)
+    return out

@@ -1,0 +1,285 @@
+"""JSON-serializable representations of plans, MVPPs, and designs.
+
+A warehouse design is an artifact worth persisting: the operations team
+reviews it, ops tooling provisions the views, and the next design run
+diffs against it.  This module provides lossless dict representations
+(safe for ``json.dumps``) of scalar expressions, operator trees, whole
+MVPPs, and design results — plus loaders that rebuild live objects.
+
+Dates are encoded as ``{"$date": "YYYY-MM-DD"}`` so round-trips preserve
+types through JSON.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Dict, List, Optional
+
+from repro.algebra.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    Not,
+    Or,
+)
+from repro.algebra.operators import (
+    Aggregate,
+    AggregateFunction,
+    AggregateSpec,
+    Join,
+    Limit,
+    Operator,
+    Project,
+    Relation,
+    Select,
+    Sort,
+)
+from repro.catalog.datatypes import DataType
+from repro.catalog.schema import Attribute, RelationSchema
+from repro.errors import MVPPError
+from repro.mvpp.graph import MVPP
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost_model import CostModel, DEFAULT_COST_MODEL
+
+
+# ---------------------------------------------------------------------------
+# values & expressions
+# ---------------------------------------------------------------------------
+def value_to_json(value: Any) -> Any:
+    if isinstance(value, datetime.date):
+        return {"$date": value.isoformat()}
+    return value
+
+
+def value_from_json(value: Any) -> Any:
+    if isinstance(value, dict) and "$date" in value:
+        return datetime.date.fromisoformat(value["$date"])
+    return value
+
+
+def expression_to_dict(expression: Expression) -> Dict[str, Any]:
+    if isinstance(expression, ColumnRef):
+        return {"kind": "column", "name": expression.name}
+    if isinstance(expression, Literal):
+        return {
+            "kind": "literal",
+            "type": expression.datatype.value,
+            "value": value_to_json(expression.value),
+        }
+    if isinstance(expression, Comparison):
+        return {
+            "kind": "comparison",
+            "op": expression.op,
+            "left": expression_to_dict(expression.left),
+            "right": expression_to_dict(expression.right),
+        }
+    if isinstance(expression, (And, Or)):
+        return {
+            "kind": "and" if isinstance(expression, And) else "or",
+            "operands": [expression_to_dict(c) for c in expression.children],
+        }
+    if isinstance(expression, Not):
+        return {"kind": "not", "operand": expression_to_dict(expression.operand)}
+    raise MVPPError(f"cannot serialize expression {type(expression).__name__}")
+
+
+def expression_from_dict(data: Dict[str, Any]) -> Expression:
+    kind = data["kind"]
+    if kind == "column":
+        return ColumnRef(data["name"])
+    if kind == "literal":
+        return Literal(value_from_json(data["value"]), DataType(data["type"]))
+    if kind == "comparison":
+        return Comparison(
+            data["op"],
+            expression_from_dict(data["left"]),
+            expression_from_dict(data["right"]),
+        )
+    if kind == "and":
+        return And([expression_from_dict(d) for d in data["operands"]])
+    if kind == "or":
+        return Or([expression_from_dict(d) for d in data["operands"]])
+    if kind == "not":
+        return Not(expression_from_dict(data["operand"]))
+    raise MVPPError(f"unknown expression kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# schemas & operators
+# ---------------------------------------------------------------------------
+def schema_to_dict(schema: RelationSchema) -> Dict[str, Any]:
+    return {
+        "name": schema.name,
+        "attributes": [
+            {"name": a.name, "type": a.datatype.value} for a in schema
+        ],
+    }
+
+
+def schema_from_dict(data: Dict[str, Any]) -> RelationSchema:
+    return RelationSchema(
+        data["name"],
+        [Attribute(a["name"], DataType(a["type"])) for a in data["attributes"]],
+    )
+
+
+def operator_to_dict(operator: Operator) -> Dict[str, Any]:
+    if isinstance(operator, Relation):
+        return {
+            "kind": "relation",
+            "name": operator.name,
+            "schema": schema_to_dict(operator.schema),
+        }
+    if isinstance(operator, Select):
+        return {
+            "kind": "select",
+            "predicate": expression_to_dict(operator.predicate),
+            "child": operator_to_dict(operator.child),
+        }
+    if isinstance(operator, Project):
+        return {
+            "kind": "project",
+            "attributes": list(operator.attributes),
+            "child": operator_to_dict(operator.child),
+        }
+    if isinstance(operator, Join):
+        return {
+            "kind": "join",
+            "condition": (
+                expression_to_dict(operator.condition)
+                if operator.condition is not None
+                else None
+            ),
+            "left": operator_to_dict(operator.left),
+            "right": operator_to_dict(operator.right),
+        }
+    if isinstance(operator, Aggregate):
+        return {
+            "kind": "aggregate",
+            "group_by": list(operator.group_by),
+            "aggregates": [
+                {
+                    "function": s.function.value,
+                    "attribute": s.attribute,
+                    "alias": s.alias,
+                }
+                for s in operator.aggregates
+            ],
+            "child": operator_to_dict(operator.child),
+        }
+    if isinstance(operator, Sort):
+        return {
+            "kind": "sort",
+            "keys": [[name, ascending] for name, ascending in operator.keys],
+            "child": operator_to_dict(operator.child),
+        }
+    if isinstance(operator, Limit):
+        return {
+            "kind": "limit",
+            "count": operator.count,
+            "child": operator_to_dict(operator.child),
+        }
+    raise MVPPError(f"cannot serialize operator {type(operator).__name__}")
+
+
+def operator_from_dict(data: Dict[str, Any]) -> Operator:
+    kind = data["kind"]
+    if kind == "relation":
+        return Relation(data["name"], schema_from_dict(data["schema"]))
+    if kind == "select":
+        return Select(
+            operator_from_dict(data["child"]),
+            expression_from_dict(data["predicate"]),
+        )
+    if kind == "project":
+        return Project(operator_from_dict(data["child"]), data["attributes"])
+    if kind == "join":
+        condition = (
+            expression_from_dict(data["condition"])
+            if data["condition"] is not None
+            else None
+        )
+        return Join(
+            operator_from_dict(data["left"]),
+            operator_from_dict(data["right"]),
+            condition,
+        )
+    if kind == "aggregate":
+        specs = [
+            AggregateSpec(
+                AggregateFunction(s["function"]), s["attribute"], s["alias"]
+            )
+            for s in data["aggregates"]
+        ]
+        return Aggregate(operator_from_dict(data["child"]), data["group_by"], specs)
+    if kind == "sort":
+        return Sort(
+            operator_from_dict(data["child"]),
+            [(name, ascending) for name, ascending in data["keys"]],
+        )
+    if kind == "limit":
+        return Limit(operator_from_dict(data["child"]), data["count"])
+    raise MVPPError(f"unknown operator kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# MVPPs & designs
+# ---------------------------------------------------------------------------
+def mvpp_to_dict(mvpp: MVPP) -> Dict[str, Any]:
+    """Serialize an MVPP as its query plans plus frequency annotations.
+
+    The DAG itself is implicit: rebuilding interns the plans and recovers
+    exactly the same shared structure (signature-identical vertices and
+    deterministic ``tmp`` names).
+    """
+    return {
+        "name": mvpp.name,
+        "queries": [
+            {
+                "name": root.name,
+                "frequency": root.frequency,
+                "plan": operator_to_dict(root.operator),
+            }
+            for root in mvpp.roots
+        ],
+        "update_frequencies": {
+            leaf.name: leaf.frequency for leaf in mvpp.leaves
+        },
+    }
+
+
+def mvpp_from_dict(
+    data: Dict[str, Any],
+    estimator: Optional[CardinalityEstimator] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> MVPP:
+    """Rebuild an MVPP; annotates it when an estimator is provided."""
+    mvpp = MVPP(name=data["name"])
+    for query in data["queries"]:
+        mvpp.add_query(
+            query["name"], operator_from_dict(query["plan"]), query["frequency"]
+        )
+    for relation, frequency in data["update_frequencies"].items():
+        mvpp.set_update_frequency(relation, frequency)
+    if estimator is not None:
+        mvpp.annotate(estimator, cost_model)
+    mvpp.assign_names()
+    return mvpp
+
+
+def design_to_dict(result) -> Dict[str, Any]:
+    """Serialize a :class:`repro.mvpp.generation.DesignResult`."""
+    return {
+        "mvpp": mvpp_to_dict(result.mvpp),
+        "materialized": [
+            operator_to_dict(vertex.operator) for vertex in result.materialized
+        ],
+        "materialized_names": list(result.materialized_names),
+        "cost": {
+            "query_processing": result.breakdown.query_processing,
+            "maintenance": result.breakdown.maintenance,
+            "total": result.breakdown.total,
+        },
+    }

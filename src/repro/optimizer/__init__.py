@@ -1,0 +1,28 @@
+"""Cost-based single-query optimization: estimation, costing, join order."""
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost_model import (
+    DEFAULT_COST_MODEL,
+    CostModel,
+    HashJoinCostModel,
+    NestedLoopCostModel,
+    SortMergeCostModel,
+)
+from repro.optimizer.heuristics import annotate, optimize_query
+from repro.optimizer.join_order import MAX_DP_RELATIONS, best_join_tree
+from repro.optimizer.plans import AnnotatedPlan, NodeCost
+
+__all__ = [
+    "AnnotatedPlan",
+    "CardinalityEstimator",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "HashJoinCostModel",
+    "MAX_DP_RELATIONS",
+    "NestedLoopCostModel",
+    "NodeCost",
+    "SortMergeCostModel",
+    "annotate",
+    "best_join_tree",
+    "optimize_query",
+]

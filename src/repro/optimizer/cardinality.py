@@ -1,0 +1,212 @@
+"""Cardinality and selectivity estimation.
+
+Follows the paper's statistical framework (Table 1): base relations carry
+``(cardinality, blocks)``; selections scale by a selectivity ``s``; joins
+scale by a join selectivity ``js`` with ``|R ⋈ S| = js · |R| · |S|``.
+
+Explicitly registered selectivities (the paper's route) take precedence;
+otherwise System-R-style defaults derived from column statistics are used,
+so synthetic workloads do not need hand-written numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.algebra.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    Not,
+    Or,
+)
+from repro.algebra.operators import (
+    Aggregate,
+    Join,
+    Limit,
+    Operator,
+    Project,
+    Relation,
+    Select,
+    Sort,
+)
+from repro.catalog.statistics import (
+    DEFAULT_RANGE_SELECTIVITY,
+    DEFAULT_SELECTION_SELECTIVITY,
+    RelationStatistics,
+    StatisticsCatalog,
+    blocks_for,
+)
+from repro.errors import OptimizerError
+
+
+class CardinalityEstimator:
+    """Estimates output statistics for every node of an operator tree.
+
+    Estimates are memoized by node signature, so equal subtrees across
+    different plans (the MVPP's shared nodes) are estimated once and
+    consistently.
+    """
+
+    def __init__(self, statistics: StatisticsCatalog):
+        self._statistics = statistics
+        self._cache: Dict[str, RelationStatistics] = {}
+
+    @property
+    def statistics(self) -> StatisticsCatalog:
+        return self._statistics
+
+    # ------------------------------------------------------------- relations
+    def estimate(self, node: Operator) -> RelationStatistics:
+        """Estimated (cardinality, blocks) of ``node``'s output."""
+        cached = self._cache.get(node.signature)
+        if cached is not None:
+            return cached
+        stats = self._estimate_uncached(node)
+        self._cache[node.signature] = stats
+        return stats
+
+    def _estimate_uncached(self, node: Operator) -> RelationStatistics:
+        if isinstance(node, Relation):
+            return self._statistics.relation(node.name)
+        if isinstance(node, Select):
+            child = self.estimate(node.child)
+            return child.scaled(self.selectivity(node.predicate))
+        if isinstance(node, Project):
+            child = self.estimate(node.child)
+            # Narrower tuples pack more per block: scale block count by the
+            # kept fraction of attributes (cardinality is unchanged — bag
+            # semantics, no duplicate elimination, as in the paper).
+            child_arity = max(1, node.child.schema.arity)
+            fraction = len(node.attributes) / child_arity
+            blocks = blocks_for(
+                child.cardinality,
+                child.blocking_factor / max(fraction, 1e-9),
+            )
+            return RelationStatistics(child.cardinality, blocks)
+        if isinstance(node, Join):
+            return self._estimate_join(node)
+        if isinstance(node, Aggregate):
+            return self._estimate_aggregate(node)
+        if isinstance(node, Sort):
+            return self.estimate(node.child)
+        if isinstance(node, Limit):
+            child = self.estimate(node.child)
+            kept = min(child.cardinality, node.count)
+            return RelationStatistics(
+                kept, blocks_for(kept, child.blocking_factor)
+            )
+        raise OptimizerError(f"cannot estimate operator {type(node).__name__}")
+
+    def _estimate_join(self, node: Join) -> RelationStatistics:
+        left = self.estimate(node.left)
+        right = self.estimate(node.right)
+        cardinality = left.cardinality * right.cardinality
+        selectivity = 1.0
+        if node.condition is not None:
+            selectivity = self._join_condition_selectivity(node.condition)
+        cardinality = int(round(cardinality * selectivity))
+        # Joined tuples are wider: records-per-block combine harmonically
+        # (tuple widths add, block size is fixed).
+        bf_left, bf_right = left.blocking_factor, right.blocking_factor
+        bf_join = 1.0 / (1.0 / max(bf_left, 1e-9) + 1.0 / max(bf_right, 1e-9))
+        return RelationStatistics(cardinality, blocks_for(cardinality, bf_join))
+
+    def _estimate_aggregate(self, node: Aggregate) -> RelationStatistics:
+        child = self.estimate(node.child)
+        if not node.group_by:
+            groups = min(child.cardinality, 1)
+        else:
+            distinct_product = 1
+            for key in node.group_by:
+                column = self._statistics.column(key)
+                # Without statistics assume a tenth of the input per key —
+                # grouping rarely keeps full cardinality.
+                distinct_product *= (
+                    column.distinct_values
+                    if column is not None
+                    else max(1, child.cardinality // 10)
+                )
+                if distinct_product > child.cardinality:
+                    break
+            groups = min(child.cardinality, distinct_product)
+        blocks = blocks_for(groups, child.blocking_factor)
+        return RelationStatistics(groups, blocks)
+
+    def _join_condition_selectivity(self, condition: Expression) -> float:
+        """Selectivity of a join condition (conjunction of predicates)."""
+        if isinstance(condition, And):
+            out = 1.0
+            for part in condition.children:
+                out *= self._join_condition_selectivity(part)
+            return out
+        if isinstance(condition, Comparison) and condition.is_equijoin:
+            return self._equijoin_selectivity(condition)
+        return self.selectivity(condition)
+
+    def _equijoin_selectivity(self, predicate: Comparison) -> float:
+        left = predicate.left.name  # type: ignore[union-attr]
+        right = predicate.right.name  # type: ignore[union-attr]
+        explicit = self._statistics.join_selectivity(left, right)
+        if explicit is not None:
+            return explicit
+        # Pinned predicate selectivity (by signature) is also honoured.
+        pinned = self._statistics.predicate_selectivity(predicate.signature)
+        if pinned is not None:
+            return pinned
+        derived = self._statistics.default_join_selectivity(left, right)
+        if derived is not None:
+            return derived
+        return DEFAULT_SELECTION_SELECTIVITY
+
+    # ----------------------------------------------------------- selectivity
+    def selectivity(self, predicate: Optional[Expression]) -> float:
+        """Fraction of tuples satisfying ``predicate`` (1.0 for TRUE)."""
+        if predicate is None:
+            return 1.0
+        pinned = self._statistics.predicate_selectivity(predicate.signature)
+        if pinned is not None:
+            return pinned
+        if isinstance(predicate, And):
+            out = 1.0
+            for part in predicate.children:
+                out *= self.selectivity(part)
+            return out
+        if isinstance(predicate, Or):
+            miss = 1.0
+            for part in predicate.children:
+                miss *= 1.0 - self.selectivity(part)
+            return 1.0 - miss
+        if isinstance(predicate, Not):
+            return max(0.0, 1.0 - self.selectivity(predicate.operand))
+        if isinstance(predicate, Comparison):
+            return self._comparison_selectivity(predicate)
+        return DEFAULT_SELECTION_SELECTIVITY
+
+    def _comparison_selectivity(self, predicate: Comparison) -> float:
+        if predicate.is_equijoin:
+            return self._equijoin_selectivity(predicate)
+        if not isinstance(predicate.left, ColumnRef) or not isinstance(
+            predicate.right, Literal
+        ):
+            return DEFAULT_SELECTION_SELECTIVITY
+        histogram = self._statistics.histogram(predicate.left.name)
+        if histogram is not None:
+            try:
+                return histogram.selectivity(predicate.op, predicate.right.value)
+            except Exception:
+                pass  # fall through to distinct-count heuristics
+        column = self._statistics.column(predicate.left.name)
+        if predicate.op == "=":
+            if column is not None:
+                return column.equality_selectivity()
+            return DEFAULT_SELECTION_SELECTIVITY
+        if predicate.op == "!=":
+            if column is not None:
+                return max(0.0, 1.0 - column.equality_selectivity())
+            return 1.0 - DEFAULT_SELECTION_SELECTIVITY
+        if column is not None:
+            return column.range_selectivity(predicate.op, predicate.right.value)
+        return DEFAULT_RANGE_SELECTIVITY

@@ -1,0 +1,161 @@
+"""Join-order enumeration.
+
+Produces each query's *individual optimal plan* — the input to the MVPP
+generation algorithm (paper Figure 4, step 1).  Small queries are solved
+exactly with dynamic programming over subsets (bushy trees allowed, both
+join orders considered since nested-loop cost is asymmetric); larger
+queries fall back to a greedy pairwise merge.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.algebra import predicates as P
+from repro.algebra.expressions import Expression
+from repro.algebra.operators import Join, Operator
+from repro.errors import OptimizerError
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost_model import CostModel, DEFAULT_COST_MODEL
+
+#: Above this relation count the exact DP is replaced by the greedy.
+MAX_DP_RELATIONS = 10
+
+
+def best_join_tree(
+    leaf_plans: Sequence[Operator],
+    join_predicates: Sequence[Expression],
+    estimator: CardinalityEstimator,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    max_dp_relations: int = MAX_DP_RELATIONS,
+) -> Operator:
+    """The cheapest join tree combining ``leaf_plans``.
+
+    ``leaf_plans`` are arbitrary operator subtrees (typically base
+    relations with their selections already applied).  ``join_predicates``
+    are equi-join conjuncts referencing columns of exactly two leaves.
+    """
+    if not leaf_plans:
+        raise OptimizerError("best_join_tree requires at least one input")
+    if len(leaf_plans) == 1:
+        return leaf_plans[0]
+    if len(leaf_plans) <= max_dp_relations:
+        return _dynamic_programming(
+            list(leaf_plans), list(join_predicates), estimator, cost_model
+        )
+    return _greedy(list(leaf_plans), list(join_predicates), estimator, cost_model)
+
+
+def _subtree_cost(
+    plan: Operator, estimator: CardinalityEstimator, cost_model: CostModel
+) -> float:
+    return sum(cost_model.local_cost(node, estimator) for node in plan.walk())
+
+
+def _connecting(
+    predicates: Sequence[Expression], left: Operator, right: Operator
+) -> List[Expression]:
+    left_cols = set(left.schema.attribute_names)
+    right_cols = set(right.schema.attribute_names)
+    out = []
+    for predicate in predicates:
+        columns = predicate.columns()
+        if (
+            columns & left_cols
+            and columns & right_cols
+            and columns <= (left_cols | right_cols)
+        ):
+            out.append(predicate)
+    return out
+
+
+def _dynamic_programming(
+    leaves: List[Operator],
+    predicates: List[Expression],
+    estimator: CardinalityEstimator,
+    cost_model: CostModel,
+) -> Operator:
+    n = len(leaves)
+    # DP table: frozenset of leaf indices -> (cost, plan, unused predicates)
+    table: Dict[FrozenSet[int], Tuple[float, Operator]] = {}
+    for index, leaf in enumerate(leaves):
+        table[frozenset((index,))] = (
+            _subtree_cost(leaf, estimator, cost_model),
+            leaf,
+        )
+
+    all_indices = list(range(n))
+    for size in range(2, n + 1):
+        for subset in combinations(all_indices, size):
+            key = frozenset(subset)
+            best: Optional[Tuple[float, Operator]] = None
+            best_cross: Optional[Tuple[float, Operator]] = None
+            for split_size in range(1, size):
+                for left_part in combinations(subset, split_size):
+                    left_key = frozenset(left_part)
+                    right_key = key - left_key
+                    if left_key not in table or right_key not in table:
+                        continue
+                    left_cost, left_plan = table[left_key]
+                    right_cost, right_plan = table[right_key]
+                    connecting = _connecting(predicates, left_plan, right_plan)
+                    join = Join(left_plan, right_plan, P.conjunction(connecting))
+                    cost = (
+                        left_cost
+                        + right_cost
+                        + cost_model.local_cost(join, estimator)
+                    )
+                    candidate = (cost, join)
+                    if connecting:
+                        if best is None or cost < best[0]:
+                            best = candidate
+                    else:
+                        if best_cross is None or cost < best_cross[0]:
+                            best_cross = candidate
+            chosen = best if best is not None else best_cross
+            if chosen is None:
+                raise OptimizerError("join enumeration failed to cover a subset")
+            table[key] = chosen
+
+    return table[frozenset(all_indices)][1]
+
+
+def _greedy(
+    components: List[Operator],
+    predicates: List[Expression],
+    estimator: CardinalityEstimator,
+    cost_model: CostModel,
+) -> Operator:
+    """Repeatedly join the cheapest (preferably connected) pair."""
+    costs = [
+        _subtree_cost(component, estimator, cost_model) for component in components
+    ]
+    while len(components) > 1:
+        best_choice: Optional[Tuple[float, int, int, Operator]] = None
+        best_cross: Optional[Tuple[float, int, int, Operator]] = None
+        for i in range(len(components)):
+            for j in range(len(components)):
+                if i == j:
+                    continue
+                connecting = _connecting(predicates, components[i], components[j])
+                join = Join(
+                    components[i], components[j], P.conjunction(connecting)
+                )
+                cost = (
+                    costs[i] + costs[j] + cost_model.local_cost(join, estimator)
+                )
+                candidate = (cost, i, j, join)
+                if connecting:
+                    if best_choice is None or cost < best_choice[0]:
+                        best_choice = candidate
+                else:
+                    if best_cross is None or cost < best_cross[0]:
+                        best_cross = candidate
+        chosen = best_choice if best_choice is not None else best_cross
+        assert chosen is not None  # len(components) > 1 guarantees a pair
+        cost, i, j, join = chosen
+        keep = [k for k in range(len(components)) if k not in (i, j)]
+        components = [components[k] for k in keep] + [join]
+        costs = [costs[k] for k in keep] + [cost]
+    return components[0]

@@ -1,0 +1,105 @@
+"""Cost-annotated plans.
+
+:class:`AnnotatedPlan` decorates an operator tree with per-node statistics
+and costs under a given estimator and cost model.  ``Ca`` in the paper —
+"the cost for producing R(v) from the base relations" — corresponds to
+:meth:`AnnotatedPlan.cumulative_cost` of a node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.algebra.operators import Operator
+from repro.catalog.statistics import RelationStatistics
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost_model import CostModel, DEFAULT_COST_MODEL
+
+
+@dataclass(frozen=True)
+class NodeCost:
+    """Costs of one plan node: local operation plus cumulative subtree."""
+
+    stats: RelationStatistics
+    local: float
+    cumulative: float
+
+
+class AnnotatedPlan:
+    """An operator tree with per-node statistics and block-access costs."""
+
+    def __init__(
+        self,
+        root: Operator,
+        estimator: CardinalityEstimator,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ):
+        self.root = root
+        self.estimator = estimator
+        self.cost_model = cost_model
+        self._costs: Dict[str, NodeCost] = {}
+        self._annotate(root)
+
+    def _annotate(self, node: Operator) -> NodeCost:
+        cached = self._costs.get(node.signature)
+        if cached is not None:
+            return cached
+        child_cumulative = sum(
+            self._annotate(child).cumulative for child in node.children
+        )
+        local = self.cost_model.local_cost(node, self.estimator)
+        cost = NodeCost(
+            stats=self.estimator.estimate(node),
+            local=local,
+            cumulative=local + child_cumulative,
+        )
+        self._costs[node.signature] = cost
+        return cost
+
+    def node_cost(self, node: Operator) -> NodeCost:
+        """Costs of ``node`` (must belong to this plan or equal a subtree)."""
+        if node.signature not in self._costs:
+            self._annotate(node)
+        return self._costs[node.signature]
+
+    def stats(self, node: Operator) -> RelationStatistics:
+        return self.node_cost(node).stats
+
+    def local_cost(self, node: Operator) -> float:
+        return self.node_cost(node).local
+
+    def cumulative_cost(self, node: Operator) -> float:
+        """The paper's ``Ca(v)``: cost of computing ``v`` from base relations."""
+        return self.node_cost(node).cumulative
+
+    @property
+    def total_cost(self) -> float:
+        return self.cumulative_cost(self.root)
+
+    @property
+    def output_stats(self) -> RelationStatistics:
+        return self.stats(self.root)
+
+    def walk_costs(self) -> Iterator[Tuple[Operator, NodeCost]]:
+        """Post-order (node, cost) pairs over the whole plan."""
+        for node in self.root.walk():
+            yield node, self.node_cost(node)
+
+    def describe(self) -> str:
+        """Indented rendering with per-node cardinality and cost labels."""
+        lines = []
+
+        def render(node: Operator, indent: int) -> None:
+            cost = self.node_cost(node)
+            lines.append(
+                "  " * indent
+                + f"{node.label}  [rows={cost.stats.cardinality}, "
+                f"blocks={cost.stats.blocks}, local={cost.local:.0f}, "
+                f"Ca={cost.cumulative:.0f}]"
+            )
+            for child in node.children:
+                render(child, indent + 1)
+
+        render(self.root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""SQL front end: lexer, parser, and translator to relational algebra."""
+
+from repro.sql.ast_nodes import (
+    AggregateCall,
+    BooleanCondition,
+    ColumnName,
+    ComparisonCondition,
+    LiteralValue,
+    NotCondition,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse
+from repro.sql.translator import parse_query, translate
+
+__all__ = [
+    "AggregateCall",
+    "BooleanCondition",
+    "ColumnName",
+    "ComparisonCondition",
+    "LiteralValue",
+    "NotCondition",
+    "SelectItem",
+    "SelectStatement",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "parse",
+    "parse_query",
+    "tokenize",
+    "translate",
+]

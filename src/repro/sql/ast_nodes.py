@@ -1,0 +1,159 @@
+"""Abstract syntax tree for the warehouse SQL dialect.
+
+The AST is deliberately independent of the algebra and the catalog: the
+parser produces it from tokens alone, and the translator resolves names
+and types afterwards.  All nodes are frozen dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class ColumnName:
+    """A possibly-qualified column reference as written in the query."""
+
+    table: Optional[str]
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class LiteralValue:
+    """A constant as written in the query (string, int, or float)."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Operand = Union[ColumnName, LiteralValue]
+
+
+@dataclass(frozen=True)
+class ComparisonCondition:
+    """``left <op> right`` with op in =, !=, <, <=, >, >=."""
+
+    op: str
+    left: Operand
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class BooleanCondition:
+    """``AND``/``OR`` over two or more conditions."""
+
+    op: str  # "and" | "or"
+    parts: Tuple["Condition", ...]
+
+    def __str__(self) -> str:
+        joiner = f" {self.op.upper()} "
+        return "(" + joiner.join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class NotCondition:
+    operand: "Condition"
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+Condition = Union[ComparisonCondition, BooleanCondition, NotCondition]
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``FUNC(column)`` or ``COUNT(*)`` in a select list."""
+
+    function: str  # count/sum/avg/min/max (lowercase)
+    argument: Optional[ColumnName]  # None only for COUNT(*)
+
+    def __str__(self) -> str:
+        inner = str(self.argument) if self.argument else "*"
+        return f"{self.function.upper()}({inner})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry: a column or aggregate, optionally aliased."""
+
+    expression: Union[ColumnName, AggregateCall]
+    alias: Optional[str] = None
+
+    def __str__(self) -> str:
+        rendered = str(self.expression)
+        return f"{rendered} AS {self.alias}" if self.alias else rendered
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-list entry, optionally aliased (``Product Pd``)."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name the table is known by inside the query."""
+        return self.alias or self.name
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key: a column and its direction."""
+
+    column: ColumnName
+    ascending: bool = True
+
+    def __str__(self) -> str:
+        return f"{self.column} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A full ``SELECT`` statement.
+
+    ``select_items`` is empty for ``SELECT *``.
+    """
+
+    select_items: Tuple[SelectItem, ...]
+    tables: Tuple[TableRef, ...]
+    where: Optional[Condition] = None
+    group_by: Tuple[ColumnName, ...] = field(default_factory=tuple)
+    order_by: Tuple[OrderItem, ...] = field(default_factory=tuple)
+    limit: Optional[int] = None
+
+    @property
+    def is_star(self) -> bool:
+        return not self.select_items
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(
+            isinstance(item.expression, AggregateCall) for item in self.select_items
+        )
+
+    def __str__(self) -> str:
+        select = "*" if self.is_star else ", ".join(str(i) for i in self.select_items)
+        text = f"SELECT {select} FROM {', '.join(str(t) for t in self.tables)}"
+        if self.where is not None:
+            text += f" WHERE {self.where}"
+        if self.group_by:
+            text += f" GROUP BY {', '.join(str(c) for c in self.group_by)}"
+        if self.order_by:
+            text += f" ORDER BY {', '.join(str(o) for o in self.order_by)}"
+        if self.limit is not None:
+            text += f" LIMIT {self.limit}"
+        return text

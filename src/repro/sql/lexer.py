@@ -1,0 +1,130 @@
+"""Tokenizer for the warehouse SQL dialect.
+
+The dialect covers the paper's query class: ``SELECT``/``FROM``/``WHERE``
+with comparison predicates and ``AND``/``OR``/``NOT``, plus the
+aggregation extension (``GROUP BY``, ``COUNT/SUM/AVG/MIN/MAX``, ``AS``).
+Keywords are case-insensitive; identifiers preserve case.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator, List
+
+from repro.errors import LexerError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "OR",
+        "NOT",
+        "GROUP",
+        "BY",
+        "AS",
+        "JOIN",
+        "ON",
+        "BETWEEN",
+        "IN",
+        "COUNT",
+        "SUM",
+        "AVG",
+        "MIN",
+        "MAX",
+    }
+)
+
+#: Multi-character operators must be listed before their prefixes.
+OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">")
+
+PUNCTUATION = {",": "COMMA", "(": "LPAREN", ")": "RPAREN", ".": "DOT", "*": "STAR"}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    COMMA = "comma"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    DOT = "dot"
+    STAR = "star"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Any
+    position: int
+
+    def matches(self, token_type: TokenType, value: Any = None) -> bool:
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`LexerError` on invalid input."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'" or ch == '"':
+            end = text.find(ch, i + 1)
+            if end < 0:
+                raise LexerError("unterminated string literal", i)
+            yield Token(TokenType.STRING, text[i + 1 : end], i)
+            i = end + 1
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A trailing dot starts qualification, not a float.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            raw = text[i:j]
+            value: Any = float(raw) if "." in raw else int(raw)
+            yield Token(TokenType.NUMBER, value, i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                yield Token(TokenType.KEYWORD, word.upper(), i)
+            else:
+                yield Token(TokenType.IDENT, word, i)
+            i = j
+            continue
+        matched_operator = next(
+            (op for op in OPERATORS if text.startswith(op, i)), None
+        )
+        if matched_operator is not None:
+            canonical = "!=" if matched_operator == "<>" else matched_operator
+            yield Token(TokenType.OPERATOR, canonical, i)
+            i += len(matched_operator)
+            continue
+        if ch in PUNCTUATION:
+            yield Token(TokenType[PUNCTUATION[ch]], ch, i)
+            i += 1
+            continue
+        raise LexerError(f"unexpected character {ch!r}", i)
+    yield Token(TokenType.EOF, None, n)

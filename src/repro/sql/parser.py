@@ -1,0 +1,303 @@
+"""Recursive-descent parser for the warehouse SQL dialect.
+
+Grammar (keywords case-insensitive)::
+
+    statement   := SELECT select_list FROM table_list
+                   [WHERE condition] [GROUP BY column_list]
+                   [ORDER BY column [ASC|DESC] (',' ...)*] [LIMIT NUMBER]
+    select_list := '*' | select_item (',' select_item)*
+    select_item := aggregate | column [AS ident]
+    aggregate   := FUNC '(' (column | '*') ')' [AS ident]
+    table_list  := join_chain (',' join_chain)*
+    join_chain  := table_ref (JOIN table_ref ON condition)*
+    table_ref   := ident [ident]              -- optional alias
+    condition   := and_cond (OR and_cond)*
+    and_cond    := not_cond (AND not_cond)*
+    not_cond    := NOT not_cond | primary
+    primary     := '(' condition ')'
+                 | operand OP operand
+                 | operand [NOT] BETWEEN operand AND operand
+                 | operand [NOT] IN '(' literal (',' literal)* ')'
+    operand     := column | NUMBER | STRING
+    column      := ident ['.' ident]
+
+``JOIN ... ON`` conditions are folded into the WHERE conjunction;
+``BETWEEN`` and ``IN`` desugar to comparison combinations, so the
+algebra layer sees only the core condition forms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.sql.ast_nodes import (
+    AggregateCall,
+    BooleanCondition,
+    ColumnName,
+    ComparisonCondition,
+    Condition,
+    LiteralValue,
+    NotCondition,
+    Operand,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+AGGREGATE_KEYWORDS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+def parse(sql: str) -> SelectStatement:
+    """Parse ``sql`` into a :class:`SelectStatement`."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ---------------------------------------------------------------- utils
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def _expect(self, token_type: TokenType, value: Optional[str] = None) -> Token:
+        token = self._current
+        if not token.matches(token_type, value):
+            wanted = value or token_type.value
+            raise ParseError(
+                f"expected {wanted} at position {token.position}, "
+                f"found {token.value!r}"
+            )
+        return self._advance()
+
+    def _accept(self, token_type: TokenType, value: Optional[str] = None) -> Optional[Token]:
+        if self._current.matches(token_type, value):
+            return self._advance()
+        return None
+
+    def _accept_soft(self, word: str) -> Optional[Token]:
+        """Accept a *soft* keyword: an identifier matching ``word``
+        case-insensitively.  ORDER/ASC/DESC/LIMIT are soft so that
+        relations named e.g. ``Order`` (the paper's schema!) keep
+        working as plain identifiers."""
+        token = self._current
+        if token.type is TokenType.IDENT and token.value.upper() == word:
+            return self._advance()
+        return None
+
+    # ------------------------------------------------------------ statement
+    def parse_statement(self) -> SelectStatement:
+        self._expect(TokenType.KEYWORD, "SELECT")
+        select_items = self._parse_select_list()
+        self._expect(TokenType.KEYWORD, "FROM")
+        tables, join_conditions = self._parse_table_list()
+        where = None
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            where = self._parse_condition()
+        group_by: Tuple[ColumnName, ...] = ()
+        if self._accept(TokenType.KEYWORD, "GROUP"):
+            self._expect(TokenType.KEYWORD, "BY")
+            group_by = self._parse_column_list()
+        order_by = ()
+        if self._accept_soft("ORDER"):
+            self._expect(TokenType.KEYWORD, "BY")
+            order_by = self._parse_order_list()
+        limit = None
+        if self._accept_soft("LIMIT"):
+            token = self._expect(TokenType.NUMBER)
+            if not isinstance(token.value, int) or token.value < 0:
+                raise ParseError(
+                    f"LIMIT requires a non-negative integer, got {token.value!r}"
+                )
+            limit = token.value
+        self._expect(TokenType.EOF)
+        conditions = list(join_conditions)
+        if where is not None:
+            conditions.append(where)
+        if not conditions:
+            combined = None
+        elif len(conditions) == 1:
+            combined = conditions[0]
+        else:
+            combined = BooleanCondition("and", tuple(conditions))
+        return SelectStatement(
+            select_items, tables, combined, group_by, order_by, limit
+        )
+
+    def _parse_select_list(self) -> Tuple[SelectItem, ...]:
+        if self._accept(TokenType.STAR):
+            return ()
+        items = [self._parse_select_item()]
+        while self._accept(TokenType.COMMA):
+            items.append(self._parse_select_item())
+        return tuple(items)
+
+    def _parse_select_item(self) -> SelectItem:
+        expression: Union[ColumnName, AggregateCall]
+        if self._current.type is TokenType.KEYWORD and self._current.value in AGGREGATE_KEYWORDS:
+            function = self._advance().value.lower()
+            self._expect(TokenType.LPAREN)
+            if self._accept(TokenType.STAR):
+                argument = None
+                if function != "count":
+                    raise ParseError(f"{function.upper()}(*) is not valid")
+            else:
+                argument = self._parse_column()
+            self._expect(TokenType.RPAREN)
+            expression = AggregateCall(function, argument)
+        else:
+            expression = self._parse_column()
+        alias = None
+        if self._accept(TokenType.KEYWORD, "AS"):
+            alias = self._expect(TokenType.IDENT).value
+        return SelectItem(expression, alias)
+
+    def _parse_table_list(self):
+        """Comma-separated JOIN chains; returns (tables, ON conditions)."""
+        tables: List[TableRef] = []
+        conditions: List[Condition] = []
+
+        def parse_chain() -> None:
+            tables.append(self._parse_table_ref())
+            while self._accept(TokenType.KEYWORD, "JOIN"):
+                tables.append(self._parse_table_ref())
+                self._expect(TokenType.KEYWORD, "ON")
+                conditions.append(self._parse_condition())
+
+        parse_chain()
+        while self._accept(TokenType.COMMA):
+            parse_chain()
+        return tuple(tables), tuple(conditions)
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect(TokenType.IDENT).value
+        alias = None
+        token = self._current
+        # An identifier after the table name is an alias — unless it is
+        # one of the soft keywords that may legally follow a FROM list.
+        if token.type is TokenType.IDENT and token.value.upper() not in (
+            "ORDER",
+            "LIMIT",
+        ):
+            alias = self._advance().value
+        return TableRef(name, alias)
+
+    def _parse_order_list(self):
+        items = [self._parse_order_item()]
+        while self._accept(TokenType.COMMA):
+            items.append(self._parse_order_item())
+        return tuple(items)
+
+    def _parse_order_item(self) -> OrderItem:
+        column = self._parse_column()
+        ascending = True
+        if self._accept_soft("DESC"):
+            ascending = False
+        else:
+            self._accept_soft("ASC")
+        return OrderItem(column, ascending)
+
+    def _parse_column_list(self) -> Tuple[ColumnName, ...]:
+        columns = [self._parse_column()]
+        while self._accept(TokenType.COMMA):
+            columns.append(self._parse_column())
+        return tuple(columns)
+
+    def _parse_column(self) -> ColumnName:
+        first = self._expect(TokenType.IDENT).value
+        if self._accept(TokenType.DOT):
+            second = self._expect(TokenType.IDENT).value
+            return ColumnName(first, second)
+        return ColumnName(None, first)
+
+    # ------------------------------------------------------------ condition
+    def _parse_condition(self) -> Condition:
+        parts = [self._parse_and_condition()]
+        while self._accept(TokenType.KEYWORD, "OR"):
+            parts.append(self._parse_and_condition())
+        if len(parts) == 1:
+            return parts[0]
+        return BooleanCondition("or", tuple(parts))
+
+    def _parse_and_condition(self) -> Condition:
+        parts = [self._parse_not_condition()]
+        while self._accept(TokenType.KEYWORD, "AND"):
+            parts.append(self._parse_not_condition())
+        if len(parts) == 1:
+            return parts[0]
+        return BooleanCondition("and", tuple(parts))
+
+    def _parse_not_condition(self) -> Condition:
+        if self._accept(TokenType.KEYWORD, "NOT"):
+            return NotCondition(self._parse_not_condition())
+        return self._parse_primary_condition()
+
+    def _parse_primary_condition(self) -> Condition:
+        if self._accept(TokenType.LPAREN):
+            inner = self._parse_condition()
+            self._expect(TokenType.RPAREN)
+            return inner
+        left = self._parse_operand()
+        negated = self._accept(TokenType.KEYWORD, "NOT") is not None
+        if self._accept(TokenType.KEYWORD, "BETWEEN"):
+            condition = self._parse_between(left)
+        elif self._accept(TokenType.KEYWORD, "IN"):
+            condition = self._parse_in(left)
+        elif negated:
+            raise ParseError(
+                "NOT after an operand must introduce BETWEEN or IN"
+            )
+        else:
+            op = self._expect(TokenType.OPERATOR).value
+            right = self._parse_operand()
+            condition = ComparisonCondition(op, left, right)
+        return NotCondition(condition) if negated else condition
+
+    def _parse_between(self, left: Operand) -> Condition:
+        """Desugar ``x BETWEEN a AND b`` into ``x >= a AND x <= b``."""
+        low = self._parse_operand()
+        self._expect(TokenType.KEYWORD, "AND")
+        high = self._parse_operand()
+        return BooleanCondition(
+            "and",
+            (
+                ComparisonCondition(">=", left, low),
+                ComparisonCondition("<=", left, high),
+            ),
+        )
+
+    def _parse_in(self, left: Operand) -> Condition:
+        """Desugar ``x IN (a, b, ...)`` into a disjunction of equalities."""
+        self._expect(TokenType.LPAREN)
+        members = [self._parse_operand()]
+        while self._accept(TokenType.COMMA):
+            members.append(self._parse_operand())
+        self._expect(TokenType.RPAREN)
+        comparisons = tuple(
+            ComparisonCondition("=", left, member) for member in members
+        )
+        if len(comparisons) == 1:
+            return comparisons[0]
+        return BooleanCondition("or", comparisons)
+
+    def _parse_operand(self) -> Operand:
+        token = self._current
+        if token.type is TokenType.NUMBER or token.type is TokenType.STRING:
+            self._advance()
+            return LiteralValue(token.value)
+        if token.type is TokenType.IDENT:
+            return self._parse_column()
+        raise ParseError(
+            f"expected column or literal at position {token.position}, "
+            f"found {token.value!r}"
+        )

@@ -1,0 +1,285 @@
+"""Translate parsed SQL into relational algebra.
+
+The translator resolves every column reference against the catalog to a
+fully qualified name (``"Division.city"``), types literals (strings
+compared to DATE columns become dates), and produces a canonical initial
+plan:
+
+    Project( [Aggregate(] Select( left-deep join tree ) [)] )
+
+Join order follows FROM-list order, connecting each new table through the
+available equi-join predicates; the optimizer replaces this with the
+cost-based order afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra import predicates as P
+from repro.algebra.expressions import (
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+)
+from repro.algebra.operators import (
+    Aggregate,
+    AggregateFunction,
+    AggregateSpec,
+    Join,
+    Limit,
+    Operator,
+    Relation,
+    Sort,
+    project_if,
+    select_if,
+)
+from repro.catalog.datatypes import DataType
+from repro.catalog.schema import Catalog, RelationSchema
+from repro.errors import TranslationError
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse
+
+
+def parse_query(sql: str, catalog: Catalog) -> Operator:
+    """Parse and translate ``sql`` in one step."""
+    return translate(parse(sql), catalog)
+
+
+def translate(statement: ast.SelectStatement, catalog: Catalog) -> Operator:
+    """Translate a parsed statement into an operator tree."""
+    return _Translator(statement, catalog).build()
+
+
+class _Translator:
+    def __init__(self, statement: ast.SelectStatement, catalog: Catalog):
+        self._statement = statement
+        self._catalog = catalog
+        # binding (alias or table name) -> real relation name
+        self._bindings: Dict[str, str] = {}
+        # real relation name -> original (unqualified) schema
+        self._schemas: Dict[str, RelationSchema] = {}
+        for table in statement.tables:
+            schema = catalog.schema(table.name)  # raises UnknownRelationError
+            if table.name in self._schemas:
+                raise TranslationError(
+                    f"relation {table.name!r} appears twice in FROM; "
+                    f"self-joins are not supported"
+                )
+            self._schemas[table.name] = schema
+            for binding in {table.binding, table.name}:
+                if binding in self._bindings and self._bindings[binding] != table.name:
+                    raise TranslationError(f"ambiguous table binding {binding!r}")
+                self._bindings[binding] = table.name
+
+    # ------------------------------------------------------------- building
+    def build(self) -> Operator:
+        where = (
+            self._translate_condition(self._statement.where)
+            if self._statement.where is not None
+            else None
+        )
+        selections, joins = P.split_selection_and_join(where)
+        plan = self._build_join_tree(list(joins))
+        plan = select_if(plan, P.conjunction(selections))
+        plan = self._apply_aggregation(plan)
+        plan = self._apply_projection(plan)
+        return self._apply_order_limit(plan)
+
+    def _build_join_tree(self, join_predicates: List[Expression]) -> Operator:
+        tables = self._statement.tables
+        remaining = [Relation(t.name, self._schemas[t.name].qualify()) for t in tables]
+        plan = remaining.pop(0)
+        pending = list(join_predicates)
+        while remaining:
+            chosen_index = None
+            for index, leaf in enumerate(remaining):
+                if self._connecting(pending, plan, leaf):
+                    chosen_index = index
+                    break
+            if chosen_index is None:
+                chosen_index = 0  # cross product with the next table
+            leaf = remaining.pop(chosen_index)
+            applicable = self._connecting(pending, plan, leaf)
+            for predicate in applicable:
+                pending.remove(predicate)
+            plan = Join(plan, leaf, P.conjunction(applicable))
+        if pending:
+            # Join predicates that became selections (all operands now in
+            # one subtree) are applied above the completed tree.
+            plan = select_if(plan, P.conjunction(pending))
+        return plan
+
+    @staticmethod
+    def _connecting(
+        predicates: Sequence[Expression], left: Operator, right: Operator
+    ) -> List[Expression]:
+        """Predicates joining ``left``'s columns with ``right``'s."""
+        left_cols = set(left.schema.attribute_names)
+        right_cols = set(right.schema.attribute_names)
+        out = []
+        for predicate in predicates:
+            columns = predicate.columns()
+            if (
+                columns & left_cols
+                and columns & right_cols
+                and columns <= (left_cols | right_cols)
+            ):
+                out.append(predicate)
+        return out
+
+    def _apply_aggregation(self, plan: Operator) -> Operator:
+        statement = self._statement
+        if not statement.has_aggregates and not statement.group_by:
+            return plan
+        group_by = [self._resolve(c).name for c in statement.group_by]
+        specs = []
+        plain_columns = []
+        for item in statement.select_items:
+            if isinstance(item.expression, ast.AggregateCall):
+                call = item.expression
+                argument = (
+                    self._resolve(call.argument).name if call.argument else None
+                )
+                specs.append(
+                    AggregateSpec(AggregateFunction(call.function), argument, item.alias)
+                )
+            else:
+                plain_columns.append(self._resolve(item.expression).name)
+        not_grouped = [c for c in plain_columns if c not in group_by]
+        if not_grouped:
+            raise TranslationError(
+                f"non-aggregated columns {not_grouped} must appear in GROUP BY"
+            )
+        return Aggregate(plan, group_by, specs)
+
+    def _apply_projection(self, plan: Operator) -> Operator:
+        statement = self._statement
+        if statement.is_star:
+            return plan
+        output = []
+        for item in statement.select_items:
+            if isinstance(item.expression, ast.AggregateCall):
+                call = item.expression
+                argument = self._resolve(call.argument).name if call.argument else None
+                spec = AggregateSpec(AggregateFunction(call.function), argument, item.alias)
+                output.append(spec.alias)
+            else:
+                if item.alias is not None:
+                    raise TranslationError("column aliases (AS) on plain columns are not supported")
+                output.append(self._resolve(item.expression).name)
+        return project_if(plan, output)
+
+    def _apply_order_limit(self, plan: Operator) -> Operator:
+        statement = self._statement
+        if statement.order_by:
+            keys = []
+            for item in statement.order_by:
+                keys.append(
+                    (self._resolve_output(plan, item.column), item.ascending)
+                )
+            plan = Sort(plan, keys)
+        if statement.limit is not None:
+            plan = Limit(plan, statement.limit)
+        return plan
+
+    def _resolve_output(self, plan: Operator, column: ast.ColumnName) -> str:
+        """Resolve an ORDER BY key against the query's output schema
+        (covering aggregate aliases such as ``ORDER BY total``)."""
+        from repro.errors import UnknownAttributeError
+
+        candidates = []
+        if column.table is not None:
+            real = self._bindings.get(column.table, column.table)
+            candidates.append(f"{real}.{column.name}")
+        candidates.append(column.name)
+        for candidate in candidates:
+            try:
+                return plan.schema.attribute(candidate).name
+            except UnknownAttributeError:
+                continue
+        raise TranslationError(
+            f"ORDER BY column {column} must appear in the query output"
+        )
+
+    # ----------------------------------------------------------- resolution
+    def _resolve(self, column: ast.ColumnName) -> ColumnRef:
+        """Resolve an AST column to a qualified :class:`ColumnRef`."""
+        if column.table is not None:
+            real = self._bindings.get(column.table)
+            if real is None:
+                raise TranslationError(f"unknown table reference {column.table!r}")
+            schema = self._schemas[real]
+            attribute = schema.attribute(column.name)  # raises if absent
+            return ColumnRef(f"{real}.{attribute.name}")
+        owners = [
+            name for name, schema in self._schemas.items() if column.name in schema
+        ]
+        if not owners:
+            raise TranslationError(f"unknown column {column.name!r}")
+        if len(owners) > 1:
+            raise TranslationError(
+                f"ambiguous column {column.name!r}: owned by {sorted(owners)}"
+            )
+        real = owners[0]
+        attribute = self._schemas[real].attribute(column.name)
+        return ColumnRef(f"{real}.{attribute.name}")
+
+    def _column_type(self, reference: ColumnRef) -> DataType:
+        relation, short = reference.name.split(".", 1)
+        return self._schemas[relation].attribute(short).datatype
+
+    def _translate_condition(self, condition: ast.Condition) -> Expression:
+        if isinstance(condition, ast.ComparisonCondition):
+            return self._translate_comparison(condition)
+        if isinstance(condition, ast.BooleanCondition):
+            parts = [self._translate_condition(p) for p in condition.parts]
+            combined = (
+                P.conjunction(parts) if condition.op == "and" else P.disjunction(parts)
+            )
+            if combined is None:
+                raise TranslationError("boolean condition collapsed to TRUE")
+            return combined
+        if isinstance(condition, ast.NotCondition):
+            return P.negate(self._translate_condition(condition.operand))
+        raise TranslationError(f"unsupported condition node: {condition!r}")
+
+    def _translate_comparison(self, condition: ast.ComparisonCondition) -> Comparison:
+        left = self._translate_operand(condition.left)
+        right = self._translate_operand(condition.right)
+        # Type literals against the column they are compared with, so date
+        # strings like '1996-07-01' become DATE values.
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            right = self._coerce(right, self._column_type(left))
+        elif isinstance(right, ColumnRef) and isinstance(left, Literal):
+            left = self._coerce(left, self._column_type(right))
+        return Comparison(condition.op, left, right)
+
+    def _translate_operand(self, operand: ast.Operand) -> Expression:
+        if isinstance(operand, ast.ColumnName):
+            return self._resolve(operand)
+        return Literal(operand.value)
+
+    @staticmethod
+    def _coerce(literal: Literal, target: DataType) -> Literal:
+        if literal.datatype is target:
+            return literal
+        if target is DataType.DATE and literal.datatype is DataType.STRING:
+            try:
+                return Literal(target.parse(literal.value), target)
+            except (ValueError, TypeError) as exc:
+                raise TranslationError(
+                    f"cannot parse {literal.value!r} as a date"
+                ) from exc
+        if target is DataType.FLOAT and literal.datatype is DataType.INTEGER:
+            return Literal(float(literal.value), target)
+        if target is DataType.INTEGER and literal.datatype is DataType.FLOAT:
+            return literal  # numeric comparison works across int/float
+        if target is DataType.STRING and literal.datatype is DataType.STRING:
+            return literal
+        if literal.datatype.is_numeric and target.is_numeric:
+            return literal
+        raise TranslationError(
+            f"literal {literal.value!r} is incompatible with column type {target.name}"
+        )

@@ -1,0 +1,64 @@
+"""Block-granular I/O accounting.
+
+The paper's cost unit is the *block access*.  The storage engine tracks
+every block read and write through an :class:`IOCounter`, so the executor
+can report measured block I/O that is directly comparable to the
+analytical cost model's predictions (the cost-model validation tests rely
+on this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class IOSnapshot:
+    """Immutable copy of the counters at one point in time."""
+
+    reads: int
+    writes: int
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class IOCounter:
+    """Mutable block-I/O counters shared by tables and operators."""
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    def read_blocks(self, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"negative block read count: {count}")
+        self.reads += count
+
+    def write_blocks(self, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"negative block write count: {count}")
+        self.writes += count
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    def snapshot(self) -> IOSnapshot:
+        return IOSnapshot(self.reads, self.writes)
+
+    def since(self, snapshot: IOSnapshot) -> IOSnapshot:
+        """Counters accumulated since ``snapshot`` was taken."""
+        return IOSnapshot(self.reads - snapshot.reads, self.writes - snapshot.writes)
+
+    def __repr__(self) -> str:
+        return f"IOCounter(reads={self.reads}, writes={self.writes})"
+
+
+def block_count(row_count: int, blocking_factor: float) -> int:
+    """Blocks occupied by ``row_count`` rows at ``blocking_factor``."""
+    if row_count <= 0:
+        return 0
+    return max(1, math.ceil(row_count / max(blocking_factor, 1e-9)))

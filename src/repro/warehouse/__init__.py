@@ -1,0 +1,35 @@
+"""Data warehouse facade: views, rewriting, maintenance, execution."""
+
+from repro.warehouse.evolution import MigrationPlan, plan_migration
+from repro.warehouse.maintenance import (
+    INCREMENTAL,
+    RECOMPUTE,
+    RefreshReport,
+    ViewMaintainer,
+)
+from repro.warehouse.rewriter import rewrite_with_views
+from repro.warehouse.view import MaterializedView
+from repro.warehouse.simulation import (
+    SimulationConfig,
+    SimulationReport,
+    WarehouseSimulator,
+    simulate,
+)
+from repro.warehouse.warehouse import DataWarehouse, QueryProfile
+
+__all__ = [
+    "DataWarehouse",
+    "QueryProfile",
+    "INCREMENTAL",
+    "MaterializedView",
+    "MigrationPlan",
+    "plan_migration",
+    "RECOMPUTE",
+    "RefreshReport",
+    "SimulationConfig",
+    "SimulationReport",
+    "WarehouseSimulator",
+    "simulate",
+    "ViewMaintainer",
+    "rewrite_with_views",
+]

@@ -1,0 +1,73 @@
+"""Design evolution: migrating between view sets as workloads drift.
+
+When observed frequencies change (see
+:mod:`repro.workload.query_log`), re-running ``design()`` may choose a
+different view set.  :func:`plan_migration` diffs the installed views
+against the new design by *plan signature* — a view whose defining plan
+is unchanged keeps its stored table (and name) even if the new design
+labels it differently — and :meth:`apply_migration` executes the plan
+with minimal work: drop obsolete tables, materialize only genuinely new
+views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.warehouse.view import MaterializedView
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """The delta between an installed view set and a new design."""
+
+    keep: Tuple[MaterializedView, ...]  # same defining plan; table reused
+    create: Tuple[MaterializedView, ...]  # new plans to materialize
+    drop: Tuple[MaterializedView, ...]  # installed views no longer wanted
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.create and not self.drop
+
+    def describe(self) -> str:
+        lines = []
+        for label, views in (
+            ("keep", self.keep),
+            ("create", self.create),
+            ("drop", self.drop),
+        ):
+            names = ", ".join(v.name for v in views) or "(none)"
+            lines.append(f"{label}: {names}")
+        return "\n".join(lines)
+
+
+def plan_migration(
+    installed: Sequence[MaterializedView],
+    target: Sequence[MaterializedView],
+) -> MigrationPlan:
+    """Diff two view sets by defining-plan signature.
+
+    Views present in both keep their *installed* identity (name and
+    stored table); target views with unseen plans are created; installed
+    views absent from the target are dropped.
+    """
+    installed_by_signature: Dict[str, MaterializedView] = {
+        v.signature: v for v in installed
+    }
+    target_signatures = {v.signature for v in target}
+
+    keep: List[MaterializedView] = []
+    create: List[MaterializedView] = []
+    for view in target:
+        existing = installed_by_signature.get(view.signature)
+        if existing is not None:
+            keep.append(existing)
+        else:
+            create.append(view)
+    drop = [
+        view
+        for view in installed
+        if view.signature not in target_signatures
+    ]
+    return MigrationPlan(tuple(keep), tuple(create), tuple(drop))

@@ -1,0 +1,88 @@
+"""Answering queries from materialized views.
+
+The rewriter replaces every plan subtree that matches a materialized
+view's defining plan with a scan of the stored view.  Two match modes:
+
+* **exact** — identical canonical signature (the common-subexpression
+  criterion the MVPP is built on).  The design pipeline produces query
+  plans and view definitions from the same shared DAG, so every intended
+  reuse is an exact match;
+* **subsumption** (extension) — the subtree is ``σ_p(X)`` and some view
+  is defined as ``σ_q(X)`` (or plainly ``X``) with ``p ⇒ q``: the view
+  contains a superset of the needed rows, so the rewrite reads the view
+  and re-applies ``p`` as a compensating selection.  The implication test
+  is the sound-but-incomplete
+  :func:`repro.algebra.predicates.implies`, so every accepted rewrite is
+  semantics-preserving.
+
+Matching is top-down, so the largest applicable view wins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.algebra import predicates as P
+from repro.algebra.operators import Operator, Relation, Select
+from repro.warehouse.view import MaterializedView
+
+
+def rewrite_with_views(
+    plan: Operator,
+    views: Iterable[MaterializedView],
+    subsumption: bool = True,
+) -> Tuple[Operator, List[MaterializedView]]:
+    """Rewrite ``plan`` to read from ``views`` where subtrees match.
+
+    Returns the rewritten plan and the views actually used (topmost
+    matches only — a view nested under another matched view is not
+    reported, since it is not read).  ``subsumption=False`` restricts the
+    rewrite to exact signature matches.
+    """
+    view_list = list(views)
+    by_signature: Dict[str, MaterializedView] = {
+        v.signature: v for v in view_list
+    }
+    used: List[MaterializedView] = []
+
+    def scan_of(view: MaterializedView, like: Operator) -> Relation:
+        # The stored view keeps the defining plan's (qualified) attribute
+        # names, so expressions above keep resolving.
+        return Relation(view.name, like.schema.rename(view.name))
+
+    def try_subsumption(node: Operator) -> Optional[Operator]:
+        """``σ_p(X)`` answered from a view ``σ_q(X)`` (or ``X``), p ⇒ q."""
+        if not isinstance(node, Select):
+            return None
+        p = node.predicate
+        for view in view_list:
+            definition = view.plan
+            if isinstance(definition, Select):
+                q, body = definition.predicate, definition.child
+            else:
+                q, body = None, definition
+            if body.signature != node.child.signature:
+                continue
+            if not P.implies(p, q):
+                continue
+            used.append(view)
+            return Select(scan_of(view, definition), p)
+        return None
+
+    def descend(node: Operator) -> Operator:
+        view = by_signature.get(node.signature)
+        if view is not None:
+            used.append(view)
+            return scan_of(view, node)
+        if subsumption:
+            compensated = try_subsumption(node)
+            if compensated is not None:
+                return compensated
+        if node.is_leaf:
+            return node
+        children = tuple(descend(child) for child in node.children)
+        if all(new is old for new, old in zip(children, node.children)):
+            return node
+        return node.with_children(children)
+
+    return descend(plan), used

@@ -1,0 +1,184 @@
+"""Multi-period warehouse simulation.
+
+The paper's future work asks for "a good analytical model [to] simulate
+various environments with different view mixes".  This module is that
+simulator: it drives a loaded :class:`DataWarehouse` through N
+maintenance periods, issuing each query ``fq`` times per period and
+applying ``fu`` update batches per base relation, and measures the real
+block I/O of both sides.  Comparing simulated totals across view mixes
+validates the analytical ``C_total`` objective end to end
+(`benchmarks/bench_simulation.py`).
+
+Fractional frequencies (the example's ``fq(Q2) = 0.5``) are honoured by
+carry-over accumulation: Q2 runs once every second period.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.errors import WarehouseError
+from repro.warehouse.maintenance import INCREMENTAL, RECOMPUTE
+from repro.warehouse.warehouse import DataWarehouse
+
+RowFactory = Callable[[str, random.Random], Mapping[str, Any]]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs for a simulation run."""
+
+    periods: int = 5
+    seed: int = 0
+    update_batch_size: int = 10
+    maintenance_policy: str = RECOMPUTE
+
+    def __post_init__(self) -> None:
+        if self.periods < 1:
+            raise WarehouseError("periods must be >= 1")
+        if self.update_batch_size < 1:
+            raise WarehouseError("update_batch_size must be >= 1")
+        if self.maintenance_policy not in (RECOMPUTE, INCREMENTAL):
+            raise WarehouseError(
+                f"unsupported maintenance policy {self.maintenance_policy!r}"
+            )
+
+
+@dataclass
+class SimulationReport:
+    """Measured block I/O of one simulated horizon."""
+
+    periods: int
+    query_io: int = 0
+    maintenance_io: int = 0
+    query_executions: Dict[str, int] = field(default_factory=dict)
+    update_batches: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_io(self) -> int:
+        return self.query_io + self.maintenance_io
+
+    @property
+    def per_period_io(self) -> float:
+        return self.total_io / self.periods
+
+
+def default_row_factory(warehouse: DataWarehouse) -> RowFactory:
+    """Synthesizes rows matching a relation's schema and, for integer
+    columns that look like keys of another loaded relation, drawing
+    values from that relation's observed key range so joins stay
+    meaningful."""
+    import datetime
+
+    from repro.catalog.datatypes import DataType
+
+    def factory(relation: str, rng: random.Random) -> Mapping[str, Any]:
+        schema = warehouse.catalog.schema(relation)
+        row: Dict[str, Any] = {}
+        for attribute in schema:
+            name = attribute.short_name
+            if attribute.datatype is DataType.INTEGER:
+                row[name] = rng.randrange(
+                    max(_key_range(warehouse, relation, name), 1)
+                )
+            elif attribute.datatype is DataType.STRING:
+                row[name] = f"sim{rng.randrange(100)}"
+            elif attribute.datatype is DataType.FLOAT:
+                row[name] = rng.random() * 100
+            elif attribute.datatype is DataType.DATE:
+                row[name] = datetime.date(1996, 1, 1) + datetime.timedelta(
+                    days=rng.randrange(366)
+                )
+            else:
+                row[name] = bool(rng.randrange(2))
+        return row
+
+    return factory
+
+
+def _key_range(warehouse: DataWarehouse, relation: str, column: str) -> int:
+    """A plausible value range for an integer column: the loaded
+    cardinality of the relation the column appears to reference, else
+    200 (the example's quantity range)."""
+    for name in warehouse.database.table_names:
+        if name == relation or name.startswith("mv_"):
+            continue
+        schema = warehouse.catalog.schema(name) if name in warehouse.catalog else None
+        if schema is None:
+            continue
+        if column in schema:
+            return max(warehouse.database.table(name).cardinality, 1)
+    if relation in warehouse.catalog and column in warehouse.catalog.schema(relation):
+        return max(warehouse.database.table(relation).cardinality, 200)
+    return 200
+
+
+class WarehouseSimulator:
+    """Drives a loaded, materialized warehouse through update periods."""
+
+    def __init__(
+        self,
+        warehouse: DataWarehouse,
+        config: SimulationConfig = SimulationConfig(),
+        row_factory: Optional[RowFactory] = None,
+    ):
+        self.warehouse = warehouse
+        self.config = config
+        self.row_factory = row_factory or default_row_factory(warehouse)
+
+    def run(self) -> SimulationReport:
+        """Simulate ``config.periods`` maintenance periods."""
+        warehouse = self.warehouse
+        rng = random.Random(self.config.seed)
+        report = SimulationReport(periods=self.config.periods)
+        workload = warehouse.workload
+
+        query_credit: Dict[str, float] = {q.name: 0.0 for q in workload.queries}
+        update_credit: Dict[str, float] = {
+            name: 0.0 for name in workload.catalog.relation_names
+        }
+
+        for _ in range(self.config.periods):
+            # Query side: each query runs ⌊accumulated fq⌋ times.
+            for spec in workload.queries:
+                query_credit[spec.name] += spec.frequency
+                while query_credit[spec.name] >= 1.0:
+                    query_credit[spec.name] -= 1.0
+                    _, io = warehouse.execute(spec.name, use_views=True)
+                    report.query_io += io.total
+                    report.query_executions[spec.name] = (
+                        report.query_executions.get(spec.name, 0) + 1
+                    )
+            # Update side: each relation receives ⌊accumulated fu⌋ batches.
+            for relation in workload.catalog.relation_names:
+                if relation not in warehouse.database:
+                    continue
+                update_credit[relation] += workload.update_frequency(relation)
+                while update_credit[relation] >= 1.0:
+                    update_credit[relation] -= 1.0
+                    batch = [
+                        self.row_factory(relation, rng)
+                        for _ in range(self.config.update_batch_size)
+                    ]
+                    before = warehouse.database.io.snapshot()
+                    warehouse.apply_update(
+                        relation, batch, policy=self.config.maintenance_policy
+                    )
+                    report.maintenance_io += warehouse.database.io.since(
+                        before
+                    ).total
+                    report.update_batches[relation] = (
+                        report.update_batches.get(relation, 0) + 1
+                    )
+        return report
+
+
+def simulate(
+    warehouse: DataWarehouse,
+    config: SimulationConfig = SimulationConfig(),
+    row_factory: Optional[RowFactory] = None,
+) -> SimulationReport:
+    """Convenience wrapper around :class:`WarehouseSimulator`."""
+    return WarehouseSimulator(warehouse, config, row_factory).run()

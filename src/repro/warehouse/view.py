@@ -1,0 +1,38 @@
+"""Materialized view definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.algebra.operators import Operator
+from repro.catalog.schema import RelationSchema
+
+
+@dataclass(frozen=True)
+class MaterializedView:
+    """A warehouse view chosen for materialization.
+
+    ``plan`` computes the view's contents from base relations; its
+    signature identifies which plan subtrees the rewriter may replace with
+    a scan of the stored view.
+    """
+
+    name: str
+    plan: Operator
+
+    @property
+    def signature(self) -> str:
+        return self.plan.signature
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self.plan.schema
+
+    @property
+    def base_relations(self) -> FrozenSet[str]:
+        """Base relations the view depends on (the paper's ``Iv``)."""
+        return self.plan.base_relations()
+
+    def depends_on(self, relation: str) -> bool:
+        return relation in self.base_relations

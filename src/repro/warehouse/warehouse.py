@@ -1,0 +1,465 @@
+"""The end-to-end data warehouse facade.
+
+Typical lifecycle::
+
+    wh = DataWarehouse(catalog, statistics)
+    wh.add_query("Q1", "SELECT ...", frequency=10)
+    wh.set_update_frequency("Order", 1.0)
+
+    design = wh.design()          # run the paper's full pipeline
+    wh.load("Order", rows)        # load base data
+    wh.materialize()              # compute & store the chosen views
+    table, io = wh.execute("Q1")  # answered through materialized views
+    wh.apply_update("Order", new_rows, policy="incremental")
+
+``design()`` runs Figure 4 (generate candidate MVPPs) and Figure 9
+(select vertices to materialize) and installs the chosen views;
+``execute()`` rewrites the query's MVPP plan over the stored views, so
+the measured block I/O realizes the design's predicted query cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.catalog.schema import Catalog
+from repro.catalog.statistics import StatisticsCatalog
+from repro.errors import WarehouseError
+from repro.executor.engine import ExecutionEngine, Database, NESTED_LOOP
+from repro.mvpp.cost import CostBreakdown, MVPPCostCalculator, PER_PERIOD
+from repro.mvpp.generation import DesignResult, design as run_design
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.optimizer.heuristics import optimize_query
+from repro.sql.translator import parse_query
+from repro.storage.block import IOSnapshot
+from repro.storage.table import Table
+from repro.warehouse.maintenance import (
+    INCREMENTAL,
+    RECOMPUTE,
+    RefreshReport,
+    ViewMaintainer,
+)
+from repro.warehouse.rewriter import rewrite_with_views
+from repro.warehouse.view import MaterializedView
+from repro.workload.spec import QuerySpec, Workload
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Estimated-vs-measured report for one query execution."""
+
+    query: str
+    used_views: bool
+    estimated_cost: Optional[float]
+    measured_io: int
+    estimated_rows: Optional[int]
+    measured_rows: int
+
+    @property
+    def cost_error(self) -> Optional[float]:
+        """``estimated / measured`` (None when either side is unknown)."""
+        if self.estimated_cost is None or self.measured_io <= 0:
+            return None
+        return self.estimated_cost / self.measured_io
+
+
+class DataWarehouse:
+    """A data warehouse with MVPP-designed materialized views."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        statistics: StatisticsCatalog,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        maintenance_trigger: str = PER_PERIOD,
+        join_method: str = NESTED_LOOP,
+    ):
+        self.catalog = catalog
+        self.statistics = statistics
+        self.cost_model = cost_model
+        self.maintenance_trigger = maintenance_trigger
+        self.estimator = CardinalityEstimator(statistics)
+        self.database = Database()
+        self.engine = ExecutionEngine(self.database, join_method)
+        self.maintainer = ViewMaintainer(self.database, self.engine)
+        self._queries: List[QuerySpec] = []
+        self._update_frequencies: Dict[str, float] = {}
+        self._design: Optional[DesignResult] = None
+        self._views: List[MaterializedView] = []
+        # Freshness tracking: base-relation versions bump on every load
+        # or update; each view records the versions it was built from.
+        self._base_versions: Dict[str, int] = {}
+        self._view_versions: Dict[str, Dict[str, int]] = {}
+
+    # --------------------------------------------------------------- queries
+    def add_query(self, name: str, sql: str, frequency: float) -> QuerySpec:
+        """Register a warehouse query with its access frequency ``fq``."""
+        if any(q.name == name for q in self._queries):
+            raise WarehouseError(f"query {name!r} already registered")
+        parse_query(sql, self.catalog)  # fail fast on bad SQL / names
+        spec = QuerySpec(name, sql, frequency)
+        self._queries.append(spec)
+        self._design = None  # designs are invalidated by workload changes
+        return spec
+
+    def set_update_frequency(self, relation: str, frequency: float) -> None:
+        """Register a base relation's update frequency ``fu``."""
+        if relation not in self.catalog:
+            raise WarehouseError(f"unknown relation {relation!r}")
+        if frequency < 0:
+            raise WarehouseError(f"update frequency must be >= 0: {frequency}")
+        self._update_frequencies[relation] = frequency
+        self._design = None
+
+    @property
+    def workload(self) -> Workload:
+        return Workload(
+            name="warehouse",
+            catalog=self.catalog,
+            statistics=self.statistics,
+            queries=tuple(self._queries),
+            update_frequencies=dict(self._update_frequencies),
+        )
+
+    @classmethod
+    def from_workload(cls, workload: Workload, **kwargs) -> "DataWarehouse":
+        """Build a warehouse pre-loaded with a workload's queries."""
+        warehouse = cls(workload.catalog, workload.statistics, **kwargs)
+        for spec in workload.queries:
+            warehouse.add_query(spec.name, spec.sql, spec.frequency)
+        for relation, frequency in workload.update_frequencies.items():
+            warehouse.set_update_frequency(relation, frequency)
+        return warehouse
+
+    # ---------------------------------------------------------------- design
+    def design(
+        self, rotations: Optional[int] = None, push_down: bool = True
+    ) -> DesignResult:
+        """Run the full MVPP pipeline and install the chosen views."""
+        if not self._queries:
+            raise WarehouseError("register at least one query before designing")
+        result = run_design(
+            self.workload,
+            self.estimator,
+            self.cost_model,
+            rotations=rotations,
+            maintenance_trigger=self.maintenance_trigger,
+            push_down=push_down,
+        )
+        self._design = result
+        self._views = [
+            MaterializedView(name=f"mv_{vertex.name}", plan=vertex.operator)
+            for vertex in result.materialized
+        ]
+        # A fresh design invalidates freshness records: views must be
+        # (re)materialized before they count as fresh.  redesign()
+        # restores the records of views it keeps.
+        self._view_versions.clear()
+        # Register the views' estimated sizes so rewritten plans (reading
+        # mv_* relations) remain estimable, e.g. by explain().
+        for vertex in result.materialized:
+            if vertex.stats is not None:
+                self.statistics.set_relation(
+                    f"mv_{vertex.name}",
+                    vertex.stats.cardinality,
+                    vertex.stats.blocks,
+                )
+        return result
+
+    @property
+    def design_result(self) -> DesignResult:
+        if self._design is None:
+            raise WarehouseError("no design yet; call design() first")
+        return self._design
+
+    @property
+    def views(self) -> Tuple[MaterializedView, ...]:
+        return tuple(self._views)
+
+    def install_views(self, views: Iterable[MaterializedView]) -> None:
+        """Override the installed view set (e.g. to simulate a what-if
+        view mix).  Call :meth:`materialize` afterwards to store them.
+        The design result (if any) keeps providing the query plans."""
+        self._views = list(views)
+        self._view_versions.clear()
+
+    def estimated_costs(self) -> CostBreakdown:
+        """The design's predicted per-period cost breakdown."""
+        return self.design_result.breakdown
+
+    # ------------------------------------------------------------------ data
+    def load(
+        self,
+        relation: str,
+        rows: Iterable[Mapping[str, object]],
+        blocking_factor: Optional[float] = None,
+    ) -> Table:
+        """Load base data (short or qualified column names accepted)."""
+        if relation not in self.catalog:
+            raise WarehouseError(f"unknown relation {relation!r}")
+        schema = self.catalog.schema(relation).qualify()
+        if blocking_factor is None:
+            if self.statistics.has_relation(relation):
+                blocking_factor = self.statistics.relation(relation).blocking_factor
+            else:
+                blocking_factor = 10.0
+        table = Table(schema, blocking_factor)
+        for row in rows:
+            table.insert(row)
+        self._base_versions[relation] = self._base_versions.get(relation, 0) + 1
+        return self.database.register(relation, table)
+
+    def sync_statistics(self) -> None:
+        """Overwrite registered relation statistics with loaded actuals."""
+        for name in self.database.table_names:
+            table = self.database.table(name)
+            if name in self.catalog:
+                self.statistics.set_relation(name, table.cardinality, table.num_blocks)
+        self.estimator = CardinalityEstimator(self.statistics)
+
+    def materialize(self) -> List[RefreshReport]:
+        """Compute and store every designed view."""
+        reports = []
+        for view in self.views:
+            reports.append(self.maintainer.materialize(view))
+            self._mark_fresh(view)
+        return reports
+
+    # ------------------------------------------------------------- freshness
+    def _mark_fresh(self, view: MaterializedView) -> None:
+        self._view_versions[view.name] = {
+            relation: self._base_versions.get(relation, 0)
+            for relation in view.base_relations
+        }
+
+    def is_fresh(self, view: MaterializedView) -> bool:
+        """Whether a view reflects the current base-relation contents."""
+        recorded = self._view_versions.get(view.name)
+        if recorded is None:
+            return False  # never materialized
+        return all(
+            self._base_versions.get(relation, 0) == version
+            for relation, version in recorded.items()
+        )
+
+    def stale_views(self) -> List[MaterializedView]:
+        """Views whose stored contents lag behind their base relations."""
+        return [view for view in self.views if not self.is_fresh(view)]
+
+    # --------------------------------------------------------------- queries
+    def query_plan(
+        self, name: str, use_views: bool = True, freshness: str = "any"
+    ):
+        """The (possibly view-rewritten) executable plan for a query.
+
+        ``freshness`` controls how stale views are treated:
+
+        * ``"any"`` — use every materialized view (default; caller
+          accepts possibly-stale answers between refreshes);
+        * ``"fresh"`` — rewrite only over up-to-date views; stale lineage
+          falls back to base data;
+        * ``"refresh"`` — refresh stale views first, then use them all.
+        """
+        spec = next((q for q in self._queries if q.name == name), None)
+        if spec is None:
+            raise WarehouseError(f"unknown query {name!r}")
+        if freshness not in ("any", "fresh", "refresh"):
+            raise WarehouseError(f"unknown freshness policy {freshness!r}")
+        if self._design is not None:
+            plan = self.design_result.mvpp.query_root(name).operator
+        else:
+            plan = optimize_query(
+                parse_query(spec.sql, self.catalog), self.estimator, self.cost_model
+            )
+        if not use_views or not self._views:
+            return plan
+        views = list(self._views)
+        if freshness == "refresh":
+            for view in self.stale_views():
+                if view.name in self.database:
+                    self.maintainer.materialize(view)
+                    self._mark_fresh(view)
+        elif freshness == "fresh":
+            views = [v for v in views if self.is_fresh(v)]
+        views = [v for v in views if v.name in self.database]
+        rewritten, _ = rewrite_with_views(plan, views)
+        return rewritten
+
+    def execute(
+        self,
+        name: str,
+        use_views: bool = True,
+        freshness: str = "any",
+    ) -> Tuple[Table, IOSnapshot]:
+        """Answer a registered query; returns (result, measured block I/O)."""
+        plan = self.query_plan(name, use_views=use_views, freshness=freshness)
+        missing = [
+            r for r in plan.base_relations()
+            if r not in self.database
+        ]
+        if missing:
+            raise WarehouseError(
+                f"load base data before executing: missing {sorted(missing)}"
+            )
+        return self.engine.run(plan)
+
+    def redesign(
+        self, rotations: Optional[int] = None, push_down: bool = True
+    ) -> "MigrationPlan":
+        """Re-run the design pipeline and migrate the installed views.
+
+        Stored tables of views whose defining plans survive are kept
+        as-is (their names included); obsolete view tables are dropped;
+        only genuinely new views are materialized (when base data is
+        loaded).  Returns the executed migration plan.
+        """
+        from repro.warehouse.evolution import plan_migration
+
+        installed = list(self._views)
+        had_tables = {
+            v.name for v in installed if v.name in self.database
+        }
+        old_versions = dict(self._view_versions)
+        self.design(rotations=rotations, push_down=push_down)
+        migration = plan_migration(installed, self._views)
+        # Adopt kept identities + new views as the installed set, and
+        # restore the kept views' freshness records.
+        self._views = list(migration.keep) + list(migration.create)
+        for view in migration.keep:
+            if view.name in old_versions:
+                self._view_versions[view.name] = old_versions[view.name]
+        for view in migration.drop:
+            self.database.drop(view.name)
+            self._view_versions.pop(view.name, None)
+            self.engine.indexes.invalidate(view.name)
+        data_loaded = all(
+            relation in self.database
+            for view in migration.create
+            for relation in view.base_relations
+        )
+        if migration.create and data_loaded and had_tables:
+            for view in migration.create:
+                self.maintainer.materialize(view)
+                self._mark_fresh(view)
+        return migration
+
+    def explain(
+        self, name: str, use_views: bool = True, freshness: str = "any"
+    ) -> str:
+        """EXPLAIN-style report: the executable plan with estimated
+        per-node cardinalities and block-access costs, plus which
+        materialized views the rewrite uses."""
+        from repro.optimizer.plans import AnnotatedPlan
+        from repro.warehouse.rewriter import rewrite_with_views
+
+        spec = next((q for q in self._queries if q.name == name), None)
+        if spec is None:
+            raise WarehouseError(f"unknown query {name!r}")
+        plan = self.query_plan(name, use_views=use_views, freshness=freshness)
+        used: List[MaterializedView] = []
+        if use_views and self._views:
+            base_plan = self.query_plan(name, use_views=False)
+            _, used = rewrite_with_views(base_plan, self._views)
+        lines = [f"EXPLAIN {name}: {spec.sql}"]
+        if used:
+            lines.append(
+                "materialized views used: "
+                + ", ".join(sorted({v.name for v in used}))
+            )
+        else:
+            lines.append("materialized views used: (none)")
+        # Estimate over the rewritten plan; stored views may not have
+        # registered statistics, so fall back to the structural plan.
+        try:
+            from repro.algebra.operators import Relation
+
+            annotated = AnnotatedPlan(plan, self.estimator, self.cost_model)
+            lines.append(annotated.describe())
+            cost = annotated.total_cost
+            if isinstance(plan, Relation):
+                # A query answered by scanning one stored view: the cost
+                # is the scan itself, not the (free) leaf access.
+                cost = self.cost_model.scan_cost(annotated.output_stats)
+            lines.append(f"estimated cost: {cost:,.0f} block accesses")
+        except Exception:
+            lines.append(plan.describe())
+        return "\n".join(lines)
+
+    def profile(self, name: str, use_views: bool = True) -> "QueryProfile":
+        """Run a query and report estimated-vs-measured cost and rows.
+
+        The estimation error quantifies how well the Table-1-style
+        statistics describe the loaded data — large deviations suggest
+        running :meth:`sync_statistics` (or re-designing).
+        """
+        from repro.optimizer.plans import AnnotatedPlan
+
+        plan = self.query_plan(name, use_views=use_views)
+        estimated_cost: Optional[float] = None
+        estimated_rows: Optional[int] = None
+        try:
+            annotated = AnnotatedPlan(plan, self.estimator, self.cost_model)
+            estimated_cost = annotated.total_cost
+            estimated_rows = annotated.output_stats.cardinality
+        except Exception:
+            pass
+        result, io = self.execute(name, use_views=use_views)
+        return QueryProfile(
+            query=name,
+            used_views=use_views,
+            estimated_cost=estimated_cost,
+            measured_io=io.total,
+            estimated_rows=estimated_rows,
+            measured_rows=result.cardinality,
+        )
+
+    # ------------------------------------------------------------ maintenance
+    def refresh(self) -> List[RefreshReport]:
+        """Recompute every materialized view (the paper's policy)."""
+        reports = []
+        for view in self.views:
+            reports.append(self.maintainer.materialize(view))
+            self._mark_fresh(view)
+        return reports
+
+    def apply_update(
+        self,
+        relation: str,
+        rows: Iterable[Mapping[str, object]],
+        policy: str = RECOMPUTE,
+    ) -> List[RefreshReport]:
+        """Insert rows into a base relation and maintain affected views.
+
+        With ``policy="defer"`` no view is touched: affected views become
+        stale (see :meth:`stale_views`) until the next refresh or a
+        ``freshness="refresh"`` query.
+        """
+        if relation not in self.database:
+            raise WarehouseError(f"relation {relation!r} has no loaded data")
+        if policy not in (RECOMPUTE, INCREMENTAL, "defer"):
+            raise WarehouseError(f"unknown maintenance policy {policy!r}")
+        rows = list(rows)
+        self.database.table(relation).insert_many(rows)
+        self._base_versions[relation] = self._base_versions.get(relation, 0) + 1
+        self.engine.indexes.invalidate(relation)
+        reports = []
+        if policy == "defer":
+            return reports
+        for view in self.views:
+            if not view.depends_on(relation):
+                continue
+            if view.name not in self.database:
+                continue  # not materialized yet; materialize() will build it
+            if policy == INCREMENTAL:
+                reports.append(
+                    self.maintainer.incremental_refresh(view, relation, rows)
+                )
+            else:
+                reports.append(self.maintainer.materialize(view))
+            self._mark_fresh(view)
+            self.engine.indexes.invalidate(view.name)
+        return reports

@@ -1,0 +1,52 @@
+"""Workloads: the paper's example, synthetic generators, data generation."""
+
+from repro.workload.datagen import paper_rows, star_rows, synthetic_rows
+from repro.workload.example import (
+    PAPER_QUERY_SQL,
+    Q3_DATE,
+    paper_catalog,
+    paper_queries,
+    paper_statistics,
+    paper_workload,
+    paper_workload_fig7,
+)
+from repro.workload.generator import (
+    GeneratedWorkload,
+    GeneratorConfig,
+    generate_workload,
+)
+from repro.workload.overlap import OverlapConfig, overlap_workload
+from repro.workload.query_log import (
+    FrequencyEstimate,
+    LogEntry,
+    apply_to_workload,
+    estimate_frequencies,
+)
+from repro.workload.spec import QuerySpec, Workload
+from repro.workload.star_schema import StarConfig, star_workload
+
+__all__ = [
+    "FrequencyEstimate",
+    "GeneratedWorkload",
+    "GeneratorConfig",
+    "LogEntry",
+    "OverlapConfig",
+    "apply_to_workload",
+    "estimate_frequencies",
+    "overlap_workload",
+    "PAPER_QUERY_SQL",
+    "Q3_DATE",
+    "QuerySpec",
+    "StarConfig",
+    "Workload",
+    "generate_workload",
+    "paper_catalog",
+    "paper_queries",
+    "paper_rows",
+    "paper_statistics",
+    "paper_workload",
+    "paper_workload_fig7",
+    "star_rows",
+    "star_workload",
+    "synthetic_rows",
+]

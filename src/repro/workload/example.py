@@ -1,0 +1,219 @@
+"""The paper's running example (Section 2, Table 1, Figures 2–9).
+
+Five member-database relations::
+
+    Product  (Pid, name, Did)          30k records / 3k blocks
+    Division (Did, name, city)          5k records / 0.5k blocks
+    Order    (Pid, Cid, quantity, date)50k records / 6k blocks
+    Customer (Cid, name, city)         20k records / 2k blocks
+    Part     (Tid, name, Pid, supplier)80k records / 10k blocks
+
+and four warehouse queries with access frequencies 10, 0.5, 0.8 and 5.
+Selectivities follow Table 1: ``s(Division.city='LA') = 0.02``,
+``s(Order.date > 1996-07-01) = 0.5``, ``s(Order.quantity > 100) = 0.5``,
+and join selectivities ``js = 1/|dimension|`` for each foreign-key join
+(every product has one division, every order one customer, etc.), which
+reproduces Table 1's derived sizes (Product⋈Division = 30k,
+Product⋈Division⋈Part = 80k, ...).
+
+All base relations are updated once per period (``fu = 1``), exactly as
+the paper assumes.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.algebra.expressions import compare, literal
+from repro.catalog.datatypes import DataType
+from repro.catalog.schema import Catalog
+from repro.catalog.statistics import StatisticsCatalog
+from repro.workload.spec import QuerySpec, Workload
+
+#: The reference date used by Q3 (the paper writes ``date > 7/1/96``).
+Q3_DATE = datetime.date(1996, 7, 1)
+
+
+def paper_catalog() -> Catalog:
+    """Schemas of the five member-database relations."""
+    catalog = Catalog()
+    catalog.register_relation(
+        "Product",
+        [("Pid", DataType.INTEGER), ("name", DataType.STRING), ("Did", DataType.INTEGER)],
+    )
+    catalog.register_relation(
+        "Division",
+        [("Did", DataType.INTEGER), ("name", DataType.STRING), ("city", DataType.STRING)],
+    )
+    catalog.register_relation(
+        "Order",
+        [
+            ("Pid", DataType.INTEGER),
+            ("Cid", DataType.INTEGER),
+            ("quantity", DataType.INTEGER),
+            ("date", DataType.DATE),
+        ],
+    )
+    catalog.register_relation(
+        "Customer",
+        [("Cid", DataType.INTEGER), ("name", DataType.STRING), ("city", DataType.STRING)],
+    )
+    catalog.register_relation(
+        "Part",
+        [
+            ("Tid", DataType.INTEGER),
+            ("name", DataType.STRING),
+            ("Pid", DataType.INTEGER),
+            ("supplier", DataType.STRING),
+        ],
+    )
+    return catalog
+
+
+def paper_statistics() -> StatisticsCatalog:
+    """Table 1: sizes, blocks, selection and join selectivities."""
+    stats = StatisticsCatalog()
+    stats.set_relation("Product", 30_000, 3_000)
+    stats.set_relation("Division", 5_000, 500)
+    stats.set_relation("Order", 50_000, 6_000)
+    stats.set_relation("Customer", 20_000, 2_000)
+    stats.set_relation("Part", 80_000, 10_000)
+
+    # Column statistics (distinct values; min/max for range predicates).
+    stats.set_column("Product.Pid", 30_000)
+    stats.set_column("Product.Did", 5_000)
+    stats.set_column("Division.Did", 5_000)
+    stats.set_column("Division.city", 50)
+    stats.set_column("Division.name", 5_000)
+    stats.set_column("Order.Pid", 30_000)
+    stats.set_column("Order.Cid", 20_000)
+    stats.set_column(
+        "Order.quantity", 200, minimum=1, maximum=200
+    )
+    stats.set_column(
+        "Order.date",
+        366,
+        minimum=datetime.date(1996, 1, 1),
+        maximum=datetime.date(1996, 12, 31),
+    )
+    stats.set_column("Customer.Cid", 20_000)
+    stats.set_column("Customer.city", 50)
+    stats.set_column("Part.Tid", 80_000)
+    stats.set_column("Part.Pid", 30_000)
+    stats.set_column("Part.supplier", 100)
+
+    # Pinned selection selectivities — Table 1's ``s`` column, registered
+    # by canonical predicate signature so estimation is exact, not derived.
+    stats.set_predicate_selectivity(
+        compare("Division.city", "=", literal("LA")).signature, 0.02
+    )
+    stats.set_predicate_selectivity(
+        compare("Order.date", ">", literal(Q3_DATE)).signature, 0.5
+    )
+    stats.set_predicate_selectivity(
+        compare("Order.quantity", ">", literal(100)).signature, 0.5
+    )
+
+    # Join selectivities — Table 1's ``js`` column: one matching dimension
+    # row per fact row, i.e. js = 1/|dimension side|.
+    stats.set_join_selectivity("Product.Did", "Division.Did", 1.0 / 5_000)
+    stats.set_join_selectivity("Part.Pid", "Product.Pid", 1.0 / 30_000)
+    stats.set_join_selectivity("Order.Cid", "Customer.Cid", 1.0 / 20_000)
+    stats.set_join_selectivity("Product.Pid", "Order.Pid", 1.0 / 30_000)
+    return stats
+
+
+#: The paper's four warehouse queries (Section 2) with their frequencies.
+PAPER_QUERY_SQL = {
+    "Q1": (
+        "SELECT Product.name FROM Product, Division "
+        "WHERE Division.city = 'LA' AND Product.Did = Division.Did",
+        10.0,
+    ),
+    "Q2": (
+        "SELECT Part.name FROM Product, Part, Division "
+        "WHERE Division.city = 'LA' AND Product.Did = Division.Did "
+        "AND Part.Pid = Product.Pid",
+        0.5,
+    ),
+    "Q3": (
+        "SELECT Customer.name, Product.name, quantity "
+        "FROM Product, Division, Order, Customer "
+        "WHERE Division.city = 'LA' AND Product.Did = Division.Did "
+        "AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid "
+        "AND date > '1996-07-01'",
+        0.8,
+    ),
+    "Q4": (
+        "SELECT Customer.city, date FROM Order, Customer "
+        "WHERE quantity > 100 AND Order.Cid = Customer.Cid",
+        5.0,
+    ),
+}
+
+
+def paper_queries() -> tuple:
+    return tuple(
+        QuerySpec(name, sql, frequency)
+        for name, (sql, frequency) in PAPER_QUERY_SQL.items()
+    )
+
+
+def paper_workload() -> Workload:
+    """The complete Section-2 design problem (Figures 3/6/9, Table 2)."""
+    return Workload(
+        name="paper-example",
+        catalog=paper_catalog(),
+        statistics=paper_statistics(),
+        queries=paper_queries(),
+        update_frequencies={
+            "Product": 1.0,
+            "Division": 1.0,
+            "Order": 1.0,
+            "Customer": 1.0,
+            "Part": 1.0,
+        },
+    )
+
+
+def paper_workload_fig7() -> Workload:
+    """The Figure 5/7/8 variant of the example.
+
+    The paper's later figures change the select conditions so that several
+    *different* selections land on the same base relations — Q2 filters
+    ``Division.name = 'Re'`` and Q3 filters ``Division.city = 'SF'`` —
+    which exercises the disjunctive selection push-down of Figure 4
+    steps 5/6.
+    """
+    base = paper_workload()
+    queries = list(base.queries)
+    queries[1] = QuerySpec(
+        "Q2",
+        "SELECT Part.name FROM Product, Part, Division "
+        "WHERE Division.name = 'Re' AND Product.Did = Division.Did "
+        "AND Part.Pid = Product.Pid",
+        0.5,
+    )
+    queries[2] = QuerySpec(
+        "Q3",
+        "SELECT Customer.name, Product.name, quantity "
+        "FROM Product, Division, Order, Customer "
+        "WHERE Division.city = 'SF' AND Product.Did = Division.Did "
+        "AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid "
+        "AND date > '1996-07-01'",
+        0.8,
+    )
+    statistics = paper_statistics()
+    statistics.set_predicate_selectivity(
+        compare("Division.name", "=", literal("Re")).signature, 1.0 / 5_000
+    )
+    statistics.set_predicate_selectivity(
+        compare("Division.city", "=", literal("SF")).signature, 0.02
+    )
+    return Workload(
+        name="paper-example-fig7",
+        catalog=base.catalog,
+        statistics=statistics,
+        queries=tuple(queries),
+        update_frequencies=dict(base.update_frequencies),
+    )

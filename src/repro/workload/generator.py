@@ -1,0 +1,195 @@
+"""Synthetic SPJ workload generator.
+
+The paper's evaluation is a single worked example; this generator scales
+the same design problem to arbitrary sizes so the heuristic can be
+compared against the exhaustive optimum and stress-tested (the
+``bench_scaling`` experiment, DESIGN.md §4).
+
+Conventions (relied upon by :mod:`repro.workload.datagen`):
+
+* relations are named ``R0 .. R{n-1}``;
+* every relation has an ``id`` key column;
+* ``R_i`` may carry foreign keys ``R{j}_fk`` to earlier relations ``R_j``
+  (so the FK graph is acyclic and connected);
+* every relation has a numeric ``val`` column (0..999) and a categorical
+  ``cat`` column (``'c0' .. 'c{D-1}'``).
+
+All randomness flows from one seed — identical seeds give identical
+workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.datatypes import DataType
+from repro.catalog.schema import Catalog
+from repro.catalog.statistics import StatisticsCatalog
+from repro.errors import WorkloadError
+from repro.workload.spec import QuerySpec, Workload
+
+#: Distinct values in every ``cat`` column.
+CATEGORY_DISTINCT = 20
+#: Exclusive upper bound of every ``val`` column.
+VAL_RANGE = 1000
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tuning knobs for synthetic workload generation."""
+
+    num_relations: int = 6
+    num_queries: int = 5
+    min_cardinality: int = 1_000
+    max_cardinality: int = 100_000
+    max_fanout: int = 2  # FKs per relation (to earlier relations)
+    min_query_relations: int = 2
+    max_query_relations: int = 4
+    selection_probability: float = 0.5
+    min_frequency: float = 0.1
+    max_frequency: float = 20.0
+    blocking_factor: float = 10.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_relations < 1:
+            raise WorkloadError("need at least one relation")
+        if self.num_queries < 1:
+            raise WorkloadError("need at least one query")
+        if self.min_cardinality < 1 or self.max_cardinality < self.min_cardinality:
+            raise WorkloadError("invalid cardinality range")
+        if self.max_query_relations < self.min_query_relations:
+            raise WorkloadError("invalid query-relation range")
+        if not 0.0 <= self.selection_probability <= 1.0:
+            raise WorkloadError("selection probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class GeneratedWorkload:
+    """A synthetic workload plus the FK metadata data generation needs."""
+
+    workload: Workload
+    foreign_keys: Dict[str, Tuple[str, ...]]  # relation -> FK target names
+    cardinalities: Dict[str, int]
+
+
+def generate_workload(config: GeneratorConfig = GeneratorConfig()) -> GeneratedWorkload:
+    """Generate a random-but-reproducible SPJ design problem."""
+    rng = random.Random(config.seed)
+    catalog = Catalog()
+    statistics = StatisticsCatalog(default_blocking_factor=config.blocking_factor)
+    foreign_keys: Dict[str, Tuple[str, ...]] = {}
+    cardinalities: Dict[str, int] = {}
+
+    for index in range(config.num_relations):
+        name = f"R{index}"
+        columns: List[Tuple[str, DataType]] = [("id", DataType.INTEGER)]
+        targets: List[str] = []
+        if index > 0:
+            fanout = rng.randint(1, min(config.max_fanout, index))
+            targets = rng.sample([f"R{j}" for j in range(index)], fanout)
+            for target in targets:
+                columns.append((f"{target}_fk", DataType.INTEGER))
+        columns.append(("val", DataType.INTEGER))
+        columns.append(("cat", DataType.STRING))
+        catalog.register_relation(name, columns)
+        foreign_keys[name] = tuple(targets)
+
+        cardinality = rng.randint(config.min_cardinality, config.max_cardinality)
+        cardinalities[name] = cardinality
+        statistics.set_relation(name, cardinality)
+        statistics.set_column(f"{name}.id", cardinality)
+        statistics.set_column(f"{name}.val", VAL_RANGE, minimum=0, maximum=VAL_RANGE - 1)
+        statistics.set_column(f"{name}.cat", CATEGORY_DISTINCT)
+        for target in targets:
+            statistics.set_column(f"{name}.{target}_fk", cardinalities[target])
+            statistics.set_join_selectivity(
+                f"{name}.{target}_fk", f"{target}.id", 1.0 / cardinalities[target]
+            )
+
+    queries = tuple(
+        _generate_query(f"Q{q + 1}", rng, config, catalog, foreign_keys)
+        for q in range(config.num_queries)
+    )
+    workload = Workload(
+        name=f"synthetic-{config.seed}",
+        catalog=catalog,
+        statistics=statistics,
+        queries=queries,
+        update_frequencies={name: 1.0 for name in cardinalities},
+    )
+    return GeneratedWorkload(workload, foreign_keys, cardinalities)
+
+
+def _generate_query(
+    name: str,
+    rng: random.Random,
+    config: GeneratorConfig,
+    catalog: Catalog,
+    foreign_keys: Dict[str, Tuple[str, ...]],
+) -> QuerySpec:
+    """A random connected join query with random selections."""
+    relation_names = list(foreign_keys)
+    size = rng.randint(
+        config.min_query_relations,
+        min(config.max_query_relations, len(relation_names)),
+    )
+
+    # Grow a connected subgraph of the FK graph: start anywhere, then only
+    # add relations adjacent (by FK, either direction) to the chosen set.
+    chosen = [rng.choice(relation_names)]
+    join_conditions: List[str] = []
+    attempts = 0
+    while len(chosen) < size and attempts < 10 * size:
+        attempts += 1
+        candidate = rng.choice(relation_names)
+        if candidate in chosen:
+            continue
+        edge = _fk_edge(candidate, chosen, foreign_keys)
+        if edge is None:
+            continue
+        chosen.append(candidate)
+        join_conditions.append(edge)
+
+    selections: List[str] = []
+    for relation in chosen:
+        if rng.random() >= config.selection_probability:
+            continue
+        if rng.random() < 0.5:
+            threshold = rng.randint(1, VAL_RANGE - 1)
+            op = rng.choice((">", "<", ">=", "<="))
+            selections.append(f"{relation}.val {op} {threshold}")
+        else:
+            category = rng.randrange(CATEGORY_DISTINCT)
+            selections.append(f"{relation}.cat = 'c{category}'")
+
+    output: List[str] = []
+    for relation in chosen:
+        attrs = [a.name for a in catalog.schema(relation)]
+        picked = rng.sample(attrs, rng.randint(1, min(2, len(attrs))))
+        output.extend(f"{relation}.{a}" for a in picked)
+
+    where = " AND ".join(join_conditions + selections)
+    sql = f"SELECT {', '.join(output)} FROM {', '.join(chosen)}"
+    if where:
+        sql += f" WHERE {where}"
+    # Log-uniform frequency: most queries are rare, a few are hot — the
+    # skew the paper's fq·Ca ordering exists to exploit.
+    low, high = config.min_frequency, config.max_frequency
+    frequency = low * (high / low) ** rng.random()
+    return QuerySpec(name, sql, round(frequency, 3))
+
+
+def _fk_edge(
+    candidate: str, chosen: Sequence[str], foreign_keys: Dict[str, Tuple[str, ...]]
+) -> Optional[str]:
+    """A join condition linking ``candidate`` to the chosen set, if any."""
+    for target in foreign_keys[candidate]:
+        if target in chosen:
+            return f"{candidate}.{target}_fk = {target}.id"
+    for relation in chosen:
+        if candidate in foreign_keys[relation]:
+            return f"{relation}.{candidate}_fk = {candidate}.id"
+    return None

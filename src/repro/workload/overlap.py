@@ -1,0 +1,148 @@
+"""Workloads with controllable sharing degree.
+
+The paper's motivation is that warehouse views are "defined over
+overlapping portions of the base data".  This generator makes that
+overlap a dial: queries either instantiate one of a handful of shared
+*join cores* (same relations, same join predicates — exactly the reuse
+the MVPP merge exploits) or draw an independent random join, with
+probability ``overlap`` vs ``1 − overlap``.  Individual selections and
+projections still vary per query, so sharing survives only through the
+disjunctive push-down of Figure 4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.workload.generator import (
+    CATEGORY_DISTINCT,
+    VAL_RANGE,
+    GeneratedWorkload,
+    GeneratorConfig,
+    generate_workload,
+)
+from repro.workload.spec import QuerySpec, Workload
+
+
+@dataclass(frozen=True)
+class OverlapConfig:
+    """Knobs for overlap-controlled workload generation."""
+
+    overlap: float = 0.5  # probability a query reuses a shared join core
+    num_cores: int = 2  # how many shared join cores exist
+    num_queries: int = 8
+    num_relations: int = 8
+    core_size: int = 3  # relations per shared core
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.overlap <= 1.0:
+            raise WorkloadError(f"overlap must be in [0, 1]: {self.overlap}")
+        if self.num_cores < 1 or self.core_size < 2:
+            raise WorkloadError("need at least one core of >= 2 relations")
+        if self.num_queries < 1:
+            raise WorkloadError("need at least one query")
+
+
+def overlap_workload(config: OverlapConfig = OverlapConfig()) -> Workload:
+    """Generate a workload whose queries share join cores with the given
+    probability."""
+    base = generate_workload(
+        GeneratorConfig(
+            num_relations=config.num_relations,
+            num_queries=1,  # we write our own queries below
+            seed=config.seed,
+        )
+    )
+    rng = random.Random(config.seed + 1)
+    cores = [
+        _random_core(rng, base, config.core_size) for _ in range(config.num_cores)
+    ]
+
+    queries = []
+    for index in range(config.num_queries):
+        if rng.random() < config.overlap:
+            relations, joins = cores[rng.randrange(len(cores))]
+        else:
+            relations, joins = _random_core(rng, base, config.core_size)
+        queries.append(
+            _query_over_core(f"Q{index + 1}", rng, base, relations, joins)
+        )
+
+    return Workload(
+        name=f"overlap-{config.overlap:g}-{config.seed}",
+        catalog=base.workload.catalog,
+        statistics=base.workload.statistics,
+        queries=tuple(queries),
+        update_frequencies=dict(base.workload.update_frequencies),
+    )
+
+
+def _random_core(
+    rng: random.Random, base: GeneratedWorkload, size: int
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """A connected set of relations plus the FK join conditions linking it."""
+    names = list(base.foreign_keys)
+    for _ in range(200):
+        chosen = [rng.choice(names)]
+        joins: List[str] = []
+        while len(chosen) < size:
+            grown = False
+            candidates = [n for n in names if n not in chosen]
+            rng.shuffle(candidates)
+            for candidate in candidates:
+                edge = _edge(candidate, chosen, base.foreign_keys)
+                if edge is not None:
+                    chosen.append(candidate)
+                    joins.append(edge)
+                    grown = True
+                    break
+            if not grown:
+                break
+        if len(chosen) == size:
+            return tuple(sorted(chosen)), tuple(sorted(joins))
+    raise WorkloadError(
+        f"could not find a connected core of {size} relations; "
+        f"increase num_relations or max_fanout"
+    )
+
+
+def _edge(candidate: str, chosen: Sequence[str], foreign_keys) -> str:
+    for target in foreign_keys[candidate]:
+        if target in chosen:
+            return f"{candidate}.{target}_fk = {target}.id"
+    for relation in chosen:
+        if candidate in foreign_keys[relation]:
+            return f"{relation}.{candidate}_fk = {candidate}.id"
+    return None
+
+
+def _query_over_core(
+    name: str,
+    rng: random.Random,
+    base: GeneratedWorkload,
+    relations: Tuple[str, ...],
+    joins: Tuple[str, ...],
+) -> QuerySpec:
+    selections = []
+    for relation in relations:
+        if rng.random() < 0.5:
+            if rng.random() < 0.5:
+                threshold = rng.randint(1, VAL_RANGE - 1)
+                selections.append(
+                    f"{relation}.val {rng.choice(('>', '<'))} {threshold}"
+                )
+            else:
+                selections.append(
+                    f"{relation}.cat = 'c{rng.randrange(CATEGORY_DISTINCT)}'"
+                )
+    output = []
+    for relation in relations:
+        output.append(f"{relation}.val")
+    where = " AND ".join(list(joins) + selections)
+    sql = f"SELECT {', '.join(output)} FROM {', '.join(relations)} WHERE {where}"
+    frequency = round(0.5 * (40.0) ** rng.random(), 3)  # log-uniform 0.5..20
+    return QuerySpec(name, sql, frequency)

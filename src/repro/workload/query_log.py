@@ -1,0 +1,121 @@
+"""Estimating access frequencies from a query log.
+
+The paper takes the frequencies ``fq`` as given.  In practice they come
+from observation: this module turns a log of executed queries (and base
+relation updates) into per-period frequencies ready to feed the design
+pipeline, with optional exponential decay so recent behaviour dominates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.workload.spec import QuerySpec, Workload
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One observed event: a query execution or a base-relation update."""
+
+    kind: str  # "query" | "update"
+    name: str  # query name or relation name
+    timestamp: float  # seconds (or any monotonically comparable unit)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("query", "update"):
+            raise WorkloadError(f"unknown log entry kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class FrequencyEstimate:
+    """Per-period access and update frequencies derived from a log."""
+
+    query_frequencies: Dict[str, float]
+    update_frequencies: Dict[str, float]
+    periods: float
+
+
+def estimate_frequencies(
+    entries: Iterable[LogEntry],
+    period: float,
+    half_life_periods: Optional[float] = None,
+) -> FrequencyEstimate:
+    """Aggregate a log into per-period frequencies.
+
+    ``period`` is the paper's maintenance window in the log's time unit.
+    With ``half_life_periods`` set, events are weighted by exponential
+    decay (an event ``h`` half-lives ago counts 2^-h) and frequencies are
+    normalized by the total decayed weight instead of the raw span — a
+    simple sliding-importance model for drifting workloads.
+    """
+    if period <= 0:
+        raise WorkloadError(f"period must be positive: {period}")
+    entries = sorted(entries, key=lambda e: e.timestamp)
+    if not entries:
+        raise WorkloadError("cannot estimate frequencies from an empty log")
+    start = entries[0].timestamp
+    end = entries[-1].timestamp
+    span_periods = max((end - start) / period, 1.0)
+
+    def weight(entry: LogEntry) -> float:
+        if half_life_periods is None:
+            return 1.0
+        age_periods = (end - entry.timestamp) / period
+        return math.pow(0.5, age_periods / half_life_periods)
+
+    if half_life_periods is None:
+        denominator = span_periods
+    else:
+        # The decayed length of the observation window.
+        rate = math.log(2) / half_life_periods
+        denominator = max((1 - math.exp(-rate * span_periods)) / rate, 1e-9)
+
+    queries: Dict[str, float] = {}
+    updates: Dict[str, float] = {}
+    for entry in entries:
+        bucket = queries if entry.kind == "query" else updates
+        bucket[entry.name] = bucket.get(entry.name, 0.0) + weight(entry)
+
+    return FrequencyEstimate(
+        query_frequencies={k: v / denominator for k, v in queries.items()},
+        update_frequencies={k: v / denominator for k, v in updates.items()},
+        periods=span_periods,
+    )
+
+
+def apply_to_workload(
+    workload: Workload,
+    estimate: FrequencyEstimate,
+    drop_unobserved_queries: bool = False,
+) -> Workload:
+    """A copy of ``workload`` with frequencies replaced by the estimate.
+
+    Queries absent from the log keep frequency 0 (they cost nothing, so
+    the designer ignores them) unless ``drop_unobserved_queries`` removes
+    them entirely; relations absent from the log keep their registered
+    update frequencies.
+    """
+    queries: List[QuerySpec] = []
+    for spec in workload.queries:
+        frequency = estimate.query_frequencies.get(spec.name)
+        if frequency is None:
+            if drop_unobserved_queries:
+                continue
+            frequency = 0.0
+        queries.append(QuerySpec(spec.name, spec.sql, frequency))
+    if not queries:
+        raise WorkloadError("no observed queries remain in the workload")
+    update_frequencies = dict(workload.update_frequencies)
+    for relation, frequency in estimate.update_frequencies.items():
+        if relation in workload.catalog:
+            update_frequencies[relation] = frequency
+    return Workload(
+        name=f"{workload.name}-observed",
+        catalog=workload.catalog,
+        statistics=workload.statistics,
+        queries=tuple(queries),
+        update_frequencies=update_frequencies,
+    )

@@ -1,0 +1,61 @@
+"""Workload specification types shared by the warehouse and benchmarks.
+
+A workload bundles everything the paper's cost framework consumes:
+the schema catalog, the statistics catalog, the warehouse queries with
+their access frequencies ``fq``, and the base-relation update frequencies
+``fu`` (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.catalog.schema import Catalog
+from repro.catalog.statistics import StatisticsCatalog
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One warehouse query: a name, its SQL text, and its access frequency."""
+
+    name: str
+    sql: str
+    frequency: float
+
+    def __post_init__(self) -> None:
+        if self.frequency < 0:
+            raise WorkloadError(f"query frequency must be >= 0: {self.frequency}")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete warehouse design problem instance."""
+
+    name: str
+    catalog: Catalog
+    statistics: StatisticsCatalog
+    queries: Tuple[QuerySpec, ...]
+    update_frequencies: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [q.name for q in self.queries]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"duplicate query names in workload {self.name!r}")
+        for relation in self.update_frequencies:
+            if relation not in self.catalog:
+                raise WorkloadError(
+                    f"update frequency for unknown relation {relation!r}"
+                )
+
+    def update_frequency(self, relation: str) -> float:
+        """``fu`` for a base relation; defaults to 1.0 (the paper's
+        'updated once per period' assumption)."""
+        return self.update_frequencies.get(relation, 1.0)
+
+    def query(self, name: str) -> QuerySpec:
+        for spec in self.queries:
+            if spec.name == name:
+                return spec
+        raise WorkloadError(f"unknown query {name!r} in workload {self.name!r}")

@@ -1,0 +1,132 @@
+"""Star-schema workload generator.
+
+The canonical data-warehouse shape the paper's introduction motivates: a
+central fact table joined to dimension tables, with hot dashboard-style
+queries sharing fact/dimension join subexpressions — exactly the sharing
+structure MVPP materialization exploits.  Optionally emits GROUP-BY
+aggregate queries to exercise the aggregation extension.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.catalog.datatypes import DataType
+from repro.catalog.schema import Catalog
+from repro.catalog.statistics import StatisticsCatalog
+from repro.errors import WorkloadError
+from repro.workload.spec import QuerySpec, Workload
+
+#: Distinct values per dimension attribute level.
+ATTR_DISTINCT = 25
+
+
+@dataclass(frozen=True)
+class StarConfig:
+    """Shape of the generated star schema."""
+
+    num_dimensions: int = 4
+    fact_rows: int = 200_000
+    dimension_rows: int = 5_000
+    num_queries: int = 6
+    include_aggregates: bool = False
+    selection_probability: float = 0.6
+    min_frequency: float = 0.5
+    max_frequency: float = 25.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_dimensions < 1:
+            raise WorkloadError("need at least one dimension")
+        if self.num_queries < 1:
+            raise WorkloadError("need at least one query")
+
+
+def star_workload(config: StarConfig = StarConfig()) -> Workload:
+    """Generate a star-schema design problem (Fact + Dim1..DimN)."""
+    rng = random.Random(config.seed)
+    catalog = Catalog()
+    statistics = StatisticsCatalog()
+
+    dimension_names = [f"Dim{i + 1}" for i in range(config.num_dimensions)]
+    fact_columns: List[Tuple[str, DataType]] = [("id", DataType.INTEGER)]
+    for dim in dimension_names:
+        fact_columns.append((f"{dim}_fk", DataType.INTEGER))
+    fact_columns.append(("measure", DataType.INTEGER))
+    fact_columns.append(("qty", DataType.INTEGER))
+    catalog.register_relation("Fact", fact_columns)
+    statistics.set_relation("Fact", config.fact_rows)
+    statistics.set_column("Fact.id", config.fact_rows)
+    statistics.set_column("Fact.measure", 10_000, minimum=0, maximum=9_999)
+    statistics.set_column("Fact.qty", 100, minimum=1, maximum=100)
+
+    for dim in dimension_names:
+        catalog.register_relation(
+            dim,
+            [
+                ("id", DataType.INTEGER),
+                ("attr", DataType.STRING),
+                ("level", DataType.INTEGER),
+            ],
+        )
+        statistics.set_relation(dim, config.dimension_rows)
+        statistics.set_column(f"{dim}.id", config.dimension_rows)
+        statistics.set_column(f"{dim}.attr", ATTR_DISTINCT)
+        statistics.set_column(f"{dim}.level", 10, minimum=0, maximum=9)
+        statistics.set_column(f"Fact.{dim}_fk", config.dimension_rows)
+        statistics.set_join_selectivity(
+            f"Fact.{dim}_fk", f"{dim}.id", 1.0 / config.dimension_rows
+        )
+
+    queries = []
+    for index in range(config.num_queries):
+        queries.append(
+            _star_query(f"Q{index + 1}", rng, config, dimension_names)
+        )
+    return Workload(
+        name=f"star-{config.seed}",
+        catalog=catalog,
+        statistics=statistics,
+        queries=tuple(queries),
+        update_frequencies={"Fact": 2.0, **{d: 0.5 for d in dimension_names}},
+    )
+
+
+def _star_query(
+    name: str,
+    rng: random.Random,
+    config: StarConfig,
+    dimension_names: List[str],
+) -> QuerySpec:
+    count = rng.randint(1, min(3, len(dimension_names)))
+    dims = rng.sample(dimension_names, count)
+    joins = [f"Fact.{d}_fk = {d}.id" for d in dims]
+    selections = []
+    for dim in dims:
+        if rng.random() < config.selection_probability:
+            if rng.random() < 0.5:
+                selections.append(f"{dim}.attr = 'a{rng.randrange(ATTR_DISTINCT)}'")
+            else:
+                selections.append(f"{dim}.level >= {rng.randint(1, 8)}")
+    if rng.random() < 0.4:
+        selections.append(f"Fact.qty > {rng.randint(10, 90)}")
+
+    low, high = config.min_frequency, config.max_frequency
+    frequency = round(low * (high / low) ** rng.random(), 3)
+
+    if config.include_aggregates and rng.random() < 0.5:
+        group_attr = f"{dims[0]}.attr"
+        sql = (
+            f"SELECT {group_attr}, SUM(Fact.measure) AS total, COUNT(*) AS n "
+            f"FROM {', '.join(['Fact'] + dims)} "
+            f"WHERE {' AND '.join(joins + selections)} "
+            f"GROUP BY {group_attr}"
+        )
+        return QuerySpec(name, sql, frequency)
+
+    output = [f"{d}.attr" for d in dims] + ["Fact.measure"]
+    where = " AND ".join(joins + selections)
+    sql = f"SELECT {', '.join(output)} FROM {', '.join(['Fact'] + dims)} WHERE {where}"
+    return QuerySpec(name, sql, frequency)

@@ -1,0 +1,152 @@
+"""Unit tests for scalar expressions and their canonical signatures."""
+
+import datetime
+
+import pytest
+
+from repro.algebra.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    column,
+    compare,
+    literal,
+)
+from repro.errors import AlgebraError
+
+
+class TestColumnRef:
+    def test_short_name(self):
+        assert column("Division.city").short_name == "city"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(AlgebraError):
+            ColumnRef("")
+
+    def test_evaluate_exact(self):
+        assert column("a").evaluate({"a": 3}) == 3
+
+    def test_evaluate_short_name_fallback(self):
+        assert column("Division.city").evaluate({"Div2.city": "LA"}) == "LA"
+
+    def test_evaluate_ambiguous_fallback_raises(self):
+        with pytest.raises(AlgebraError):
+            column("x.c").evaluate({"a.c": 1, "b.c": 2})
+
+    def test_substitute(self):
+        renamed = column("a").substitute({"a": "R.a"})
+        assert renamed.name == "R.a"
+
+
+class TestLiteral:
+    def test_type_inferred(self):
+        assert literal(5).signature == "lit(integer:5)"
+
+    def test_date_signature_is_iso(self):
+        sig = literal(datetime.date(1996, 7, 1)).signature
+        assert sig == "lit(date:1996-07-01)"
+
+    def test_evaluate_is_constant(self):
+        assert literal("LA").evaluate({}) == "LA"
+
+    def test_substitute_is_identity(self):
+        lit = literal(1)
+        assert lit.substitute({"a": "b"}) is lit
+
+
+class TestComparison:
+    def test_literal_flipped_to_right(self):
+        left_lit = Comparison("<", Literal(5), ColumnRef("a"))
+        right_lit = Comparison(">", ColumnRef("a"), Literal(5))
+        assert left_lit.signature == right_lit.signature
+
+    def test_symmetric_column_ordering(self):
+        a = compare("R.x", "=", column("S.y"))
+        b = compare("S.y", "=", column("R.x"))
+        assert a.signature == b.signature
+        assert a == b
+
+    def test_asymmetric_ops_not_reordered(self):
+        a = compare("R.x", "<", column("S.y"))
+        b = compare("S.y", "<", column("R.x"))
+        assert a.signature != b.signature
+
+    def test_unknown_operator(self):
+        with pytest.raises(AlgebraError):
+            compare("a", "~", 1)
+
+    def test_is_equijoin(self):
+        assert compare("R.x", "=", column("S.y")).is_equijoin
+        assert not compare("R.x", "=", 5).is_equijoin
+        assert not compare("R.x", "<", column("S.y")).is_equijoin
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", True), ("<=", True), (">", False), (">=", False)],
+    )
+    def test_evaluate_ops(self, op, expected):
+        predicate = compare("a", op, 10)
+        assert predicate.evaluate({"a": 5}) is expected
+
+    def test_null_comparison_is_unknown(self):
+        assert compare("a", "=", 1).evaluate({"a": None}) is None
+
+    def test_columns(self):
+        predicate = compare("R.x", "=", column("S.y"))
+        assert predicate.columns() == frozenset({"R.x", "S.y"})
+
+
+class TestBooleans:
+    def test_and_flattens_and_dedupes(self):
+        p = compare("a", ">", 1)
+        q = compare("b", "<", 2)
+        nested = And([p, And([q, p])])
+        assert len(nested.children) == 2
+
+    def test_and_is_order_insensitive(self):
+        p, q = compare("a", ">", 1), compare("b", "<", 2)
+        assert And([p, q]) == And([q, p])
+
+    def test_and_requires_two_distinct(self):
+        p = compare("a", ">", 1)
+        with pytest.raises(AlgebraError):
+            And([p, p])
+
+    def test_and_evaluation(self):
+        p = And([compare("a", ">", 1), compare("b", "<", 2)])
+        assert p.evaluate({"a": 5, "b": 0}) is True
+        assert p.evaluate({"a": 0, "b": 0}) is False
+
+    def test_and_short_circuits_false_over_null(self):
+        p = And([compare("a", ">", 1), compare("b", "<", 2)])
+        assert p.evaluate({"a": 0, "b": None}) is False
+        assert p.evaluate({"a": 5, "b": None}) is None
+
+    def test_or_evaluation(self):
+        p = Or([compare("a", ">", 1), compare("b", "<", 2)])
+        assert p.evaluate({"a": 5, "b": 5}) is True
+        assert p.evaluate({"a": 0, "b": 5}) is False
+
+    def test_or_true_dominates_null(self):
+        p = Or([compare("a", ">", 1), compare("b", "<", 2)])
+        assert p.evaluate({"a": 5, "b": None}) is True
+        assert p.evaluate({"a": 0, "b": None}) is None
+
+    def test_not(self):
+        p = Not(compare("a", ">", 1))
+        assert p.evaluate({"a": 0}) is True
+        assert p.evaluate({"a": 5}) is False
+        assert p.evaluate({"a": None}) is None
+
+    def test_substitute_recurses(self):
+        p = And([compare("a", ">", 1), compare("b", "<", 2)])
+        renamed = p.substitute({"a": "R.a", "b": "R.b"})
+        assert renamed.columns() == frozenset({"R.a", "R.b"})
+
+    def test_hash_consistency(self):
+        p = And([compare("a", ">", 1), compare("b", "<", 2)])
+        q = And([compare("b", "<", 2), compare("a", ">", 1)])
+        assert hash(p) == hash(q)

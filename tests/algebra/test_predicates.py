@@ -1,0 +1,166 @@
+"""Unit tests for predicate manipulation (conjunction, disjunction, implies)."""
+
+import pytest
+
+from repro.algebra import predicates as P
+from repro.algebra.expressions import And, Not, Or, column, compare
+
+
+def gt(col, value):
+    return compare(col, ">", value)
+
+
+class TestConjuncts:
+    def test_none_is_empty(self):
+        assert P.conjuncts(None) == ()
+
+    def test_single(self):
+        p = gt("a", 1)
+        assert P.conjuncts(p) == (p,)
+
+    def test_and_splits(self):
+        p, q = gt("a", 1), gt("b", 2)
+        assert set(P.conjuncts(And([p, q]))) == {p, q}
+
+
+class TestConjunction:
+    def test_empty_is_true(self):
+        assert P.conjunction([]) is None
+        assert P.conjunction([None, None]) is None
+
+    def test_single_passthrough(self):
+        p = gt("a", 1)
+        assert P.conjunction([p, None]) is p
+
+    def test_flattens(self):
+        p, q, r = gt("a", 1), gt("b", 2), gt("c", 3)
+        combined = P.conjunction([And([p, q]), r])
+        assert isinstance(combined, And)
+        assert len(combined.children) == 3
+
+    def test_dedupes(self):
+        p = gt("a", 1)
+        assert P.conjunction([p, p]) is p
+
+
+class TestDisjunction:
+    def test_true_absorbs(self):
+        # If any sharing query applies no selection, the pushed-down
+        # condition must be TRUE (Figure 4 step 5).
+        assert P.disjunction([gt("a", 1), None]) is None
+
+    def test_combines(self):
+        p, q = gt("a", 1), gt("b", 2)
+        combined = P.disjunction([p, q])
+        assert isinstance(combined, Or)
+
+    def test_single(self):
+        p = gt("a", 1)
+        assert P.disjunction([p]) is p
+
+    def test_empty(self):
+        assert P.disjunction([]) is None
+
+    def test_dedupes(self):
+        p = gt("a", 1)
+        assert P.disjunction([p, p]) is p
+
+
+class TestNegate:
+    def test_double_negation(self):
+        p = gt("a", 1)
+        assert P.negate(P.negate(p)) is p
+
+    def test_single_negation(self):
+        assert isinstance(P.negate(gt("a", 1)), Not)
+
+
+class TestSplitSelectionAndJoin:
+    def test_split(self):
+        join = compare("R.x", "=", column("S.y"))
+        selection = gt("R.a", 1)
+        selections, joins = P.split_selection_and_join(And([join, selection]))
+        assert selections == (selection,)
+        assert joins == (join,)
+
+    def test_column_equals_literal_is_selection(self):
+        predicate = compare("R.x", "=", 5)
+        selections, joins = P.split_selection_and_join(predicate)
+        assert selections == (predicate,)
+        assert joins == ()
+
+
+class TestConjunctsCoveredBy:
+    def test_partition(self):
+        p, q = gt("R.a", 1), gt("S.b", 2)
+        inside, outside = P.conjuncts_covered_by(And([p, q]), {"R.a"})
+        assert inside == (p,)
+        assert outside == (q,)
+
+
+class TestImplies:
+    def test_everything_implies_true(self):
+        assert P.implies(gt("a", 1), None)
+
+    def test_true_implies_nothing(self):
+        assert not P.implies(None, gt("a", 1))
+
+    def test_identity(self):
+        assert P.implies(gt("a", 1), gt("a", 1))
+
+    def test_range_subsumption_gt(self):
+        assert P.implies(gt("a", 200), gt("a", 100))
+        assert not P.implies(gt("a", 100), gt("a", 200))
+
+    def test_boundary_gt_ge(self):
+        assert P.implies(compare("a", ">", 5), compare("a", ">=", 5))
+        assert not P.implies(compare("a", ">=", 5), compare("a", ">", 5))
+
+    def test_range_subsumption_lt(self):
+        assert P.implies(compare("a", "<", 10), compare("a", "<", 20))
+        assert P.implies(compare("a", "<=", 10), compare("a", "<=", 10))
+
+    def test_equality_implies_ranges(self):
+        assert P.implies(compare("a", "=", 5), compare("a", "<=", 9))
+        assert P.implies(compare("a", "=", 5), compare("a", ">", 1))
+        assert not P.implies(compare("a", "=", 5), compare("a", ">", 5))
+        assert P.implies(compare("a", "=", 5), compare("a", "!=", 6))
+
+    def test_different_columns_never_proved(self):
+        assert not P.implies(gt("a", 200), gt("b", 100))
+
+    def test_disjunction_on_weak_side(self):
+        weak = Or([gt("a", 100), gt("b", 5)])
+        assert P.implies(gt("a", 200), weak)
+
+    def test_conjunction_on_strong_side(self):
+        strong = And([gt("a", 200), gt("b", 0)])
+        assert P.implies(strong, gt("a", 100))
+
+    def test_conjunction_on_weak_side_needs_all(self):
+        weak = And([gt("a", 100), gt("b", 0)])
+        assert not P.implies(gt("a", 200), weak)
+        assert P.implies(And([gt("a", 200), gt("b", 3)]), weak)
+
+    def test_incomparable_types_not_proved(self):
+        assert not P.implies(compare("a", ">", "zzz"), compare("a", ">", 5))
+
+    def test_pushed_disjunction_does_not_imply_member(self):
+        # The core residual-selection rule: a leaf-level disjunction keeps
+        # extra tuples, so each query must re-apply its own condition.
+        pushed = Or([gt("date", 100), gt("qty", 5)])
+        assert not P.implies(pushed, gt("date", 100))
+
+
+class TestEquijoinPairs:
+    def test_pairs(self):
+        predicate = P.conjunction(
+            [compare("R.x", "=", column("S.y")), gt("R.a", 1)]
+        )
+        assert P.equijoin_pairs(predicate) == (("R.x", "S.y"),)
+
+
+class TestReferencedColumns:
+    def test_union(self):
+        cols = P.referenced_columns([gt("R.a", 1), None, gt("S.b", 2)])
+        assert cols == {"R.a", "S.b"}

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) for expression semantics.
+
+Invariants checked:
+
+* canonicalization (operand reordering, AND/OR commutation) never changes
+  evaluation results;
+* the ``implies`` checker is *sound*: a proven implication never has a
+  counterexample row;
+* ``conjunction``/``disjunction`` helpers agree with direct evaluation.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.algebra import predicates as P
+from repro.algebra.expressions import (
+    And,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    column,
+)
+
+COLUMNS = ("a", "b", "c")
+OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@st.composite
+def comparisons(draw):
+    col = draw(st.sampled_from(COLUMNS))
+    op = draw(st.sampled_from(OPS))
+    if draw(st.booleans()):
+        other = draw(st.sampled_from(COLUMNS))
+        return Comparison(op, column(col), column(other))
+    value = draw(st.integers(min_value=0, max_value=10))
+    return Comparison(op, column(col), Literal(value))
+
+
+def expressions(max_depth=3):
+    return st.recursive(
+        comparisons(),
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda t: _and_or(t, And)),
+            st.tuples(children, children).map(lambda t: _and_or(t, Or)),
+            children.map(Not),
+        ),
+        max_leaves=6,
+    )
+
+
+def _and_or(pair, cls):
+    left, right = pair
+    if left.signature == right.signature:
+        return left  # n-ary booleans require two distinct operands
+    return cls([left, right])
+
+
+rows = st.fixed_dictionaries(
+    {c: st.integers(min_value=0, max_value=10) for c in COLUMNS}
+)
+
+
+@given(comparisons(), rows)
+def test_comparison_canonicalization_preserves_semantics(predicate, row):
+    # Rebuild with flipped operand order and mirrored operator.
+    from repro.algebra.expressions import MIRRORED_OPS
+
+    flipped = Comparison(
+        MIRRORED_OPS[predicate.op], predicate.right, predicate.left
+    )
+    assert predicate.evaluate(row) == flipped.evaluate(row)
+
+
+@given(comparisons(), comparisons(), rows)
+def test_and_commutation(p, q, row):
+    if p.signature == q.signature:
+        return
+    assert And([p, q]).evaluate(row) == And([q, p]).evaluate(row)
+    assert And([p, q]).signature == And([q, p]).signature
+
+
+@given(comparisons(), comparisons(), rows)
+def test_or_commutation(p, q, row):
+    if p.signature == q.signature:
+        return
+    assert Or([p, q]).evaluate(row) == Or([q, p]).evaluate(row)
+    assert Or([p, q]).signature == Or([q, p]).signature
+
+
+@given(expressions(), rows)
+def test_not_inverts(predicate, row):
+    value = predicate.evaluate(row)
+    negated = Not(predicate).evaluate(row)
+    if value is None:
+        assert negated is None
+    else:
+        assert negated == (not value)
+
+
+@given(st.lists(comparisons(), min_size=1, max_size=4), rows)
+def test_conjunction_matches_all(parts, row):
+    combined = P.conjunction(parts)
+    expected = all(bool(p.evaluate(row)) for p in parts)
+    assert bool(combined.evaluate(row)) == expected
+
+
+@given(st.lists(comparisons(), min_size=1, max_size=4), rows)
+def test_disjunction_matches_any(parts, row):
+    combined = P.disjunction(parts)
+    expected = any(bool(p.evaluate(row)) for p in parts)
+    assert bool(combined.evaluate(row)) == expected
+
+
+@given(expressions(), expressions(), rows)
+def test_implies_is_sound(strong, weak, row):
+    if not P.implies(strong, weak):
+        return  # nothing proved, nothing to check
+    if strong.evaluate(row) is True:
+        assert weak.evaluate(row) is True
+
+
+@given(expressions(), rows)
+def test_signature_equal_expressions_evaluate_equal(predicate, row):
+    # Evaluating a structurally-rebuilt copy through substitution with an
+    # identity mapping gives the same result.
+    clone = predicate.substitute({})
+    assert clone.signature == predicate.signature
+    assert clone.evaluate(row) == predicate.evaluate(row)

@@ -1,0 +1,148 @@
+"""Unit tests for pull-up / push-down rewrites (Figure 4 steps 2, 5, 6)."""
+
+import pytest
+
+from repro.algebra import predicates as P
+from repro.algebra.expressions import column, compare
+from repro.algebra.operators import (
+    Aggregate,
+    AggregateFunction,
+    AggregateSpec,
+    Join,
+    Project,
+    Relation,
+    Select,
+)
+from repro.algebra.rewrite import (
+    optimize_tree,
+    pull_up,
+    push_down_projections,
+    push_down_selections,
+)
+from repro.algebra.tree import find, leaves
+from repro.catalog.datatypes import DataType
+from repro.catalog.schema import Attribute, RelationSchema
+
+
+def rel(name, *cols):
+    schema = RelationSchema(
+        name, [Attribute(f"{name}.{c}", DataType.INTEGER) for c in cols]
+    )
+    return Relation(name, schema)
+
+
+@pytest.fixture
+def spj_plan():
+    """π(σ(Product ⋈ σ(Division))) with a selection buried under the join.
+
+    Both relations carry an extra column (``weight``/``name``) no query
+    part needs, so projection push-down has something to prune.
+    """
+    product = rel("Product", "Pid", "Did", "price", "weight")
+    division = rel("Division", "Did", "city", "name")
+    sigma = Select(division, compare("Division.city", "=", 3))
+    join = Join(product, sigma, compare("Product.Did", "=", column("Division.Did")))
+    top = Select(join, compare("Product.price", ">", 10))
+    return Project(top, ["Product.Pid"])
+
+
+class TestPullUp:
+    def test_skeleton_has_no_selects(self, spj_plan):
+        pulled = pull_up(spj_plan)
+        assert not find(pulled.skeleton, lambda n: isinstance(n, (Select, Project)))
+
+    def test_join_conditions_preserved(self, spj_plan):
+        pulled = pull_up(spj_plan)
+        joins = find(pulled.skeleton, lambda n: isinstance(n, Join))
+        assert len(joins) == 1
+        assert joins[0].condition is not None
+
+    def test_selection_collects_all_conjuncts(self, spj_plan):
+        pulled = pull_up(spj_plan)
+        assert len(P.conjuncts(pulled.selection)) == 2
+
+    def test_projection_is_plan_output(self, spj_plan):
+        pulled = pull_up(spj_plan)
+        assert pulled.projection == ("Product.Pid",)
+
+    def test_assemble_round_trips_semantics(self, spj_plan):
+        pulled = pull_up(spj_plan)
+        rebuilt = pulled.assemble()
+        assert rebuilt.schema.attribute_names == spj_plan.schema.attribute_names
+        assert rebuilt.base_relations() == spj_plan.base_relations()
+
+    def test_aggregate_preserved(self):
+        product = rel("Product", "Pid", "Did")
+        agg = Aggregate(
+            Select(product, compare("Product.Pid", ">", 1)),
+            ["Product.Did"],
+            [AggregateSpec(AggregateFunction.COUNT, None, "n")],
+        )
+        pulled = pull_up(agg)
+        assert pulled.aggregate is not None
+        assert pulled.selection is not None
+        rebuilt = pulled.assemble()
+        assert "n" in rebuilt.schema.attribute_names
+
+
+class TestPushDownSelections:
+    def test_single_side_conjunct_descends(self, spj_plan):
+        pulled = pull_up(spj_plan)
+        pushed = push_down_selections(pulled.skeleton, pulled.selection)
+        # Both conjuncts are single-relation; each must sit on its leaf.
+        for select in find(pushed, lambda n: isinstance(n, Select)):
+            assert isinstance(select.child, Relation)
+
+    def test_cross_relation_conjunct_stays_above_join(self):
+        a, b = rel("A", "x"), rel("B", "y")
+        skeleton = Join(a, b, compare("A.x", "=", column("B.y")))
+        residual = compare("A.x", "<", column("B.y"))
+        pushed = push_down_selections(skeleton, residual)
+        assert isinstance(pushed, Select)
+        assert isinstance(pushed.child, Join)
+
+    def test_true_selection_is_identity(self):
+        a, b = rel("A", "x"), rel("B", "y")
+        skeleton = Join(a, b)
+        assert push_down_selections(skeleton, None) is skeleton
+
+
+class TestPushDownProjections:
+    def test_leaf_projections_inserted(self, spj_plan):
+        optimized = push_down_projections(spj_plan, spj_plan.schema.attribute_names)
+        for leaf in leaves(optimized):
+            # every leaf should sit under a Project keeping needed columns
+            pass
+        projects = find(optimized, lambda n: isinstance(n, Project))
+        assert len(projects) >= 2
+
+    def test_join_columns_kept(self, spj_plan):
+        optimized = push_down_projections(spj_plan, spj_plan.schema.attribute_names)
+        # Division side must keep Did (join attr) and city (predicate attr).
+        division_projects = [
+            p
+            for p in find(optimized, lambda n: isinstance(n, Project))
+            if p.base_relations() == frozenset({"Division"})
+        ]
+        assert division_projects
+        kept = set(division_projects[0].attributes)
+        assert {"Division.Did", "Division.city"} <= kept
+
+    def test_output_schema_unchanged(self, spj_plan):
+        optimized = push_down_projections(spj_plan, spj_plan.schema.attribute_names)
+        assert optimized.schema.attribute_names == spj_plan.schema.attribute_names
+
+
+class TestOptimizeTree:
+    def test_selections_pushed_and_output_stable(self, spj_plan):
+        optimized = optimize_tree(spj_plan)
+        assert optimized.schema.attribute_names == spj_plan.schema.attribute_names
+        # The division filter must now be below the join.
+        joins = find(optimized, lambda n: isinstance(n, Join))
+        division_side = joins[0].right
+        assert find(division_side, lambda n: isinstance(n, Select))
+
+    def test_without_leaf_projections(self, spj_plan):
+        optimized = optimize_tree(spj_plan, project_leaves=False)
+        projects = find(optimized, lambda n: isinstance(n, Project))
+        assert len(projects) == 1  # only the output projection

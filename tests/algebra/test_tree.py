@@ -1,0 +1,106 @@
+"""Unit tests for operator-tree utilities and common-subexpression search."""
+
+import pytest
+
+from repro.algebra import tree
+from repro.algebra.expressions import column, compare
+from repro.algebra.operators import Join, Project, Relation, Select
+from repro.catalog.datatypes import DataType
+from repro.catalog.schema import Attribute, RelationSchema
+
+
+def rel(name, *cols):
+    schema = RelationSchema(
+        name, [Attribute(f"{name}.{c}", DataType.INTEGER) for c in cols]
+    )
+    return Relation(name, schema)
+
+
+@pytest.fixture
+def plans():
+    product = rel("Product", "Pid", "Did")
+    division = rel("Division", "Did", "city")
+    part = rel("Part", "Tid", "Pid")
+    sigma = Select(division, compare("Division.city", "=", 1))
+    shared = Join(product, sigma, compare("Product.Did", "=", column("Division.Did")))
+    q1 = Project(shared, ["Product.Pid"])
+    q2 = Project(
+        Join(shared, part, compare("Part.Pid", "=", column("Product.Pid"))),
+        ["Part.Tid"],
+    )
+    return q1, q2, shared, sigma, product, division, part
+
+
+class TestFind:
+    def test_find_by_predicate(self, plans):
+        q1, *_ = plans
+        selects = tree.find(q1, lambda n: isinstance(n, Select))
+        assert len(selects) == 1
+
+    def test_find_by_signature(self, plans):
+        q1, _, shared, *_ = plans
+        assert tree.find_by_signature(q1, shared.signature) is not None
+        assert tree.find_by_signature(q1, "rel(Nope)") is None
+
+    def test_leaves_in_order(self, plans):
+        q1, *_ = plans
+        assert [leaf.name for leaf in tree.leaves(q1)] == ["Product", "Division"]
+
+    def test_contains(self, plans):
+        q1, _, shared, *_ = plans
+        assert tree.contains(q1, shared.signature)
+        assert not tree.contains(q1, "rel(Part)")
+
+
+class TestReplace:
+    def test_replace_subtree(self, plans):
+        q1, _, shared, sigma, product, division, part = plans
+        # A materialized-view stand-in keeps the replaced subtree's
+        # qualified attribute names, as the warehouse rewriter does.
+        replacement = Relation("MV", shared.schema.rename("MV"))
+        rebuilt = tree.replace(q1, shared.signature, replacement)
+        assert tree.contains(rebuilt, "rel(MV)")
+        assert not tree.contains(rebuilt, sigma.signature)
+
+    def test_replace_no_match_returns_same_object(self, plans):
+        q1, *_ = plans
+        assert tree.replace(q1, "rel(Nope)", rel("MV", "x")) is q1
+
+    def test_replace_root(self, plans):
+        q1, *_ = plans
+        replacement = rel("MV", "x")
+        assert tree.replace(q1, q1.signature, replacement) is replacement
+
+
+class TestSubtreeSignatures:
+    def test_counts(self, plans):
+        q1, *_ = plans
+        signatures = tree.subtree_signatures(q1)
+        assert q1.signature in signatures
+        assert "rel(Product)" in signatures
+
+
+class TestCommonSubexpressions:
+    def test_shared_join_detected(self, plans):
+        q1, q2, shared, sigma, *_ = plans
+        common = tree.common_subexpressions([q1, q2])
+        assert shared.signature in common
+        assert sigma.signature in common
+        assert len(common[shared.signature]) == 2
+
+    def test_leaves_excluded(self, plans):
+        q1, q2, *_ = plans
+        common = tree.common_subexpressions([q1, q2])
+        assert "rel(Product)" not in common
+
+    def test_maximal_excludes_nested(self, plans):
+        q1, q2, shared, sigma, *_ = plans
+        maximal = tree.maximal_common_subexpressions([q1, q2])
+        # The shared join is maximal; the sigma below it is not.
+        assert shared.signature in maximal
+        assert sigma.signature not in maximal
+
+    def test_no_sharing(self, plans):
+        q1, *_ = plans
+        part = rel("Part", "Tid", "Pid")
+        assert tree.common_subexpressions([q1, part]) == {}

@@ -1,0 +1,48 @@
+"""Unit tests for DOT export."""
+
+from repro.analysis.dot import to_dot, vertex_label
+from repro.mvpp.cost import MVPPCostCalculator
+from repro.mvpp.materialization import select_views
+
+
+class TestToDot:
+    def test_valid_structure(self, paper_mvpp):
+        dot = to_dot(paper_mvpp)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_one_node_statement_per_vertex(self, paper_mvpp):
+        dot = to_dot(paper_mvpp)
+        node_lines = [l for l in dot.splitlines() if "[shape=" in l]
+        assert len(node_lines) == len(paper_mvpp)
+
+    def test_one_edge_per_arc(self, paper_mvpp):
+        dot = to_dot(paper_mvpp)
+        edge_lines = [l for l in dot.splitlines() if "->" in l]
+        expected = sum(len(v.children) for v in paper_mvpp)
+        assert len(edge_lines) == expected
+
+    def test_shapes_by_kind(self, paper_mvpp):
+        dot = to_dot(paper_mvpp)
+        assert "shape=box" in dot  # base relations
+        assert "shape=doublecircle" in dot  # query roots
+        assert "shape=ellipse" in dot  # operations
+
+    def test_highlight_materialized(self, paper_mvpp):
+        calc = MVPPCostCalculator(paper_mvpp)
+        result = select_views(paper_mvpp, calc)
+        dot = to_dot(paper_mvpp, highlight=result.materialized)
+        assert dot.count("fillcolor") == len(result.materialized)
+
+    def test_labels_escaped(self, paper_mvpp):
+        dot = to_dot(paper_mvpp)
+        # Predicates contain quotes ('LA'); they must not break the DOT.
+        for line in dot.splitlines():
+            if "label=" in line:
+                assert line.count('"') % 2 == 0
+
+    def test_vertex_label_contents(self, paper_mvpp):
+        root = paper_mvpp.query_root("Q1")
+        assert "fq=10" in vertex_label(root)
+        leaf = paper_mvpp.vertex_by_name("Order")
+        assert "fu=1" in vertex_label(leaf)

@@ -1,0 +1,106 @@
+"""Unit tests for design sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    add_one,
+    drop_one,
+    frequency_breakpoints,
+)
+from repro.mvpp.cost import MVPPCostCalculator
+from repro.mvpp.materialization import select_views
+
+
+@pytest.fixture()
+def design(paper_mvpp):
+    calc = MVPPCostCalculator(paper_mvpp)
+    chosen = select_views(paper_mvpp, calc, refine=True)
+    return calc, chosen.materialized
+
+
+class TestDropOne:
+    def test_every_chosen_view_contributes(self, paper_mvpp, design):
+        calc, chosen = design
+        marginals = drop_one(paper_mvpp, calc, chosen)
+        assert len(marginals) == len(chosen)
+        # The refined design is locally optimal: dropping anything hurts.
+        assert all(m.delta >= 0 for m in marginals)
+
+    def test_sorted_most_valuable_first(self, paper_mvpp, design):
+        calc, chosen = design
+        deltas = [m.delta for m in drop_one(paper_mvpp, calc, chosen)]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_shared_oc_join_is_most_valuable(self, paper_mvpp, design):
+        """The Order⋈Customer view carries Q4's fq=5 traffic — dropping
+        it hurts most."""
+        calc, chosen = design
+        top = drop_one(paper_mvpp, calc, chosen)[0]
+        vertex = paper_mvpp.vertex_by_name(top.vertex)
+        assert vertex.operator.base_relations() == frozenset(
+            {"Order", "Customer"}
+        )
+
+
+class TestAddOne:
+    def test_no_missed_candidates_on_example(self, paper_mvpp, design):
+        """The example design matches the exhaustive optimum, so no
+        single addition can improve it."""
+        calc, chosen = design
+        additions = add_one(paper_mvpp, calc, chosen)
+        assert all(m.delta >= -1e-6 for m in additions)
+
+    def test_limit_respected(self, paper_mvpp, design):
+        calc, chosen = design
+        assert len(add_one(paper_mvpp, calc, chosen, limit=3)) == 3
+
+    def test_sorted_best_first(self, paper_mvpp, design):
+        calc, chosen = design
+        deltas = [m.delta for m in add_one(paper_mvpp, calc, chosen)]
+        assert deltas == sorted(deltas)
+
+
+class TestFrequencyBreakpoints:
+    def test_one_breakpoint_per_query(self, paper_mvpp, design):
+        calc, chosen = design
+        breakpoints = frequency_breakpoints(paper_mvpp, calc, chosen)
+        assert {b.query for b in breakpoints} == {"Q1", "Q2", "Q3", "Q4"}
+
+    def test_frequencies_restored(self, paper_mvpp, design):
+        calc, chosen = design
+        before = {r.name: r.frequency for r in paper_mvpp.roots}
+        frequency_breakpoints(paper_mvpp, calc, chosen)
+        after = {r.name: r.frequency for r in paper_mvpp.roots}
+        assert before == after
+
+    def test_q4_has_a_breakpoint(self, paper_mvpp, design):
+        """The Order⋈Customer view exists because of Q4's traffic: cool
+        Q4 far enough and the design stops being locally optimal."""
+        calc, chosen = design
+        breakpoints = {
+            b.query: b for b in frequency_breakpoints(paper_mvpp, calc, chosen)
+        }
+        q4 = breakpoints["Q4"]
+        assert q4.breakpoint_frequency is not None
+        assert 0 < q4.breakpoint_frequency < q4.current_frequency
+        assert 0 < q4.headroom < 1
+
+    def test_breakpoint_is_consistent(self, paper_mvpp, design):
+        """Below the breakpoint the design is no longer locally optimal;
+        above it, it is."""
+        from repro.analysis.sensitivity import _design_is_locally_optimal
+
+        calc, chosen = design
+        breakpoints = {
+            b.query: b for b in frequency_breakpoints(paper_mvpp, calc, chosen)
+        }
+        q4 = breakpoints["Q4"]
+        root = paper_mvpp.query_root("Q4")
+        original = root.frequency
+        try:
+            root.frequency = q4.breakpoint_frequency * 1.1
+            assert _design_is_locally_optimal(calc, chosen)
+            root.frequency = q4.breakpoint_frequency * 0.5
+            assert not _design_is_locally_optimal(calc, chosen)
+        finally:
+            root.frequency = original

@@ -1,0 +1,110 @@
+"""Unit tests for the attribute type system."""
+
+import datetime
+
+import pytest
+
+from repro.catalog.datatypes import DataType, common_type, infer_type
+from repro.errors import TypeMismatchError
+
+
+class TestValidate:
+    def test_integer_accepts_int(self):
+        assert DataType.INTEGER.validate(42) == 42
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.INTEGER.validate(True)
+
+    def test_integer_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.INTEGER.validate("42")
+
+    def test_float_promotes_int(self):
+        value = DataType.FLOAT.validate(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_none_is_accepted_everywhere(self):
+        for datatype in DataType:
+            assert datatype.validate(None) is None
+
+    def test_date_accepts_date(self):
+        day = datetime.date(1996, 7, 1)
+        assert DataType.DATE.validate(day) == day
+
+    def test_date_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.DATE.validate("1996-07-01")
+
+    def test_boolean_accepts_bool(self):
+        assert DataType.BOOLEAN.validate(True) is True
+
+    def test_string_accepts_str(self):
+        assert DataType.STRING.validate("LA") == "LA"
+
+
+class TestParse:
+    def test_parse_integer(self):
+        assert DataType.INTEGER.parse("17") == 17
+
+    def test_parse_float(self):
+        assert DataType.FLOAT.parse("2.5") == 2.5
+
+    def test_parse_date(self):
+        assert DataType.DATE.parse("1996-07-01") == datetime.date(1996, 7, 1)
+
+    def test_parse_boolean_true_variants(self):
+        for text in ("true", "T", "1"):
+            assert DataType.BOOLEAN.parse(text) is True
+
+    def test_parse_boolean_false_variants(self):
+        for text in ("false", "F", "0"):
+            assert DataType.BOOLEAN.parse(text) is False
+
+    def test_parse_boolean_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.BOOLEAN.parse("maybe")
+
+    def test_parse_string_is_identity(self):
+        assert DataType.STRING.parse("hello") == "hello"
+
+
+class TestInference:
+    def test_infer_bool_before_int(self):
+        # bool is a subclass of int; inference must pick BOOLEAN.
+        assert infer_type(True) is DataType.BOOLEAN
+
+    def test_infer_int(self):
+        assert infer_type(7) is DataType.INTEGER
+
+    def test_infer_float(self):
+        assert infer_type(7.5) is DataType.FLOAT
+
+    def test_infer_string(self):
+        assert infer_type("x") is DataType.STRING
+
+    def test_infer_date(self):
+        assert infer_type(datetime.date(2000, 1, 1)) is DataType.DATE
+
+    def test_infer_unsupported(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type([1, 2])
+
+
+class TestCommonType:
+    def test_same_type(self):
+        assert common_type(DataType.STRING, DataType.STRING) is DataType.STRING
+
+    def test_numeric_promotion(self):
+        assert common_type(DataType.INTEGER, DataType.FLOAT) is DataType.FLOAT
+
+    def test_incompatible(self):
+        with pytest.raises(TypeMismatchError):
+            common_type(DataType.STRING, DataType.INTEGER)
+
+    def test_numeric_and_orderable_flags(self):
+        assert DataType.INTEGER.is_numeric
+        assert not DataType.DATE.is_numeric
+        assert DataType.DATE.is_orderable
+        assert not DataType.BOOLEAN.is_orderable

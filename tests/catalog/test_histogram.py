@@ -1,0 +1,167 @@
+"""Unit tests for equi-width histograms and the statistics collector."""
+
+import datetime
+import random
+
+import pytest
+
+from repro.catalog.collector import collect_statistics
+from repro.catalog.histogram import EquiWidthHistogram, build_histogram
+from repro.errors import CatalogError
+
+
+class TestHistogramConstruction:
+    def test_bucket_counts_sum(self):
+        histogram = EquiWidthHistogram(list(range(100)), buckets=10)
+        assert sum(histogram.counts) == 100
+        assert histogram.minimum == 0 and histogram.maximum == 99
+
+    def test_invalid_buckets(self):
+        with pytest.raises(CatalogError):
+            EquiWidthHistogram([1, 2], buckets=0)
+
+    def test_all_null_rejected(self):
+        with pytest.raises(CatalogError):
+            EquiWidthHistogram([None, None])
+
+    def test_null_fraction(self):
+        histogram = EquiWidthHistogram([1, 2, None, None], buckets=2)
+        assert histogram.null_fraction == 0.5
+
+    def test_degenerate_single_value(self):
+        histogram = EquiWidthHistogram([5] * 10, buckets=4)
+        assert histogram.selectivity(">", 5) == 0.0
+        assert histogram.selectivity("<=", 5) == 1.0
+
+
+class TestHistogramSelectivity:
+    @pytest.fixture(scope="class")
+    def uniform(self):
+        rng = random.Random(1)
+        return EquiWidthHistogram(
+            [rng.randint(1, 200) for _ in range(5_000)], buckets=20
+        )
+
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [(">", 100, 0.5), ("<", 50, 0.245), (">=", 150, 0.255), ("<=", 190, 0.95)],
+    )
+    def test_range_accuracy_on_uniform_data(self, uniform, op, value, expected):
+        assert uniform.selectivity(op, value) == pytest.approx(expected, abs=0.05)
+
+    def test_out_of_range(self, uniform):
+        assert uniform.selectivity(">", 10_000) == 0.0
+        assert uniform.selectivity("<", -5) == 0.0
+        assert uniform.selectivity("<", 10_000) == 1.0
+
+    def test_equality_roughly_uniform(self, uniform):
+        assert uniform.selectivity("=", 100) == pytest.approx(1 / 200, rel=0.75)
+
+    def test_nulls_never_qualify(self):
+        histogram = EquiWidthHistogram([1, 2, 3, 4, None, None, None, None], buckets=2)
+        assert histogram.selectivity("<=", 4) == pytest.approx(0.5)
+
+    def test_dates_supported(self):
+        start = datetime.date(1996, 1, 1)
+        values = [
+            datetime.date.fromordinal(start.toordinal() + i) for i in range(366)
+        ]
+        histogram = EquiWidthHistogram(values, buckets=12)
+        mid = histogram.selectivity(">", datetime.date(1996, 7, 1))
+        assert mid == pytest.approx(0.5, abs=0.05)
+
+    def test_unknown_operator(self, uniform):
+        with pytest.raises(CatalogError):
+            uniform.selectivity("~", 3)
+
+
+class TestBuildHistogram:
+    def test_strings_give_none(self):
+        assert build_histogram(["a", "b"]) is None
+
+    def test_all_null_gives_none(self):
+        assert build_histogram([None]) is None
+
+    def test_numeric_builds(self):
+        assert build_histogram([1, 2, 3]) is not None
+
+
+class TestCollector:
+    @pytest.fixture(scope="class")
+    def collected(self):
+        rng = random.Random(7)
+        orders = [
+            {
+                "Order.id": i,
+                "Order.cid": rng.randrange(100),
+                "Order.qty": rng.randint(1, 200),
+            }
+            for i in range(2_000)
+        ]
+        customers = [{"Customer.cid": i} for i in range(100)]
+        return (
+            collect_statistics(
+                {"Order": orders, "Customer": customers},
+                join_keys=[("Order.cid", "Customer.cid")],
+            ),
+            orders,
+        )
+
+    def test_relation_stats(self, collected):
+        statistics, _ = collected
+        assert statistics.relation("Order").cardinality == 2_000
+        assert statistics.relation("Customer").cardinality == 100
+
+    def test_column_stats(self, collected):
+        statistics, _ = collected
+        column = statistics.column("Order.qty")
+        assert column is not None
+        assert column.minimum >= 1 and column.maximum <= 200
+
+    def test_histogram_attached_for_numeric(self, collected):
+        statistics, _ = collected
+        assert statistics.histogram("Order.qty") is not None
+
+    def test_measured_join_selectivity(self, collected):
+        statistics, _ = collected
+        js = statistics.join_selectivity("Order.cid", "Customer.cid")
+        assert js == pytest.approx(1 / 100, rel=0.01)
+
+    def test_estimator_accuracy_with_collected_stats(self, collected):
+        from repro.algebra.expressions import compare
+        from repro.algebra.operators import Relation, Select
+        from repro.catalog.datatypes import DataType
+        from repro.catalog.schema import Attribute, RelationSchema
+        from repro.optimizer.cardinality import CardinalityEstimator
+
+        statistics, orders = collected
+        schema = RelationSchema(
+            "Order",
+            [
+                Attribute("Order.id", DataType.INTEGER),
+                Attribute("Order.cid", DataType.INTEGER),
+                Attribute("Order.qty", DataType.INTEGER),
+            ],
+        )
+        plan = Select(
+            Relation("Order", schema), compare("Order.qty", ">", 150)
+        )
+        estimated = CardinalityEstimator(statistics).estimate(plan).cardinality
+        actual = sum(1 for r in orders if r["Order.qty"] > 150)
+        assert estimated == pytest.approx(actual, rel=0.15)
+
+    def test_unknown_join_key_rejected(self):
+        with pytest.raises(CatalogError):
+            collect_statistics({"R": [{"R.a": 1}]}, join_keys=[("R.a", "S.b")])
+
+    def test_accepts_storage_tables(self, workload):
+        from repro.executor.engine import load_database
+        from repro.workload.datagen import paper_rows
+
+        database = load_database(paper_rows(scale=0.02, seed=3), workload.catalog)
+        statistics = collect_statistics(
+            {name: database.table(name) for name in workload.catalog.relation_names}
+        )
+        order = database.table("Order")
+        assert statistics.relation("Order").cardinality == order.cardinality
+        assert statistics.relation("Order").blocks == order.num_blocks

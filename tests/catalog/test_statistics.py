@@ -1,0 +1,143 @@
+"""Unit tests for the statistics catalog."""
+
+import datetime
+
+import pytest
+
+from repro.catalog.statistics import (
+    DEFAULT_RANGE_SELECTIVITY,
+    ColumnStatistics,
+    RelationStatistics,
+    StatisticsCatalog,
+    blocks_for,
+)
+from repro.errors import CatalogError, UnknownRelationError
+
+
+class TestRelationStatistics:
+    def test_blocking_factor(self):
+        stats = RelationStatistics(30_000, 3_000)
+        assert stats.blocking_factor == 10.0
+
+    def test_empty_relation_blocking_factor(self):
+        assert RelationStatistics(0, 0).blocking_factor == 1.0
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(CatalogError):
+            RelationStatistics(-1, 1)
+
+    def test_nonempty_needs_blocks(self):
+        with pytest.raises(CatalogError):
+            RelationStatistics(10, 0)
+
+    def test_scaled_keeps_blocking_factor(self):
+        stats = RelationStatistics(5_000, 500).scaled(0.02)
+        assert stats.cardinality == 100
+        assert stats.blocks == 10
+
+    def test_scaled_never_zero_blocks_for_tiny_result(self):
+        stats = RelationStatistics(100, 10).scaled(0.001)
+        assert stats.cardinality == 1
+        assert stats.blocks == 1
+
+    def test_scaled_out_of_range(self):
+        with pytest.raises(CatalogError):
+            RelationStatistics(10, 1).scaled(1.5)
+
+
+class TestBlocksFor:
+    def test_zero_rows(self):
+        assert blocks_for(0, 10) == 0
+
+    def test_rounds_up(self):
+        assert blocks_for(11, 10) == 2
+
+    def test_minimum_one_block(self):
+        assert blocks_for(1, 1000) == 1
+
+
+class TestColumnStatistics:
+    def test_equality_selectivity(self):
+        assert ColumnStatistics(50).equality_selectivity() == pytest.approx(0.02)
+
+    def test_positive_distinct_required(self):
+        with pytest.raises(CatalogError):
+            ColumnStatistics(0)
+
+    def test_range_selectivity_interpolates(self):
+        column = ColumnStatistics(200, minimum=1, maximum=200)
+        assert column.range_selectivity(">", 100) == pytest.approx(0.5, abs=0.01)
+        assert column.range_selectivity("<", 50) == pytest.approx(0.246, abs=0.01)
+
+    def test_range_selectivity_clamps(self):
+        column = ColumnStatistics(10, minimum=0, maximum=100)
+        assert column.range_selectivity(">", 1_000) == 0.0
+        assert column.range_selectivity("<=", -5) == 0.0
+
+    def test_range_selectivity_on_dates(self):
+        column = ColumnStatistics(
+            366,
+            minimum=datetime.date(1996, 1, 1),
+            maximum=datetime.date(1996, 12, 31),
+        )
+        mid = column.range_selectivity(">", datetime.date(1996, 7, 1))
+        assert 0.45 <= mid <= 0.55
+
+    def test_range_without_bounds_uses_default(self):
+        assert (
+            ColumnStatistics(10).range_selectivity(">", 5)
+            == DEFAULT_RANGE_SELECTIVITY
+        )
+
+    def test_range_with_non_numeric_bounds_uses_default(self):
+        column = ColumnStatistics(10, minimum="a", maximum="z")
+        assert column.range_selectivity(">", "m") == DEFAULT_RANGE_SELECTIVITY
+
+
+class TestStatisticsCatalog:
+    def test_set_relation_with_blocks(self):
+        stats = StatisticsCatalog()
+        stats.set_relation("R", 100, 10)
+        assert stats.relation("R").blocks == 10
+
+    def test_set_relation_derives_blocks(self):
+        stats = StatisticsCatalog(default_blocking_factor=20)
+        assert stats.set_relation("R", 100).blocks == 5
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            StatisticsCatalog().relation("nope")
+
+    def test_has_relation(self):
+        stats = StatisticsCatalog()
+        stats.set_relation("R", 1)
+        assert stats.has_relation("R")
+        assert not stats.has_relation("S")
+
+    def test_predicate_selectivity_roundtrip(self):
+        stats = StatisticsCatalog()
+        stats.set_predicate_selectivity("sig", 0.25)
+        assert stats.predicate_selectivity("sig") == 0.25
+        assert stats.predicate_selectivity("other") is None
+
+    def test_predicate_selectivity_validated(self):
+        with pytest.raises(CatalogError):
+            StatisticsCatalog().set_predicate_selectivity("sig", 1.5)
+
+    def test_join_selectivity_is_unordered(self):
+        stats = StatisticsCatalog()
+        stats.set_join_selectivity("A.x", "B.y", 0.001)
+        assert stats.join_selectivity("B.y", "A.x") == 0.001
+
+    def test_default_join_selectivity_from_columns(self):
+        stats = StatisticsCatalog()
+        stats.set_column("A.x", 100)
+        stats.set_column("B.y", 400)
+        assert stats.default_join_selectivity("A.x", "B.y") == pytest.approx(1 / 400)
+
+    def test_default_join_selectivity_missing_columns(self):
+        assert StatisticsCatalog().default_join_selectivity("A.x", "B.y") is None
+
+    def test_invalid_blocking_factor(self):
+        with pytest.raises(CatalogError):
+            StatisticsCatalog(default_blocking_factor=0)

@@ -1,0 +1,67 @@
+"""Shared fixtures: the paper's workload, estimators, and small MVPPs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mvpp import MVPPCostCalculator, generate_mvpps
+from repro.optimizer import CardinalityEstimator, NestedLoopCostModel
+from repro.workload import (
+    GeneratorConfig,
+    generate_workload,
+    paper_workload,
+    paper_workload_fig7,
+)
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The paper's Section-2 workload (Table 1 + Q1..Q4)."""
+    return paper_workload()
+
+
+@pytest.fixture(scope="session")
+def fig7_workload():
+    """The Figure 5/7/8 variant with diverging Division selections."""
+    return paper_workload_fig7()
+
+
+@pytest.fixture(scope="session")
+def estimator(workload):
+    return CardinalityEstimator(workload.statistics)
+
+
+@pytest.fixture(scope="session")
+def cost_model():
+    return NestedLoopCostModel()
+
+
+@pytest.fixture(scope="session")
+def paper_mvpps(workload):
+    """All four generated MVPPs for the paper workload."""
+    return generate_mvpps(workload)
+
+
+@pytest.fixture(scope="session")
+def paper_mvpp(paper_mvpps):
+    """The paper-seeded MVPP (first rotation: Q4's plan first)."""
+    return paper_mvpps[0]
+
+
+@pytest.fixture()
+def paper_calculator(paper_mvpp):
+    return MVPPCostCalculator(paper_mvpp)
+
+
+@pytest.fixture(scope="session")
+def small_synthetic():
+    """A small synthetic workload usable with the exhaustive optimum."""
+    config = GeneratorConfig(
+        num_relations=4,
+        num_queries=3,
+        max_query_relations=3,
+        min_cardinality=1_000,
+        max_cardinality=20_000,
+        seed=1,
+    )
+    return generate_workload(config)

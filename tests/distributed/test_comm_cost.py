@@ -1,0 +1,102 @@
+"""Unit tests for site-aware MVPP costing."""
+
+import pytest
+
+from repro.distributed.comm_cost import DistributedCostCalculator
+from repro.distributed.sites import Topology
+from repro.errors import DistributedError
+from repro.mvpp.cost import MVPPCostCalculator
+from repro.mvpp.materialization import select_views
+
+
+@pytest.fixture()
+def setup(paper_mvpp):
+    topology = Topology(["wh", "s1", "s2"], default_link_cost=2.0)
+    placement = {
+        "Product": "s1",
+        "Division": "s1",
+        "Order": "s2",
+        "Customer": "s2",
+        "Part": "s1",
+    }
+    calculator = DistributedCostCalculator(
+        paper_mvpp, topology, placement, warehouse_site="wh"
+    )
+    return topology, placement, calculator
+
+
+class TestValidation:
+    def test_missing_placement_rejected(self, paper_mvpp):
+        topology = Topology(["wh", "s1"])
+        with pytest.raises(DistributedError):
+            DistributedCostCalculator(
+                paper_mvpp, topology, {"Product": "s1"}, warehouse_site="wh"
+            )
+
+    def test_unknown_site_rejected(self, paper_mvpp):
+        topology = Topology(["wh"])
+        placement = {
+            leaf.name: "nowhere" for leaf in paper_mvpp.leaves
+        }
+        with pytest.raises(DistributedError):
+            DistributedCostCalculator(
+                paper_mvpp, topology, placement, warehouse_site="wh"
+            )
+
+    def test_unknown_warehouse_rejected(self, paper_mvpp):
+        topology = Topology(["s1"])
+        placement = {leaf.name: "s1" for leaf in paper_mvpp.leaves}
+        with pytest.raises(DistributedError):
+            DistributedCostCalculator(
+                paper_mvpp, topology, placement, warehouse_site="wh"
+            )
+
+
+class TestCosting:
+    def test_virtual_queries_pay_transfer(self, paper_mvpp, setup):
+        _, _, distributed = setup
+        centralized = MVPPCostCalculator(paper_mvpp)
+        assert (
+            distributed.query_processing_cost(frozenset())
+            > centralized.query_processing_cost(frozenset())
+        )
+
+    def test_leaf_transfer_cost(self, paper_mvpp, setup):
+        _, _, calculator = setup
+        product = paper_mvpp.vertex_by_name("Product")
+        assert calculator.leaf_transfer_cost(product) == 2.0 * 3_000
+
+    def test_materialized_views_read_locally(self, paper_mvpp, setup):
+        _, _, calculator = setup
+        vertex = paper_mvpp.operations[0]
+        cost = calculator.access_cost(vertex, frozenset({vertex.vertex_id}))
+        assert cost == vertex.stats.blocks  # no transfer term
+
+    def test_maintenance_includes_lineage_transfer(self, paper_mvpp, setup):
+        _, _, distributed = setup
+        centralized = MVPPCostCalculator(paper_mvpp)
+        vertex = paper_mvpp.operations[0]
+        assert distributed.maintenance_cost(
+            frozenset({vertex.vertex_id})
+        ) > centralized.maintenance_cost(frozenset({vertex.vertex_id}))
+
+    def test_weight_grows_with_transfer(self, paper_mvpp, setup):
+        """Materialization is *more* attractive when lineage is remote and
+        queried often: weight under distributed costing should be at least
+        the centralized weight for multi-query shared nodes."""
+        _, _, distributed = setup
+        centralized = MVPPCostCalculator(paper_mvpp)
+        shared = [
+            v
+            for v in paper_mvpp.operations
+            if len(paper_mvpp.queries_using(v)) >= 2
+        ]
+        assert any(
+            distributed.weight(v) > centralized.weight(v) for v in shared
+        )
+
+    def test_selection_works_under_distributed_costs(self, paper_mvpp, setup):
+        _, _, calculator = setup
+        result = select_views(paper_mvpp, calculator)
+        chosen = calculator.breakdown(result.materialized).total
+        assert chosen <= calculator.breakdown(()).total

@@ -1,0 +1,72 @@
+"""Unit tests for mirroring decisions and placement helpers."""
+
+import pytest
+
+from repro.distributed.placement import (
+    MIRROR,
+    REMOTE,
+    assign_round_robin,
+    mirror_decisions,
+)
+from repro.distributed.sites import Topology
+from repro.errors import DistributedError
+
+
+class TestRoundRobin:
+    def test_cycles_sites(self):
+        placement = assign_round_robin(["a", "b", "c"], ["s1", "s2"])
+        assert placement == {"a": "s1", "b": "s2", "c": "s1"}
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(DistributedError):
+            assign_round_robin(["a"], [])
+
+
+class TestMirrorDecisions:
+    @pytest.fixture()
+    def decisions(self, paper_mvpp):
+        topology = Topology(["wh", "s1"], default_link_cost=1.0)
+        placement = {leaf.name: "s1" for leaf in paper_mvpp.leaves}
+        return {
+            d.relation: d
+            for d in mirror_decisions(paper_mvpp, topology, placement, "wh")
+        }
+
+    def test_every_base_relation_decided(self, decisions, paper_mvpp):
+        assert set(decisions) == {leaf.name for leaf in paper_mvpp.leaves}
+
+    def test_hot_queried_relation_is_mirrored(self, decisions):
+        """Division feeds Q1 (fq=10) + Q2 + Q3 but updates once per period:
+        mirroring wins."""
+        division = decisions["Division"]
+        assert division.choice == MIRROR
+        assert division.mirror_cost < division.remote_cost
+
+    def test_choice_follows_costs(self, decisions):
+        for decision in decisions.values():
+            if decision.choice == MIRROR:
+                assert decision.mirror_cost <= decision.remote_cost
+            else:
+                assert decision.remote_cost < decision.mirror_cost
+
+    def test_cold_relation_goes_remote(self, paper_mvpp):
+        """If a relation updates far more often than it is queried, remote
+        access wins."""
+        topology = Topology(["wh", "s1"], default_link_cost=1.0)
+        placement = {leaf.name: "s1" for leaf in paper_mvpp.leaves}
+        part = paper_mvpp.vertex_by_name("Part")
+        original = part.frequency
+        try:
+            part.frequency = 1_000.0  # updated constantly
+            decisions = {
+                d.relation: d
+                for d in mirror_decisions(paper_mvpp, topology, placement, "wh")
+            }
+            assert decisions["Part"].choice == REMOTE
+        finally:
+            part.frequency = original
+
+    def test_missing_placement_rejected(self, paper_mvpp):
+        topology = Topology(["wh", "s1"])
+        with pytest.raises(DistributedError):
+            mirror_decisions(paper_mvpp, topology, {}, "wh")

@@ -1,0 +1,54 @@
+"""Unit tests for sites and the transfer-cost topology."""
+
+import pytest
+
+from repro.distributed.sites import Site, Topology
+from repro.errors import DistributedError
+
+
+class TestTopology:
+    def test_same_site_free(self):
+        topology = Topology(["a", "b"])
+        assert topology.transfer_cost("a", "a", 100) == 0.0
+
+    def test_default_link_cost(self):
+        topology = Topology(["a", "b"], default_link_cost=3.0)
+        assert topology.transfer_cost("a", "b", 10) == 30.0
+
+    def test_explicit_link_symmetric(self):
+        topology = Topology(["a", "b"])
+        topology.set_link("a", "b", 7.0)
+        assert topology.link_cost("a", "b") == 7.0
+        assert topology.link_cost("b", "a") == 7.0
+
+    def test_unknown_site_rejected(self):
+        topology = Topology(["a"])
+        with pytest.raises(DistributedError):
+            topology.link_cost("a", "zz")
+
+    def test_self_link_rejected(self):
+        topology = Topology(["a", "b"])
+        with pytest.raises(DistributedError):
+            topology.set_link("a", "a", 1.0)
+
+    def test_negative_cost_rejected(self):
+        topology = Topology(["a", "b"])
+        with pytest.raises(DistributedError):
+            topology.set_link("a", "b", -1.0)
+        with pytest.raises(DistributedError):
+            topology.transfer_cost("a", "b", -5)
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(DistributedError):
+            Topology([])
+
+    def test_add_site(self):
+        topology = Topology(["a"])
+        topology.add_site("b")
+        assert "b" in topology
+        with pytest.raises(DistributedError):
+            topology.add_site("b")
+
+    def test_site_name_validated(self):
+        with pytest.raises(DistributedError):
+            Site("")

@@ -1,0 +1,111 @@
+"""Unit tests for the execution engine over the paper's schema."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.executor.engine import Database, ExecutionEngine, HASH, load_database
+from repro.sql.translator import parse_query
+from repro.workload.datagen import paper_rows
+
+
+@pytest.fixture(scope="module")
+def database(workload):
+    return load_database(
+        paper_rows(scale=0.02, seed=3),
+        workload.catalog,
+        blocking_factors={
+            name: workload.statistics.relation(name).blocking_factor
+            for name in workload.catalog.relation_names
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def engine(database):
+    return ExecutionEngine(database)
+
+
+class TestDatabase:
+    def test_register_and_lookup(self, database):
+        assert database.table("Product").cardinality == 600
+
+    def test_missing_table(self, database):
+        with pytest.raises(ExecutionError):
+            database.table("Nope")
+
+    def test_contains(self, database):
+        assert "Order" in database
+        assert "Nope" not in database
+
+    def test_tables_share_io(self, database):
+        assert database.table("Product").io is database.io
+
+
+class TestExecution:
+    def test_q1_runs(self, workload, engine):
+        plan = parse_query(workload.query("Q1").sql, workload.catalog)
+        result, io = engine.run(plan)
+        assert io.total > 0
+        assert result.schema.attribute_names == ("Product.name",)
+
+    def test_q1_rows_match_brute_force(self, workload, engine, database):
+        plan = parse_query(workload.query("Q1").sql, workload.catalog)
+        result, _ = engine.run(plan)
+        divisions = {
+            r["Division.Did"]
+            for r in database.table("Division").rows()
+            if r["Division.city"] == "LA"
+        }
+        expected = sorted(
+            r["Product.name"]
+            for r in database.table("Product").rows()
+            if r["Product.Did"] in divisions
+        )
+        assert sorted(r["Product.name"] for r in result.rows()) == expected
+
+    def test_q4_selection_correct(self, workload, engine, database):
+        plan = parse_query(workload.query("Q4").sql, workload.catalog)
+        result, _ = engine.run(plan)
+        expected = sum(
+            1 for r in database.table("Order").rows() if r["Order.quantity"] > 100
+        )
+        assert result.cardinality == expected
+
+    def test_hash_engine_matches_nested_loop(self, workload, database):
+        nested = ExecutionEngine(database)
+        hashed = ExecutionEngine(database, HASH)
+        for name in ("Q1", "Q2", "Q3", "Q4"):
+            plan = parse_query(workload.query(name).sql, workload.catalog)
+            a, _ = nested.run(plan)
+            b, _ = hashed.run(plan)
+            key = lambda t: sorted(  # noqa: E731
+                tuple(sorted(r.items())) for r in t.rows()
+            )
+            assert key(a) == key(b), name
+
+    def test_hash_join_cheaper_io(self, workload, database):
+        plan = parse_query(workload.query("Q4").sql, workload.catalog)
+        _, io_nested = ExecutionEngine(database).run(plan)
+        _, io_hash = ExecutionEngine(database, HASH).run(plan)
+        assert io_hash.total < io_nested.total
+
+    def test_aggregate_query(self, workload, engine, database):
+        plan = parse_query(
+            "SELECT Division.city, COUNT(*) AS n FROM Division GROUP BY Division.city",
+            workload.catalog,
+        )
+        result, _ = engine.run(plan)
+        assert sum(r["n"] for r in result.rows()) == database.table(
+            "Division"
+        ).cardinality
+
+    def test_unknown_join_method_rejected(self, database):
+        with pytest.raises(ExecutionError):
+            ExecutionEngine(database, "sort-of-join")
+
+    def test_schema_mismatch_detected(self, workload, database):
+        from repro.algebra.operators import Relation
+
+        bogus = Relation("Product", workload.catalog.schema("Customer").qualify())
+        with pytest.raises(ExecutionError):
+            ExecutionEngine(database).execute(bogus)

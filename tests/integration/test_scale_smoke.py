@@ -1,0 +1,81 @@
+"""Scale smoke tests: the pipeline stays fast and sound on wide inputs."""
+
+import time
+
+import pytest
+
+from repro.mvpp import MVPPCostCalculator, generate_mvpps, select_views
+from repro.workload import GeneratorConfig, generate_workload
+
+
+class TestWideWorkloads:
+    def test_fifteen_relations_fifteen_queries(self):
+        workload = generate_workload(
+            GeneratorConfig(
+                num_relations=15,
+                num_queries=15,
+                max_query_relations=5,
+                max_fanout=3,
+                seed=99,
+            )
+        ).workload
+        start = time.perf_counter()
+        mvpp = generate_mvpps(workload, rotations=2)[0]
+        calc = MVPPCostCalculator(mvpp)
+        result = select_views(mvpp, calc, refine=True)
+        elapsed = time.perf_counter() - start
+        mvpp.validate()
+        assert elapsed < 30.0  # generous CI bound; typically well under 5s
+        assert (
+            calc.breakdown(result.materialized).total
+            <= calc.breakdown(()).total + 1e-6
+        )
+
+    def test_wide_query_uses_greedy_join_order(self):
+        """A 12-relation query exceeds the DP cap and must still optimize
+        via the greedy fallback."""
+        from repro.optimizer.heuristics import optimize_query
+        from repro.optimizer.cardinality import CardinalityEstimator
+        from repro.sql.translator import parse_query
+
+        generated = generate_workload(
+            GeneratorConfig(
+                num_relations=12,
+                num_queries=1,
+                max_fanout=3,
+                seed=5,
+            )
+        )
+        workload = generated.workload
+        # Build one query over every relation, joined along FK edges.
+        joins = []
+        for relation, targets in generated.foreign_keys.items():
+            for target in targets:
+                joins.append(f"{relation}.{target}_fk = {target}.id")
+        sql = (
+            "SELECT R0.val FROM "
+            + ", ".join(generated.foreign_keys)
+            + " WHERE "
+            + " AND ".join(joins)
+        )
+        plan = parse_query(sql, workload.catalog)
+        estimator = CardinalityEstimator(workload.statistics)
+        start = time.perf_counter()
+        optimized = optimize_query(plan, estimator)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0
+        assert optimized.base_relations() == plan.base_relations()
+
+    def test_all_rotations_on_ten_queries(self):
+        workload = generate_workload(
+            GeneratorConfig(
+                num_relations=8,
+                num_queries=10,
+                max_query_relations=4,
+                seed=77,
+            )
+        ).workload
+        mvpps = generate_mvpps(workload)
+        assert len(mvpps) == 10
+        for mvpp in mvpps:
+            mvpp.validate()

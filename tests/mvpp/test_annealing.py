@@ -1,0 +1,69 @@
+"""Unit tests for the simulated-annealing baseline."""
+
+import pytest
+
+from repro.errors import MVPPError
+from repro.mvpp.annealing import AnnealingConfig, simulated_annealing
+from repro.mvpp.cost import MVPPCostCalculator
+from repro.mvpp.exhaustive import exhaustive_optimal
+from repro.mvpp.generation import generate_mvpps
+from repro.workload import GeneratorConfig, generate_workload
+
+
+class TestConfig:
+    def test_invalid_cooling(self):
+        with pytest.raises(MVPPError):
+            AnnealingConfig(cooling=1.0)
+
+    def test_invalid_steps(self):
+        with pytest.raises(MVPPError):
+            AnnealingConfig(steps_per_temperature=0)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(MVPPError):
+            AnnealingConfig(initial_temperature_fraction=0)
+
+
+class TestSearch:
+    def test_never_worse_than_all_virtual(self, paper_mvpp, paper_calculator):
+        chosen, breakdown = simulated_annealing(paper_mvpp, paper_calculator)
+        assert breakdown.total <= paper_calculator.breakdown(()).total
+
+    def test_deterministic_for_seed(self, paper_mvpp, paper_calculator):
+        a = simulated_annealing(paper_mvpp, paper_calculator)
+        b = simulated_annealing(paper_mvpp, paper_calculator)
+        assert [v.vertex_id for v in a[0]] == [v.vertex_id for v in b[0]]
+        assert a[1].total == b[1].total
+
+    def test_finds_paper_optimum_on_example(self, paper_mvpp, paper_calculator):
+        """On the worked example, annealing reaches the exhaustive optimum
+        (which the Figure-9 heuristic also hits)."""
+        chosen, breakdown = simulated_annealing(paper_mvpp, paper_calculator)
+        _, optimum = exhaustive_optimal(
+            paper_mvpp, paper_calculator, max_candidates=16
+        )
+        assert breakdown.total <= optimum.total * 1.02
+
+    def test_empty_candidate_pool(self, paper_mvpp, paper_calculator):
+        chosen, breakdown = simulated_annealing(
+            paper_mvpp, paper_calculator, candidates=[]
+        )
+        assert chosen == []
+        assert breakdown.total == paper_calculator.breakdown(()).total
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_close_to_optimal_on_synthetic(self, seed):
+        workload = generate_workload(
+            GeneratorConfig(
+                num_relations=4, num_queries=3, max_query_relations=3, seed=seed
+            )
+        ).workload
+        mvpp = generate_mvpps(workload, rotations=1)[0]
+        if len(mvpp.operations) > 14:
+            pytest.skip("instance too large for exhaustive comparison")
+        calc = MVPPCostCalculator(mvpp)
+        _, breakdown = simulated_annealing(
+            mvpp, calc, config=AnnealingConfig(seed=seed)
+        )
+        _, optimum = exhaustive_optimal(mvpp, calc)
+        assert breakdown.total <= optimum.total * 1.10

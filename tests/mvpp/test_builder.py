@@ -1,0 +1,67 @@
+"""Unit tests for the direct MVPP builder."""
+
+import pytest
+
+from repro.mvpp.builder import build_from_plans, build_from_workload
+from repro.optimizer.heuristics import optimize_query
+from repro.sql.translator import parse_query
+
+
+class TestBuildFromPlans:
+    def test_plans_interned_with_frequencies(self, workload, estimator):
+        plans = []
+        for spec in workload.queries[:2]:
+            plan = optimize_query(
+                parse_query(spec.sql, workload.catalog), estimator
+            )
+            plans.append((spec.name, plan, spec.frequency))
+        mvpp = build_from_plans(plans, estimator, name="two")
+        assert mvpp.name == "two"
+        assert set(mvpp.query_names) == {"Q1", "Q2"}
+        assert mvpp.query_root("Q1").frequency == 10.0
+
+    def test_update_frequencies_applied(self, workload, estimator):
+        plan = optimize_query(
+            parse_query(workload.query("Q1").sql, workload.catalog), estimator
+        )
+        mvpp = build_from_plans(
+            [("Q1", plan, 1.0)],
+            estimator,
+            update_frequencies={"Division": 4.0},
+        )
+        assert mvpp.vertex_by_name("Division").frequency == 4.0
+        assert mvpp.vertex_by_name("Product").frequency == 1.0  # default
+
+    def test_annotated_and_named(self, workload, estimator):
+        mvpp = build_from_workload(workload, estimator)
+        assert mvpp.is_annotated
+        mvpp.validate()
+
+
+class TestBuildFromWorkload:
+    def test_unoptimized_plans_supported(self, workload, estimator):
+        raw = build_from_workload(workload, estimator, optimize=False)
+        optimized = build_from_workload(workload, estimator, optimize=True)
+        raw.validate()
+        optimized.validate()
+        # Optimization changes plan shapes, hence the vertex population.
+        assert raw.structure_signature() != optimized.structure_signature()
+
+    def test_natural_sharing_only(self, workload, estimator):
+        """Q1/Q2/Q3 share the σ(city='LA') lineage naturally because their
+        individually-optimal plans coincide on it; Q4 shares nothing."""
+        mvpp = build_from_workload(workload, estimator)
+        q4_private = [
+            v
+            for v in mvpp.operations
+            if {q.name for q in mvpp.queries_using(v)} == {"Q4"}
+        ]
+        assert q4_private  # Q4's lineage is unshared in the naive build
+        shared = [
+            v for v in mvpp.operations if len(mvpp.queries_using(v)) >= 2
+        ]
+        assert shared  # but the LA lineage is still shared
+
+    def test_default_name(self, workload, estimator):
+        mvpp = build_from_workload(workload, estimator)
+        assert mvpp.name.endswith("-naive")

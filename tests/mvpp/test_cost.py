@@ -1,0 +1,137 @@
+"""Unit tests for the MVPP cost calculator (Section 4.1 formulas)."""
+
+import pytest
+
+from repro.errors import MVPPError
+from repro.mvpp.cost import MVPPCostCalculator, PER_BASE, PER_PERIOD
+
+
+@pytest.fixture
+def calc(paper_mvpp):
+    return MVPPCostCalculator(paper_mvpp)
+
+
+def shared_join(mvpp, bases):
+    from repro.algebra.operators import Join
+
+    for v in mvpp.operations:
+        if isinstance(v.operator, Join) and v.operator.base_relations() == frozenset(
+            bases
+        ):
+            return v
+    raise AssertionError(f"no join over {bases}")
+
+
+class TestQueryProcessing:
+    def test_all_virtual_is_weighted_ca(self, paper_mvpp, calc):
+        expected = sum(
+            root.frequency * root.access_cost for root in paper_mvpp.roots
+        )
+        assert calc.query_processing_cost(frozenset()) == pytest.approx(expected)
+
+    def test_materializing_vertex_reduces_cost(self, paper_mvpp, calc):
+        vertex = shared_join(paper_mvpp, {"Product", "Division"})
+        baseline = calc.query_processing_cost(frozenset())
+        reduced = calc.query_processing_cost(frozenset({vertex.vertex_id}))
+        assert reduced < baseline
+
+    def test_materialized_vertex_costs_its_blocks(self, paper_mvpp, calc):
+        vertex = shared_join(paper_mvpp, {"Product", "Division"})
+        cost = calc.access_cost(vertex, frozenset({vertex.vertex_id}))
+        assert cost == vertex.stats.blocks
+
+    def test_leaf_access_is_free(self, paper_mvpp, calc):
+        leaf = paper_mvpp.vertex_by_name("Product")
+        assert calc.access_cost(leaf, frozenset()) == 0.0
+
+    def test_materialized_descendant_cuts_lineage(self, paper_mvpp, calc):
+        vertex = shared_join(paper_mvpp, {"Product", "Division"})
+        parent_queries = calc.mvpp.queries_using(vertex)
+        root = parent_queries[0]
+        without = calc.access_cost(root, frozenset())
+        with_mv = calc.access_cost(root, frozenset({vertex.vertex_id}))
+        assert with_mv < without
+
+
+class TestMaintenance:
+    def test_empty_set_no_maintenance(self, calc):
+        assert calc.maintenance_cost(frozenset()) == 0.0
+
+    def test_leaves_never_charged(self, paper_mvpp, calc):
+        leaf = paper_mvpp.vertex_by_name("Product")
+        assert calc.maintenance_cost(frozenset({leaf.vertex_id})) == 0.0
+
+    def test_per_period_uses_max_frequency(self, paper_mvpp):
+        calc = MVPPCostCalculator(paper_mvpp, PER_PERIOD)
+        vertex = shared_join(paper_mvpp, {"Product", "Division"})
+        assert calc.refresh_trigger(vertex) == 1.0  # all fu = 1
+
+    def test_per_base_sums_frequencies(self, paper_mvpp):
+        calc = MVPPCostCalculator(paper_mvpp, PER_BASE)
+        vertex = shared_join(paper_mvpp, {"Product", "Division"})
+        assert calc.refresh_trigger(vertex) == 2.0  # Product + Division
+
+    def test_maintenance_is_trigger_times_cm(self, paper_mvpp, calc):
+        vertex = shared_join(paper_mvpp, {"Product", "Division"})
+        cost = calc.maintenance_cost(frozenset({vertex.vertex_id}))
+        assert cost == pytest.approx(
+            calc.refresh_trigger(vertex) * vertex.maintenance_cost
+        )
+
+    def test_unknown_trigger_mode_rejected(self, paper_mvpp):
+        with pytest.raises(MVPPError):
+            MVPPCostCalculator(paper_mvpp, "sometimes")
+
+
+class TestBreakdown:
+    def test_total_is_sum(self, paper_mvpp, calc):
+        vertex = shared_join(paper_mvpp, {"Product", "Division"})
+        breakdown = calc.breakdown([vertex])
+        assert breakdown.total == pytest.approx(
+            breakdown.query_processing + breakdown.maintenance
+        )
+
+    def test_accepts_vertices_and_ids(self, paper_mvpp, calc):
+        vertex = shared_join(paper_mvpp, {"Product", "Division"})
+        assert (
+            calc.breakdown([vertex]).total
+            == calc.breakdown([vertex.vertex_id]).total
+        )
+
+    def test_rejects_garbage(self, calc):
+        with pytest.raises(MVPPError):
+            calc.breakdown(["tmp1"])
+
+
+class TestWeight:
+    def test_weight_formula(self, paper_mvpp, calc):
+        vertex = shared_join(paper_mvpp, {"Product", "Division"})
+        fq_sum = sum(q.frequency for q in paper_mvpp.queries_using(vertex))
+        expected = fq_sum * vertex.access_cost - calc.refresh_trigger(
+            vertex
+        ) * vertex.maintenance_cost
+        assert calc.weight(vertex) == pytest.approx(expected)
+
+    def test_leaf_weight_zero(self, paper_mvpp, calc):
+        assert calc.weight(paper_mvpp.vertex_by_name("Order")) == 0.0
+
+    def test_incremental_saving_shrinks_with_materialized_descendants(
+        self, paper_mvpp, calc
+    ):
+        upper = shared_join(
+            paper_mvpp, {"Product", "Division", "Order", "Customer"}
+        )
+        lower = shared_join(paper_mvpp, {"Product", "Division"})
+        alone = calc.incremental_saving(upper, frozenset())
+        with_descendant = calc.incremental_saving(
+            upper, frozenset({lower.vertex_id})
+        )
+        assert with_descendant < alone
+
+    def test_incremental_saving_equals_weight_when_m_empty(
+        self, paper_mvpp, calc
+    ):
+        for vertex in paper_mvpp.operations:
+            assert calc.incremental_saving(vertex, frozenset()) == pytest.approx(
+                calc.weight(vertex)
+            )

@@ -1,0 +1,95 @@
+"""Unit tests for the exhaustive optimum and greedy baselines."""
+
+import pytest
+
+from repro.errors import MVPPError
+from repro.mvpp.cost import MVPPCostCalculator
+from repro.mvpp.exhaustive import exhaustive_optimal, greedy_forward
+from repro.mvpp.generation import generate_mvpps
+from repro.mvpp.materialization import select_views
+from repro.workload import GeneratorConfig, generate_workload
+
+
+@pytest.fixture(scope="module")
+def small_mvpp(small_synthetic):
+    return generate_mvpps(small_synthetic.workload, rotations=1)[0]
+
+
+class TestExhaustive:
+    def test_beats_or_ties_every_baseline(self, small_mvpp):
+        calc = MVPPCostCalculator(small_mvpp)
+        _, best = exhaustive_optimal(small_mvpp, calc)
+        heuristic = select_views(small_mvpp, calc)
+        greedy_set, greedy_cost = greedy_forward(small_mvpp, calc)
+        assert best.total <= calc.breakdown(heuristic.materialized).total + 1e-9
+        assert best.total <= greedy_cost.total + 1e-9
+        assert best.total <= calc.breakdown(()).total + 1e-9
+
+    def test_candidate_cap_enforced(self, small_mvpp):
+        calc = MVPPCostCalculator(small_mvpp)
+        if len(small_mvpp.operations) > 2:
+            with pytest.raises(MVPPError):
+                exhaustive_optimal(small_mvpp, calc, max_candidates=2)
+
+    def test_explicit_candidates_respected(self, small_mvpp):
+        calc = MVPPCostCalculator(small_mvpp)
+        pool = small_mvpp.operations[:3]
+        chosen, _ = exhaustive_optimal(small_mvpp, calc, candidates=pool)
+        assert set(v.vertex_id for v in chosen) <= {v.vertex_id for v in pool}
+
+
+class TestGreedy:
+    def test_monotone_improvement(self, small_mvpp):
+        calc = MVPPCostCalculator(small_mvpp)
+        chosen, final = greedy_forward(small_mvpp, calc)
+        # Removing the last-added view must not improve the cost (greedy
+        # stops exactly when nothing improves).
+        assert final.total <= calc.breakdown(()).total
+        if chosen:
+            without_last = chosen[:-1]
+            assert final.total <= calc.breakdown(without_last).total + 1e-9
+
+    def test_empty_when_nothing_helps(self):
+        # A workload whose queries are so cheap that no view pays for its
+        # maintenance: single-relation scans with tiny frequencies.
+        from repro.catalog import Catalog, DataType, StatisticsCatalog
+        from repro.workload.spec import QuerySpec, Workload
+
+        catalog = Catalog()
+        catalog.register_relation("R", [("a", DataType.INTEGER)])
+        statistics = StatisticsCatalog()
+        statistics.set_relation("R", 100, 10)
+        workload = Workload(
+            name="tiny",
+            catalog=catalog,
+            statistics=statistics,
+            queries=(QuerySpec("Q1", "SELECT a FROM R WHERE a > 5", 0.001),),
+            update_frequencies={"R": 100.0},
+        )
+        mvpp = generate_mvpps(workload, rotations=1)[0]
+        calc = MVPPCostCalculator(mvpp)
+        chosen, breakdown = greedy_forward(mvpp, calc)
+        assert chosen == []
+        heuristic = select_views(mvpp, calc)
+        assert heuristic.materialized == []
+
+
+class TestAgreementOnSmallProblems:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_heuristic_gap_is_bounded(self, seed):
+        workload = generate_workload(
+            GeneratorConfig(
+                num_relations=4,
+                num_queries=3,
+                max_query_relations=3,
+                seed=seed,
+            )
+        ).workload
+        mvpp = generate_mvpps(workload, rotations=1)[0]
+        if len(mvpp.operations) > 14:
+            pytest.skip("too many candidates for exhaustive comparison")
+        calc = MVPPCostCalculator(mvpp)
+        _, best = exhaustive_optimal(mvpp, calc)
+        heuristic = select_views(mvpp, calc)
+        cost = calc.breakdown(heuristic.materialized).total
+        assert cost <= 2.0 * best.total + 1e-9

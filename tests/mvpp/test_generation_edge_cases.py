@@ -1,0 +1,142 @@
+"""Edge-case tests for MVPP generation plus the graph validator."""
+
+import pytest
+
+from repro.catalog import Catalog, DataType, StatisticsCatalog
+from repro.errors import MVPPError
+from repro.mvpp import MVPPCostCalculator, generate_mvpps, select_views
+from repro.workload.spec import QuerySpec, Workload
+
+
+def tiny_catalog():
+    catalog = Catalog()
+    catalog.register_relation(
+        "A", [("id", DataType.INTEGER), ("v", DataType.INTEGER)]
+    )
+    catalog.register_relation(
+        "B", [("id", DataType.INTEGER), ("a_fk", DataType.INTEGER)]
+    )
+    statistics = StatisticsCatalog()
+    statistics.set_relation("A", 1_000)
+    statistics.set_relation("B", 5_000)
+    statistics.set_column("A.id", 1_000)
+    statistics.set_column("B.a_fk", 1_000)
+    statistics.set_join_selectivity("B.a_fk", "A.id", 1 / 1_000)
+    return catalog, statistics
+
+
+def workload_of(queries):
+    catalog, statistics = tiny_catalog()
+    return Workload(
+        name="edge",
+        catalog=catalog,
+        statistics=statistics,
+        queries=tuple(queries),
+        update_frequencies={"A": 1.0, "B": 1.0},
+    )
+
+
+class TestEdgeWorkloads:
+    def test_single_query_workload(self):
+        workload = workload_of(
+            [QuerySpec("Q1", "SELECT v FROM A WHERE v > 5", 3.0)]
+        )
+        mvpps = generate_mvpps(workload)
+        assert len(mvpps) == 1
+        mvpps[0].validate()
+        calc = MVPPCostCalculator(mvpps[0])
+        result = select_views(mvpps[0], calc)
+        assert calc.breakdown(result.materialized).total <= calc.breakdown(()).total
+
+    def test_single_relation_queries_share_leaf(self):
+        workload = workload_of(
+            [
+                QuerySpec("Q1", "SELECT v FROM A WHERE v > 5", 3.0),
+                QuerySpec("Q2", "SELECT v FROM A WHERE v < 2", 1.0),
+            ]
+        )
+        mvpp = generate_mvpps(workload, rotations=1)[0]
+        mvpp.validate()
+        assert len(mvpp.leaves) == 1
+
+    def test_identical_queries_share_everything(self):
+        sql = "SELECT B.id FROM A, B WHERE B.a_fk = A.id AND A.v > 7"
+        workload = workload_of(
+            [QuerySpec("Q1", sql, 2.0), QuerySpec("Q2", sql, 5.0)]
+        )
+        mvpp = generate_mvpps(workload, rotations=1)[0]
+        mvpp.validate()
+        # One shared plan: result vertex used by both query roots.
+        result_vertices = {
+            mvpp.children_of(root)[0].vertex_id for root in mvpp.roots
+        }
+        assert len(result_vertices) == 1
+
+    def test_cross_product_query(self):
+        workload = workload_of(
+            [QuerySpec("Q1", "SELECT A.v FROM A, B", 1.0)]
+        )
+        mvpp = generate_mvpps(workload, rotations=1)[0]
+        mvpp.validate()
+        assert {l.name for l in mvpp.leaves} == {"A", "B"}
+
+    def test_aggregate_query_through_generation(self):
+        workload = workload_of(
+            [
+                QuerySpec(
+                    "Q1",
+                    "SELECT A.v, COUNT(*) AS n FROM A, B "
+                    "WHERE B.a_fk = A.id GROUP BY A.v",
+                    2.0,
+                ),
+                QuerySpec(
+                    "Q2",
+                    "SELECT B.id FROM A, B WHERE B.a_fk = A.id AND A.v > 3",
+                    4.0,
+                ),
+            ]
+        )
+        mvpp = generate_mvpps(workload, rotations=1)[0]
+        mvpp.validate()
+        from repro.algebra.operators import Aggregate
+
+        assert any(
+            isinstance(v.operator, Aggregate) for v in mvpp.operations
+        )
+        # The A⋈B join is still shared below the aggregate.
+        shared = [
+            v for v in mvpp.operations if len(mvpp.queries_using(v)) == 2
+        ]
+        assert shared
+
+    def test_zero_frequency_query_allowed(self):
+        workload = workload_of(
+            [QuerySpec("Q1", "SELECT v FROM A", 0.0)]
+        )
+        mvpp = generate_mvpps(workload)[0]
+        calc = MVPPCostCalculator(mvpp)
+        result = select_views(mvpp, calc)
+        assert result.materialized == []  # nothing worth materializing
+
+
+class TestValidator:
+    def test_paper_mvpps_validate(self, paper_mvpps):
+        for mvpp in paper_mvpps:
+            mvpp.validate()
+
+    def test_detects_broken_backlink(self, workload):
+        mvpp = generate_mvpps(workload, rotations=1)[0]
+        vertex = mvpp.operations[0]
+        child = mvpp.children_of(vertex)[0]
+        child.parents.discard(vertex.vertex_id)
+        with pytest.raises(MVPPError):
+            mvpp.validate()
+        child.parents.add(vertex.vertex_id)  # restore for other tests
+
+    def test_detects_root_with_parent(self, workload):
+        mvpp = generate_mvpps(workload, rotations=1)[0]
+        root = mvpp.roots[0]
+        root.parents.add(mvpp.operations[0].vertex_id)
+        with pytest.raises(MVPPError):
+            mvpp.validate()
+        root.parents.clear()

@@ -1,0 +1,68 @@
+"""Unit tests for the genetic-algorithm baseline."""
+
+import pytest
+
+from repro.errors import MVPPError
+from repro.mvpp.cost import MVPPCostCalculator
+from repro.mvpp.exhaustive import exhaustive_optimal
+from repro.mvpp.generation import generate_mvpps
+from repro.mvpp.genetic import GeneticConfig, genetic_search
+from repro.workload import GeneratorConfig, generate_workload
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 1},
+            {"generations": 0},
+            {"tournament_size": 1},
+            {"crossover_rate": 1.5},
+            {"mutation_rate": -0.1},
+            {"elitism": 24},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(MVPPError):
+            GeneticConfig(**kwargs)
+
+
+class TestSearch:
+    def test_never_worse_than_all_virtual(self, paper_mvpp, paper_calculator):
+        _, breakdown = genetic_search(paper_mvpp, paper_calculator)
+        assert breakdown.total <= paper_calculator.breakdown(()).total
+
+    def test_deterministic_for_seed(self, paper_mvpp, paper_calculator):
+        a = genetic_search(paper_mvpp, paper_calculator)
+        b = genetic_search(paper_mvpp, paper_calculator)
+        assert [v.vertex_id for v in a[0]] == [v.vertex_id for v in b[0]]
+
+    def test_reaches_optimum_on_example(self, paper_mvpp, paper_calculator):
+        _, breakdown = genetic_search(paper_mvpp, paper_calculator)
+        _, optimum = exhaustive_optimal(
+            paper_mvpp, paper_calculator, max_candidates=16
+        )
+        assert breakdown.total <= optimum.total * 1.02
+
+    def test_empty_pool(self, paper_mvpp, paper_calculator):
+        chosen, breakdown = genetic_search(
+            paper_mvpp, paper_calculator, candidates=[]
+        )
+        assert chosen == []
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_near_optimal_on_synthetic(self, seed):
+        workload = generate_workload(
+            GeneratorConfig(
+                num_relations=4, num_queries=3, max_query_relations=3, seed=seed
+            )
+        ).workload
+        mvpp = generate_mvpps(workload, rotations=1)[0]
+        if len(mvpp.operations) > 14:
+            pytest.skip("too large for exhaustive comparison")
+        calc = MVPPCostCalculator(mvpp)
+        _, breakdown = genetic_search(
+            mvpp, calc, config=GeneticConfig(seed=seed)
+        )
+        _, optimum = exhaustive_optimal(mvpp, calc)
+        assert breakdown.total <= optimum.total * 1.10

@@ -1,0 +1,82 @@
+"""Unit tests for the Figure-9 selection heuristic."""
+
+import pytest
+
+from repro.mvpp.cost import MVPPCostCalculator
+from repro.mvpp.materialization import select_views
+
+
+class TestSelection:
+    def test_selected_vertices_are_operations(self, paper_mvpp, paper_calculator):
+        result = select_views(paper_mvpp, paper_calculator)
+        for vertex in result.materialized:
+            assert vertex.kind.value == "operation"
+
+    def test_every_pick_had_positive_saving(self, paper_mvpp, paper_calculator):
+        result = select_views(paper_mvpp, paper_calculator)
+        accepted = [s for s in result.trace if s.decision == "materialize"]
+        assert accepted
+        assert all(s.saving > 0 for s in accepted)
+
+    def test_rejections_prune_branches(self, paper_mvpp, paper_calculator):
+        result = select_views(paper_mvpp, paper_calculator)
+        rejected = [s for s in result.trace if s.decision == "reject"]
+        # In the paper's run, rejecting the Q4-result node prunes its chain.
+        assert any(s.pruned for s in rejected) or not rejected
+
+    def test_better_than_all_virtual(self, paper_mvpp, paper_calculator):
+        result = select_views(paper_mvpp, paper_calculator)
+        chosen = paper_calculator.breakdown(result.materialized).total
+        nothing = paper_calculator.breakdown(()).total
+        assert chosen < nothing
+
+    def test_trace_covers_positive_weight_nodes(self, paper_mvpp, paper_calculator):
+        result = select_views(paper_mvpp, paper_calculator)
+        traced = {s.vertex for s in result.trace}
+        positive = {
+            v.name
+            for v in paper_mvpp.operations
+            if paper_calculator.weight(v) > 0
+        }
+        # every positive-weight vertex was either decided or pruned
+        pruned = {name for s in result.trace for name in s.pruned}
+        assert positive <= traced | pruned
+
+    def test_deterministic(self, paper_mvpp):
+        a = select_views(paper_mvpp, MVPPCostCalculator(paper_mvpp))
+        b = select_views(paper_mvpp, MVPPCostCalculator(paper_mvpp))
+        assert a.names == b.names
+
+    def test_no_vertex_fully_shadowed_by_parents(self, paper_mvpp, paper_calculator):
+        """Step 9: if all parents of v are materialized, v must be dropped."""
+        result = select_views(paper_mvpp, paper_calculator)
+        chosen = {v.vertex_id for v in result.materialized}
+        for vertex in result.materialized:
+            parents = paper_mvpp.parents_of(vertex)
+            assert not parents or not all(
+                p.vertex_id in chosen for p in parents
+            )
+
+    def test_works_on_every_rotation(self, paper_mvpps):
+        for mvpp in paper_mvpps:
+            calc = MVPPCostCalculator(mvpp)
+            result = select_views(mvpp, calc)
+            assert calc.breakdown(result.materialized).total <= calc.breakdown(()).total
+
+
+class TestSyntheticWorkloads:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_worse_than_all_virtual(self, seed):
+        from repro.mvpp.generation import generate_mvpps
+        from repro.workload import GeneratorConfig, generate_workload
+
+        workload = generate_workload(
+            GeneratorConfig(num_relations=5, num_queries=4, seed=seed)
+        ).workload
+        mvpp = generate_mvpps(workload, rotations=1)[0]
+        calc = MVPPCostCalculator(mvpp)
+        result = select_views(mvpp, calc)
+        assert (
+            calc.breakdown(result.materialized).total
+            <= calc.breakdown(()).total + 1e-9
+        )

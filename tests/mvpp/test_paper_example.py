@@ -1,0 +1,136 @@
+"""Reproduction assertions for the paper's worked example.
+
+These tests pin the qualitative claims of Table 2 and Section 4.3 on the
+paper-seeded MVPP (first rotation, Q4's plan merged first — the paper's
+list order):
+
+* the Figure-9 heuristic materializes exactly the two shared
+  intermediates — the Product⋈σ(Division) node ("tmp2") and the
+  Order⋈Customer node ("tmp4");
+* that strategy beats every other Table-2 row;
+* materializing all queries minimizes query cost but maximizes
+  maintenance; keeping everything virtual does the reverse;
+* the Section-4.3 trace accepts the Order⋈Customer node first.
+"""
+
+import pytest
+
+from repro.algebra.operators import Join
+from repro.mvpp import strategies
+from repro.mvpp.cost import MVPPCostCalculator
+from repro.mvpp.exhaustive import exhaustive_optimal
+from repro.mvpp.materialization import select_views
+
+
+def join_over(mvpp, bases):
+    for vertex in mvpp.operations:
+        if isinstance(vertex.operator, Join) and vertex.operator.base_relations() == frozenset(bases):
+            return vertex
+    raise AssertionError(f"no join vertex over {bases}")
+
+
+@pytest.fixture(scope="module")
+def tmp2(paper_mvpp):
+    """The paper's tmp2: Product ⋈ σ(Division)."""
+    return join_over(paper_mvpp, {"Product", "Division"})
+
+
+@pytest.fixture(scope="module")
+def tmp4(paper_mvpp):
+    """The paper's tmp4 (Section 4.3 numbering): Order ⋈ Customer."""
+    return join_over(paper_mvpp, {"Order", "Customer"})
+
+
+@pytest.fixture(scope="module")
+def tmp6(paper_mvpp):
+    """The paper's tmp6: the four-way join feeding Q3."""
+    return join_over(paper_mvpp, {"Product", "Division", "Order", "Customer"})
+
+
+class TestSharedStructure:
+    def test_tmp2_shared_by_q1_q2_q3(self, paper_mvpp, tmp2):
+        queries = {q.name for q in paper_mvpp.queries_using(tmp2)}
+        assert queries == {"Q1", "Q2", "Q3"}
+
+    def test_tmp4_shared_by_q3_q4(self, paper_mvpp, tmp4):
+        queries = {q.name for q in paper_mvpp.queries_using(tmp4)}
+        assert queries == {"Q3", "Q4"}
+
+    def test_tmp6_only_q3(self, paper_mvpp, tmp6):
+        assert {q.name for q in paper_mvpp.queries_using(tmp6)} == {"Q3"}
+
+
+class TestSection43Trace:
+    def test_heuristic_selects_exactly_tmp2_and_tmp4(
+        self, paper_mvpp, tmp2, tmp4
+    ):
+        calc = MVPPCostCalculator(paper_mvpp)
+        result = select_views(paper_mvpp, calc)
+        assert {v.vertex_id for v in result.materialized} == {
+            tmp2.vertex_id,
+            tmp4.vertex_id,
+        }
+
+    def test_tmp4_analog_accepted_first(self, paper_mvpp, tmp4):
+        """Section 4.3 starts with tmp4 — the highest-weight node."""
+        calc = MVPPCostCalculator(paper_mvpp)
+        result = select_views(paper_mvpp, calc)
+        first = result.trace[0]
+        assert first.decision == "materialize"
+        assert first.vertex == tmp4.name
+
+    def test_query_result_nodes_rejected(self, paper_mvpp):
+        """The paper rejects result4 (materializing Q4's own result)."""
+        calc = MVPPCostCalculator(paper_mvpp)
+        result = select_views(paper_mvpp, calc)
+        chosen = {v.vertex_id for v in result.materialized}
+        for root in paper_mvpp.roots:
+            assert paper_mvpp.children_of(root)[0].vertex_id not in chosen
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self, paper_mvpp, tmp2, tmp4, tmp6):
+        calc = MVPPCostCalculator(paper_mvpp)
+        return {
+            "virtual": strategies.materialize_nothing(paper_mvpp, calc),
+            "tmp2_tmp4_tmp6": strategies.custom(
+                paper_mvpp, calc, "x", [tmp2.name, tmp4.name, tmp6.name]
+            ),
+            "tmp2_tmp6": strategies.custom(
+                paper_mvpp, calc, "x", [tmp2.name, tmp6.name]
+            ),
+            "tmp2_tmp4": strategies.custom(
+                paper_mvpp, calc, "x", [tmp2.name, tmp4.name]
+            ),
+            "queries": strategies.materialize_all_queries(paper_mvpp, calc),
+        }
+
+    def test_tmp2_tmp4_is_best_listed_strategy(self, rows):
+        best = min(rows.values(), key=lambda r: r.total_cost)
+        assert best is rows["tmp2_tmp4"]
+
+    def test_all_virtual_zero_maintenance_worst_queries(self, rows):
+        virtual = rows["virtual"]
+        assert virtual.maintenance_cost == 0.0
+        assert virtual.query_cost == max(r.query_cost for r in rows.values())
+
+    def test_materialize_queries_min_query_max_maintenance(self, rows):
+        queries = rows["queries"]
+        assert queries.query_cost == min(r.query_cost for r in rows.values())
+        assert queries.maintenance_cost == max(
+            r.maintenance_cost for r in rows.values()
+        )
+
+    def test_shared_pair_beats_naive_extremes_substantially(self, rows):
+        assert rows["tmp2_tmp4"].total_cost < 0.5 * rows["virtual"].total_cost
+        assert rows["tmp2_tmp4"].total_cost < rows["queries"].total_cost
+
+
+class TestOptimality:
+    def test_heuristic_matches_exhaustive_on_example(self, paper_mvpp):
+        calc = MVPPCostCalculator(paper_mvpp)
+        heuristic = select_views(paper_mvpp, calc)
+        heuristic_cost = calc.breakdown(heuristic.materialized).total
+        _, best = exhaustive_optimal(paper_mvpp, calc, max_candidates=16)
+        assert heuristic_cost <= 1.05 * best.total

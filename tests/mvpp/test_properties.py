@@ -1,0 +1,131 @@
+"""Property-based tests for the MVPP design pipeline on random workloads.
+
+Invariants:
+
+* the cost calculator is monotone in the sense that materializing a
+  vertex never *increases* pure query-processing cost;
+* the Figure-9 heuristic never produces a design worse than all-virtual;
+* every generated MVPP preserves each query's base relations and output
+  schema;
+* total cost decomposes exactly into query + maintenance parts.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mvpp.cost import MVPPCostCalculator, PER_BASE, PER_PERIOD
+from repro.mvpp.generation import generate_mvpps, prepare_queries
+from repro.mvpp.materialization import select_views
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.sql.translator import parse_query
+from repro.workload.generator import GeneratorConfig, generate_workload
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build(seed):
+    workload = generate_workload(
+        GeneratorConfig(
+            num_relations=5,
+            num_queries=4,
+            max_query_relations=3,
+            seed=seed,
+        )
+    ).workload
+    mvpp = generate_mvpps(workload, rotations=1)[0]
+    return workload, mvpp
+
+
+@SLOW
+@given(st.integers(min_value=0, max_value=10_000))
+def test_materializing_never_increases_query_cost(seed):
+    _, mvpp = build(seed)
+    calc = MVPPCostCalculator(mvpp)
+    baseline = calc.query_processing_cost(frozenset())
+    for vertex in mvpp.operations:
+        assert (
+            calc.query_processing_cost(frozenset({vertex.vertex_id}))
+            <= baseline + 1e-6
+        )
+
+
+@SLOW
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from([PER_PERIOD, PER_BASE]),
+)
+def test_refined_heuristic_never_worse_than_all_virtual(seed, trigger):
+    _, mvpp = build(seed)
+    calc = MVPPCostCalculator(mvpp, trigger)
+    result = select_views(mvpp, calc, refine=True)
+    assert (
+        calc.breakdown(result.materialized).total
+        <= calc.breakdown(()).total + 1e-6
+    )
+
+
+@SLOW
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from([PER_PERIOD, PER_BASE]),
+)
+def test_faithful_heuristic_within_tolerance_of_all_virtual(seed, trigger):
+    """The paper's Cs formula ignores the B(v) scan cost of a stored view,
+    so the faithful heuristic may overshoot all-virtual — but only by the
+    scan costs of the chosen views, never catastrophically."""
+    _, mvpp = build(seed)
+    calc = MVPPCostCalculator(mvpp, trigger)
+    result = select_views(mvpp, calc)
+    chosen = calc.breakdown(result.materialized).total
+    virtual = calc.breakdown(()).total
+    assert chosen <= 1.05 * virtual + 1e-6
+
+
+@SLOW
+@given(st.integers(min_value=0, max_value=10_000))
+def test_generated_mvpp_preserves_query_semantics_statically(seed):
+    workload, mvpp = build(seed)
+    for spec in workload.queries:
+        original = parse_query(spec.sql, workload.catalog)
+        in_mvpp = mvpp.query_root(spec.name).operator
+        assert in_mvpp.base_relations() == original.base_relations()
+        assert set(in_mvpp.schema.attribute_names) == set(
+            original.schema.attribute_names
+        )
+
+
+@SLOW
+@given(st.integers(min_value=0, max_value=10_000))
+def test_breakdown_decomposition(seed):
+    _, mvpp = build(seed)
+    calc = MVPPCostCalculator(mvpp)
+    chosen = mvpp.operations[: max(1, len(mvpp.operations) // 2)]
+    breakdown = calc.breakdown(chosen)
+    ids = frozenset(v.vertex_id for v in chosen)
+    assert breakdown.query_processing == calc.query_processing_cost(ids)
+    assert breakdown.maintenance == calc.maintenance_cost(ids)
+    assert breakdown.total == breakdown.query_processing + breakdown.maintenance
+
+
+@SLOW
+@given(st.integers(min_value=0, max_value=10_000))
+def test_weights_match_incremental_saving_on_empty_set(seed):
+    _, mvpp = build(seed)
+    calc = MVPPCostCalculator(mvpp)
+    for vertex in mvpp.operations:
+        assert abs(
+            calc.weight(vertex) - calc.incremental_saving(vertex, frozenset())
+        ) <= 1e-6 * max(1.0, abs(calc.weight(vertex)))
+
+
+@SLOW
+@given(st.integers(min_value=0, max_value=10_000))
+def test_rank_ordering_is_stable_under_preparation(seed):
+    workload, _ = build(seed)
+    estimator = CardinalityEstimator(workload.statistics)
+    a = [i.spec.name for i in sorted(prepare_queries(workload, estimator), key=lambda i: -i.rank)]
+    b = [i.spec.name for i in sorted(prepare_queries(workload, estimator), key=lambda i: -i.rank)]
+    assert a == b

@@ -1,0 +1,103 @@
+"""Unit tests for space-constrained view selection."""
+
+import pytest
+
+from repro.mvpp.cost import MVPPCostCalculator
+from repro.mvpp.exhaustive import exhaustive_optimal, greedy_forward
+from repro.mvpp.materialization import select_views
+
+
+def total_blocks(vertices):
+    return sum(v.stats.blocks for v in vertices)
+
+
+class TestHeuristicBudget:
+    def test_unbounded_equals_default(self, paper_mvpp, paper_calculator):
+        bounded = select_views(
+            paper_mvpp, paper_calculator, space_budget=float("inf")
+        )
+        default = select_views(paper_mvpp, paper_calculator)
+        assert bounded.names == default.names
+
+    def test_budget_respected(self, paper_mvpp, paper_calculator):
+        unbounded = select_views(paper_mvpp, paper_calculator)
+        full_size = total_blocks(unbounded.materialized)
+        budget = full_size / 2
+        bounded = select_views(
+            paper_mvpp, paper_calculator, space_budget=budget
+        )
+        assert total_blocks(bounded.materialized) <= budget
+
+    def test_zero_budget_selects_nothing(self, paper_mvpp, paper_calculator):
+        bounded = select_views(paper_mvpp, paper_calculator, space_budget=0)
+        assert bounded.materialized == []
+        assert any(s.decision == "skip-budget" for s in bounded.trace)
+
+    def test_negative_budget_rejected(self, paper_mvpp, paper_calculator):
+        with pytest.raises(ValueError):
+            select_views(paper_mvpp, paper_calculator, space_budget=-1)
+
+    def test_skipping_does_not_prune_branch(self, paper_mvpp, paper_calculator):
+        """A vertex skipped for size must not drag its (smaller) relatives
+        out of consideration: with a tight budget the heuristic still
+        materializes *something* profitable if anything fits."""
+        unbounded = select_views(paper_mvpp, paper_calculator)
+        smallest = min(
+            (v for v in paper_mvpp.operations if paper_calculator.weight(v) > 0),
+            key=lambda v: v.stats.blocks,
+        )
+        bounded = select_views(
+            paper_mvpp, paper_calculator, space_budget=smallest.stats.blocks
+        )
+        # The smallest positive-weight vertex fits, so if it alone is
+        # profitable the result is non-empty; in any case nothing exceeds
+        # the budget.
+        assert total_blocks(bounded.materialized) <= smallest.stats.blocks
+
+    def test_cost_degrades_gracefully(self, paper_mvpp, paper_calculator):
+        """Tighter budgets can only increase the achieved total cost."""
+        unbounded = select_views(paper_mvpp, paper_calculator, refine=True)
+        full_cost = paper_calculator.breakdown(unbounded.materialized).total
+        full_size = total_blocks(unbounded.materialized)
+        previous = full_cost
+        for fraction in (1.0, 0.5, 0.1, 0.0):
+            bounded = select_views(
+                paper_mvpp,
+                paper_calculator,
+                refine=True,
+                space_budget=full_size * fraction,
+            )
+            cost = paper_calculator.breakdown(bounded.materialized).total
+            assert cost + 1e-6 >= previous or fraction == 1.0
+            previous = cost
+
+
+class TestBaselineBudgets:
+    def test_greedy_budget_respected(self, paper_mvpp, paper_calculator):
+        unbounded, _ = greedy_forward(paper_mvpp, paper_calculator)
+        budget = total_blocks(unbounded) / 2 if unbounded else 0
+        bounded, _ = greedy_forward(
+            paper_mvpp, paper_calculator, space_budget=budget
+        )
+        assert total_blocks(bounded) <= budget
+
+    def test_exhaustive_budget_respected(self, paper_mvpp, paper_calculator):
+        chosen, _ = exhaustive_optimal(
+            paper_mvpp, paper_calculator, max_candidates=16, space_budget=500
+        )
+        assert total_blocks(chosen) <= 500
+
+    def test_exhaustive_budget_optimal_dominates_heuristic(
+        self, paper_mvpp, paper_calculator
+    ):
+        budget = 5_000
+        _, best = exhaustive_optimal(
+            paper_mvpp, paper_calculator, max_candidates=16, space_budget=budget
+        )
+        heuristic = select_views(
+            paper_mvpp, paper_calculator, refine=True, space_budget=budget
+        )
+        assert (
+            best.total
+            <= paper_calculator.breakdown(heuristic.materialized).total + 1e-9
+        )

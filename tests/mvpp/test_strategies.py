@@ -1,0 +1,68 @@
+"""Unit tests for the named strategy suite (the Table-2 rows)."""
+
+import pytest
+
+from repro.errors import MVPPError
+from repro.mvpp import strategies
+
+
+class TestBasicStrategies:
+    def test_nothing_has_zero_maintenance(self, paper_mvpp, paper_calculator):
+        row = strategies.materialize_nothing(paper_mvpp, paper_calculator)
+        assert row.maintenance_cost == 0.0
+        assert row.materialized == ()
+
+    def test_all_queries_has_minimal_query_cost(self, paper_mvpp, paper_calculator):
+        row = strategies.materialize_all_queries(paper_mvpp, paper_calculator)
+        expected = sum(
+            root.frequency * paper_mvpp.children_of(root)[0].stats.blocks
+            for root in paper_mvpp.roots
+        )
+        assert row.query_cost == pytest.approx(expected)
+        assert len(row.materialized) == 4
+
+    def test_everything_materializes_all_operations(
+        self, paper_mvpp, paper_calculator
+    ):
+        row = strategies.materialize_everything(paper_mvpp, paper_calculator)
+        assert len(row.materialized) == len(paper_mvpp.operations)
+
+    def test_heuristic_row(self, paper_mvpp, paper_calculator):
+        row = strategies.heuristic(paper_mvpp, paper_calculator)
+        assert row.materialized  # the example has profitable views
+
+    def test_custom_by_name(self, paper_mvpp, paper_calculator):
+        vertex = paper_mvpp.operations[0]
+        row = strategies.custom(
+            paper_mvpp, paper_calculator, "just-one", [vertex.name]
+        )
+        assert row.materialized == (vertex.name,)
+
+    def test_custom_rejects_query_roots(self, paper_mvpp, paper_calculator):
+        with pytest.raises(MVPPError):
+            strategies.custom(paper_mvpp, paper_calculator, "bad", ["Q1"])
+
+
+class TestCompare:
+    def test_standard_suite(self, paper_mvpp, paper_calculator):
+        rows = strategies.compare(paper_mvpp, paper_calculator)
+        names = [r.name for r in rows]
+        assert "all-virtual" in names
+        assert "materialize-queries" in names
+        assert "heuristic (Fig.9)" in names
+
+    def test_extra_strategies_appended(self, paper_mvpp, paper_calculator):
+        vertex = paper_mvpp.operations[0]
+        rows = strategies.compare(
+            paper_mvpp, paper_calculator, extra={"mine": [vertex.name]}
+        )
+        assert rows[-1].name == "mine"
+
+    def test_heuristic_at_least_ties_naive_rows(
+        self, paper_mvpp, paper_calculator
+    ):
+        rows = {r.name: r for r in strategies.compare(paper_mvpp, paper_calculator)}
+        heuristic = rows["heuristic (Fig.9)"].total_cost
+        assert heuristic <= rows["all-virtual"].total_cost
+        assert heuristic <= rows["materialize-queries"].total_cost
+        assert heuristic <= rows["materialize-everything"].total_cost

@@ -1,0 +1,173 @@
+"""Unit tests for cardinality/selectivity estimation against Table 1."""
+
+import pytest
+
+from repro.algebra.expressions import column, compare, literal
+from repro.algebra.operators import (
+    Aggregate,
+    AggregateFunction,
+    AggregateSpec,
+    Join,
+    Project,
+    Relation,
+    Select,
+)
+from repro.algebra.predicates import conjunction, disjunction, negate
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.workload.example import Q3_DATE
+
+
+@pytest.fixture
+def relations(workload):
+    def leaf(name):
+        return Relation(name, workload.catalog.schema(name).qualify())
+
+    return {name: leaf(name) for name in workload.catalog.relation_names}
+
+
+class TestBaseRelations:
+    def test_table1_sizes(self, estimator, relations):
+        stats = estimator.estimate(relations["Product"])
+        assert stats.cardinality == 30_000 and stats.blocks == 3_000
+        stats = estimator.estimate(relations["Part"])
+        assert stats.cardinality == 80_000 and stats.blocks == 10_000
+
+
+class TestSelection:
+    def test_pinned_selectivity(self, estimator, relations):
+        sigma = Select(relations["Division"], compare("Division.city", "=", literal("LA")))
+        stats = estimator.estimate(sigma)
+        assert stats.cardinality == 100  # 5k * 0.02
+        assert stats.blocks == 10
+
+    def test_derived_equality_from_distinct(self, estimator, relations):
+        # Customer.city has 50 distinct values -> 1/50.
+        sigma = Select(relations["Customer"], compare("Customer.city", "=", literal("NY")))
+        assert estimator.estimate(sigma).cardinality == 400
+
+    def test_range_from_min_max(self, estimator, relations):
+        sigma = Select(relations["Order"], compare("Order.quantity", "<", 51))
+        stats = estimator.estimate(sigma)
+        assert 0.2 <= stats.cardinality / 50_000 <= 0.3
+
+    def test_conjunction_multiplies(self, estimator, relations):
+        predicate = conjunction(
+            [
+                compare("Order.quantity", ">", 100),
+                compare("Order.date", ">", Q3_DATE),
+            ]
+        )
+        sigma = Select(relations["Order"], predicate)
+        assert estimator.estimate(sigma).cardinality == 12_500  # 50k * .5 * .5
+
+    def test_disjunction_inclusion_exclusion(self, estimator, relations):
+        predicate = disjunction(
+            [
+                compare("Order.quantity", ">", 100),
+                compare("Order.date", ">", Q3_DATE),
+            ]
+        )
+        sigma = Select(relations["Order"], predicate)
+        assert estimator.estimate(sigma).cardinality == 37_500  # 1-(0.5*0.5)
+
+    def test_negation(self, estimator, relations):
+        sigma = Select(
+            relations["Order"], negate(compare("Order.quantity", ">", 100))
+        )
+        assert estimator.estimate(sigma).cardinality == 25_000
+
+    def test_not_equal(self, estimator, relations):
+        sigma = Select(relations["Division"], compare("Division.city", "!=", literal("LA")))
+        assert estimator.estimate(sigma).cardinality == 4_900
+
+
+class TestProjection:
+    def test_cardinality_unchanged_blocks_shrink(self, estimator, relations):
+        project = Project(relations["Product"], ["Product.Pid"])
+        stats = estimator.estimate(project)
+        assert stats.cardinality == 30_000
+        assert stats.blocks == 1_000  # 1 of 3 attributes kept
+
+
+class TestJoins:
+    def test_product_division(self, estimator, relations):
+        join = Join(
+            relations["Product"],
+            relations["Division"],
+            compare("Product.Did", "=", column("Division.Did")),
+        )
+        stats = estimator.estimate(join)
+        assert stats.cardinality == 30_000  # Table 1's ProductJoinDivision
+
+    def test_three_way(self, estimator, relations):
+        pd = Join(
+            relations["Product"],
+            relations["Division"],
+            compare("Product.Did", "=", column("Division.Did")),
+        )
+        pdp = Join(pd, relations["Part"], compare("Part.Pid", "=", column("Product.Pid")))
+        assert estimator.estimate(pdp).cardinality == 80_000  # Table 1
+
+    def test_order_customer(self, estimator, relations):
+        join = Join(
+            relations["Order"],
+            relations["Customer"],
+            compare("Order.Cid", "=", column("Customer.Cid")),
+        )
+        assert estimator.estimate(join).cardinality == 50_000
+
+    def test_cross_product(self, estimator, relations):
+        join = Join(relations["Division"], relations["Customer"])
+        assert estimator.estimate(join).cardinality == 5_000 * 20_000
+
+    def test_join_blocks_wider_tuples(self, estimator, relations):
+        join = Join(
+            relations["Product"],
+            relations["Division"],
+            compare("Product.Did", "=", column("Division.Did")),
+        )
+        stats = estimator.estimate(join)
+        # bf(Product)=10, bf(Division)=10 -> joined bf = 5 -> 6000 blocks.
+        assert stats.blocks == 6_000
+
+    def test_memoization_consistency(self, estimator, relations):
+        join = Join(
+            relations["Product"],
+            relations["Division"],
+            compare("Product.Did", "=", column("Division.Did")),
+        )
+        first = estimator.estimate(join)
+        second = estimator.estimate(
+            Join(
+                relations["Product"],
+                relations["Division"],
+                compare("Product.Did", "=", column("Division.Did")),
+            )
+        )
+        assert first == second
+
+
+class TestAggregateEstimation:
+    def test_group_by_known_distinct(self, estimator, relations):
+        agg = Aggregate(
+            relations["Division"],
+            ["Division.city"],
+            [AggregateSpec(AggregateFunction.COUNT, None, "n")],
+        )
+        assert estimator.estimate(agg).cardinality == 50
+
+    def test_global_aggregate_single_row(self, estimator, relations):
+        agg = Aggregate(
+            relations["Order"],
+            [],
+            [AggregateSpec(AggregateFunction.SUM, "Order.quantity", "s")],
+        )
+        assert estimator.estimate(agg).cardinality == 1
+
+    def test_groups_capped_by_input(self, estimator, relations):
+        agg = Aggregate(
+            relations["Division"],
+            ["Division.Did"],
+            [AggregateSpec(AggregateFunction.COUNT, None, "n")],
+        )
+        assert estimator.estimate(agg).cardinality == 5_000

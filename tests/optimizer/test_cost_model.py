@@ -1,0 +1,75 @@
+"""Unit tests for the block-access cost models."""
+
+import pytest
+
+from repro.algebra.expressions import column, compare, literal
+from repro.algebra.operators import Join, Project, Relation, Select
+from repro.optimizer.cost_model import (
+    HashJoinCostModel,
+    NestedLoopCostModel,
+    SortMergeCostModel,
+)
+
+
+@pytest.fixture
+def nodes(workload):
+    def leaf(name):
+        return Relation(name, workload.catalog.schema(name).qualify())
+
+    product, division = leaf("Product"), leaf("Division")
+    sigma = Select(division, compare("Division.city", "=", literal("LA")))
+    join = Join(product, sigma, compare("Product.Did", "=", column("Division.Did")))
+    return product, division, sigma, join
+
+
+class TestNestedLoop:
+    def test_leaf_is_free(self, nodes, estimator):
+        product, *_ = nodes
+        assert NestedLoopCostModel().local_cost(product, estimator) == 0.0
+
+    def test_select_costs_one_pass(self, nodes, estimator):
+        _, division, sigma, _ = nodes
+        assert NestedLoopCostModel().local_cost(sigma, estimator) == 500.0
+
+    def test_join_formula(self, nodes, estimator):
+        *_, join = nodes
+        # B(outer)=3000, B(inner)=B(sigma)=10: 3000 + 3000*10
+        assert NestedLoopCostModel().local_cost(join, estimator) == 33_000.0
+
+    def test_join_asymmetry(self, nodes, estimator):
+        product, _, sigma, _ = nodes
+        flipped = Join(
+            sigma, product, compare("Product.Did", "=", column("Division.Did"))
+        )
+        # outer=10 blocks: 10 + 10*3000 — much cheaper than the other order.
+        assert NestedLoopCostModel().local_cost(flipped, estimator) == 30_010.0
+
+    def test_project_costs_one_pass(self, nodes, estimator):
+        product, *_ = nodes
+        project = Project(product, ["Product.Pid"])
+        assert NestedLoopCostModel().local_cost(project, estimator) == 3_000.0
+
+    def test_scan_cost(self, nodes, estimator):
+        product, *_ = nodes
+        stats = estimator.estimate(product)
+        assert NestedLoopCostModel().scan_cost(stats) == 3_000.0
+
+
+class TestHashJoin:
+    def test_join_linear_in_inputs(self, nodes, estimator):
+        *_, join = nodes
+        assert HashJoinCostModel().local_cost(join, estimator) == 3 * (3_000 + 10)
+
+    def test_non_join_same_as_nested(self, nodes, estimator):
+        _, _, sigma, _ = nodes
+        assert HashJoinCostModel().local_cost(sigma, estimator) == 500.0
+
+
+class TestSortMerge:
+    def test_join_matches_formula(self, nodes, estimator):
+        import math
+
+        *_, join = nodes
+        cost = SortMergeCostModel().local_cost(join, estimator)
+        expected = 3_000 * math.log2(3_000) + 10 * math.log2(10) + 3_000 + 10
+        assert cost == pytest.approx(expected)

@@ -1,0 +1,145 @@
+"""Unit tests for join enumeration and the single-query pipeline."""
+
+import pytest
+
+from repro.algebra.expressions import column, compare, literal
+from repro.algebra.operators import Join, Relation, Select
+from repro.algebra.tree import find, leaves
+from repro.errors import OptimizerError
+from repro.optimizer.cost_model import NestedLoopCostModel
+from repro.optimizer.heuristics import optimize_query
+from repro.optimizer.join_order import best_join_tree
+from repro.optimizer.plans import AnnotatedPlan
+from repro.sql.translator import parse_query
+
+
+@pytest.fixture
+def leafs(workload):
+    def leaf(name):
+        return Relation(name, workload.catalog.schema(name).qualify())
+
+    return leaf
+
+
+class TestBestJoinTree:
+    def test_single_input_passthrough(self, leafs, estimator):
+        product = leafs("Product")
+        assert best_join_tree([product], [], estimator) is product
+
+    def test_empty_rejected(self, estimator):
+        with pytest.raises(OptimizerError):
+            best_join_tree([], [], estimator)
+
+    def test_two_way_picks_cheap_outer(self, leafs, estimator):
+        product = leafs("Product")
+        sigma = Select(leafs("Division"), compare("Division.city", "=", literal("LA")))
+        predicate = compare("Product.Did", "=", column("Division.Did"))
+        plan = best_join_tree([product, sigma], [predicate], estimator)
+        assert isinstance(plan, Join)
+        # Optimal nested-loop order puts the tiny filtered Division outer.
+        assert plan.left.signature == sigma.signature
+
+    def test_connected_order_avoids_cross_products(self, leafs, estimator):
+        product, division, part = (
+            leafs("Product"),
+            leafs("Division"),
+            leafs("Part"),
+        )
+        predicates = [
+            compare("Product.Did", "=", column("Division.Did")),
+            compare("Part.Pid", "=", column("Product.Pid")),
+        ]
+        plan = best_join_tree([product, division, part], predicates, estimator)
+        for join in find(plan, lambda n: isinstance(n, Join)):
+            assert join.condition is not None
+
+    def test_cross_product_when_unavoidable(self, leafs, estimator):
+        plan = best_join_tree(
+            [leafs("Division"), leafs("Customer")], [], estimator
+        )
+        assert isinstance(plan, Join)
+        assert plan.condition is None
+
+    def test_greedy_agrees_on_small_inputs(self, leafs, estimator):
+        inputs = [leafs("Product"), leafs("Division"), leafs("Part")]
+        predicates = [
+            compare("Product.Did", "=", column("Division.Did")),
+            compare("Part.Pid", "=", column("Product.Pid")),
+        ]
+        exact = best_join_tree(list(inputs), list(predicates), estimator)
+        greedy = best_join_tree(
+            list(inputs), list(predicates), estimator, max_dp_relations=1
+        )
+        cost = lambda p: AnnotatedPlan(p, estimator).total_cost  # noqa: E731
+        assert cost(greedy) <= 2 * cost(exact)
+        assert greedy.base_relations() == exact.base_relations()
+
+    def test_dp_never_worse_than_left_deep_in_given_order(
+        self, workload, leafs, estimator
+    ):
+        product, division, part = (
+            leafs("Product"),
+            leafs("Division"),
+            leafs("Part"),
+        )
+        predicates = [
+            compare("Product.Did", "=", column("Division.Did")),
+            compare("Part.Pid", "=", column("Product.Pid")),
+        ]
+        optimal = best_join_tree(
+            [part, product, division], list(predicates), estimator
+        )
+        naive = Join(
+            Join(part, product, predicates[1]), division, predicates[0]
+        )
+        cost = lambda p: AnnotatedPlan(p, estimator).total_cost  # noqa: E731
+        assert cost(optimal) <= cost(naive)
+
+
+class TestOptimizeQuery:
+    def test_selections_pushed_to_leaves(self, workload, estimator):
+        plan = parse_query(workload.query("Q1").sql, workload.catalog)
+        optimized = optimize_query(plan, estimator)
+        selects = find(optimized, lambda n: isinstance(n, Select))
+        assert selects and all(
+            isinstance(s.child, Relation) for s in selects
+        )
+
+    def test_output_schema_preserved(self, workload, estimator):
+        for spec in workload.queries:
+            plan = parse_query(spec.sql, workload.catalog)
+            optimized = optimize_query(plan, estimator)
+            assert (
+                optimized.schema.attribute_names == plan.schema.attribute_names
+            ), spec.name
+
+    def test_optimized_cost_not_worse(self, workload, estimator):
+        for spec in workload.queries:
+            plan = parse_query(spec.sql, workload.catalog)
+            optimized = optimize_query(plan, estimator)
+            assert (
+                AnnotatedPlan(optimized, estimator).total_cost
+                <= AnnotatedPlan(plan, estimator).total_cost + 1e-9
+            ), spec.name
+
+    def test_q3_keeps_all_relations(self, workload, estimator):
+        plan = parse_query(workload.query("Q3").sql, workload.catalog)
+        optimized = optimize_query(plan, estimator)
+        assert len(leaves(optimized)) == 4
+
+    def test_push_projections_flag(self, workload, estimator):
+        from repro.algebra.operators import Project
+
+        plan = parse_query(workload.query("Q1").sql, workload.catalog)
+        with_proj = optimize_query(plan, estimator, push_projections=True)
+        without = optimize_query(plan, estimator, push_projections=False)
+        count = lambda p: len(find(p, lambda n: isinstance(n, Project)))  # noqa: E731
+        assert count(with_proj) > count(without)
+
+    def test_aggregate_query_survives(self, workload, estimator):
+        plan = parse_query(
+            "SELECT Division.city, COUNT(*) AS n FROM Division GROUP BY Division.city",
+            workload.catalog,
+        )
+        optimized = optimize_query(plan, estimator)
+        assert optimized.schema.attribute_names == ("Division.city", "n")

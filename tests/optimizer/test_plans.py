@@ -1,0 +1,62 @@
+"""Unit tests for cost-annotated plans."""
+
+import pytest
+
+from repro.algebra.expressions import column, compare, literal
+from repro.algebra.operators import Join, Project, Relation, Select
+from repro.optimizer.plans import AnnotatedPlan
+
+
+@pytest.fixture
+def annotated(workload, estimator):
+    def leaf(name):
+        return Relation(name, workload.catalog.schema(name).qualify())
+
+    sigma = Select(leaf("Division"), compare("Division.city", "=", literal("LA")))
+    join = Join(sigma, leaf("Product"), compare("Product.Did", "=", column("Division.Did")))
+    plan = Project(join, ["Product.name"])
+    return AnnotatedPlan(plan, estimator), plan, sigma, join
+
+
+class TestAnnotatedPlan:
+    def test_cumulative_is_sum_of_locals(self, annotated):
+        plan_obj, plan, sigma, join = annotated
+        total = sum(cost.local for _, cost in plan_obj.walk_costs())
+        assert plan_obj.total_cost == pytest.approx(total)
+
+    def test_leaf_cumulative_zero(self, annotated, workload):
+        plan_obj, plan, *_ = annotated
+        leaf = [n for n in plan.walk() if isinstance(n, Relation)][0]
+        assert plan_obj.cumulative_cost(leaf) == 0.0
+
+    def test_monotone_up_the_tree(self, annotated):
+        plan_obj, plan, sigma, join = annotated
+        assert (
+            plan_obj.cumulative_cost(sigma)
+            <= plan_obj.cumulative_cost(join)
+            <= plan_obj.total_cost
+        )
+
+    def test_known_values(self, annotated):
+        plan_obj, plan, sigma, join = annotated
+        assert plan_obj.local_cost(sigma) == 500.0  # scan Division
+        # join: outer sigma 10 blocks, inner Product 3000 blocks
+        assert plan_obj.local_cost(join) == 10 + 10 * 3000
+
+    def test_output_stats(self, annotated):
+        plan_obj, *_ = annotated
+        assert plan_obj.output_stats.cardinality == 600
+
+    def test_node_cost_for_equal_subtree(self, annotated, workload):
+        plan_obj, plan, sigma, _ = annotated
+        # A structurally identical node (not the same object) resolves.
+        clone = Select(
+            Relation("Division", workload.catalog.schema("Division").qualify()),
+            compare("Division.city", "=", literal("LA")),
+        )
+        assert plan_obj.node_cost(clone).local == 500.0
+
+    def test_describe_contains_costs(self, annotated):
+        plan_obj, *_ = annotated
+        text = plan_obj.describe()
+        assert "Ca=" in text and "rows=" in text

@@ -1,0 +1,106 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:3]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:3])
+
+    def test_identifiers_preserve_case(self):
+        assert values("Product pId _x")[0:3] == ["Product", "pId", "_x"]
+
+    def test_eof_is_last(self):
+        assert kinds("SELECT")[-1] is TokenType.EOF
+
+    def test_empty_input(self):
+        assert kinds("") == [TokenType.EOF]
+
+    def test_whitespace_ignored(self):
+        assert values("  a ,\n\t b ") == ["a", ",", "b"]
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER and token.value == 42
+
+    def test_float(self):
+        token = tokenize("4.25")[0]
+        assert token.value == 4.25
+
+    def test_qualified_name_not_float(self):
+        # "R1.x" must lex as IDENT DOT IDENT, not a float.
+        types = kinds("R1.x")[:-1]
+        assert types == [TokenType.IDENT, TokenType.DOT, TokenType.IDENT]
+
+    def test_number_then_dot_ident(self):
+        # "1.x" lexes 1, DOT, x rather than failing.
+        types = kinds("1.x")[:-1]
+        assert types == [TokenType.NUMBER, TokenType.DOT, TokenType.IDENT]
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        token = tokenize("'LA'")[0]
+        assert token.type is TokenType.STRING and token.value == "LA"
+
+    def test_double_quoted(self):
+        assert tokenize('"SF"')[0].value == "SF"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("=", "="), ("<", "<"), ("<=", "<="), (">", ">"), (">=", ">="), ("!=", "!="), ("<>", "!=")],
+    )
+    def test_each_operator(self, text, expected):
+        token = tokenize(text)[0]
+        assert token.type is TokenType.OPERATOR and token.value == expected
+
+    def test_no_space_needed(self):
+        assert values("a<=3") == ["a", "<=", 3]
+
+
+class TestPunctuation:
+    def test_parens_comma_star_dot(self):
+        types = kinds("(a, b.*)")[:-1]
+        assert types == [
+            TokenType.LPAREN,
+            TokenType.IDENT,
+            TokenType.COMMA,
+            TokenType.IDENT,
+            TokenType.DOT,
+            TokenType.STAR,
+            TokenType.RPAREN,
+        ]
+
+    def test_invalid_character(self):
+        with pytest.raises(LexerError) as info:
+            tokenize("a @ b")
+        assert info.value.position == 2
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3

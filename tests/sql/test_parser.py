@@ -1,0 +1,148 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast_nodes import (
+    AggregateCall,
+    BooleanCondition,
+    ColumnName,
+    ComparisonCondition,
+    LiteralValue,
+    NotCondition,
+)
+from repro.sql.parser import parse
+
+
+class TestSelectList:
+    def test_star(self):
+        statement = parse("SELECT * FROM R")
+        assert statement.is_star
+
+    def test_columns(self):
+        statement = parse("SELECT a, R.b FROM R")
+        assert statement.select_items[0].expression == ColumnName(None, "a")
+        assert statement.select_items[1].expression == ColumnName("R", "b")
+
+    def test_aggregate_calls(self):
+        statement = parse("SELECT COUNT(*), SUM(R.x) AS total FROM R")
+        count, total = statement.select_items
+        assert count.expression == AggregateCall("count", None)
+        assert total.expression == AggregateCall("sum", ColumnName("R", "x"))
+        assert total.alias == "total"
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT SUM(*) FROM R")
+
+    def test_has_aggregates_flag(self):
+        assert parse("SELECT COUNT(*) FROM R").has_aggregates
+        assert not parse("SELECT a FROM R").has_aggregates
+
+
+class TestFrom:
+    def test_multiple_tables(self):
+        statement = parse("SELECT * FROM A, B, C")
+        assert [t.name for t in statement.tables] == ["A", "B", "C"]
+
+    def test_alias(self):
+        statement = parse("SELECT * FROM Product Pd")
+        assert statement.tables[0].name == "Product"
+        assert statement.tables[0].binding == "Pd"
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a")
+
+
+class TestWhere:
+    def test_simple_comparison(self):
+        statement = parse("SELECT * FROM R WHERE R.a > 5")
+        condition = statement.where
+        assert isinstance(condition, ComparisonCondition)
+        assert condition.op == ">"
+        assert condition.right == LiteralValue(5)
+
+    def test_and_chain(self):
+        statement = parse("SELECT * FROM R WHERE a > 1 AND b < 2 AND c = 3")
+        assert isinstance(statement.where, BooleanCondition)
+        assert statement.where.op == "and"
+        assert len(statement.where.parts) == 3
+
+    def test_or_binds_weaker_than_and(self):
+        statement = parse("SELECT * FROM R WHERE a = 1 AND b = 2 OR c = 3")
+        top = statement.where
+        assert isinstance(top, BooleanCondition) and top.op == "or"
+        assert isinstance(top.parts[0], BooleanCondition)
+        assert top.parts[0].op == "and"
+
+    def test_parentheses_override(self):
+        statement = parse("SELECT * FROM R WHERE a = 1 AND (b = 2 OR c = 3)")
+        top = statement.where
+        assert top.op == "and"
+        assert isinstance(top.parts[1], BooleanCondition)
+        assert top.parts[1].op == "or"
+
+    def test_not(self):
+        statement = parse("SELECT * FROM R WHERE NOT a = 1")
+        assert isinstance(statement.where, NotCondition)
+
+    def test_string_literal(self):
+        statement = parse("SELECT * FROM R WHERE city = 'LA'")
+        assert statement.where.right == LiteralValue("LA")
+
+    def test_literal_on_left(self):
+        statement = parse("SELECT * FROM R WHERE 5 < a")
+        assert statement.where.left == LiteralValue(5)
+
+    def test_column_to_column(self):
+        statement = parse("SELECT * FROM A, B WHERE A.x = B.y")
+        assert statement.where.left == ColumnName("A", "x")
+        assert statement.where.right == ColumnName("B", "y")
+
+    def test_missing_operand(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM R WHERE a >")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM R WHERE (a = 1")
+
+
+class TestGroupBy:
+    def test_group_by_columns(self):
+        statement = parse(
+            "SELECT R.a, COUNT(*) FROM R GROUP BY R.a"
+        )
+        assert statement.group_by == (ColumnName("R", "a"),)
+
+    def test_group_by_multiple(self):
+        statement = parse("SELECT a, b, COUNT(*) FROM R GROUP BY a, b")
+        assert len(statement.group_by) == 2
+
+    def test_group_without_by(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM R GROUP a")
+
+
+class TestWholeStatement:
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM R extra ,")
+
+    def test_paper_query3_parses(self):
+        sql = (
+            "SELECT Customer.name, Product.name, quantity "
+            "FROM Product, Division, Order, Customer "
+            "WHERE Division.city = 'LA' AND Product.Did = Division.Did "
+            "AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid "
+            "AND date > '1996-07-01'"
+        )
+        statement = parse(sql)
+        assert len(statement.tables) == 4
+        assert len(statement.where.parts) == 5
+
+    def test_str_round_trip_reparses(self):
+        sql = "SELECT a, COUNT(*) AS n FROM R, S WHERE R.x = S.y AND a > 3 GROUP BY a"
+        statement = parse(sql)
+        assert parse(str(statement)) == statement

@@ -1,0 +1,168 @@
+"""Unit tests for SQL → algebra translation."""
+
+import datetime
+
+import pytest
+
+from repro.algebra.expressions import Comparison, Literal, Or
+from repro.algebra.operators import Aggregate, Join, Project, Relation, Select
+from repro.algebra.tree import find, leaves
+from repro.catalog.datatypes import DataType
+from repro.errors import TranslationError, UnknownRelationError
+from repro.sql.translator import parse_query
+
+
+@pytest.fixture
+def catalog(workload):
+    return workload.catalog
+
+
+class TestResolution:
+    def test_unknown_table(self, catalog):
+        with pytest.raises(UnknownRelationError):
+            parse_query("SELECT a FROM Nope", catalog)
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(TranslationError):
+            parse_query("SELECT missing FROM Product", catalog)
+
+    def test_unqualified_unique_column_qualified(self, catalog):
+        plan = parse_query("SELECT Pid FROM Product", catalog)
+        assert plan.schema.attribute_names == ("Product.Pid",)
+
+    def test_ambiguous_column_rejected(self, catalog):
+        # 'name' exists in both Product and Division.
+        with pytest.raises(TranslationError):
+            parse_query("SELECT name FROM Product, Division", catalog)
+
+    def test_alias_binding(self, catalog):
+        plan = parse_query("SELECT Pd.name FROM Product Pd", catalog)
+        assert plan.schema.attribute_names == ("Product.name",)
+
+    def test_self_join_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            parse_query("SELECT * FROM Product, Product", catalog)
+
+    def test_unknown_table_binding_in_column(self, catalog):
+        with pytest.raises(TranslationError):
+            parse_query("SELECT Zz.name FROM Product", catalog)
+
+
+class TestLiteralTyping:
+    def test_date_literal_coerced(self, catalog):
+        plan = parse_query(
+            "SELECT Pid FROM Order WHERE date > '1996-07-01'", catalog
+        )
+        select = find(plan, lambda n: isinstance(n, Select))[0]
+        assert isinstance(select.predicate, Comparison)
+        literal = select.predicate.right
+        assert isinstance(literal, Literal)
+        assert literal.value == datetime.date(1996, 7, 1)
+        assert literal.datatype is DataType.DATE
+
+    def test_bad_date_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            parse_query("SELECT Pid FROM Order WHERE date > 'soon'", catalog)
+
+    def test_string_against_int_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            parse_query("SELECT Pid FROM Order WHERE quantity > 'many'", catalog)
+
+    def test_int_against_int(self, catalog):
+        plan = parse_query("SELECT Pid FROM Order WHERE quantity > 100", catalog)
+        assert find(plan, lambda n: isinstance(n, Select))
+
+
+class TestPlanShape:
+    def test_single_table_no_join(self, catalog):
+        plan = parse_query("SELECT name FROM Product", catalog)
+        assert not find(plan, lambda n: isinstance(n, Join))
+
+    def test_join_tree_connected_by_predicates(self, catalog):
+        plan = parse_query(
+            "SELECT Product.name FROM Product, Division "
+            "WHERE Product.Did = Division.Did",
+            catalog,
+        )
+        joins = find(plan, lambda n: isinstance(n, Join))
+        assert len(joins) == 1
+        assert joins[0].condition is not None
+
+    def test_three_way_join_no_cross_product(self, catalog):
+        plan = parse_query(
+            "SELECT Part.name FROM Product, Part, Division "
+            "WHERE Division.city = 'LA' AND Product.Did = Division.Did "
+            "AND Part.Pid = Product.Pid",
+            catalog,
+        )
+        joins = find(plan, lambda n: isinstance(n, Join))
+        assert len(joins) == 2
+        assert all(j.condition is not None for j in joins)
+
+    def test_unconnected_tables_cross_product(self, catalog):
+        plan = parse_query("SELECT Product.name FROM Product, Customer", catalog)
+        joins = find(plan, lambda n: isinstance(n, Join))
+        assert len(joins) == 1
+        assert joins[0].condition is None
+
+    def test_selection_above_joins(self, catalog):
+        plan = parse_query(
+            "SELECT Product.name FROM Product, Division "
+            "WHERE Product.Did = Division.Did AND Division.city = 'LA'",
+            catalog,
+        )
+        # Canonical initial form: Project(Select(Join(...)))
+        assert isinstance(plan, Project)
+        assert isinstance(plan.child, Select)
+
+    def test_disjunctive_where(self, catalog):
+        plan = parse_query(
+            "SELECT Pid FROM Order WHERE quantity > 100 OR date > '1996-07-01'",
+            catalog,
+        )
+        select = find(plan, lambda n: isinstance(n, Select))[0]
+        assert isinstance(select.predicate, Or)
+
+    def test_leaves_are_qualified(self, catalog):
+        plan = parse_query("SELECT name FROM Product", catalog)
+        leaf = leaves(plan)[0]
+        assert leaf.schema.attribute_names[0].startswith("Product.")
+
+
+class TestAggregation:
+    def test_group_by_plan(self, catalog):
+        plan = parse_query(
+            "SELECT Division.city, COUNT(*) AS n FROM Division GROUP BY Division.city",
+            catalog,
+        )
+        aggregates = find(plan, lambda n: isinstance(n, Aggregate))
+        assert len(aggregates) == 1
+        assert plan.schema.attribute_names == ("Division.city", "n")
+
+    def test_non_grouped_column_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            parse_query(
+                "SELECT Division.name, COUNT(*) FROM Division GROUP BY Division.city",
+                catalog,
+            )
+
+    def test_global_aggregate(self, catalog):
+        plan = parse_query("SELECT COUNT(*) AS n FROM Product", catalog)
+        assert plan.schema.attribute_names == ("n",)
+
+    def test_plain_column_alias_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            parse_query("SELECT name AS product_name FROM Product", catalog)
+
+
+class TestPaperQueries:
+    def test_all_four_translate(self, workload):
+        for spec in workload.queries:
+            plan = parse_query(spec.sql, workload.catalog)
+            assert plan.schema.arity >= 1
+
+    def test_q3_has_four_relations(self, workload):
+        plan = parse_query(workload.query("Q3").sql, workload.catalog)
+        assert plan.base_relations() == frozenset(
+            {"Product", "Division", "Order", "Customer"}
+        )

@@ -1,0 +1,59 @@
+"""Unit tests for block I/O accounting."""
+
+import pytest
+
+from repro.storage.block import IOCounter, block_count
+
+
+class TestIOCounter:
+    def test_counts_accumulate(self):
+        io = IOCounter()
+        io.read_blocks(3)
+        io.read_blocks(2)
+        io.write_blocks(1)
+        assert io.reads == 5 and io.writes == 1
+
+    def test_negative_rejected(self):
+        io = IOCounter()
+        with pytest.raises(ValueError):
+            io.read_blocks(-1)
+        with pytest.raises(ValueError):
+            io.write_blocks(-1)
+
+    def test_snapshot_is_immutable_copy(self):
+        io = IOCounter()
+        io.read_blocks(2)
+        snap = io.snapshot()
+        io.read_blocks(5)
+        assert snap.reads == 2
+        assert io.reads == 7
+
+    def test_since(self):
+        io = IOCounter()
+        io.read_blocks(2)
+        snap = io.snapshot()
+        io.read_blocks(3)
+        io.write_blocks(4)
+        delta = io.since(snap)
+        assert delta.reads == 3 and delta.writes == 4
+        assert delta.total == 7
+
+    def test_reset(self):
+        io = IOCounter()
+        io.read_blocks(9)
+        io.reset()
+        assert io.reads == 0 and io.writes == 0
+
+
+class TestBlockCount:
+    def test_zero_rows(self):
+        assert block_count(0, 10) == 0
+
+    def test_exact_fit(self):
+        assert block_count(20, 10) == 2
+
+    def test_partial_block_rounds_up(self):
+        assert block_count(21, 10) == 3
+
+    def test_fractional_blocking_factor(self):
+        assert block_count(10, 2.5) == 4

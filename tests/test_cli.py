@@ -1,0 +1,138 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWorkloadsCommand:
+    def test_lists_builtins(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper", "paper-fig7", "star", "synthetic"):
+            assert name in out
+
+
+class TestDesignCommand:
+    def test_paper_design(self, capsys):
+        assert main(["design", "--workload", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "materialize:" in out
+        assert "total=" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        target = tmp_path / "design.json"
+        assert main(["design", "--workload", "paper", "--json", str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert data["materialized_names"]
+        assert data["cost"]["total"] > 0
+
+    def test_synthetic_design(self, capsys):
+        assert (
+            main(
+                [
+                    "design",
+                    "--workload",
+                    "synthetic",
+                    "--seed",
+                    "3",
+                    "--relations",
+                    "4",
+                    "--queries",
+                    "3",
+                    "--rotations",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "chosen MVPP" in capsys.readouterr().out
+
+    def test_star_design(self, capsys):
+        assert main(["design", "--workload", "star", "--queries", "3"]) == 0
+
+
+class TestCompareCommand:
+    def test_table(self, capsys):
+        assert main(["compare", "--workload", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "all-virtual" in out
+        assert "heuristic (Fig.9)" in out
+        assert "simulated-annealing" in out
+
+    def test_with_exhaustive(self, capsys):
+        assert main(["compare", "--workload", "paper", "--exhaustive"]) == 0
+        assert "exhaustive-optimal" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_output(self, capsys):
+        assert main(["trace", "--workload", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "materialize" in out
+        assert "M = {" in out
+
+
+class TestDotCommand:
+    def test_stdout(self, capsys):
+        assert main(["dot", "--workload", "paper", "--rotations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_file_output(self, tmp_path, capsys):
+        target = tmp_path / "mvpp.dot"
+        assert (
+            main(
+                [
+                    "dot",
+                    "--workload",
+                    "paper",
+                    "--rotations",
+                    "1",
+                    "--output",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert target.read_text().startswith("digraph")
+
+
+class TestErrors:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["design", "--workload", "nope"])
+
+
+class TestReportCommand:
+    def test_report_sections(self, capsys):
+        assert main(["report", "--workload", "paper", "--rotations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Chosen views" in out
+        assert "Drop-one sensitivity" in out
+
+
+class TestErrorExit:
+    def test_repro_error_exits_nonzero(self, capsys):
+        # compare --exhaustive on a large synthetic MVPP exceeds the 2^n
+        # cap and must exit 1 with a message on stderr.
+        code = main(
+            [
+                "compare",
+                "--workload",
+                "synthetic",
+                "--relations",
+                "10",
+                "--queries",
+                "12",
+                "--exhaustive",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,90 @@
+"""Unit tests for the exception hierarchy and top-level API surface."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_catalog_family(self):
+        assert issubclass(errors.UnknownRelationError, errors.CatalogError)
+        assert issubclass(errors.UnknownAttributeError, errors.CatalogError)
+        assert issubclass(errors.DuplicateRelationError, errors.CatalogError)
+
+    def test_sql_family(self):
+        assert issubclass(errors.LexerError, errors.SQLError)
+        assert issubclass(errors.ParseError, errors.SQLError)
+        assert issubclass(errors.TranslationError, errors.SQLError)
+
+    def test_mvpp_family(self):
+        assert issubclass(errors.CycleError, errors.MVPPError)
+
+    def test_messages_carry_context(self):
+        error = errors.UnknownRelationError("Orders")
+        assert "Orders" in str(error)
+        assert error.name == "Orders"
+        attribute_error = errors.UnknownAttributeError("city", "Division")
+        assert "city" in str(attribute_error)
+        assert "Division" in str(attribute_error)
+        lexer_error = errors.LexerError("bad char", 17)
+        assert lexer_error.position == 17
+        assert "17" in str(lexer_error)
+
+    def test_one_catch_all(self):
+        """A caller can guard any repro API with one except clause."""
+        from repro.catalog import Catalog
+
+        with pytest.raises(errors.ReproError):
+            Catalog().schema("nope")
+
+
+class TestTopLevelAPI:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_headline_exports(self):
+        import repro
+
+        for name in (
+            "DataWarehouse",
+            "MVPP",
+            "MVPPCostCalculator",
+            "design",
+            "generate_mvpps",
+            "paper_workload",
+            "select_views",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_all_list_is_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_lists_are_importable(self):
+        import importlib
+
+        for module_name in (
+            "repro.algebra",
+            "repro.analysis",
+            "repro.catalog",
+            "repro.distributed",
+            "repro.executor",
+            "repro.mvpp",
+            "repro.sql",
+            "repro.storage",
+            "repro.warehouse",
+            "repro.workload",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", ()):
+                assert hasattr(module, name), f"{module_name}.{name}"

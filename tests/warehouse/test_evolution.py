@@ -1,0 +1,103 @@
+"""Unit tests for design migration as workloads drift."""
+
+import pytest
+
+from repro.warehouse import DataWarehouse
+from repro.warehouse.evolution import plan_migration
+from repro.warehouse.view import MaterializedView
+from repro.workload import paper_rows, paper_workload
+
+
+@pytest.fixture()
+def loaded():
+    wh = DataWarehouse.from_workload(paper_workload())
+    wh.design()
+    for relation, rows in paper_rows(scale=0.01, seed=17).items():
+        wh.load(relation, rows)
+    wh.materialize()
+    return wh
+
+
+class TestPlanMigration:
+    def test_identical_sets_are_noop(self, loaded):
+        migration = plan_migration(loaded.views, loaded.views)
+        assert migration.is_noop
+        assert len(migration.keep) == len(loaded.views)
+
+    def test_signature_match_keeps_installed_identity(self, loaded):
+        renamed = [
+            MaterializedView(name=f"other_{i}", plan=v.plan)
+            for i, v in enumerate(loaded.views)
+        ]
+        migration = plan_migration(loaded.views, renamed)
+        assert migration.is_noop  # same plans -> nothing to create/drop
+        assert {v.name for v in migration.keep} == {
+            v.name for v in loaded.views
+        }
+
+    def test_disjoint_sets_create_and_drop(self, loaded, workload):
+        from repro.algebra.operators import Relation
+
+        new = [
+            MaterializedView(
+                name="mv_part",
+                plan=Relation("Part", workload.catalog.schema("Part").qualify()),
+            )
+        ]
+        migration = plan_migration(loaded.views, new)
+        assert len(migration.drop) == len(loaded.views)
+        assert [v.name for v in migration.create] == ["mv_part"]
+
+    def test_describe_lists_sections(self, loaded):
+        migration = plan_migration(loaded.views, [])
+        text = migration.describe()
+        assert "drop:" in text and "keep: (none)" in text
+
+
+class TestRedesign:
+    def test_same_workload_redesign_is_noop(self, loaded):
+        before_tables = set(loaded.database.table_names)
+        migration = loaded.redesign()
+        assert migration.is_noop
+        assert set(loaded.database.table_names) == before_tables
+        assert loaded.stale_views() == []  # kept views stay fresh
+
+    def test_drift_creates_and_drops(self, loaded):
+        """Flip the workload so only Q1 matters: the Order⋈Customer view
+        must be dropped and Q1's lineage kept or created."""
+        # Crank Q1, silence everything else.
+        loaded._queries = [
+            type(q)(q.name, q.sql, 50.0 if q.name == "Q1" else 0.0)
+            for q in loaded._queries
+        ]
+        loaded._design = None
+        migration = loaded.redesign()
+        assert not migration.is_noop
+        assert migration.drop  # the Q4-serving view goes away
+        for view in loaded.views:
+            assert view.base_relations <= {"Product", "Division"}
+        # Dropped tables are gone from the database.
+        for view in migration.drop:
+            assert view.name not in loaded.database
+
+    def test_created_views_are_materialized(self, loaded):
+        loaded._queries = [
+            type(q)(q.name, q.sql, 50.0 if q.name == "Q1" else 0.0)
+            for q in loaded._queries
+        ]
+        loaded._design = None
+        migration = loaded.redesign()
+        for view in loaded.views:
+            assert view.name in loaded.database
+        # Queries still answer correctly after the migration.
+        with_views, _ = loaded.execute("Q1", use_views=True)
+        without, _ = loaded.execute("Q1", use_views=False)
+        key = lambda t: sorted(  # noqa: E731
+            tuple(sorted(r.items())) for r in t.rows()
+        )
+        assert key(with_views) == key(without)
+
+    def test_design_clears_freshness(self, loaded):
+        assert loaded.stale_views() == []
+        loaded.design()  # plain design (not redesign) invalidates
+        assert loaded.stale_views()  # everything needs re-materializing

@@ -1,0 +1,85 @@
+"""Unit tests for the EXPLAIN facility."""
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.warehouse import DataWarehouse
+from repro.workload import paper_workload
+
+
+@pytest.fixture()
+def warehouse():
+    wh = DataWarehouse.from_workload(paper_workload())
+    wh.design()
+    return wh
+
+
+class TestExplain:
+    def test_shows_sql_and_cost(self, warehouse):
+        text = warehouse.explain("Q1")
+        assert "EXPLAIN Q1" in text
+        assert "SELECT" in text
+        assert "estimated cost:" in text
+
+    def test_lists_views_used(self, warehouse):
+        text = warehouse.explain("Q1", use_views=True)
+        assert "materialized views used: mv_" in text
+
+    def test_without_views(self, warehouse):
+        text = warehouse.explain("Q1", use_views=False)
+        assert "materialized views used: (none)" in text
+
+    def test_rewritten_plan_references_views(self, warehouse):
+        text = warehouse.explain("Q4", use_views=True)
+        assert "mv_" in text
+
+    def test_view_cost_lower_than_base_cost(self, warehouse):
+        def cost(text):
+            line = [l for l in text.splitlines() if "estimated cost" in l][0]
+            return float(line.split(":")[1].split()[0].replace(",", ""))
+
+        with_views = cost(warehouse.explain("Q4", use_views=True))
+        without = cost(warehouse.explain("Q4", use_views=False))
+        assert with_views <= without
+
+    def test_unknown_query_rejected(self, warehouse):
+        with pytest.raises(WarehouseError):
+            warehouse.explain("Q99")
+
+    def test_explain_before_design(self):
+        wh = DataWarehouse.from_workload(paper_workload())
+        text = wh.explain("Q1")
+        assert "estimated cost:" in text
+        assert "materialized views used: (none)" in text
+
+
+class TestProfile:
+    @pytest.fixture()
+    def loaded(self, warehouse):
+        from repro.workload import paper_rows
+
+        for relation, rows in paper_rows(scale=0.02, seed=9).items():
+            warehouse.load(relation, rows)
+        warehouse.materialize()
+        return warehouse
+
+    def test_profile_fields(self, loaded):
+        profile = loaded.profile("Q4")
+        assert profile.query == "Q4"
+        assert profile.measured_io >= 0
+        assert profile.measured_rows >= 0
+        assert profile.estimated_cost is not None
+
+    def test_profile_after_sync_tracks_measurement(self, loaded):
+        """With statistics synced to the loaded data, the estimate for a
+        base-data execution lands within an order of magnitude."""
+        loaded.sync_statistics()
+        profile = loaded.profile("Q4", use_views=False)
+        assert profile.cost_error is not None
+        assert 0.1 <= profile.cost_error <= 10.0
+
+    def test_profile_unknown_query(self, loaded):
+        from repro.errors import WarehouseError
+
+        with pytest.raises(WarehouseError):
+            loaded.profile("Q99")

@@ -1,0 +1,90 @@
+"""Unit tests for view freshness tracking and query-time policies."""
+
+import datetime
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.warehouse import DataWarehouse
+from repro.workload import paper_rows, paper_workload
+
+NEW_ORDER = {
+    "Pid": 1,
+    "Cid": 2,
+    "quantity": 199,
+    "date": datetime.date(1996, 10, 1),
+}
+
+
+@pytest.fixture()
+def warehouse():
+    wh = DataWarehouse.from_workload(paper_workload())
+    wh.design()
+    for relation, rows in paper_rows(scale=0.02, seed=23).items():
+        wh.load(relation, rows)
+    wh.materialize()
+    return wh
+
+
+class TestFreshnessTracking:
+    def test_fresh_after_materialize(self, warehouse):
+        assert warehouse.stale_views() == []
+
+    def test_stale_after_deferred_update(self, warehouse):
+        warehouse.apply_update("Order", [NEW_ORDER], policy="defer")
+        stale = warehouse.stale_views()
+        assert stale
+        assert all(v.depends_on("Order") for v in stale)
+
+    def test_unrelated_views_stay_fresh(self, warehouse):
+        warehouse.apply_update("Part", [
+            {"Tid": 10**6, "name": "P", "Pid": 0, "supplier": "S"}
+        ], policy="defer")
+        # Views over Order/Customer/Product/Division are unaffected.
+        assert all(v.depends_on("Part") for v in warehouse.stale_views())
+
+    def test_refresh_clears_staleness(self, warehouse):
+        warehouse.apply_update("Order", [NEW_ORDER], policy="defer")
+        warehouse.refresh()
+        assert warehouse.stale_views() == []
+
+    def test_maintaining_update_keeps_fresh(self, warehouse):
+        warehouse.apply_update("Order", [NEW_ORDER])  # recompute policy
+        assert warehouse.stale_views() == []
+
+
+class TestQueryTimePolicies:
+    def test_any_serves_stale_results(self, warehouse):
+        before, _ = warehouse.execute("Q4")
+        warehouse.apply_update("Order", [NEW_ORDER], policy="defer")
+        stale, _ = warehouse.execute("Q4", freshness="any")
+        assert stale.cardinality == before.cardinality  # misses the insert
+
+    def test_fresh_falls_back_to_base_data(self, warehouse):
+        before, _ = warehouse.execute("Q4")
+        warehouse.apply_update("Order", [NEW_ORDER], policy="defer")
+        fresh, _ = warehouse.execute("Q4", freshness="fresh")
+        assert fresh.cardinality == before.cardinality + 1
+
+    def test_refresh_policy_updates_then_serves(self, warehouse):
+        before, _ = warehouse.execute("Q4")
+        warehouse.apply_update("Order", [NEW_ORDER], policy="defer")
+        refreshed, _ = warehouse.execute("Q4", freshness="refresh")
+        assert refreshed.cardinality == before.cardinality + 1
+        assert warehouse.stale_views() == []
+
+    def test_refresh_is_sticky(self, warehouse):
+        warehouse.apply_update("Order", [NEW_ORDER], policy="defer")
+        warehouse.execute("Q4", freshness="refresh")
+        # Subsequent 'any' queries see the refreshed view.
+        result, _ = warehouse.execute("Q4", freshness="any")
+        plain, _ = warehouse.execute("Q4", use_views=False)
+        assert result.cardinality == plain.cardinality
+
+    def test_unknown_policy_rejected(self, warehouse):
+        with pytest.raises(WarehouseError):
+            warehouse.execute("Q4", freshness="eventually")
+
+    def test_unknown_update_policy_rejected(self, warehouse):
+        with pytest.raises(WarehouseError):
+            warehouse.apply_update("Order", [NEW_ORDER], policy="yolo")

@@ -1,0 +1,63 @@
+"""Unit tests for view-based query rewriting."""
+
+import pytest
+
+from repro.algebra.operators import Relation
+from repro.algebra.tree import contains, find
+from repro.mvpp.cost import MVPPCostCalculator
+from repro.mvpp.materialization import select_views
+from repro.warehouse.rewriter import rewrite_with_views
+from repro.warehouse.view import MaterializedView
+
+
+@pytest.fixture(scope="module")
+def views(paper_mvpp):
+    calc = MVPPCostCalculator(paper_mvpp)
+    result = select_views(paper_mvpp, calc)
+    return [
+        MaterializedView(name=f"mv_{v.name}", plan=v.operator)
+        for v in result.materialized
+    ]
+
+
+class TestRewrite:
+    def test_matched_subtrees_replaced(self, paper_mvpp, views):
+        plan = paper_mvpp.query_root("Q1").operator
+        rewritten, used = rewrite_with_views(plan, views)
+        assert used, "Q1 should read the Product⋈σ(Division) view"
+        assert any(
+            isinstance(n, Relation) and n.name.startswith("mv_")
+            for n in rewritten.walk()
+        )
+
+    def test_unmatched_plan_unchanged(self, views, workload):
+        leaf = Relation("Part", workload.catalog.schema("Part").qualify())
+        rewritten, used = rewrite_with_views(leaf, views)
+        assert rewritten is leaf
+        assert used == []
+
+    def test_schema_preserved(self, paper_mvpp, views):
+        for name in paper_mvpp.query_names:
+            plan = paper_mvpp.query_root(name).operator
+            rewritten, _ = rewrite_with_views(plan, views)
+            assert rewritten.schema.attribute_names == plan.schema.attribute_names
+
+    def test_topmost_match_wins(self, paper_mvpp, views):
+        """When a view's own subtree contains another view, only the outer
+        one is reported as used."""
+        outer = views[0].plan
+        nested_views = views + [
+            MaterializedView(name="mv_nested", plan=outer.children[0])
+        ]
+        rewritten, used = rewrite_with_views(outer, nested_views)
+        assert isinstance(rewritten, Relation)
+        assert len(used) == 1
+
+    def test_every_query_of_design_uses_some_view(self, paper_mvpp, views):
+        used_by = {}
+        for name in paper_mvpp.query_names:
+            plan = paper_mvpp.query_root(name).operator
+            _, used = rewrite_with_views(plan, views)
+            used_by[name] = {v.name for v in used}
+        # The design materialized shared nodes that cover all four queries.
+        assert all(used_by.values())

@@ -1,0 +1,159 @@
+"""Unit tests for subsumption-based view rewriting (σ_p answered from σ_q,
+p ⇒ q, with a compensating selection)."""
+
+import pytest
+
+from repro.algebra.expressions import column, compare, literal
+from repro.algebra.operators import Join, Project, Relation, Select
+from repro.algebra.tree import find
+from repro.executor.engine import Database, ExecutionEngine
+from repro.executor.reference import evaluate
+from repro.storage.table import Table
+from repro.warehouse.rewriter import rewrite_with_views
+from repro.warehouse.view import MaterializedView
+
+
+@pytest.fixture()
+def order_leaf(workload):
+    return Relation("Order", workload.catalog.schema("Order").qualify())
+
+
+@pytest.fixture()
+def wide_view(order_leaf):
+    """A view over quantity > 50 — wider than any quantity > N, N >= 50."""
+    return MaterializedView(
+        name="mv_wide",
+        plan=Select(order_leaf, compare("Order.quantity", ">", 50)),
+    )
+
+
+class TestSubsumptionMatching:
+    def test_stronger_selection_uses_wider_view(self, order_leaf, wide_view):
+        query = Select(order_leaf, compare("Order.quantity", ">", 100))
+        rewritten, used = rewrite_with_views(query, [wide_view])
+        assert used == [wide_view]
+        assert isinstance(rewritten, Select)
+        assert isinstance(rewritten.child, Relation)
+        assert rewritten.child.name == "mv_wide"
+        # The compensating predicate is the query's own.
+        assert rewritten.predicate.signature == query.predicate.signature
+
+    def test_weaker_selection_not_rewritten(self, order_leaf, wide_view):
+        query = Select(order_leaf, compare("Order.quantity", ">", 10))
+        rewritten, used = rewrite_with_views(query, [wide_view])
+        assert used == []
+        assert rewritten is query
+
+    def test_unrelated_predicate_not_rewritten(self, order_leaf, wide_view):
+        query = Select(order_leaf, compare("Order.Cid", "=", 5))
+        _, used = rewrite_with_views(query, [wide_view])
+        assert used == []
+
+    def test_plain_view_body_subsumes_any_selection(self, order_leaf):
+        view = MaterializedView(name="mv_all", plan=order_leaf)
+        query = Select(order_leaf, compare("Order.quantity", ">", 100))
+        rewritten, used = rewrite_with_views(query, [view])
+        assert used == [view]
+        assert isinstance(rewritten.child, Relation)
+        assert rewritten.child.name == "mv_all"
+
+    def test_exact_match_preferred_over_subsumption(self, order_leaf, wide_view):
+        exact = MaterializedView(
+            name="mv_exact",
+            plan=Select(order_leaf, compare("Order.quantity", ">", 100)),
+        )
+        query = Select(order_leaf, compare("Order.quantity", ">", 100))
+        rewritten, used = rewrite_with_views(query, [wide_view, exact])
+        assert [v.name for v in used] == ["mv_exact"]
+        assert isinstance(rewritten, Relation)
+
+    def test_subsumption_can_be_disabled(self, order_leaf, wide_view):
+        query = Select(order_leaf, compare("Order.quantity", ">", 100))
+        rewritten, used = rewrite_with_views(
+            query, [wide_view], subsumption=False
+        )
+        assert used == []
+
+    def test_works_below_joins(self, workload, wide_view, order_leaf):
+        customer = Relation(
+            "Customer", workload.catalog.schema("Customer").qualify()
+        )
+        query = Join(
+            Select(order_leaf, compare("Order.quantity", ">", 150)),
+            customer,
+            compare("Order.Cid", "=", column("Customer.Cid")),
+        )
+        rewritten, used = rewrite_with_views(query, [wide_view])
+        assert used == [wide_view]
+        scans = find(rewritten, lambda n: isinstance(n, Relation))
+        assert any(s.name == "mv_wide" for s in scans)
+
+
+class TestSubsumptionSemantics:
+    def test_executed_results_identical(self, workload, order_leaf, wide_view):
+        """End to end: the compensated rewrite returns exactly the rows of
+        the original plan."""
+        import random
+
+        rng = random.Random(3)
+        rows = [
+            {
+                "Order.Pid": i,
+                "Order.Cid": i % 7,
+                "Order.quantity": rng.randint(1, 200),
+                "Order.date": None,
+            }
+            for i in range(300)
+        ]
+        database = Database()
+        table = Table(workload.catalog.schema("Order").qualify(), 10)
+        for row in rows:
+            table.insert(row)
+        database.register("Order", table)
+
+        # Materialize the wide view by hand.
+        engine = ExecutionEngine(database)
+        view_table = engine.execute(wide_view.plan)
+        stored = Table(view_table.schema, view_table.blocking_factor)
+        stored.insert_many(view_table.rows(), count_io=False)
+        database.register("mv_wide", stored)
+
+        query = Select(order_leaf, compare("Order.quantity", ">", 120))
+        rewritten, used = rewrite_with_views(query, [wide_view])
+        assert used == [wide_view]
+        direct = engine.execute(query)
+        via_view = engine.execute(rewritten)
+        key = lambda t: sorted(  # noqa: E731
+            tuple(sorted(r.items())) for r in t.rows()
+        )
+        assert key(direct) == key(via_view)
+
+    def test_view_scan_smaller_than_base(self, workload, order_leaf, wide_view):
+        """The point of the rewrite: the wide view has fewer blocks than
+        the base relation, so the compensated scan reads less."""
+        import random
+
+        rng = random.Random(4)
+        database = Database()
+        table = Table(workload.catalog.schema("Order").qualify(), 10)
+        for i in range(500):
+            table.insert(
+                {
+                    "Order.Pid": i,
+                    "Order.Cid": i % 9,
+                    "Order.quantity": rng.randint(1, 200),
+                    "Order.date": None,
+                }
+            )
+        database.register("Order", table)
+        engine = ExecutionEngine(database)
+        view_table = engine.execute(wide_view.plan)
+        stored = Table(view_table.schema, view_table.blocking_factor, io=database.io)
+        stored.insert_many(view_table.rows(), count_io=False)
+        database.register("mv_wide", stored)
+
+        query = Select(order_leaf, compare("Order.quantity", ">", 120))
+        rewritten, _ = rewrite_with_views(query, [wide_view])
+        _, io_direct = engine.run(query)
+        _, io_view = engine.run(rewritten)
+        assert io_view.total < io_direct.total

@@ -1,0 +1,42 @@
+"""Unit tests for materialized view definitions."""
+
+import pytest
+
+from repro.mvpp.cost import MVPPCostCalculator
+from repro.mvpp.materialization import select_views
+from repro.warehouse.view import MaterializedView
+
+
+@pytest.fixture(scope="module")
+def view(paper_mvpp):
+    calc = MVPPCostCalculator(paper_mvpp)
+    result = select_views(paper_mvpp, calc)
+    vertex = result.materialized[0]
+    return MaterializedView(name=f"mv_{vertex.name}", plan=vertex.operator)
+
+
+class TestMaterializedView:
+    def test_signature_is_plan_signature(self, view):
+        assert view.signature == view.plan.signature
+
+    def test_schema_is_plan_schema(self, view):
+        assert view.schema == view.plan.schema
+
+    def test_base_relations(self, view):
+        assert view.base_relations
+        assert view.base_relations <= {
+            "Product",
+            "Division",
+            "Order",
+            "Customer",
+            "Part",
+        }
+
+    def test_depends_on(self, view):
+        some_base = next(iter(view.base_relations))
+        assert view.depends_on(some_base)
+        assert not view.depends_on("Nonexistent")
+
+    def test_frozen(self, view):
+        with pytest.raises(Exception):
+            view.name = "other"

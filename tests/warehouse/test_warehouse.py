@@ -1,0 +1,150 @@
+"""Unit tests for the DataWarehouse facade."""
+
+import datetime
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.warehouse import INCREMENTAL, DataWarehouse
+from repro.workload import paper_rows, paper_workload
+
+
+@pytest.fixture()
+def warehouse():
+    return DataWarehouse.from_workload(paper_workload())
+
+
+@pytest.fixture()
+def loaded(warehouse):
+    warehouse.design()
+    for relation, rows in paper_rows(scale=0.02, seed=7).items():
+        warehouse.load(relation, rows)
+    warehouse.materialize()
+    return warehouse
+
+
+class TestRegistration:
+    def test_duplicate_query_rejected(self, warehouse):
+        with pytest.raises(WarehouseError):
+            warehouse.add_query("Q1", "SELECT name FROM Product", 1.0)
+
+    def test_bad_sql_rejected_early(self, warehouse):
+        with pytest.raises(Exception):
+            warehouse.add_query("bad", "SELECT missing FROM Nowhere", 1.0)
+
+    def test_unknown_relation_frequency_rejected(self, warehouse):
+        with pytest.raises(WarehouseError):
+            warehouse.set_update_frequency("Nope", 1.0)
+
+    def test_negative_frequency_rejected(self, warehouse):
+        with pytest.raises(WarehouseError):
+            warehouse.set_update_frequency("Order", -1.0)
+
+    def test_design_requires_queries(self):
+        empty = DataWarehouse(
+            paper_workload().catalog, paper_workload().statistics
+        )
+        with pytest.raises(WarehouseError):
+            empty.design()
+
+
+class TestDesign:
+    def test_design_installs_views(self, warehouse):
+        result = warehouse.design()
+        assert warehouse.views
+        assert len(warehouse.views) == len(result.materialized)
+        assert all(v.name.startswith("mv_") for v in warehouse.views)
+
+    def test_design_invalidated_by_new_query(self, warehouse):
+        warehouse.design()
+        warehouse.add_query("Q5", "SELECT name FROM Product", 1.0)
+        with pytest.raises(WarehouseError):
+            warehouse.design_result
+
+    def test_estimated_costs(self, warehouse):
+        warehouse.design()
+        breakdown = warehouse.estimated_costs()
+        assert breakdown.total > 0
+
+
+class TestExecution:
+    def test_results_identical_with_and_without_views(self, loaded):
+        for name in ("Q1", "Q2", "Q3", "Q4"):
+            with_views, _ = loaded.execute(name, use_views=True)
+            without, _ = loaded.execute(name, use_views=False)
+            key = lambda t: sorted(  # noqa: E731
+                tuple(sorted(r.items())) for r in t.rows()
+            )
+            assert key(with_views) == key(without), name
+
+    def test_views_reduce_total_io(self, loaded):
+        total_views = total_plain = 0
+        for name in ("Q1", "Q2", "Q3", "Q4"):
+            _, io_views = loaded.execute(name, use_views=True)
+            _, io_plain = loaded.execute(name, use_views=False)
+            total_views += io_views.total
+            total_plain += io_plain.total
+        assert total_views < total_plain
+
+    def test_execute_unknown_query(self, loaded):
+        with pytest.raises(WarehouseError):
+            loaded.execute("Q99")
+
+    def test_execute_requires_data(self, warehouse):
+        warehouse.design()
+        with pytest.raises(WarehouseError):
+            warehouse.execute("Q1")
+
+    def test_execute_without_design_uses_optimizer(self, warehouse):
+        for relation, rows in paper_rows(scale=0.01, seed=2).items():
+            warehouse.load(relation, rows)
+        result, io = warehouse.execute("Q1")
+        assert io.total > 0
+
+
+class TestMaintenanceFlow:
+    def test_recompute_refresh_after_update(self, loaded):
+        before, _ = loaded.execute("Q4")
+        loaded.apply_update(
+            "Order",
+            [
+                {
+                    "Pid": 1,
+                    "Cid": 2,
+                    "quantity": 180,
+                    "date": datetime.date(1996, 8, 8),
+                }
+            ],
+        )
+        after, _ = loaded.execute("Q4")
+        assert after.cardinality == before.cardinality + 1
+
+    def test_incremental_refresh_matches_recompute(self, loaded):
+        rows = [
+            {"Pid": 5, "Cid": 9, "quantity": 150, "date": datetime.date(1996, 9, 1)}
+        ]
+        loaded.apply_update("Order", rows, policy=INCREMENTAL)
+        incremental, _ = loaded.execute("Q4", use_views=True)
+        plain, _ = loaded.execute("Q4", use_views=False)
+        key = lambda t: sorted(  # noqa: E731
+            tuple(sorted(r.items())) for r in t.rows()
+        )
+        assert key(incremental) == key(plain)
+
+    def test_unknown_policy_rejected(self, loaded):
+        with pytest.raises(WarehouseError):
+            loaded.apply_update("Order", [], policy="lazy")
+
+    def test_update_unloaded_relation_rejected(self, warehouse):
+        warehouse.design()
+        with pytest.raises(WarehouseError):
+            warehouse.apply_update("Order", [])
+
+
+class TestStatisticsSync:
+    def test_sync_overwrites_with_actuals(self, loaded):
+        loaded.sync_statistics()
+        order = loaded.database.table("Order")
+        stats = loaded.statistics.relation("Order")
+        assert stats.cardinality == order.cardinality
+        assert stats.blocks == order.num_blocks

@@ -1,0 +1,91 @@
+"""Unit tests for synthetic data generation (statistics fidelity)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.datagen import paper_rows, star_rows, synthetic_rows
+from repro.workload.generator import GeneratorConfig, generate_workload
+from repro.workload.star_schema import StarConfig
+
+
+class TestPaperRows:
+    def test_scaled_sizes(self):
+        data = paper_rows(scale=0.01, seed=1)
+        assert len(data["Product"]) == 300
+        assert len(data["Division"]) == 50
+        assert len(data["Order"]) == 500
+        assert len(data["Customer"]) == 200
+        assert len(data["Part"]) == 800
+
+    def test_selectivities_track_table1(self):
+        data = paper_rows(scale=0.2, seed=2)
+        orders = data["Order"]
+        qty = sum(1 for r in orders if r["quantity"] > 100) / len(orders)
+        assert 0.45 <= qty <= 0.55  # paper: s = 0.5
+        import datetime
+
+        date = sum(
+            1 for r in orders if r["date"] > datetime.date(1996, 7, 1)
+        ) / len(orders)
+        assert 0.4 <= date <= 0.6  # paper: s = 0.5
+
+    def test_city_selectivity(self):
+        data = paper_rows(scale=1.0, seed=3)
+        divisions = data["Division"]
+        la = sum(1 for r in divisions if r["city"] == "LA") / len(divisions)
+        assert 0.01 <= la <= 0.03  # paper: s = 0.02
+
+    def test_foreign_keys_resolve(self):
+        data = paper_rows(scale=0.01, seed=4)
+        division_ids = {r["Did"] for r in data["Division"]}
+        assert all(r["Did"] in division_ids for r in data["Product"])
+        product_ids = {r["Pid"] for r in data["Product"]}
+        assert all(r["Pid"] in product_ids for r in data["Order"])
+
+    def test_deterministic(self):
+        assert paper_rows(scale=0.01, seed=9) == paper_rows(scale=0.01, seed=9)
+
+    def test_bad_scale(self):
+        with pytest.raises(WorkloadError):
+            paper_rows(scale=0)
+
+
+class TestSyntheticRows:
+    def test_conventions_respected(self):
+        generated = generate_workload(GeneratorConfig(seed=7))
+        data = synthetic_rows(generated, scale=0.01, seed=7)
+        for name, rows in data.items():
+            assert rows, name
+            targets = generated.foreign_keys[name]
+            scaled = {
+                t: max(1, int(generated.cardinalities[t] * 0.01)) for t in targets
+            }
+            for row in rows:
+                assert "id" in row and "val" in row and "cat" in row
+                for target in targets:
+                    assert 0 <= row[f"{target}_fk"] < scaled[target]
+
+    def test_loadable_into_database(self):
+        from repro.executor.engine import load_database
+
+        generated = generate_workload(GeneratorConfig(seed=8))
+        data = synthetic_rows(generated, scale=0.005, seed=8)
+        database = load_database(data, generated.workload.catalog)
+        for name in generated.workload.catalog.relation_names:
+            assert database.table(name).cardinality == len(data[name])
+
+
+class TestStarRows:
+    def test_shapes(self):
+        config = StarConfig(num_dimensions=3, fact_rows=10_000, dimension_rows=500)
+        data = star_rows(config, scale=0.1, seed=1)
+        assert len(data["Fact"]) == 1_000
+        assert len(data["Dim1"]) == 50
+        assert {"Dim1", "Dim2", "Dim3", "Fact"} == set(data)
+
+    def test_fact_fks_resolve(self):
+        config = StarConfig(num_dimensions=2)
+        data = star_rows(config, scale=0.01, seed=2)
+        dim_count = len(data["Dim1"])
+        for row in data["Fact"]:
+            assert 0 <= row["Dim1_fk"] < dim_count

@@ -1,0 +1,84 @@
+"""Unit tests for the paper-example workload (Table 1 fidelity)."""
+
+import pytest
+
+from repro.algebra.expressions import compare, literal
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.workload.example import (
+    Q3_DATE,
+    paper_statistics,
+    paper_workload,
+    paper_workload_fig7,
+)
+
+
+class TestTable1:
+    @pytest.mark.parametrize(
+        "relation,cardinality,blocks",
+        [
+            ("Product", 30_000, 3_000),
+            ("Division", 5_000, 500),
+            ("Order", 50_000, 6_000),
+            ("Customer", 20_000, 2_000),
+            ("Part", 80_000, 10_000),
+        ],
+    )
+    def test_relation_sizes(self, relation, cardinality, blocks):
+        stats = paper_statistics().relation(relation)
+        assert stats.cardinality == cardinality
+        assert stats.blocks == blocks
+
+    def test_selection_selectivities(self):
+        stats = paper_statistics()
+        city = compare("Division.city", "=", literal("LA"))
+        assert stats.predicate_selectivity(city.signature) == 0.02
+        date = compare("Order.date", ">", literal(Q3_DATE))
+        assert stats.predicate_selectivity(date.signature) == 0.5
+        quantity = compare("Order.quantity", ">", literal(100))
+        assert stats.predicate_selectivity(quantity.signature) == 0.5
+
+    def test_join_selectivities(self):
+        stats = paper_statistics()
+        assert stats.join_selectivity("Product.Did", "Division.Did") == 1 / 5_000
+        assert stats.join_selectivity("Order.Cid", "Customer.Cid") == 1 / 20_000
+        assert stats.join_selectivity("Part.Pid", "Product.Pid") == 1 / 30_000
+        assert stats.join_selectivity("Product.Pid", "Order.Pid") == 1 / 30_000
+
+
+class TestWorkload:
+    def test_four_queries_with_paper_frequencies(self):
+        workload = paper_workload()
+        frequencies = {q.name: q.frequency for q in workload.queries}
+        assert frequencies == {"Q1": 10.0, "Q2": 0.5, "Q3": 0.8, "Q4": 5.0}
+
+    def test_all_base_relations_updated_once(self):
+        workload = paper_workload()
+        for name in workload.catalog.relation_names:
+            assert workload.update_frequency(name) == 1.0
+
+    def test_unknown_query_raises(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            paper_workload().query("Q9")
+
+    def test_queries_parse_and_estimate(self):
+        from repro.sql.translator import parse_query
+
+        workload = paper_workload()
+        estimator = CardinalityEstimator(workload.statistics)
+        for spec in workload.queries:
+            plan = parse_query(spec.sql, workload.catalog)
+            assert estimator.estimate(plan).cardinality >= 0
+
+
+class TestFig7Variant:
+    def test_different_division_selections(self):
+        variant = paper_workload_fig7()
+        assert "name = 'Re'" in variant.query("Q2").sql
+        assert "city = 'SF'" in variant.query("Q3").sql
+
+    def test_variant_selectivities_registered(self):
+        variant = paper_workload_fig7()
+        name_re = compare("Division.name", "=", literal("Re"))
+        assert variant.statistics.predicate_selectivity(name_re.signature) == 1 / 5_000

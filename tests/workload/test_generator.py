@@ -1,0 +1,90 @@
+"""Unit tests for the synthetic SPJ workload generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sql.translator import parse_query
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.workload.generator import GeneratorConfig, generate_workload
+
+
+class TestConfigValidation:
+    def test_bad_relation_count(self):
+        with pytest.raises(WorkloadError):
+            GeneratorConfig(num_relations=0)
+
+    def test_bad_cardinality_range(self):
+        with pytest.raises(WorkloadError):
+            GeneratorConfig(min_cardinality=100, max_cardinality=10)
+
+    def test_bad_probability(self):
+        with pytest.raises(WorkloadError):
+            GeneratorConfig(selection_probability=1.5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        a = generate_workload(GeneratorConfig(seed=5))
+        b = generate_workload(GeneratorConfig(seed=5))
+        assert [q.sql for q in a.workload.queries] == [
+            q.sql for q in b.workload.queries
+        ]
+        assert a.cardinalities == b.cardinalities
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(GeneratorConfig(seed=1))
+        b = generate_workload(GeneratorConfig(seed=2))
+        assert [q.sql for q in a.workload.queries] != [
+            q.sql for q in b.workload.queries
+        ] or a.cardinalities != b.cardinalities
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        return generate_workload(GeneratorConfig(num_relations=6, num_queries=8, seed=3))
+
+    def test_relation_count(self, generated):
+        assert len(generated.workload.catalog) == 6
+
+    def test_fk_graph_acyclic(self, generated):
+        for relation, targets in generated.foreign_keys.items():
+            index = int(relation[1:])
+            for target in targets:
+                assert int(target[1:]) < index
+
+    def test_statistics_registered_for_all(self, generated):
+        for name in generated.workload.catalog.relation_names:
+            assert generated.workload.statistics.has_relation(name)
+
+    def test_fk_join_selectivities_registered(self, generated):
+        stats = generated.workload.statistics
+        for relation, targets in generated.foreign_keys.items():
+            for target in targets:
+                js = stats.join_selectivity(f"{relation}.{target}_fk", f"{target}.id")
+                assert js == pytest.approx(1.0 / generated.cardinalities[target])
+
+    def test_queries_parse_and_optimize(self, generated):
+        from repro.optimizer.heuristics import optimize_query
+
+        estimator = CardinalityEstimator(generated.workload.statistics)
+        for spec in generated.workload.queries:
+            plan = parse_query(spec.sql, generated.workload.catalog)
+            optimized = optimize_query(plan, estimator)
+            assert optimized.schema.arity >= 1
+
+    def test_frequencies_in_range(self, generated):
+        config = GeneratorConfig()
+        for spec in generated.workload.queries:
+            assert config.min_frequency <= spec.frequency <= config.max_frequency
+
+    def test_query_relations_connected(self, generated):
+        """No accidental cross products: every generated multi-relation
+        query joins through FK edges."""
+        from repro.algebra.operators import Join
+        from repro.algebra.tree import find
+
+        for spec in generated.workload.queries:
+            plan = parse_query(spec.sql, generated.workload.catalog)
+            for join in find(plan, lambda n: isinstance(n, Join)):
+                assert join.condition is not None, spec.sql

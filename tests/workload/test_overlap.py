@@ -1,0 +1,61 @@
+"""Unit tests for the overlap-controlled workload generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.mvpp import generate_mvpps
+from repro.sql.translator import parse_query
+from repro.workload.overlap import OverlapConfig, overlap_workload
+
+
+class TestConfig:
+    def test_overlap_range_validated(self):
+        with pytest.raises(WorkloadError):
+            OverlapConfig(overlap=1.5)
+
+    def test_core_size_validated(self):
+        with pytest.raises(WorkloadError):
+            OverlapConfig(core_size=1)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = overlap_workload(OverlapConfig(seed=3))
+        b = overlap_workload(OverlapConfig(seed=3))
+        assert [q.sql for q in a.queries] == [q.sql for q in b.queries]
+
+    def test_queries_parse(self):
+        workload = overlap_workload(OverlapConfig(num_queries=5, seed=4))
+        for spec in workload.queries:
+            plan = parse_query(spec.sql, workload.catalog)
+            assert len(plan.base_relations()) >= 2
+
+    def test_full_overlap_shares_join_cores(self):
+        workload = overlap_workload(
+            OverlapConfig(overlap=1.0, num_cores=1, num_queries=5, seed=5)
+        )
+        cores = {
+            frozenset(parse_query(q.sql, workload.catalog).base_relations())
+            for q in workload.queries
+        }
+        assert len(cores) == 1  # every query over the single shared core
+
+    def test_zero_overlap_varies_cores(self):
+        workload = overlap_workload(
+            OverlapConfig(overlap=0.0, num_queries=8, seed=6)
+        )
+        cores = {
+            frozenset(parse_query(q.sql, workload.catalog).base_relations())
+            for q in workload.queries
+        }
+        assert len(cores) > 1
+
+    def test_sharing_visible_in_mvpp(self):
+        workload = overlap_workload(
+            OverlapConfig(overlap=1.0, num_cores=1, num_queries=4, seed=7)
+        )
+        mvpp = generate_mvpps(workload, rotations=1)[0]
+        max_fanout = max(
+            len(mvpp.queries_using(v)) for v in mvpp.operations
+        )
+        assert max_fanout >= 3  # the shared core serves most queries
