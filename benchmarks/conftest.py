@@ -5,15 +5,35 @@ Each ``bench_*.py`` file regenerates one table or figure of the paper
 times the algorithm behind it with pytest-benchmark.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Every benchmark runs with observability enabled; its metrics snapshot is
+attached to pytest-benchmark's ``extra_info``, so ``--benchmark-json``
+output (and the ``BENCH_*.json`` trajectory) carries per-phase counters
+alongside the timings.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.mvpp import MVPPCostCalculator, generate_mvpps
 from repro.optimizer import CardinalityEstimator
 from repro.workload import paper_workload, paper_workload_fig7
+
+
+@pytest.fixture(autouse=True)
+def _attach_metrics_snapshot(request):
+    """Collect obs metrics per benchmark and attach them to its record."""
+    obs.enable(reset=True)
+    try:
+        yield
+        snapshot = obs.metrics().to_dict()
+    finally:
+        obs.disable()
+    benchmark = request.node.funcargs.get("benchmark")
+    if benchmark is not None and any(snapshot.values()):
+        benchmark.extra_info["metrics"] = snapshot
 
 
 @pytest.fixture(scope="session")

@@ -6,10 +6,12 @@ Usage (also via ``python -m repro``)::
     repro design   --workload paper       # run the full design pipeline
     repro compare  --workload paper       # Table-2-style strategy table
     repro trace    --workload paper       # Figure-9 selection trace
+    repro profile  --workload paper       # instrumented end-to-end run
     repro dot      --workload paper       # DOT export of the chosen MVPP
 
 Synthetic workloads accept ``--seed/--relations/--queries``; ``design``
-can persist the result with ``--json FILE``.
+can persist the result with ``--json FILE``; ``profile`` writes the full
+span tree and metrics snapshot with ``--trace-json FILE``.
 """
 
 from __future__ import annotations
@@ -17,12 +19,18 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro import __version__, obs
 from repro.analysis import format_blocks, strategy_table, to_dot
 from repro.errors import ReproError
 from repro.mvpp import MVPPCostCalculator, design, generate_mvpps, select_views, strategies
 from repro.mvpp.serialize import design_to_dict
+from repro.obs.export import (
+    dump_json,
+    selection_trace_to_dict,
+    validate_profile,
+)
 from repro.workload import (
     GeneratorConfig,
     StarConfig,
@@ -53,6 +61,27 @@ def resolve_workload(args: argparse.Namespace):
     ).workload
 
 
+def resolve_workload_rows(
+    args: argparse.Namespace, scale: float
+) -> Tuple[object, Dict[str, List[Mapping[str, object]]]]:
+    """A workload plus synthetic rows matching its statistics at ``scale``."""
+    from repro.workload.datagen import paper_rows, star_rows, synthetic_rows
+
+    if args.workload in ("paper", "paper-fig7"):
+        return resolve_workload(args), paper_rows(scale=scale, seed=args.seed)
+    if args.workload == "star":
+        config = StarConfig(num_queries=args.queries, seed=args.seed)
+        return star_workload(config), star_rows(config, scale=scale, seed=args.seed)
+    generated = generate_workload(
+        GeneratorConfig(
+            num_relations=args.relations,
+            num_queries=args.queries,
+            seed=args.seed,
+        )
+    )
+    return generated.workload, synthetic_rows(generated, scale=scale, seed=args.seed)
+
+
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workload", choices=WORKLOADS, default="paper",
@@ -74,6 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MVPP materialized view design (Yang/Karlapalem/Li, ICDCS'97)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -97,6 +129,28 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="print the Figure-9 selection trace"
     )
     _add_workload_arguments(trace_parser)
+    trace_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json shares the observability serializer)",
+    )
+
+    profile_parser = commands.add_parser(
+        "profile",
+        help="instrumented end-to-end run (design, load, execute, maintain)",
+    )
+    _add_workload_arguments(profile_parser)
+    profile_parser.add_argument(
+        "--scale", type=float, default=0.01,
+        help="fraction of the statistics' cardinalities to load (default 0.01)",
+    )
+    profile_parser.add_argument(
+        "--trace-json", metavar="FILE", default=None,
+        help="write the span tree + metrics snapshot as JSON",
+    )
+    profile_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout format (json prints the full profile document)",
+    )
 
     report_parser = commands.add_parser(
         "report", help="full design report (views, extremes, sensitivity)"
@@ -155,6 +209,13 @@ def command_trace(args: argparse.Namespace) -> int:
     mvpp = generate_mvpps(workload, rotations=args.rotations or 1)[0]
     calculator = MVPPCostCalculator(mvpp)
     result = select_views(mvpp, calculator)
+    breakdown = calculator.breakdown(result.materialized)
+    if getattr(args, "format", "text") == "json":
+        document = selection_trace_to_dict(
+            mvpp.name, result.trace, result.names, breakdown.total
+        )
+        print(json.dumps(document, indent=2))
+        return 0
     print(f"Figure-9 trace on {mvpp.name}:")
     for step in result.trace:
         saving = "-" if step.saving is None else format_blocks(step.saving)
@@ -164,8 +225,70 @@ def command_trace(args: argparse.Namespace) -> int:
             f"Cs={saving:>10} -> {step.decision}{pruned}"
         )
     print(f"M = {{{', '.join(result.names)}}}")
-    breakdown = calculator.breakdown(result.materialized)
     print(f"total cost: {format_blocks(breakdown.total)}")
+    return 0
+
+
+def command_profile(args: argparse.Namespace) -> int:
+    from repro.warehouse import DataWarehouse
+
+    if args.scale <= 0:
+        raise ReproError(f"--scale must be positive: {args.scale}")
+    was_enabled = obs.enabled()
+    obs.enable(reset=True)
+    try:
+        workload, rows = resolve_workload_rows(args, args.scale)
+        warehouse = DataWarehouse.from_workload(workload)
+        warehouse.design(rotations=args.rotations)
+        for relation, relation_rows in rows.items():
+            warehouse.load(relation, relation_rows)
+        warehouse.materialize()
+        for spec in workload.queries:
+            warehouse.execute(spec.name)
+        # Maintenance: an incremental delta on the most-updated relation,
+        # then a full refresh (the paper's recompute policy).
+        target = max(
+            rows, key=lambda name: (workload.update_frequency(name), name)
+        )
+        delta = rows[target][: max(1, len(rows[target]) // 100)]
+        warehouse.apply_update(target, delta, policy="incremental")
+        warehouse.refresh()
+
+        document = obs.snapshot(workload=workload.name)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    problems = validate_profile(document)
+    if args.trace_json:
+        dump_json(document, args.trace_json)
+    if args.format == "json":
+        print(json.dumps(document, indent=2))
+    else:
+        print(f"profiled workload: {workload.name} "
+              f"({len(workload.queries)} queries, scale={args.scale})")
+        print(f"{'phase':<14} {'wall_ms':>12} {'spans':>7}")
+        for phase, bucket in sorted(
+            document["phases"].items(), key=lambda item: -item[1]["wall_ms"]
+        ):
+            print(
+                f"{phase:<14} {bucket['wall_ms']:>12.3f} "
+                f"{int(bucket['spans']):>7}"
+            )
+        counters = document["metrics"]["counters"]
+        for name in (
+            "storage.blocks_read",
+            "storage.blocks_written",
+            "generation.reuse_hits",
+            "selection.decisions{decision=materialize}",
+        ):
+            if name in counters:
+                print(f"{name} = {counters[name]:g}")
+        if args.trace_json:
+            print(f"trace written to {args.trace_json}")
+    if problems:
+        for problem in problems:
+            print(f"profile schema problem: {problem}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -196,6 +319,7 @@ COMMANDS = {
     "design": command_design,
     "compare": command_compare,
     "trace": command_trace,
+    "profile": command_profile,
     "report": command_report,
     "dot": command_dot,
 }

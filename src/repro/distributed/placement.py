@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Sequence, Tuple
 
+from repro import obs
 from repro.distributed.sites import Topology
 from repro.errors import DistributedError
 from repro.mvpp.graph import MVPP
@@ -64,20 +65,40 @@ def mirror_decisions(
       (ship the relation for every query evaluation that reads it).
     """
     decisions = []
-    for leaf in sorted(mvpp.leaves, key=lambda v: v.name):
-        if leaf.name not in placement:
-            raise DistributedError(f"no site assigned for {leaf.name!r}")
-        blocks = leaf.stats.blocks if leaf.stats is not None else 0
-        transfer = topology.transfer_cost(
-            placement[leaf.name], warehouse_site, blocks
-        )
-        total_query_frequency = sum(
-            q.frequency for q in mvpp.queries_using(leaf)
-        )
-        mirror_cost = leaf.frequency * transfer
-        remote_cost = total_query_frequency * transfer
-        choice = MIRROR if mirror_cost <= remote_cost else REMOTE
-        decisions.append(
-            MirrorDecision(leaf.name, choice, mirror_cost, remote_cost)
-        )
+    with obs.span(
+        "distributed.mirror_decisions",
+        mvpp=mvpp.name,
+        warehouse_site=warehouse_site,
+    ) as span:
+        emit = obs.enabled()
+        for leaf in sorted(mvpp.leaves, key=lambda v: v.name):
+            if leaf.name not in placement:
+                raise DistributedError(f"no site assigned for {leaf.name!r}")
+            blocks = leaf.stats.blocks if leaf.stats is not None else 0
+            transfer = topology.transfer_cost(
+                placement[leaf.name], warehouse_site, blocks
+            )
+            total_query_frequency = sum(
+                q.frequency for q in mvpp.queries_using(leaf)
+            )
+            mirror_cost = leaf.frequency * transfer
+            remote_cost = total_query_frequency * transfer
+            choice = MIRROR if mirror_cost <= remote_cost else REMOTE
+            decision = MirrorDecision(leaf.name, choice, mirror_cost, remote_cost)
+            decisions.append(decision)
+            if emit:
+                site = placement[leaf.name]
+                chosen_cost = mirror_cost if choice == MIRROR else remote_cost
+                obs.metrics().counter(
+                    "distributed.comm_cost", site=site
+                ).inc(chosen_cost)
+                span.event(
+                    "mirror_decision",
+                    relation=leaf.name,
+                    site=site,
+                    choice=choice,
+                    mirror_cost=mirror_cost,
+                    remote_cost=remote_cost,
+                )
+        span.set(relations=len(decisions))
     return tuple(decisions)

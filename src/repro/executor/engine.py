@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.algebra import predicates as P
 from repro.algebra.operators import (
     Aggregate,
@@ -84,6 +85,15 @@ class ExecutionEngine:
 
     def execute(self, plan: Operator) -> Table:
         """Run ``plan`` and return its result table (I/O is accumulated)."""
+        result = self._execute(plan)
+        if obs.enabled():
+            obs.metrics().counter(
+                "executor.rows_produced",
+                operator=type(plan).__name__.lower(),
+            ).inc(result.cardinality)
+        return result
+
+    def _execute(self, plan: Operator) -> Table:
         if isinstance(plan, Relation):
             table = self.database.table(plan.name)
             self._check_schema(plan, table)
@@ -110,9 +120,23 @@ class ExecutionEngine:
 
     def run(self, plan: Operator) -> Tuple[Table, IOSnapshot]:
         """Execute ``plan`` and return (result, I/O consumed by this run)."""
-        before = self.database.io.snapshot()
-        result = self.execute(plan)
-        return result, self.database.io.since(before)
+        with obs.span(
+            "execution.query", join_method=self.join_method
+        ) as span:
+            before = self.database.io.snapshot()
+            result = self.execute(plan)
+            io = self.database.io.since(before)
+            span.set(
+                blocks_read=io.reads,
+                blocks_written=io.writes,
+                rows=result.cardinality,
+            )
+            if obs.enabled():
+                registry = obs.metrics()
+                registry.counter("executor.blocks_read").inc(io.reads)
+                registry.counter("executor.blocks_written").inc(io.writes)
+                registry.histogram("executor.query_io").observe(io.total)
+        return result, io
 
     # ------------------------------------------------------------------ join
     def _execute_join(self, plan: Join) -> Table:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.algebra import predicates as P
 from repro.algebra.expressions import Expression
 from repro.algebra.operators import (
@@ -68,18 +69,21 @@ def prepare_queries(
     """Steps 1–2: optimal plan + pulled normal form for every query."""
     estimator = estimator or CardinalityEstimator(workload.statistics)
     infos = []
-    for spec in workload.queries:
-        raw = parse_query(spec.sql, workload.catalog)
-        plan = optimize_query(raw, estimator, cost_model)
-        annotated = AnnotatedPlan(plan, estimator, cost_model)
-        infos.append(
-            QueryPlanInfo(
-                spec=spec,
-                plan=plan,
-                pulled=pull_up(plan),
-                access_cost=annotated.total_cost,
-            )
-        )
+    with obs.span("generation.prepare", queries=len(workload.queries)):
+        for spec in workload.queries:
+            with obs.span("generation.optimize", query=spec.name) as span:
+                raw = parse_query(spec.sql, workload.catalog)
+                plan = optimize_query(raw, estimator, cost_model)
+                annotated = AnnotatedPlan(plan, estimator, cost_model)
+                span.set(access_cost=annotated.total_cost)
+                infos.append(
+                    QueryPlanInfo(
+                        spec=spec,
+                        plan=plan,
+                        pulled=pull_up(plan),
+                        access_cost=annotated.total_cost,
+                    )
+                )
     return infos
 
 
@@ -99,32 +103,36 @@ def build_mvpp(
     form with leaf-level disjunctive selections and unioned projections.
     """
     estimator = estimator or CardinalityEstimator(workload.statistics)
-    merged = merge_skeletons(
-        [(info.spec.name, info.pulled.skeleton) for info in ordered_infos]
-    )
+    with obs.span(
+        "generation.merge", mvpp=name, queries=len(ordered_infos)
+    ) as span:
+        merged = merge_skeletons(
+            [(info.spec.name, info.pulled.skeleton) for info in ordered_infos]
+        )
 
-    plans: Dict[str, Operator] = {}
-    if push_down:
-        stems = _leaf_stems(ordered_infos, merged)
-        for info in ordered_infos:
-            plans[info.spec.name] = _assemble_pushed(info, merged, stems)
-    else:
-        for info in ordered_infos:
-            body = select_if(merged[info.spec.name], info.pulled.selection)
-            if info.pulled.aggregate is not None:
-                body = info.pulled.aggregate.with_children((body,))
-            plans[info.spec.name] = info.pulled.decorate(
-                project_if(body, info.pulled.projection)
-            )
+        plans: Dict[str, Operator] = {}
+        if push_down:
+            stems = _leaf_stems(ordered_infos, merged)
+            for info in ordered_infos:
+                plans[info.spec.name] = _assemble_pushed(info, merged, stems)
+        else:
+            for info in ordered_infos:
+                body = select_if(merged[info.spec.name], info.pulled.selection)
+                if info.pulled.aggregate is not None:
+                    body = info.pulled.aggregate.with_children((body,))
+                plans[info.spec.name] = info.pulled.decorate(
+                    project_if(body, info.pulled.projection)
+                )
 
-    mvpp = MVPP(name=name)
-    for spec in workload.queries:  # stable vertex naming across rotations
-        if spec.name in plans:
-            mvpp.add_query(spec.name, plans[spec.name], spec.frequency)
-    for leaf in mvpp.leaves:
-        leaf.frequency = workload.update_frequency(leaf.name)
-    mvpp.annotate(estimator, cost_model, maintenance_write=maintenance_write)
-    mvpp.assign_names()
+        mvpp = MVPP(name=name)
+        for spec in workload.queries:  # stable vertex naming across rotations
+            if spec.name in plans:
+                mvpp.add_query(spec.name, plans[spec.name], spec.frequency)
+        for leaf in mvpp.leaves:
+            leaf.frequency = workload.update_frequency(leaf.name)
+        mvpp.annotate(estimator, cost_model, maintenance_write=maintenance_write)
+        mvpp.assign_names()
+        span.set(vertices=len(mvpp))
     return mvpp
 
 
@@ -137,25 +145,28 @@ def generate_mvpps(
 ) -> List[MVPP]:
     """The full Figure-4 algorithm: one MVPP per rotation of the plan list."""
     estimator = estimator or CardinalityEstimator(workload.statistics)
-    infos = prepare_queries(workload, estimator, cost_model)
-    infos.sort(key=lambda info: -info.rank)
-    k = len(infos)
-    if k == 0:
-        raise MVPPError("workload has no queries")
-    count = k if rotations is None else max(1, min(rotations, k))
-    mvpps = []
-    for rotation in range(count):
-        order = infos[rotation:] + infos[:rotation]
-        mvpps.append(
-            build_mvpp(
-                order,
-                workload,
-                estimator,
-                cost_model,
-                name=f"{workload.name}-mvpp{rotation + 1}",
-                push_down=push_down,
+    with obs.span("generation.mvpps", workload=workload.name) as span:
+        infos = prepare_queries(workload, estimator, cost_model)
+        infos.sort(key=lambda info: -info.rank)
+        k = len(infos)
+        if k == 0:
+            raise MVPPError("workload has no queries")
+        count = k if rotations is None else max(1, min(rotations, k))
+        span.set(rotations=count)
+        obs.metrics().counter("generation.candidates").inc(count)
+        mvpps = []
+        for rotation in range(count):
+            order = infos[rotation:] + infos[:rotation]
+            mvpps.append(
+                build_mvpp(
+                    order,
+                    workload,
+                    estimator,
+                    cost_model,
+                    name=f"{workload.name}-mvpp{rotation + 1}",
+                    push_down=push_down,
+                )
             )
-        )
     return mvpps
 
 
@@ -338,26 +349,33 @@ def design(
     from repro.mvpp.materialization import select_views
 
     estimator = estimator or CardinalityEstimator(workload.statistics)
-    candidates = generate_mvpps(
-        workload, estimator, cost_model, rotations=rotations, push_down=push_down
-    )
-    if include_naive:
-        candidates = candidates + [
-            build_from_workload(workload, estimator, cost_model)
-        ]
-    best: Optional[DesignResult] = None
-    for mvpp in candidates:
-        calculator = MVPPCostCalculator(mvpp, maintenance_trigger)
-        result = select_views(mvpp, calculator, refine=True)
-        breakdown = calculator.breakdown(result.materialized)
-        candidate = DesignResult(
-            mvpp=mvpp,
-            materialized=result.materialized,
-            breakdown=breakdown,
-            calculator=calculator,
-            candidates=candidates,
+    with obs.span("generation.design", workload=workload.name) as span:
+        candidates = generate_mvpps(
+            workload, estimator, cost_model, rotations=rotations,
+            push_down=push_down,
         )
-        if best is None or candidate.total_cost < best.total_cost:
-            best = candidate
-    assert best is not None  # generate_mvpps raises on empty workloads
+        if include_naive:
+            candidates = candidates + [
+                build_from_workload(workload, estimator, cost_model)
+            ]
+        best: Optional[DesignResult] = None
+        for mvpp in candidates:
+            calculator = MVPPCostCalculator(mvpp, maintenance_trigger)
+            result = select_views(mvpp, calculator, refine=True)
+            breakdown = calculator.breakdown(result.materialized)
+            candidate = DesignResult(
+                mvpp=mvpp,
+                materialized=result.materialized,
+                breakdown=breakdown,
+                calculator=calculator,
+                candidates=candidates,
+            )
+            if best is None or candidate.total_cost < best.total_cost:
+                best = candidate
+        assert best is not None  # generate_mvpps raises on empty workloads
+        span.set(
+            chosen=best.mvpp.name,
+            materialized=list(best.materialized_names),
+            total_cost=best.total_cost,
+        )
     return best

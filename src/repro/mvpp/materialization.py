@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.mvpp.cost import MVPPCostCalculator, PER_PERIOD
 from repro.mvpp.graph import MVPP, Vertex
 
@@ -51,6 +52,21 @@ class MaterializationResult:
         return tuple(v.name for v in self.materialized)
 
 
+def _record_step(span, step: SelectionStep) -> None:
+    """Emit one Figure-9 decision as a span event + decision counter.
+
+    Uses the same field names as the JSON trace serializer
+    (:func:`repro.obs.export.selection_step_to_dict`), so the span
+    events and ``repro trace --format json`` stay field-compatible.
+    """
+    from repro.obs.export import selection_step_to_dict
+
+    span.event("decision", **selection_step_to_dict(step))
+    obs.metrics().counter(
+        "selection.decisions", decision=step.decision
+    ).inc()
+
+
 def select_views(
     mvpp: MVPP,
     calculator: Optional[MVPPCostCalculator] = None,
@@ -76,58 +92,73 @@ def select_views(
     if space_budget is not None and space_budget < 0:
         raise ValueError(f"space budget must be >= 0: {space_budget}")
 
-    # Step 2: candidates with positive weight, in descending weight order.
-    weighted = [
-        (calculator.weight(vertex), vertex) for vertex in mvpp.operations
-    ]
-    queue: List[Tuple[float, Vertex]] = sorted(
-        ((w, v) for w, v in weighted if w > 0),
-        key=lambda item: (-item[0], item[1].vertex_id),
-    )
+    with obs.span(
+        "selection.figure9", mvpp=mvpp.name, refine=refine
+    ) as span:
+        emit = obs.enabled()
+        trace: List[SelectionStep] = []
 
-    selected: Set[int] = set()
-    trace: List[SelectionStep] = []
-    used_blocks = 0.0
+        def record(step: SelectionStep) -> None:
+            trace.append(step)
+            if emit:
+                _record_step(span, step)
 
-    while queue:
-        weight, vertex = queue.pop(0)
-        blocks = float(vertex.stats.blocks) if vertex.stats is not None else 0.0
-        if space_budget is not None and used_blocks + blocks > space_budget:
-            trace.append(
-                SelectionStep(vertex.name, weight, None, "skip-budget")
-            )
-            continue
-        saving = calculator.incremental_saving(vertex, frozenset(selected))
-        if saving > 0:
-            used_blocks += blocks
-            selected.add(vertex.vertex_id)
-            trace.append(
-                SelectionStep(vertex.name, weight, saving, "materialize")
-            )
-            continue
-        # Step 7: prune the rest of this branch — vertices related to v by
-        # ancestry can only do worse once v itself is not worth it.
-        branch = mvpp.ancestors(vertex) | mvpp.descendants(vertex)
-        pruned = [name for _, u in queue if u.vertex_id in branch for name in (u.name,)]
-        queue = [(w, u) for w, u in queue if u.vertex_id not in branch]
-        trace.append(
-            SelectionStep(vertex.name, weight, saving, "reject", tuple(pruned))
+        # Step 2: candidates with positive weight, descending weight order.
+        weighted = [
+            (calculator.weight(vertex), vertex) for vertex in mvpp.operations
+        ]
+        queue: List[Tuple[float, Vertex]] = sorted(
+            ((w, v) for w, v in weighted if w > 0),
+            key=lambda item: (-item[0], item[1].vertex_id),
         )
+        span.set(candidates=len(queue))
 
-    # Step 9: drop vertices entirely shadowed by materialized parents.
-    final: List[Vertex] = []
-    for vertex_id in sorted(selected):
-        vertex = mvpp.vertex(vertex_id)
-        parents = mvpp.parents_of(vertex)
-        if parents and all(p.vertex_id in selected for p in parents):
-            trace.append(
-                SelectionStep(vertex.name, 0.0, None, "pruned", (vertex.name,))
+        selected: Set[int] = set()
+        used_blocks = 0.0
+
+        while queue:
+            weight, vertex = queue.pop(0)
+            blocks = float(vertex.stats.blocks) if vertex.stats is not None else 0.0
+            if space_budget is not None and used_blocks + blocks > space_budget:
+                record(SelectionStep(vertex.name, weight, None, "skip-budget"))
+                continue
+            saving = calculator.incremental_saving(vertex, frozenset(selected))
+            if saving > 0:
+                used_blocks += blocks
+                selected.add(vertex.vertex_id)
+                record(
+                    SelectionStep(vertex.name, weight, saving, "materialize")
+                )
+                continue
+            # Step 7: prune the rest of this branch — vertices related to v
+            # by ancestry can only do worse once v itself is not worth it.
+            branch = mvpp.ancestors(vertex) | mvpp.descendants(vertex)
+            pruned = [name for _, u in queue if u.vertex_id in branch for name in (u.name,)]
+            queue = [(w, u) for w, u in queue if u.vertex_id not in branch]
+            record(
+                SelectionStep(vertex.name, weight, saving, "reject", tuple(pruned))
             )
-            continue
-        final.append(vertex)
 
-    if refine:
-        final = _drop_net_losses(final, calculator, trace)
+        # Step 9: drop vertices entirely shadowed by materialized parents.
+        final: List[Vertex] = []
+        for vertex_id in sorted(selected):
+            vertex = mvpp.vertex(vertex_id)
+            parents = mvpp.parents_of(vertex)
+            if parents and all(p.vertex_id in selected for p in parents):
+                record(
+                    SelectionStep(vertex.name, 0.0, None, "pruned", (vertex.name,))
+                )
+                continue
+            final.append(vertex)
+
+        if refine:
+            with obs.span("selection.refine", mvpp=mvpp.name):
+                before = len(trace)
+                final = _drop_net_losses(final, calculator, trace)
+                if emit:
+                    for step in trace[before:]:
+                        _record_step(span, step)
+        span.set(materialized=[v.name for v in final])
     return MaterializationResult(materialized=final, trace=trace)
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.algebra import predicates as P
 from repro.algebra.expressions import Expression
 from repro.algebra.operators import Join, Operator, Relation
@@ -131,6 +132,14 @@ def _merge_one(skeleton: Operator, pool: SkeletonPool) -> Operator:
     predicates = skeleton_join_conjuncts(skeleton)
 
     pieces = pool.reusable_pieces(leaf_names, predicates)
+    if obs.enabled():
+        registry = obs.metrics()
+        registry.counter("generation.reuse_hits").inc(len(pieces))
+        registry.counter("generation.reuse_covered_leaves").inc(
+            sum(len(tree_leaves(piece)) for piece in pieces)
+        )
+        if not pieces:
+            registry.counter("generation.reuse_misses").inc()
     covered = {leaf.name for piece in pieces for leaf in tree_leaves(piece)}
     for leaf in plan_leaves:
         if leaf.name not in covered:

@@ -1,0 +1,144 @@
+"""repro.obs — zero-cost-when-disabled observability for the pipeline.
+
+The pipeline's hot paths are instrumented against this module's
+*current* tracer and metrics registry::
+
+    from repro import obs
+
+    with obs.span("selection.figure9", mvpp=name) as span:
+        span.event("decision", vertex="tmp2", decision="materialize")
+    obs.metrics().counter("executor.blocks_read").inc(blocks)
+
+By default both are no-op singletons: ``obs.span(...)`` returns a shared
+inert context manager and every metric mutator does nothing, so the
+disabled overhead is one function call per instrumentation point (the
+tier-1 suite and production-path timings are unaffected; see
+``tests/obs/test_noop_overhead.py``).
+
+Enable collection explicitly::
+
+    obs.enable()            # swap in a live Tracer + MetricsRegistry
+    ...                     # run the pipeline
+    snapshot = obs.snapshot()   # {"phases": ..., "spans": ..., "metrics": ...}
+    obs.disable()
+
+or set the ``REPRO_OBS`` environment variable (any non-empty value other
+than ``0``/``false``/``off``) to enable it at import time.
+
+The span taxonomy and metric names are documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopMetricsRegistry,
+)
+from repro.obs.tracing import NOOP_SPAN, NoopSpan, NoopTracer, Span, Tracer
+from repro.obs import export
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopMetricsRegistry",
+    "NoopSpan",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+    "enable",
+    "disable",
+    "enabled",
+    "event",
+    "export",
+    "metrics",
+    "reset",
+    "snapshot",
+    "span",
+    "tracer",
+]
+
+#: Environment variable that enables collection at import time.
+ENV_VAR = "REPRO_OBS"
+
+_NOOP_TRACER = NoopTracer()
+_NOOP_METRICS = NoopMetricsRegistry()
+
+_enabled = False
+_tracer: Tracer = _NOOP_TRACER  # type: ignore[assignment]
+_metrics: MetricsRegistry = _NOOP_METRICS
+
+
+def enabled() -> bool:
+    """Whether observability collection is currently on."""
+    return _enabled
+
+
+def enable(reset: bool = False) -> None:
+    """Swap in a live tracer and metrics registry.
+
+    Idempotent; with ``reset=True`` any previously collected spans and
+    metrics are discarded first (also when already enabled).
+    """
+    global _enabled, _tracer, _metrics
+    if not _enabled:
+        _tracer = Tracer()
+        _metrics = MetricsRegistry()
+        _enabled = True
+    elif reset:
+        _tracer.reset()
+        _metrics.reset()
+
+
+def disable() -> None:
+    """Return to the zero-cost no-op mode (collected data is dropped)."""
+    global _enabled, _tracer, _metrics
+    _enabled = False
+    _tracer = _NOOP_TRACER  # type: ignore[assignment]
+    _metrics = _NOOP_METRICS
+
+
+def reset() -> None:
+    """Drop collected spans and metrics, keeping the current mode."""
+    _tracer.reset()
+    _metrics.reset()
+
+
+def tracer() -> Tracer:
+    """The current tracer (a :class:`NoopTracer` while disabled)."""
+    return _tracer
+
+
+def metrics() -> MetricsRegistry:
+    """The current registry (a :class:`NoopMetricsRegistry` while disabled)."""
+    return _metrics
+
+
+def span(name: str, **attributes: Any):
+    """Shorthand for ``tracer().span(...)`` against the current tracer."""
+    if not _enabled:
+        return NOOP_SPAN
+    return _tracer.span(name, **attributes)
+
+
+def event(name: str, **attributes: Any) -> None:
+    """Record an event on the current span (no-op while disabled)."""
+    if _enabled:
+        _tracer.event(name, **attributes)
+
+
+def snapshot(workload: str = "") -> Dict[str, Any]:
+    """The full observability state as a JSON-safe profile document."""
+    return export.profile_to_dict(_tracer, _metrics, workload=workload)
+
+
+if os.environ.get(ENV_VAR, "").lower() not in ("", "0", "false", "off"):
+    enable()

@@ -1,0 +1,205 @@
+"""Shared JSON serialization for traces, metrics, and decision logs.
+
+Everything observable — span trees, metrics snapshots, Figure-9
+selection traces — funnels through this module, so ``repro profile
+--trace-json``, ``repro trace --format json``, and the benchmark harness
+all emit the same shapes.
+
+The profile document schema (``PROFILE_SCHEMA_VERSION``)::
+
+    {
+      "schema": 1,
+      "workload": "paper",
+      "phases":  {"generation": {"wall_ms": ..., "spans": N}, ...},
+      "spans":   [<span tree>, ...],
+      "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
+    }
+
+Span nodes carry ``name``, ``duration_ms``, ``attributes``, ``events``
+(with times relative to the span start), and ``children``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from typing import Any, Dict, IO, Iterable, List, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+PROFILE_SCHEMA_VERSION = 1
+
+#: Pipeline phases a profile document reports (the span-name prefixes).
+PHASES = ("generation", "selection", "execution", "maintenance")
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-encodable primitives."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return value.isoformat()
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# spans
+# ---------------------------------------------------------------------------
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    """One span subtree as a JSON-safe dict (times in milliseconds)."""
+    return {
+        "name": span.name,
+        "duration_ms": round(span.duration * 1000, 6),
+        "attributes": jsonable(span.attributes),
+        "events": [
+            {
+                "name": event["name"],
+                "offset_ms": round(
+                    (event["time"] - span.start) * 1000, 6
+                ),
+                **jsonable(
+                    {
+                        k: v
+                        for k, v in event.items()
+                        if k not in ("name", "time")
+                    }
+                ),
+            }
+            for event in span.events
+        ],
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def spans_to_list(tracer: Tracer) -> List[Dict[str, Any]]:
+    return [span_to_dict(root) for root in tracer.finished()]
+
+
+def _phase_of(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def phase_summary(tracer: Tracer) -> Dict[str, Dict[str, float]]:
+    """Per-phase wall time and span counts from the finished span trees.
+
+    A span is charged to a phase when its name prefix (before the first
+    ``.``) differs from its parent's — nested same-phase spans count
+    toward ``spans`` but not ``wall_ms``, so phase times don't
+    double-count their own subtrees.
+    """
+    summary: Dict[str, Dict[str, float]] = {}
+
+    def visit(span: Span, parent_phase: str) -> None:
+        phase = _phase_of(span.name)
+        bucket = summary.setdefault(phase, {"wall_ms": 0.0, "spans": 0})
+        bucket["spans"] += 1
+        if phase != parent_phase:
+            bucket["wall_ms"] += span.duration * 1000
+        for child in span.children:
+            visit(child, phase)
+
+    for root in tracer.finished():
+        visit(root, "")
+    for bucket in summary.values():
+        bucket["wall_ms"] = round(bucket["wall_ms"], 6)
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# selection traces (shared with ``repro trace --format json``)
+# ---------------------------------------------------------------------------
+def selection_step_to_dict(step: Any) -> Dict[str, Any]:
+    """Serialize one Figure-9 :class:`SelectionStep` decision."""
+    return {
+        "vertex": step.vertex,
+        "weight": step.weight,
+        "saving": step.saving,
+        "decision": step.decision,
+        "pruned": list(step.pruned),
+    }
+
+
+def selection_trace_to_dict(
+    mvpp_name: str, steps: Iterable[Any], materialized: Iterable[str],
+    total_cost: float,
+) -> Dict[str, Any]:
+    """The full Figure-9 decision log as a JSON document."""
+    return {
+        "schema": PROFILE_SCHEMA_VERSION,
+        "mvpp": mvpp_name,
+        "steps": [selection_step_to_dict(step) for step in steps],
+        "materialized": list(materialized),
+        "total_cost": total_cost,
+    }
+
+
+# ---------------------------------------------------------------------------
+# full profile documents
+# ---------------------------------------------------------------------------
+def profile_to_dict(
+    tracer: Tracer, registry: MetricsRegistry, workload: str = ""
+) -> Dict[str, Any]:
+    """The complete observability snapshot for one profiled run."""
+    return {
+        "schema": PROFILE_SCHEMA_VERSION,
+        "workload": workload,
+        "phases": phase_summary(tracer),
+        "spans": spans_to_list(tracer),
+        "metrics": registry.to_dict(),
+    }
+
+
+def validate_profile(document: Dict[str, Any]) -> List[str]:
+    """Schema check for a profile document; returns problems (empty = ok).
+
+    Used by the CI smoke step and the integration tests, so schema drift
+    fails loudly instead of producing unreadable ``BENCH_*.json`` blobs.
+    """
+    problems: List[str] = []
+    if document.get("schema") != PROFILE_SCHEMA_VERSION:
+        problems.append(
+            f"schema must be {PROFILE_SCHEMA_VERSION}: {document.get('schema')!r}"
+        )
+    for key in ("phases", "spans", "metrics"):
+        if key not in document:
+            problems.append(f"missing top-level key {key!r}")
+    for phase in PHASES:
+        bucket = document.get("phases", {}).get(phase)
+        if bucket is None:
+            problems.append(f"missing phase {phase!r}")
+        elif not bucket.get("spans"):
+            problems.append(f"phase {phase!r} recorded no spans")
+    metrics = document.get("metrics", {})
+    for key in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(key), dict):
+            problems.append(f"metrics.{key} must be a dict")
+
+    def check_span(node: Any, path: str) -> None:
+        if not isinstance(node, dict):
+            problems.append(f"span at {path} is not an object")
+            return
+        for key in ("name", "duration_ms", "attributes", "events", "children"):
+            if key not in node:
+                problems.append(f"span at {path} missing {key!r}")
+        for index, child in enumerate(node.get("children", ())):
+            check_span(child, f"{path}.{index}")
+
+    for index, node in enumerate(document.get("spans", ())):
+        check_span(node, f"spans[{index}]")
+    return problems
+
+
+def dump_json(data: Any, target: Union[str, IO[str]], indent: int = 2) -> None:
+    """Write any serialized document to a path or open file handle."""
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            json.dump(jsonable(data), handle, indent=indent)
+            handle.write("\n")
+    else:
+        json.dump(jsonable(data), target, indent=indent)
+        target.write("\n")

@@ -1,0 +1,305 @@
+"""Counters, gauges, and histograms for the MVPP pipeline.
+
+The registry hands out metric instruments keyed by name plus optional
+labels::
+
+    registry.counter("executor.blocks_read").inc(12)
+    registry.counter("executor.rows_produced", operator="join").inc(n)
+    registry.histogram("maintenance.io", policy="incremental").observe(io)
+
+Instruments are cached, so repeated lookups return the same object;
+creation and lookup are lock-protected (instrument updates themselves
+rely on the GIL, matching the single-writer usage in the executor).
+
+Two export formats are supported: a JSON-safe dict (:meth:`to_dict`)
+and a Prometheus-style text exposition (:meth:`to_prometheus`) in which
+histograms are rendered as summaries with p50/p95/p99 quantiles.
+
+:class:`NoopMetricsRegistry` is the disabled mode: it returns shared
+singleton instruments whose mutators do nothing.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopMetricsRegistry",
+]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: The quantiles every histogram reports.
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    fraction = position - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+class Counter:
+    """A monotonically increasing count (blocks read, reuse hits, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (drift ratio, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value = (self.value or 0.0) + amount
+
+
+class Histogram:
+    """A sample distribution summarized as count/sum/min/max/quantiles."""
+
+    __slots__ = ("name", "labels", "_values")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self._values)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in [0, 1]) by linear interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        return _percentile(sorted(self._values), q)
+
+    def summary(self) -> Dict[str, float]:
+        ordered = sorted(self._values)
+        if not ordered:
+            return {"count": 0, "sum": 0.0}
+        out: Dict[str, float] = {
+            "count": len(ordered),
+            "sum": sum(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": sum(ordered) / len(ordered),
+        }
+        for q in QUANTILES:
+            out[f"p{int(q * 100)}"] = _percentile(ordered, q)
+        return out
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+class MetricsRegistry:
+    """Creates, caches, and exports metric instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(key, Counter(*key))
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge(*key))
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(key, Histogram(*key))
+        return instrument
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -------------------------------------------------------------- exports
+    @staticmethod
+    def _series_name(name: str, labels: LabelKey) -> str:
+        if not labels:
+            return name
+        body = ",".join(f"{k}={v}" for k, v in labels)
+        return f"{name}{{{body}}}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe snapshot: ``{"counters": ..., "gauges": ..., ...}``."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        return {
+            "counters": {
+                self._series_name(c.name, c.labels): c.value for c in counters
+            },
+            "gauges": {
+                self._series_name(g.name, g.labels): g.value for g in gauges
+            },
+            "histograms": {
+                self._series_name(h.name, h.labels): h.summary()
+                for h in histograms
+            },
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus-style text exposition (histograms as summaries)."""
+        lines: List[str] = []
+        with self._lock:
+            counters = sorted(
+                self._counters.values(), key=lambda c: (c.name, c.labels)
+            )
+            gauges = sorted(
+                self._gauges.values(), key=lambda g: (g.name, g.labels)
+            )
+            histograms = sorted(
+                self._histograms.values(), key=lambda h: (h.name, h.labels)
+            )
+        seen_types: set = set()
+        for counter in counters:
+            name = _prom_name(counter.name)
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} counter")
+                seen_types.add(name)
+            lines.append(
+                f"{name}{_prom_labels(counter.labels)} {counter.value:g}"
+            )
+        for gauge in gauges:
+            name = _prom_name(gauge.name)
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} gauge")
+                seen_types.add(name)
+            value = gauge.value if gauge.value is not None else float("nan")
+            lines.append(f"{name}{_prom_labels(gauge.labels)} {value:g}")
+        for histogram in histograms:
+            name = _prom_name(histogram.name)
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} summary")
+                seen_types.add(name)
+            for q in QUANTILES:
+                lines.append(
+                    f"{name}"
+                    f"{_prom_labels(histogram.labels, (('quantile', str(q)),))}"
+                    f" {histogram.percentile(q):g}"
+                )
+            lines.append(
+                f"{name}_count{_prom_labels(histogram.labels)} "
+                f"{histogram.count}"
+            )
+            lines.append(
+                f"{name}_sum{_prom_labels(histogram.labels)} "
+                f"{histogram.sum:g}"
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NoopCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+
+class _NoopGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        return None
+
+    def add(self, amount: float) -> None:
+        return None
+
+
+class _NoopHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NOOP_COUNTER = _NoopCounter("noop")
+_NOOP_GAUGE = _NoopGauge("noop")
+_NOOP_HISTOGRAM = _NoopHistogram("noop")
+
+
+class NoopMetricsRegistry(MetricsRegistry):
+    """Disabled mode: shared do-nothing instruments, empty exports."""
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return _NOOP_COUNTER
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return _NOOP_GAUGE
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return _NOOP_HISTOGRAM

@@ -1,0 +1,225 @@
+"""Span-based tracing for the MVPP pipeline.
+
+A :class:`Span` records one timed region of the pipeline — a Figure-4
+merge, a Figure-9 selection run, a query execution — with structured
+attributes and point-in-time events.  Spans nest: entering a span inside
+another makes it a child, so one ``repro profile`` run yields a tree
+whose roots are the pipeline phases.
+
+The :class:`Tracer` is a context-manager factory::
+
+    with tracer.span("selection.figure9", mvpp=mvpp.name) as span:
+        ...
+        span.event("decision", vertex="tmp2", decision="materialize")
+
+Collection is thread-safe: the active-span stack is thread-local (each
+thread builds its own subtree) and the finished-roots list is guarded by
+a lock.  :class:`NoopTracer` provides the disabled mode: ``span()``
+returns a shared singleton whose every method is a no-op, so
+instrumented code pays only one method call when tracing is off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NoopSpan", "NoopTracer", "NOOP_SPAN"]
+
+_span_ids = itertools.count(1)
+
+
+class Span:
+    """One timed, attributed region; may contain child spans and events."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "events",
+        "start",
+        "end",
+        "children",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        tracer: "Tracer",
+        parent_id: Optional[int] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.span_id = next(_span_ids)
+        self.parent_id = parent_id
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.events: List[Dict[str, Any]] = []
+        self.children: List["Span"] = []
+        self.start: float = 0.0
+        self.end: Optional[float] = None
+        self._tracer = tracer
+
+    # ------------------------------------------------------------- recording
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) structured attributes."""
+        self.attributes.update(attributes)
+        return self
+
+    def event(self, name: str, **attributes: Any) -> "Span":
+        """Record a point-in-time event inside this span."""
+        self.events.append(
+            {"name": name, "time": time.perf_counter(), **attributes}
+        )
+        return self
+
+    # ------------------------------------------------------------ lifecycle
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (up to *now* for a still-open span)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return max(0.0, end - self.start)
+
+    def find(self, name: str) -> List["Span"]:
+        """All descendant spans (including self) with the given name."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration * 1000:.3f}ms, "
+            f"children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Collects spans into per-thread trees; finished roots are shared."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: List[Span] = []
+
+    # ------------------------------------------------------------ span stack
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """A new span; use as a context manager to time a region."""
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        return Span(name, self, parent_id=parent_id, attributes=attributes)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread (None outside any)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record an event on the current span (dropped when outside one)."""
+        current = self.current
+        if current is not None:
+            current.event(name, **attributes)
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # tolerate mis-nested exits rather than corrupt the tree
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        if span.parent_id is None:
+            with self._lock:
+                self._roots.append(span)
+
+    # ------------------------------------------------------------ collection
+    def finished(self) -> List[Span]:
+        """Completed root spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._roots.clear()
+        self._local = threading.local()
+
+    def find(self, name: str) -> List[Span]:
+        """All finished spans (at any depth) with the given name."""
+        found: List[Span] = []
+        for root in self.finished():
+            found.extend(root.find(name))
+        return found
+
+
+class NoopSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> "NoopSpan":
+        return self
+
+    def event(self, name: str, **attributes: Any) -> "NoopSpan":
+        return self
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = NoopSpan()
+
+
+class NoopTracer:
+    """Disabled-mode tracer: every ``span()`` is the shared no-op span."""
+
+    def span(self, name: str, **attributes: Any) -> NoopSpan:
+        return NOOP_SPAN
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        return None
+
+    def finished(self) -> List[Span]:
+        return []
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+    def reset(self) -> None:
+        return None

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro import obs
+
 
 @dataclass
 class IOSnapshot:
@@ -36,11 +38,15 @@ class IOCounter:
         if count < 0:
             raise ValueError(f"negative block read count: {count}")
         self.reads += count
+        if obs.enabled():
+            obs.metrics().counter("storage.blocks_read").inc(count)
 
     def write_blocks(self, count: int) -> None:
         if count < 0:
             raise ValueError(f"negative block write count: {count}")
         self.writes += count
+        if obs.enabled():
+            obs.metrics().counter("storage.blocks_written").inc(count)
 
     def reset(self) -> None:
         self.reads = 0

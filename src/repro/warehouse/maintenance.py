@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional
 
+from repro import obs
 from repro.algebra.operators import Aggregate, Operator, Relation
 from repro.errors import WarehouseError
 from repro.executor.engine import Database, ExecutionEngine
@@ -24,6 +25,23 @@ from repro.warehouse.view import MaterializedView
 
 RECOMPUTE = "recompute"
 INCREMENTAL = "incremental"
+
+
+def _record_refresh(span, report: "RefreshReport") -> None:
+    """Attach a refresh outcome to its span and the per-policy metrics."""
+    span.set(
+        io_reads=report.io.reads,
+        io_writes=report.io.writes,
+        rows_after=report.rows_after,
+    )
+    if obs.enabled():
+        registry = obs.metrics()
+        registry.counter(
+            "maintenance.refreshes", policy=report.policy
+        ).inc()
+        registry.histogram(
+            "maintenance.io", policy=report.policy
+        ).observe(report.io.total)
 
 
 @dataclass(frozen=True)
@@ -46,18 +64,23 @@ class ViewMaintainer:
     # -------------------------------------------------------------- recompute
     def materialize(self, view: MaterializedView) -> RefreshReport:
         """(Re)compute ``view`` from base relations and store it."""
-        before = self.database.io.snapshot()
-        result = self.engine.execute(view.plan)
-        stored = Table(result.schema, result.blocking_factor, io=self.database.io)
-        stored.insert_many(result.rows(), count_io=False)
-        materialize_table(stored)
-        self.database.register(view.name, stored)
-        return RefreshReport(
-            view=view.name,
-            policy=RECOMPUTE,
-            io=self.database.io.since(before),
-            rows_after=stored.cardinality,
-        )
+        with obs.span(
+            "maintenance.refresh", view=view.name, policy=RECOMPUTE
+        ) as span:
+            before = self.database.io.snapshot()
+            result = self.engine.execute(view.plan)
+            stored = Table(result.schema, result.blocking_factor, io=self.database.io)
+            stored.insert_many(result.rows(), count_io=False)
+            materialize_table(stored)
+            self.database.register(view.name, stored)
+            report = RefreshReport(
+                view=view.name,
+                policy=RECOMPUTE,
+                io=self.database.io.since(before),
+                rows_after=stored.cardinality,
+            )
+            _record_refresh(span, report)
+        return report
 
     # ------------------------------------------------------------ incremental
     def incremental_refresh(
@@ -88,20 +111,27 @@ class ViewMaintainer:
         if any(isinstance(node, Aggregate) for node in view.plan.walk()):
             return self.materialize(view)
 
-        before = self.database.io.snapshot()
-        delta_table = self._delta_table(relation, delta_rows)
-        overlay = _OverlayDatabase(self.database, {relation: delta_table})
-        delta_engine = ExecutionEngine(overlay, self.engine.join_method)
-        delta_result = delta_engine.execute(view.plan)
+        with obs.span(
+            "maintenance.refresh", view=view.name, policy=INCREMENTAL,
+            relation=relation,
+        ) as span:
+            before = self.database.io.snapshot()
+            delta_table = self._delta_table(relation, delta_rows)
+            overlay = _OverlayDatabase(self.database, {relation: delta_table})
+            delta_engine = ExecutionEngine(overlay, self.engine.join_method)
+            delta_result = delta_engine.execute(view.plan)
 
-        stored = self.database.table(view.name)
-        added = stored.insert_many(delta_result.rows(), count_io=True)
-        return RefreshReport(
-            view=view.name,
-            policy=INCREMENTAL,
-            io=self.database.io.since(before),
-            rows_after=stored.cardinality,
-        )
+            stored = self.database.table(view.name)
+            added = stored.insert_many(delta_result.rows(), count_io=True)
+            span.set(rows_added=added)
+            report = RefreshReport(
+                view=view.name,
+                policy=INCREMENTAL,
+                io=self.database.io.since(before),
+                rows_after=stored.cardinality,
+            )
+            _record_refresh(span, report)
+        return report
 
     def _delta_table(
         self, relation: str, delta_rows: Iterable[Mapping[str, object]]

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.catalog.schema import Catalog
 from repro.catalog.statistics import StatisticsCatalog
 from repro.errors import WarehouseError
@@ -296,16 +297,44 @@ class DataWarehouse:
         freshness: str = "any",
     ) -> Tuple[Table, IOSnapshot]:
         """Answer a registered query; returns (result, measured block I/O)."""
-        plan = self.query_plan(name, use_views=use_views, freshness=freshness)
-        missing = [
-            r for r in plan.base_relations()
-            if r not in self.database
-        ]
-        if missing:
-            raise WarehouseError(
-                f"load base data before executing: missing {sorted(missing)}"
+        with obs.span(
+            "execution.warehouse_query",
+            query=name,
+            use_views=use_views,
+            freshness=freshness,
+        ) as span:
+            plan = self.query_plan(name, use_views=use_views, freshness=freshness)
+            missing = [
+                r for r in plan.base_relations()
+                if r not in self.database
+            ]
+            if missing:
+                raise WarehouseError(
+                    f"load base data before executing: missing {sorted(missing)}"
+                )
+            result, io = self.engine.run(plan)
+            span.set(measured_io=io.total, rows=result.cardinality)
+            if obs.enabled():
+                self._record_drift(name, plan, io.total)
+        return result, io
+
+    def _record_drift(self, name: str, plan, measured_io: int) -> None:
+        """Publish per-query estimated-vs-measured cost drift metrics."""
+        from repro.optimizer.plans import AnnotatedPlan
+
+        try:
+            estimated = AnnotatedPlan(
+                plan, self.estimator, self.cost_model
+            ).total_cost
+        except Exception:
+            return  # stored views may lack statistics; drift is unknown
+        registry = obs.metrics()
+        registry.gauge("warehouse.estimated_cost", query=name).set(estimated)
+        registry.gauge("warehouse.measured_io", query=name).set(measured_io)
+        if measured_io > 0:
+            registry.gauge("warehouse.cost_drift_ratio", query=name).set(
+                estimated / measured_io
             )
-        return self.engine.run(plan)
 
     def redesign(
         self, rotations: Optional[int] = None, push_down: bool = True
@@ -442,24 +471,29 @@ class DataWarehouse:
             raise WarehouseError(f"relation {relation!r} has no loaded data")
         if policy not in (RECOMPUTE, INCREMENTAL, "defer"):
             raise WarehouseError(f"unknown maintenance policy {policy!r}")
-        rows = list(rows)
-        self.database.table(relation).insert_many(rows)
-        self._base_versions[relation] = self._base_versions.get(relation, 0) + 1
-        self.engine.indexes.invalidate(relation)
-        reports = []
-        if policy == "defer":
-            return reports
-        for view in self.views:
-            if not view.depends_on(relation):
-                continue
-            if view.name not in self.database:
-                continue  # not materialized yet; materialize() will build it
-            if policy == INCREMENTAL:
-                reports.append(
-                    self.maintainer.incremental_refresh(view, relation, rows)
-                )
-            else:
-                reports.append(self.maintainer.materialize(view))
-            self._mark_fresh(view)
-            self.engine.indexes.invalidate(view.name)
+        with obs.span(
+            "maintenance.update", relation=relation, policy=policy
+        ) as span:
+            rows = list(rows)
+            span.set(delta_rows=len(rows))
+            self.database.table(relation).insert_many(rows)
+            self._base_versions[relation] = self._base_versions.get(relation, 0) + 1
+            self.engine.indexes.invalidate(relation)
+            reports: List[RefreshReport] = []
+            if policy == "defer":
+                return reports
+            for view in self.views:
+                if not view.depends_on(relation):
+                    continue
+                if view.name not in self.database:
+                    continue  # not materialized yet; materialize() builds it
+                if policy == INCREMENTAL:
+                    reports.append(
+                        self.maintainer.incremental_refresh(view, relation, rows)
+                    )
+                else:
+                    reports.append(self.maintainer.materialize(view))
+                self._mark_fresh(view)
+                self.engine.indexes.invalidate(view.name)
+            span.set(views_refreshed=len(reports))
         return reports

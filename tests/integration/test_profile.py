@@ -1,0 +1,130 @@
+"""Integration test: ``repro profile`` covers all four pipeline phases."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.export import PHASES, validate_profile
+
+
+@pytest.fixture(autouse=True)
+def _restore_obs_state():
+    yield
+    obs.disable()
+
+
+@pytest.fixture(scope="module")
+def profile_document(tmp_path_factory):
+    target = tmp_path_factory.mktemp("profile") / "trace.json"
+    try:
+        assert (
+            main(
+                [
+                    "profile",
+                    "--workload",
+                    "paper",
+                    "--scale",
+                    "0.005",
+                    "--trace-json",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+    finally:
+        obs.disable()
+    return json.loads(target.read_text())
+
+
+class TestProfileCommand:
+    def test_document_passes_schema_validation(self, profile_document):
+        assert validate_profile(profile_document) == []
+
+    def test_all_four_phases_have_spans_and_wall_time(self, profile_document):
+        for phase in PHASES:
+            bucket = profile_document["phases"][phase]
+            assert bucket["spans"] > 0, phase
+            assert bucket["wall_ms"] > 0, phase
+
+    def test_span_tree_covers_pipeline_stages(self, profile_document):
+        names = set()
+
+        def walk(node):
+            names.add(node["name"])
+            for child in node["children"]:
+                walk(child)
+
+        for root in profile_document["spans"]:
+            walk(root)
+        for expected in (
+            "generation.design",
+            "generation.merge",
+            "selection.figure9",
+            "execution.warehouse_query",
+            "execution.query",
+            "maintenance.refresh",
+            "maintenance.update",
+        ):
+            assert expected in names
+
+    def test_io_counters_and_drift_gauges_present(self, profile_document):
+        metrics = profile_document["metrics"]
+        assert metrics["counters"]["storage.blocks_read"] > 0
+        assert metrics["counters"]["executor.blocks_read"] > 0
+        assert any(
+            key.startswith("warehouse.cost_drift_ratio")
+            for key in metrics["gauges"]
+        )
+        assert any(
+            key.startswith("maintenance.io{policy=")
+            for key in metrics["histograms"]
+        )
+
+    def test_selection_decisions_emitted_as_events(self, profile_document):
+        decisions = []
+
+        def walk(node):
+            if node["name"] == "selection.figure9":
+                decisions.extend(
+                    e for e in node["events"] if e["name"] == "decision"
+                )
+            for child in node["children"]:
+                walk(child)
+
+        for root in profile_document["spans"]:
+            walk(root)
+        assert decisions
+        assert all(
+            {"vertex", "decision", "weight"} <= set(d) for d in decisions
+        )
+
+    def test_json_stdout_format(self, capsys):
+        try:
+            assert (
+                main(
+                    [
+                        "profile",
+                        "--workload",
+                        "paper",
+                        "--scale",
+                        "0.002",
+                        "--format",
+                        "json",
+                    ]
+                )
+                == 0
+            )
+        finally:
+            obs.disable()
+        document = json.loads(capsys.readouterr().out)
+        assert validate_profile(document) == []
+
+    def test_profile_leaves_obs_enabled_state_contained(self, profile_document):
+        # module fixture disabled obs afterwards; tier-1 default is off
+        assert not obs.enabled()
+
+    def test_bad_scale_rejected(self, capsys):
+        assert main(["profile", "--workload", "paper", "--scale", "0"]) == 1
+        assert "error:" in capsys.readouterr().err

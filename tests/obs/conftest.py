@@ -1,0 +1,20 @@
+"""Observability tests toggle the global obs state; always restore it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _restore_obs_state():
+    yield
+    obs.disable()
+
+
+@pytest.fixture()
+def enabled_obs():
+    """Fresh live tracer + registry for one test."""
+    obs.enable(reset=True)
+    yield obs

@@ -1,0 +1,134 @@
+"""Tests for the shared JSON serializers (spans, metrics, traces)."""
+
+import datetime
+import json
+
+from repro import obs
+from repro.mvpp import MVPPCostCalculator, select_views
+from repro.obs.export import (
+    PHASES,
+    jsonable,
+    phase_summary,
+    profile_to_dict,
+    selection_step_to_dict,
+    selection_trace_to_dict,
+    span_to_dict,
+    validate_profile,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+class TestJsonable:
+    def test_primitives_pass_through(self):
+        assert jsonable({"a": 1, "b": [True, None, 2.5]}) == {
+            "a": 1,
+            "b": [True, None, 2.5],
+        }
+
+    def test_dates_become_isoformat(self):
+        assert jsonable(datetime.date(1996, 1, 1)) == "1996-01-01"
+
+    def test_sets_become_lists_and_objects_repr(self):
+        out = jsonable({"s": {1}, "o": object()})
+        assert out["s"] == [1]
+        assert out["o"].startswith("<object")
+
+
+class TestSpanSerialization:
+    def test_span_tree_shape(self):
+        tracer = Tracer()
+        with tracer.span("generation.design", workload="paper") as span:
+            span.event("note", detail="x")
+            with tracer.span("selection.figure9"):
+                pass
+        data = span_to_dict(tracer.finished()[0])
+        assert data["name"] == "generation.design"
+        assert data["attributes"] == {"workload": "paper"}
+        assert data["duration_ms"] >= 0
+        assert data["events"][0]["name"] == "note"
+        assert data["events"][0]["offset_ms"] >= 0
+        assert data["children"][0]["name"] == "selection.figure9"
+        json.dumps(data)  # must be JSON-safe
+
+    def test_phase_summary_does_not_double_count(self):
+        tracer = Tracer()
+        with tracer.span("generation.outer"):
+            with tracer.span("generation.inner"):
+                pass
+            with tracer.span("selection.figure9"):
+                pass
+        summary = phase_summary(tracer)
+        assert summary["generation"]["spans"] == 2
+        assert summary["selection"]["spans"] == 1
+        # inner generation span is nested in an outer generation span, so
+        # generation wall time is just the outer span's duration
+        outer = tracer.finished()[0]
+        assert summary["generation"]["wall_ms"] == round(
+            outer.duration * 1000, 6
+        )
+
+
+class TestSelectionTraceSerializer:
+    def test_shared_with_span_events(self, paper_mvpp, paper_calculator):
+        """CLI ``trace --format json`` and Figure-9 span events emit the
+        same per-step fields, via the same serializer."""
+        obs.enable(reset=True)
+        result = select_views(paper_mvpp, paper_calculator)
+        (figure9,) = obs.tracer().find("selection.figure9")
+        decision_events = [
+            e for e in figure9.events if e["name"] == "decision"
+        ]
+        assert len(decision_events) == len(result.trace)
+        for event, step in zip(decision_events, result.trace):
+            serialized = selection_step_to_dict(step)
+            assert {k: event[k] for k in serialized} == serialized
+
+    def test_document_shape(self, paper_mvpp, paper_calculator):
+        result = select_views(paper_mvpp, paper_calculator)
+        breakdown = paper_calculator.breakdown(result.materialized)
+        document = selection_trace_to_dict(
+            paper_mvpp.name, result.trace, result.names, breakdown.total
+        )
+        json.dumps(document)
+        assert document["mvpp"] == paper_mvpp.name
+        assert document["materialized"] == list(result.names)
+        assert all(
+            set(step) == {"vertex", "weight", "saving", "decision", "pruned"}
+            for step in document["steps"]
+        )
+
+
+class TestProfileValidation:
+    def _document_with_all_phases(self):
+        tracer = Tracer()
+        for phase in PHASES:
+            with tracer.span(f"{phase}.step"):
+                pass
+        return profile_to_dict(tracer, MetricsRegistry(), workload="w")
+
+    def test_valid_document_passes(self):
+        assert validate_profile(self._document_with_all_phases()) == []
+
+    def test_missing_phase_reported(self):
+        tracer = Tracer()
+        with tracer.span("generation.only"):
+            pass
+        document = profile_to_dict(tracer, MetricsRegistry())
+        problems = validate_profile(document)
+        assert any("execution" in p for p in problems)
+        assert any("maintenance" in p for p in problems)
+
+    def test_wrong_schema_version_reported(self):
+        document = self._document_with_all_phases()
+        document["schema"] = 99
+        assert any(
+            "schema" in p for p in validate_profile(document)
+        )
+
+    def test_malformed_span_reported(self):
+        document = self._document_with_all_phases()
+        del document["spans"][0]["duration_ms"]
+        assert any(
+            "duration_ms" in p for p in validate_profile(document)
+        )

@@ -1,0 +1,146 @@
+"""Unit tests for counters, gauges, histograms, and their exports."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NoopMetricsRegistry,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_increments_accumulate(self, registry):
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_name_returns_same_instrument(self, registry):
+        assert registry.counter("hits") is registry.counter("hits")
+
+    def test_labels_create_distinct_series(self, registry):
+        registry.counter("rows", operator="join").inc(10)
+        registry.counter("rows", operator="select").inc(3)
+        assert registry.counter("rows", operator="join").value == 10
+        assert registry.counter("rows", operator="select").value == 3
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("hits").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        gauge = registry.gauge("drift", query="Q1")
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+        gauge.add(0.5)
+        assert gauge.value == 2.0
+
+    def test_unset_gauge_is_none(self, registry):
+        assert registry.gauge("empty").value is None
+
+
+class TestHistogramPercentiles:
+    def test_uniform_1_to_100(self, registry):
+        histogram = registry.histogram("latency")
+        for value in range(1, 101):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["sum"] == 5050
+        assert summary["min"] == 1
+        assert summary["max"] == 100
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+        assert summary["p99"] == pytest.approx(99.01)
+
+    def test_single_observation(self, registry):
+        histogram = registry.histogram("one")
+        histogram.observe(7.0)
+        summary = histogram.summary()
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 7.0
+
+    def test_empty_histogram(self, registry):
+        assert registry.histogram("none").summary() == {"count": 0, "sum": 0.0}
+        assert registry.histogram("none").percentile(0.5) == 0.0
+
+    def test_percentile_interpolates(self, registry):
+        histogram = registry.histogram("h")
+        for value in (10, 20):
+            histogram.observe(value)
+        assert histogram.percentile(0.5) == pytest.approx(15.0)
+
+    def test_percentile_bounds_checked(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h").percentile(1.5)
+
+
+class TestExports:
+    def test_json_dump_round_trips(self, registry):
+        registry.counter("executor.blocks_read").inc(12)
+        registry.gauge("warehouse.cost_drift_ratio", query="Q1").set(1.25)
+        registry.histogram("maintenance.io", policy="incremental").observe(5)
+        snapshot = json.loads(json.dumps(registry.to_dict()))
+        assert snapshot["counters"]["executor.blocks_read"] == 12
+        assert (
+            snapshot["gauges"]["warehouse.cost_drift_ratio{query=Q1}"] == 1.25
+        )
+        histogram = snapshot["histograms"]["maintenance.io{policy=incremental}"]
+        assert histogram["count"] == 1
+        assert histogram["p99"] == 5
+
+    def test_prometheus_exposition(self, registry):
+        registry.counter("executor.blocks_read").inc(12)
+        registry.counter("rows", operator="join").inc(3)
+        registry.gauge("drift").set(0.5)
+        registry.histogram("io").observe(4)
+        text = registry.to_prometheus()
+        assert "# TYPE executor_blocks_read counter" in text
+        assert "executor_blocks_read 12" in text
+        assert 'rows{operator="join"} 3' in text
+        assert "# TYPE drift gauge" in text
+        assert 'io{quantile="0.5"} 4' in text
+        assert "io_count 1" in text
+        assert "io_sum 4" in text
+
+    def test_empty_registry_exports(self, registry):
+        assert registry.to_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert registry.to_prometheus() == ""
+
+    def test_reset_clears_all_series(self, registry):
+        registry.counter("a").inc()
+        registry.gauge("b").set(1)
+        registry.histogram("c").observe(1)
+        registry.reset()
+        assert registry.to_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestNoopRegistry:
+    def test_mutators_do_nothing(self):
+        registry = NoopMetricsRegistry()
+        registry.counter("a", x="y").inc(5)
+        registry.gauge("b").set(2)
+        registry.histogram("c").observe(3)
+        assert registry.counter("a").value == 0
+        assert registry.gauge("b").value is None
+        assert registry.histogram("c").count == 0
+
+    def test_shared_singletons(self):
+        registry = NoopMetricsRegistry()
+        assert registry.counter("a") is registry.counter("b", any="label")

@@ -1,0 +1,108 @@
+"""Disabled-mode overhead budget: instrumentation must stay under 5%.
+
+The executor micro-benchmark runs a paper query through the (always
+instrumented) engine with observability disabled.  The test counts how
+many instrumentation calls that run makes, measures the per-call cost of
+the disabled-mode primitives in a tight loop, and asserts the product is
+below 5% of the measured query runtime — the acceptance bound for
+keeping obs in the tier-1 hot paths.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.executor.engine import ExecutionEngine, load_database
+from repro.obs.tracing import NOOP_SPAN
+from repro.sql.translator import parse_query
+from repro.workload.datagen import paper_rows
+
+OVERHEAD_BUDGET = 0.05
+
+
+@pytest.fixture(scope="module")
+def engine_and_plan(workload):
+    database = load_database(
+        paper_rows(scale=0.02, seed=3),
+        workload.catalog,
+        blocking_factors={
+            name: workload.statistics.relation(name).blocking_factor
+            for name in workload.catalog.relation_names
+        },
+    )
+    engine = ExecutionEngine(database)
+    plan = parse_query(workload.query("Q2").sql, workload.catalog)
+    return engine, plan
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_overhead_under_budget(engine_and_plan, monkeypatch):
+    assert not obs.enabled()
+    engine, plan = engine_and_plan
+
+    def run():
+        engine.run(plan)
+
+    run()  # warm-up (index/table caches, bytecode specialization)
+    runtime = _best_of(run)
+    assert runtime > 0
+
+    # Count the instrumentation calls one run performs, through the same
+    # module attributes the hot paths use.
+    calls = {"enabled": 0, "span": 0}
+
+    def counting_enabled():
+        calls["enabled"] += 1
+        return False
+
+    def counting_span(name, **attributes):
+        calls["span"] += 1
+        return NOOP_SPAN
+
+    monkeypatch.setattr(obs, "enabled", counting_enabled)
+    monkeypatch.setattr(obs, "span", counting_span)
+    run()
+    monkeypatch.undo()
+    assert calls["enabled"] > 0  # the run is actually instrumented
+    assert calls["span"] > 0
+
+    # Per-call cost of the disabled-mode primitives.
+    iterations = 50_000
+    start = time.perf_counter()
+    for _ in range(iterations):
+        obs.enabled()
+    per_enabled = (time.perf_counter() - start) / iterations
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with obs.span("x", a=1) as span:
+            span.set(b=2)
+    per_span = (time.perf_counter() - start) / iterations
+
+    overhead = calls["enabled"] * per_enabled + calls["span"] * per_span
+    assert overhead < OVERHEAD_BUDGET * runtime, (
+        f"disabled-mode instrumentation overhead {overhead * 1e6:.1f}µs "
+        f"exceeds {OVERHEAD_BUDGET:.0%} of the {runtime * 1e3:.2f}ms "
+        f"micro-benchmark ({calls['enabled']} enabled() checks, "
+        f"{calls['span']} span() calls)"
+    )
+
+
+def test_noop_primitives_are_cheap():
+    """Each disabled-mode call must stay well under a microsecond."""
+    iterations = 50_000
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if obs.enabled():  # pragma: no cover - disabled in this test
+            obs.metrics().counter("x").inc()
+    per_call = (time.perf_counter() - start) / iterations
+    assert per_call < 5e-6

@@ -1,0 +1,148 @@
+"""Unit tests for the span tracer: nesting, timing, events, threading."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import NOOP_SPAN, NoopTracer, Tracer
+
+
+class TestSpanBasics:
+    def test_span_records_wall_time(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            time.sleep(0.005)
+        assert span.duration >= 0.005
+        assert span.end is not None
+
+    def test_attributes_at_creation_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("work", query="Q1") as span:
+            span.set(rows=42)
+        assert span.attributes == {"query": "Q1", "rows": 42}
+
+    def test_events_carry_attributes(self):
+        tracer = Tracer()
+        with tracer.span("selection") as span:
+            span.event("decision", vertex="tmp2", decision="materialize")
+        assert len(span.events) == 1
+        assert span.events[0]["vertex"] == "tmp2"
+        assert span.events[0]["time"] >= span.start
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("boom")
+        (root,) = tracer.finished()
+        assert root.attributes["error"] == "ValueError"
+        assert root.end is not None
+
+
+class TestNesting:
+    def test_children_attach_to_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                pass
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert all(c.parent_id == outer.span_id for c in outer.children)
+        # only the outer span is a root
+        assert [s.name for s in tracer.finished()] == ["outer"]
+
+    def test_deep_nesting_and_find(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+                with tracer.span("c"):
+                    pass
+        assert len(tracer.find("c")) == 2
+        assert len(tracer.find("a")) == 1
+        assert tracer.find("nope") == []
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_tracer_event_targets_current_span(self):
+        tracer = Tracer()
+        tracer.event("dropped")  # outside any span: silently ignored
+        with tracer.span("s") as span:
+            tracer.event("kept", value=1)
+        assert [e["name"] for e in span.events] == ["kept"]
+
+
+class TestThreadSafety:
+    def test_threads_build_independent_trees(self):
+        tracer = Tracer()
+
+        def work(name):
+            with tracer.span(name):
+                with tracer.span(f"{name}.child"):
+                    time.sleep(0.001)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        roots = tracer.finished()
+        assert len(roots) == 8
+        for root in roots:
+            assert len(root.children) == 1
+            assert root.children[0].name == f"{root.name}.child"
+
+
+class TestReset:
+    def test_reset_clears_finished_roots(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.finished() == []
+
+
+class TestNoopMode:
+    def test_disabled_module_returns_noop_singletons(self):
+        assert not obs.enabled()
+        assert obs.span("anything") is NOOP_SPAN
+        assert isinstance(obs.tracer(), NoopTracer)
+
+    def test_noop_span_is_inert(self):
+        with obs.span("x", a=1) as span:
+            span.set(b=2).event("e", c=3)
+        assert obs.tracer().finished() == []
+
+    def test_enable_swaps_in_live_tracer(self):
+        obs.enable()
+        with obs.span("live") as span:
+            span.set(ok=True)
+        assert [s.name for s in obs.tracer().finished()] == ["live"]
+        obs.disable()
+        assert obs.span("again") is NOOP_SPAN
+
+    def test_enable_reset_discards_history(self):
+        obs.enable()
+        with obs.span("old"):
+            pass
+        obs.enable(reset=True)
+        assert obs.tracer().finished() == []
+
+    def test_module_event_targets_current_span(self, enabled_obs):
+        with obs.span("s") as span:
+            obs.event("decision", vertex="tmp2")
+        assert span.events[0]["vertex"] == "tmp2"

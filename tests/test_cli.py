@@ -74,6 +74,29 @@ class TestTraceCommand:
         assert "materialize" in out
         assert "M = {" in out
 
+    def test_trace_json_format(self, capsys):
+        assert main(["trace", "--workload", "paper", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["mvpp"]
+        assert document["materialized"]
+        assert document["total_cost"] > 0
+        decisions = {step["decision"] for step in document["steps"]}
+        assert "materialize" in decisions
+        assert all(
+            {"vertex", "weight", "saving", "decision", "pruned"} == set(step)
+            for step in document["steps"]
+        )
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
 
 class TestDotCommand:
     def test_stdout(self, capsys):

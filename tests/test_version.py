@@ -1,0 +1,24 @@
+"""The package version must be declared once and agree everywhere."""
+
+import re
+from pathlib import Path
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+
+def test_version_is_pep440ish():
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+
+def test_version_matches_pyproject():
+    match = re.search(
+        r'^version\s*=\s*"([^"]+)"', PYPROJECT.read_text(), re.MULTILINE
+    )
+    assert match, "pyproject.toml has no version field"
+    assert match.group(1) == repro.__version__
+
+
+def test_version_exported():
+    assert "__version__" in repro.__all__
