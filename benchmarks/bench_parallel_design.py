@@ -1,0 +1,110 @@
+"""Benchmark — parallel candidate search with the shared cost cache.
+
+Runs the full ``design()`` sweep on a synthetic workload (8 queries, so
+8 Figure-4 candidate MVPPs; ``--rotations``-style capping keeps at least
+4) serially and with the thread executor at several worker counts, and
+verifies the tentpole contract:
+
+* **determinism** — every parallel run returns a ``DesignResult``
+  identical to the serial one (same chosen MVPP, same views, same
+  costs, bit for bit);
+* **payoff** — either the wall-clock speedup at 4 workers reaches 1.5×
+  or the shared :class:`~repro.mvpp.cost.CostCache` ends the sweep with
+  a hit ratio of at least 50% (pure-Python cost arithmetic is
+  GIL-serialized on the thread backend, so memoization rather than raw
+  concurrency is the expected win there).
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the sweep (fewer queries, fewer
+worker counts) for CI smoke runs.
+"""
+
+import os
+import time
+
+from repro.analysis import format_blocks, render_table
+from repro.mvpp import DesignConfig, design
+from repro.workload import GeneratorConfig, generate_workload
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+QUERIES = 6 if SMOKE else 8
+WORKER_COUNTS = (1, 4) if SMOKE else (1, 2, 4)
+CANDIDATES = 4 if SMOKE else None  # None = one rotation per query
+
+
+def sweep_workload():
+    return generate_workload(
+        GeneratorConfig(num_relations=6, num_queries=QUERIES, seed=7)
+    ).workload
+
+
+def design_key(result):
+    return (
+        result.mvpp.name,
+        result.views,
+        result.breakdown.query_processing,
+        result.breakdown.maintenance,
+    )
+
+
+def run_sweep():
+    workload = sweep_workload()
+    rows = []
+    serial_key = None
+    serial_seconds = None
+    final_hit_ratio = 0.0
+    for workers in WORKER_COUNTS:
+        config = DesignConfig(
+            rotations=CANDIDATES, workers=workers, executor="thread"
+        )
+        started = time.perf_counter()
+        result = design(workload, config)
+        elapsed = time.perf_counter() - started
+        key = design_key(result)
+        if serial_key is None:
+            serial_key, serial_seconds = key, elapsed
+        assert key == serial_key, f"workers={workers} diverged from serial"
+        hit_ratio = result.cache_stats["hit_ratio"]
+        final_hit_ratio = hit_ratio
+        rows.append(
+            (
+                workers,
+                elapsed,
+                serial_seconds / elapsed,
+                hit_ratio,
+                result.total_cost,
+            )
+        )
+    return rows, len(result.candidates), final_hit_ratio
+
+
+def test_parallel_design_sweep(benchmark):
+    rows, candidates, hit_ratio = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    assert candidates >= 4
+
+    # The acceptance gate: real speedup or a cache that carries its weight.
+    best_speedup = max(speedup for _, _, speedup, _, _ in rows)
+    assert best_speedup >= 1.5 or hit_ratio >= 0.5, (
+        f"neither speedup ({best_speedup:.2f}x) nor cache hit ratio "
+        f"({hit_ratio:.0%}) reached the documented floor"
+    )
+
+    print()
+    print(f"synthetic sweep: {QUERIES} queries, {candidates} candidate MVPPs")
+    print(
+        render_table(
+            ["Workers", "Wall (s)", "Speedup", "Cache hits", "Total cost"],
+            [
+                [
+                    str(workers),
+                    f"{seconds:.3f}",
+                    f"{speedup:.2f}x",
+                    f"{ratio:.0%}",
+                    format_blocks(total),
+                ]
+                for workers, seconds, speedup, ratio, total in rows
+            ],
+        )
+    )

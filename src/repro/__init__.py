@@ -22,11 +22,16 @@ __version__ = "1.0.0"
 
 from repro.mvpp import (  # noqa: E402  (re-exports after docstring/version)
     MVPP,
+    CostCache,
+    CostedResult,
+    DesignConfig,
     DesignResult,
     MVPPCostCalculator,
+    StrategyResult,
     design,
     generate_mvpps,
     select_views,
+    strategy_names,
 )
 from repro.warehouse import DataWarehouse  # noqa: E402
 from repro.workload import (  # noqa: E402
@@ -36,15 +41,20 @@ from repro.workload import (  # noqa: E402
 )
 
 __all__ = [
+    "CostCache",
+    "CostedResult",
     "DataWarehouse",
+    "DesignConfig",
     "DesignResult",
     "MVPP",
     "MVPPCostCalculator",
     "QuerySpec",
+    "StrategyResult",
     "Workload",
     "design",
     "generate_mvpps",
     "paper_workload",
     "select_views",
+    "strategy_names",
     "__version__",
 ]

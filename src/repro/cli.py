@@ -24,7 +24,16 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro import __version__, obs
 from repro.analysis import format_blocks, strategy_table, to_dot
 from repro.errors import ReproError
-from repro.mvpp import MVPPCostCalculator, design, generate_mvpps, select_views, strategies
+from repro.mvpp import (
+    DesignConfig,
+    MVPPCostCalculator,
+    design,
+    generate_mvpps,
+    select_views,
+    strategies,
+    strategy_names,
+)
+from repro.parallel import EXECUTOR_KINDS
 from repro.mvpp.serialize import design_to_dict
 from repro.obs.export import (
     dump_json,
@@ -97,6 +106,34 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         "--rotations", type=int, default=None,
         help="limit the number of MVPP rotations (default: one per query)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker count for the candidate search (0 = auto, default 1)",
+    )
+    parser.add_argument(
+        "--parallel", choices=EXECUTOR_KINDS, default="auto",
+        help="executor backend when --workers > 1 (default: auto)",
+    )
+    parser.add_argument(
+        "--no-cost-cache", action="store_true",
+        help="disable the shared cross-candidate cost cache",
+    )
+    parser.add_argument(
+        "--strategy", default="heuristic", metavar="NAME",
+        help="view-selection strategy (see `repro strategies`)",
+    )
+
+
+def design_config(args: argparse.Namespace) -> DesignConfig:
+    """The :class:`DesignConfig` described by the shared CLI flags."""
+    return DesignConfig(
+        strategy=args.strategy,
+        rotations=args.rotations,
+        workers=args.workers,
+        executor=args.parallel,
+        cache=not args.no_cost_cache,
+        seed=args.seed,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("workloads", help="list built-in workloads")
+
+    commands.add_parser(
+        "strategies", help="list registered view-selection strategies"
+    )
 
     design_parser = commands.add_parser("design", help="run the design pipeline")
     _add_workload_arguments(design_parser)
@@ -173,9 +214,17 @@ def command_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_strategies(args: argparse.Namespace) -> int:
+    print("registered strategies:")
+    for name in strategy_names():
+        print(f"  {name}")
+    return 0
+
+
 def command_design(args: argparse.Namespace) -> int:
     workload = resolve_workload(args)
-    result = design(workload, rotations=args.rotations)
+    config = design_config(args)
+    result = design(workload, config)
     print(f"workload: {workload.name} ({len(workload.queries)} queries)")
     print(f"chosen MVPP: {result.mvpp.name} ({len(result.mvpp)} vertices)")
     print(f"materialize: {', '.join(result.materialized_names) or '(nothing)'}")
@@ -185,6 +234,12 @@ def command_design(args: argparse.Namespace) -> int:
         f"maintenance={format_blocks(breakdown.maintenance)} "
         f"total={format_blocks(breakdown.total)}"
     )
+    if result.cache_stats is not None:
+        stats = result.cache_stats
+        print(
+            f"cost cache: {stats['hits']:g} hits / {stats['misses']:g} misses "
+            f"(hit ratio {stats['hit_ratio']:.0%}, {stats['size']:g} entries)"
+        )
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(design_to_dict(result), handle, indent=2)
@@ -194,10 +249,11 @@ def command_design(args: argparse.Namespace) -> int:
 
 def command_compare(args: argparse.Namespace) -> int:
     workload = resolve_workload(args)
+    config = design_config(args)
     mvpp = generate_mvpps(workload, rotations=args.rotations or 1)[0]
     calculator = MVPPCostCalculator(mvpp)
     rows = strategies.compare(
-        mvpp, calculator, include_exhaustive=args.exhaustive
+        mvpp, calculator, include_exhaustive=args.exhaustive, config=config
     )
     rows.append(strategies.annealing(mvpp, calculator))
     print(strategy_table(rows, title=f"Strategies on {mvpp.name}"))
@@ -239,7 +295,7 @@ def command_profile(args: argparse.Namespace) -> int:
     try:
         workload, rows = resolve_workload_rows(args, args.scale)
         warehouse = DataWarehouse.from_workload(workload)
-        warehouse.design(rotations=args.rotations)
+        warehouse.design(design_config(args))
         for relation, relation_rows in rows.items():
             warehouse.load(relation, relation_rows)
         warehouse.materialize()
@@ -296,14 +352,14 @@ def command_report(args: argparse.Namespace) -> int:
     from repro.analysis import design_report
 
     workload = resolve_workload(args)
-    result = design(workload, rotations=args.rotations)
+    result = design(workload, design_config(args))
     print(design_report(result))
     return 0
 
 
 def command_dot(args: argparse.Namespace) -> int:
     workload = resolve_workload(args)
-    result = design(workload, rotations=args.rotations)
+    result = design(workload, design_config(args))
     text = to_dot(result.mvpp, highlight=result.materialized)
     if args.output:
         with open(args.output, "w") as handle:
@@ -316,6 +372,7 @@ def command_dot(args: argparse.Namespace) -> int:
 
 COMMANDS = {
     "workloads": command_workloads,
+    "strategies": command_strategies,
     "design": command_design,
     "compare": command_compare,
     "trace": command_trace,

@@ -1,10 +1,16 @@
 """The paper's contribution: MVPP construction and materialized view design."""
 
 from repro.mvpp.builder import build_from_plans, build_from_workload
+from repro.mvpp.config import (
+    DEFAULT_DESIGN_CONFIG,
+    CostedResult,
+    DesignConfig,
+)
 from repro.mvpp.cost import (
     PER_BASE,
     PER_PERIOD,
     CostBreakdown,
+    CostCache,
     MVPPCostCalculator,
 )
 from repro.mvpp.exhaustive import (
@@ -27,6 +33,12 @@ from repro.mvpp.materialization import (
     select_views,
 )
 from repro.mvpp import mqo, serialize, strategies
+from repro.mvpp.strategies import (
+    StrategyResult,
+    get_strategy,
+    register_strategy,
+    strategy_names,
+)
 from repro.mvpp.annealing import AnnealingConfig, simulated_annealing
 from repro.mvpp.genetic import GeneticConfig, genetic_search
 from repro.mvpp.mqo import batch_execution, mqo_as_design
@@ -35,7 +47,12 @@ from repro.mvpp.merge import SkeletonPool, merge_skeletons, skeleton_join_conjun
 __all__ = [
     "AnnealingConfig",
     "CostBreakdown",
+    "CostCache",
+    "CostedResult",
+    "DEFAULT_DESIGN_CONFIG",
+    "DesignConfig",
     "GeneticConfig",
+    "StrategyResult",
     "batch_execution",
     "genetic_search",
     "mqo",
@@ -60,10 +77,13 @@ __all__ = [
     "design",
     "exhaustive_optimal",
     "generate_mvpps",
+    "get_strategy",
     "greedy_forward",
     "merge_skeletons",
     "prepare_queries",
+    "register_strategy",
     "select_views",
     "skeleton_join_conjuncts",
     "strategies",
+    "strategy_names",
 ]

@@ -41,6 +41,12 @@ class AnnealingConfig:
         if self.initial_temperature_fraction <= 0:
             raise MVPPError("initial temperature fraction must be positive")
 
+    @classmethod
+    def from_design(cls, config) -> "AnnealingConfig":
+        """Search knobs derived from a :class:`~repro.mvpp.config.DesignConfig`
+        (currently just the shared seed, keeping runs reproducible)."""
+        return cls(seed=config.seed)
+
 
 def simulated_annealing(
     mvpp: MVPP,

@@ -1,0 +1,162 @@
+"""The unified design-pipeline configuration and result protocol.
+
+Historically the pipeline grew three divergent entry-point signatures —
+``repro.design(workload, estimator, cost_model, rotations, ...)``,
+``DataWarehouse.design(rotations, push_down)`` and the CLI's flag set.
+:class:`DesignConfig` replaces all of them: one frozen dataclass holding
+every design-time knob (selection strategy, candidate count, parallel
+workers, cost-cache toggle, seed), accepted by every entry point.  The
+old keyword arguments keep working through :func:`coerce_design_config`,
+which shims them into a config and emits a :class:`DeprecationWarning`.
+
+:class:`CostedResult` is the common read protocol shared by
+:class:`~repro.mvpp.generation.DesignResult` and
+:class:`~repro.mvpp.strategies.StrategyResult`: ``query_cost``,
+``maintenance_cost``, ``total_cost`` and ``views``, so Table-2 rows and
+full pipeline results are interchangeable in reports and tests.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.errors import MVPPError
+from repro.mvpp.cost import PER_BASE, PER_PERIOD
+from repro.parallel.executor import EXECUTOR_KINDS
+
+__all__ = [
+    "CostedResult",
+    "DesignConfig",
+    "DEFAULT_DESIGN_CONFIG",
+    "coerce_design_config",
+]
+
+
+@dataclass(frozen=True)
+class DesignConfig:
+    """Every knob of the design pipeline in one immutable value.
+
+    ``strategy`` names a registered selection strategy (see
+    :func:`repro.mvpp.strategies.strategy_names`); ``rotations`` caps the
+    number of Figure-4 candidate MVPPs (``None`` = one per query);
+    ``workers`` / ``executor`` control the parallel fan-out (``workers=1``
+    is serial, ``workers=0`` auto-sizes to the CPU count); ``cache``
+    toggles the shared :class:`~repro.mvpp.cost.CostCache`; ``seed``
+    feeds the randomized strategies (annealing, genetic).
+
+    ``maintenance_trigger=None`` means "the caller's default" — plain
+    :func:`repro.mvpp.generation.design` resolves it to ``per-period``
+    (the paper's accounting) while :meth:`DataWarehouse.design
+    <repro.warehouse.warehouse.DataWarehouse.design>` substitutes the
+    warehouse's configured trigger.
+    """
+
+    strategy: str = "heuristic"
+    rotations: Optional[int] = None
+    workers: int = 1
+    executor: str = "auto"
+    cache: bool = True
+    seed: int = 0
+    maintenance_trigger: Optional[str] = None
+    push_down: bool = True
+    include_naive: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.strategy or not isinstance(self.strategy, str):
+            raise MVPPError(f"strategy must be a non-empty name: {self.strategy!r}")
+        if self.rotations is not None and self.rotations < 1:
+            raise MVPPError(f"rotations must be >= 1 (or None): {self.rotations}")
+        if self.workers < 0:
+            raise MVPPError(f"workers must be >= 0: {self.workers}")
+        if self.executor not in EXECUTOR_KINDS:
+            raise MVPPError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {EXECUTOR_KINDS}"
+            )
+        if self.maintenance_trigger not in (None, PER_BASE, PER_PERIOD):
+            raise MVPPError(
+                f"unknown maintenance trigger: {self.maintenance_trigger!r}"
+            )
+
+    # ------------------------------------------------------------- resolution
+    def resolved_trigger(self, default: str = PER_PERIOD) -> str:
+        """The maintenance trigger with ``None`` resolved to ``default``."""
+        return self.maintenance_trigger or default
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this config requests any parallel fan-out."""
+        return self.workers != 1
+
+    def replace(self, **changes: Any) -> "DesignConfig":
+        """A copy with the given fields changed (re-validated)."""
+        return replace(self, **changes)
+
+
+#: The all-defaults config: Figure-9 heuristic, serial, cache on.
+DEFAULT_DESIGN_CONFIG = DesignConfig()
+
+#: Legacy keyword arguments accepted (with a DeprecationWarning) by the
+#: entry points, mapped to their DesignConfig field.
+_LEGACY_KWARGS = {
+    "rotations": "rotations",
+    "maintenance_trigger": "maintenance_trigger",
+    "push_down": "push_down",
+    "include_naive": "include_naive",
+    "workers": "workers",
+}
+
+
+def coerce_design_config(
+    config: Optional[DesignConfig],
+    legacy: Dict[str, Any],
+    owner: str = "design()",
+) -> DesignConfig:
+    """Fold legacy keyword arguments into a :class:`DesignConfig`.
+
+    ``legacy`` is the ``**kwargs`` dict an entry point captured.  Known
+    legacy keys are shimmed into the config with a
+    :class:`DeprecationWarning`; unknown keys raise :class:`TypeError`
+    (matching normal keyword-argument behaviour).
+    """
+    unknown = sorted(set(legacy) - set(_LEGACY_KWARGS))
+    if unknown:
+        raise TypeError(
+            f"{owner} got unexpected keyword argument(s): {', '.join(unknown)}"
+        )
+    if not legacy:
+        return config or DEFAULT_DESIGN_CONFIG
+    warnings.warn(
+        f"passing {', '.join(sorted(legacy))} to {owner} as keyword "
+        f"argument(s) is deprecated; pass a DesignConfig instead "
+        f"(e.g. DesignConfig({', '.join(f'{k}=...' for k in sorted(legacy))}))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    base = config or DEFAULT_DESIGN_CONFIG
+    return base.replace(
+        **{_LEGACY_KWARGS[key]: value for key, value in legacy.items()}
+    )
+
+
+@runtime_checkable
+class CostedResult(Protocol):
+    """What any costed design answer exposes, Table-2 row or full design."""
+
+    @property
+    def query_cost(self) -> float:
+        """Per-period query-processing cost ``Σ fq·C(mv → r)``."""
+
+    @property
+    def maintenance_cost(self) -> float:
+        """Per-period view-maintenance cost ``Σ fu·Cm``."""
+
+    @property
+    def total_cost(self) -> float:
+        """``query_cost + maintenance_cost``."""
+
+    @property
+    def views(self) -> Tuple[str, ...]:
+        """Names of the materialized vertices this result selects."""

@@ -31,6 +31,95 @@ from repro.mvpp.graph import MVPP, Vertex, VertexKind
 PER_BASE = "per-base"  # Σ_{b∈Iv} fu(b) refreshes (Section 4.3 weight formula)
 PER_PERIOD = "per-period"  # max over bases: one refresh per update period
 
+#: Cache key: (subtree signature, materialized-descendant signatures).
+CacheKey = Tuple[str, FrozenSet[str]]
+
+
+class CostCache:
+    """Memoized subtree access costs, shared across MVPP candidates.
+
+    The access cost of a vertex is fully determined by (a) the canonical
+    signature of its operator subtree and (b) which of that subtree's
+    vertices are materialized — given a fixed statistics catalog and
+    cost model.  Keying on ``(signature, frozenset(materialized subtree
+    signatures))`` therefore lets *different* candidate MVPPs of the same
+    design run share cost computations: the Figure-4 rotations produce
+    heavily overlapping DAGs, and the Figure-9 / refinement loops
+    re-cost the same subtrees under many materialization sets.
+
+    Sharing contract: one cache per (statistics, cost model) pair.  The
+    warehouse owns a persistent instance and calls :meth:`invalidate`
+    whenever statistics change (``sync_statistics``); standalone
+    ``design()`` runs create a fresh cache per run.
+
+    Thread-safety: lookups/stores are plain dict operations (atomic
+    under the GIL) so the cache is safe to share across the thread
+    executor; the hit/miss counters may undercount slightly under
+    contention, which only affects reporting, never costs.  Process
+    workers get pickled per-process copies — cross-candidate sharing is
+    a serial/thread feature.
+    """
+
+    __slots__ = ("_data", "hits", "misses", "invalidations")
+
+    def __init__(self) -> None:
+        self._data: Dict[CacheKey, float] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, key: CacheKey) -> Optional[float]:
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def store(self, key: CacheKey, value: float) -> None:
+        self._data[key] = value
+
+    def invalidate(self) -> None:
+        """Drop every entry (statistics or cost model changed)."""
+        self._data.clear()
+        self.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """A JSON-safe snapshot: hits, misses, ratio, size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+            "size": len(self._data),
+            "invalidations": self.invalidations,
+        }
+
+    def publish(self, hits_before: int = 0, misses_before: int = 0) -> None:
+        """Export counter deltas to the :mod:`repro.obs` registry.
+
+        Increments ``cost_cache.hits`` / ``cost_cache.misses`` by the
+        activity since the given baseline and sets the
+        ``cost_cache.size`` / ``cost_cache.hit_ratio`` gauges.
+        """
+        from repro import obs
+
+        registry = obs.metrics()
+        registry.counter("cost_cache.hits").inc(max(0, self.hits - hits_before))
+        registry.counter("cost_cache.misses").inc(
+            max(0, self.misses - misses_before)
+        )
+        registry.gauge("cost_cache.size").set(len(self._data))
+        registry.gauge("cost_cache.hit_ratio").set(self.hit_ratio)
+
 
 @dataclass(frozen=True)
 class CostBreakdown:
@@ -47,7 +136,12 @@ class CostBreakdown:
 class MVPPCostCalculator:
     """Evaluates designs (sets of materialized vertices) over one MVPP."""
 
-    def __init__(self, mvpp: MVPP, maintenance_trigger: str = PER_PERIOD):
+    def __init__(
+        self,
+        mvpp: MVPP,
+        maintenance_trigger: str = PER_PERIOD,
+        cache: Optional[CostCache] = None,
+    ):
         mvpp.require_annotation()
         if maintenance_trigger not in (PER_BASE, PER_PERIOD):
             raise MVPPError(
@@ -55,6 +149,11 @@ class MVPPCostCalculator:
             )
         self.mvpp = mvpp
         self.maintenance_trigger = maintenance_trigger
+        self.cache = cache
+        # Per-vertex {v} ∪ descendants(v) id sets, built lazily: the
+        # shared-cache key needs the materialized ids *within* v's
+        # subtree, mapped to their canonical signatures.
+        self._closures: Dict[int, FrozenSet[int]] = {}
 
     # ------------------------------------------------------------------ cost
     def access_cost(self, vertex: Vertex, materialized: FrozenSet[int]) -> float:
@@ -73,6 +172,13 @@ class MVPPCostCalculator:
         cached = cache.get(vertex.vertex_id)
         if cached is not None:
             return cached
+        key: Optional[CacheKey] = None
+        if self.cache is not None and not vertex.is_leaf:
+            key = self._cache_key(vertex, materialized)
+            shared = self.cache.lookup(key)
+            if shared is not None:
+                cache[vertex.vertex_id] = shared
+                return shared
         if vertex.vertex_id in materialized and vertex.stats is not None:
             cost = float(vertex.stats.blocks)
         elif vertex.is_leaf:
@@ -82,8 +188,35 @@ class MVPPCostCalculator:
                 self._access(child, materialized, cache)
                 for child in self.mvpp.children_of(vertex)
             )
+        if key is not None:
+            self.cache.store(key, cost)
         cache[vertex.vertex_id] = cost
         return cost
+
+    def _closure(self, vertex: Vertex) -> FrozenSet[int]:
+        """``{v} ∪ S*{v}`` as ids, memoized per calculator."""
+        ids = self._closures.get(vertex.vertex_id)
+        if ids is None:
+            ids = frozenset(self.mvpp.descendants(vertex)) | {vertex.vertex_id}
+            self._closures[vertex.vertex_id] = ids
+        return ids
+
+    def _cache_key(
+        self, vertex: Vertex, materialized: FrozenSet[int]
+    ) -> CacheKey:
+        """Canonical shared-cache key for ``vertex`` under a design.
+
+        Only materialized vertices *inside* the subtree can influence
+        its access cost, so the key narrows the materialized set to the
+        subtree closure and canonicalizes ids to operator signatures —
+        making the entry valid for any candidate MVPP that contains an
+        identical subtree.
+        """
+        relevant = materialized & self._closure(vertex)
+        return (
+            vertex.signature,
+            frozenset(self.mvpp.vertex(i).signature for i in relevant),
+        )
 
     def query_processing_cost(self, materialized: FrozenSet[int]) -> float:
         """``Σ fq(qi) · C(mv → ri)`` over all query roots."""

@@ -20,8 +20,8 @@ cheapest design.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.algebra import predicates as P
@@ -35,8 +35,14 @@ from repro.algebra.operators import (
 from repro.algebra.rewrite import PulledPlan, pull_up
 from repro.algebra.tree import leaves as tree_leaves
 from repro.errors import MVPPError
-from repro.mvpp.cost import PER_PERIOD, CostBreakdown, MVPPCostCalculator
+from repro.mvpp.config import (
+    DEFAULT_DESIGN_CONFIG,
+    DesignConfig,
+    coerce_design_config,
+)
+from repro.mvpp.cost import PER_PERIOD, CostBreakdown, CostCache, MVPPCostCalculator
 from repro.mvpp.graph import MVPP, Vertex
+from repro.parallel.executor import SerialExecutor, resolve_executor
 from repro.mvpp.merge import merge_skeletons, skeleton_join_conjuncts
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost_model import CostModel, DEFAULT_COST_MODEL
@@ -136,14 +142,38 @@ def build_mvpp(
     return mvpp
 
 
+def _build_rotation(payload: Tuple[Any, ...]) -> MVPP:
+    """Build one rotation's MVPP (module-level so process pools can run it)."""
+    order, workload, estimator, cost_model, name, push_down = payload
+    return build_mvpp(
+        order, workload, estimator, cost_model, name=name, push_down=push_down
+    )
+
+
 def generate_mvpps(
     workload: Workload,
     estimator: Optional[CardinalityEstimator] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     rotations: Optional[int] = None,
     push_down: bool = True,
+    config: Optional[DesignConfig] = None,
 ) -> List[MVPP]:
-    """The full Figure-4 algorithm: one MVPP per rotation of the plan list."""
+    """The full Figure-4 algorithm: one MVPP per rotation of the plan list.
+
+    With a ``config``, its ``rotations``/``push_down`` take over (unless
+    the explicit keyword arguments were given) and its
+    ``workers``/``executor`` fan the per-rotation merges out in
+    parallel.  The candidate list is identical for every backend: tasks
+    are dispatched and collected in rotation order.
+    """
+    if config is not None:
+        rotations = rotations if rotations is not None else config.rotations
+        push_down = push_down and config.push_down
+    executor = (
+        resolve_executor(config.executor, config.workers)
+        if config is not None
+        else SerialExecutor()
+    )
     estimator = estimator or CardinalityEstimator(workload.statistics)
     with obs.span("generation.mvpps", workload=workload.name) as span:
         infos = prepare_queries(workload, estimator, cost_model)
@@ -152,21 +182,20 @@ def generate_mvpps(
         if k == 0:
             raise MVPPError("workload has no queries")
         count = k if rotations is None else max(1, min(rotations, k))
-        span.set(rotations=count)
+        span.set(rotations=count, workers=executor.workers)
         obs.metrics().counter("generation.candidates").inc(count)
-        mvpps = []
-        for rotation in range(count):
-            order = infos[rotation:] + infos[:rotation]
-            mvpps.append(
-                build_mvpp(
-                    order,
-                    workload,
-                    estimator,
-                    cost_model,
-                    name=f"{workload.name}-mvpp{rotation + 1}",
-                    push_down=push_down,
-                )
+        payloads = [
+            (
+                infos[rotation:] + infos[:rotation],
+                workload,
+                estimator,
+                cost_model,
+                f"{workload.name}-mvpp{rotation + 1}",
+                push_down,
             )
+            for rotation in range(count)
+        ]
+        mvpps = executor.map(_build_rotation, payloads)
     return mvpps
 
 
@@ -309,35 +338,89 @@ def _stem_condition(stem: Operator) -> Optional[Expression]:
 # ---------------------------------------------------------------------------
 @dataclass
 class DesignResult:
-    """Output of the full paper pipeline for one workload."""
+    """Output of the full paper pipeline for one workload.
+
+    Implements the :class:`~repro.mvpp.config.CostedResult` protocol
+    (``query_cost`` / ``maintenance_cost`` / ``total_cost`` / ``views``),
+    making it interchangeable with Table-2
+    :class:`~repro.mvpp.strategies.StrategyResult` rows.
+    """
 
     mvpp: MVPP
     materialized: List[Vertex]
     breakdown: CostBreakdown
     calculator: MVPPCostCalculator
     candidates: List[MVPP]
+    config: DesignConfig = field(default_factory=lambda: DEFAULT_DESIGN_CONFIG)
+    cache_stats: Optional[Dict[str, float]] = None
 
     @property
     def materialized_names(self) -> Tuple[str, ...]:
         return tuple(v.name for v in self.materialized)
 
     @property
+    def views(self) -> Tuple[str, ...]:
+        """Protocol alias for the materialized vertex names."""
+        return self.materialized_names
+
+    @property
+    def query_cost(self) -> float:
+        return self.breakdown.query_processing
+
+    @property
+    def maintenance_cost(self) -> float:
+        return self.breakdown.maintenance
+
+    @property
     def total_cost(self) -> float:
         return self.breakdown.total
 
 
+def _evaluate_candidate(payload: Tuple[Any, ...]) -> Tuple[Tuple[str, ...], CostBreakdown]:
+    """Select views on one candidate MVPP; returns (names, breakdown).
+
+    Module-level so process pools can run it.  Names (not Vertex
+    objects) cross the worker boundary — the parent re-resolves them on
+    its own MVPP instances, keeping object identity intact.
+    """
+    from repro.mvpp import strategies as strategy_registry
+
+    mvpp, trigger, config, cache = payload
+    calculator = MVPPCostCalculator(mvpp, trigger, cache=cache)
+    strategy = strategy_registry.get_strategy(config.strategy)
+    chosen = strategy(mvpp, calculator, config)
+    breakdown = calculator.breakdown(chosen)
+    return tuple(v.name for v in chosen), breakdown
+
+
 def design(
     workload: Workload,
+    config: Optional[DesignConfig] = None,
     estimator: Optional[CardinalityEstimator] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
-    rotations: Optional[int] = None,
-    maintenance_trigger: str = PER_PERIOD,
-    push_down: bool = True,
-    include_naive: bool = False,
+    cache: Optional[CostCache] = None,
+    **legacy: Any,
 ) -> DesignResult:
     """Generate candidate MVPPs, select views on each, keep the cheapest.
 
-    ``include_naive=True`` adds one more candidate beyond the paper's
+    The unified entry point: every knob lives on ``config`` (a
+    :class:`~repro.mvpp.config.DesignConfig`); ``estimator`` /
+    ``cost_model`` stay separate because they are live objects, not
+    configuration values.  The legacy keyword arguments (``rotations``,
+    ``maintenance_trigger``, ``push_down``, ``include_naive``) still
+    work but emit a :class:`DeprecationWarning`; for backward
+    compatibility an estimator may also be passed as the second
+    positional argument.
+
+    ``config.workers > 1`` fans the per-candidate Figure-9 selection
+    out on the configured executor; ``config.cache`` shares one
+    :class:`~repro.mvpp.cost.CostCache` across candidates (pass
+    ``cache`` to reuse a caller-owned instance, e.g. the warehouse's).
+    Results are bit-identical across worker counts and backends: tasks
+    are collected in candidate order and ties keep the earlier
+    candidate, exactly like the serial loop.
+
+    ``config.include_naive`` adds one more candidate beyond the paper's
     Figure-4 rotations: the MVPP obtained by interning each query's
     individually-optimal plan unchanged (no join-pattern merge, no
     disjunctive push-down).  When queries already share identical
@@ -346,33 +429,67 @@ def design(
     see ``benchmarks/bench_ablation_merge.py``.
     """
     from repro.mvpp.builder import build_from_workload
-    from repro.mvpp.materialization import select_views
+
+    if config is not None and not isinstance(config, DesignConfig):
+        # Legacy shape: design(workload, estimator, ...) positionally.
+        if estimator is not None:
+            raise TypeError(
+                "design() got two estimators; pass a DesignConfig second "
+                "and the estimator as a keyword"
+            )
+        estimator, config = config, None
+    config = coerce_design_config(config, legacy, owner="design()")
 
     estimator = estimator or CardinalityEstimator(workload.statistics)
-    with obs.span("generation.design", workload=workload.name) as span:
+    trigger = config.resolved_trigger(PER_PERIOD)
+    if cache is None and config.cache:
+        cache = CostCache()
+    elif not config.cache:
+        cache = None
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
+
+    with obs.span(
+        "generation.design",
+        workload=workload.name,
+        strategy=config.strategy,
+        workers=config.workers,
+    ) as span:
         candidates = generate_mvpps(
-            workload, estimator, cost_model, rotations=rotations,
-            push_down=push_down,
+            workload, estimator, cost_model, config=config
         )
-        if include_naive:
+        if config.include_naive:
             candidates = candidates + [
                 build_from_workload(workload, estimator, cost_model)
             ]
+        executor = resolve_executor(config.executor, config.workers)
+        payloads = [
+            (mvpp, trigger, config, cache) for mvpp in candidates
+        ]
+        evaluations = executor.map(_evaluate_candidate, payloads)
+
         best: Optional[DesignResult] = None
-        for mvpp in candidates:
-            calculator = MVPPCostCalculator(mvpp, maintenance_trigger)
-            result = select_views(mvpp, calculator, refine=True)
-            breakdown = calculator.breakdown(result.materialized)
-            candidate = DesignResult(
+        for mvpp, (names, breakdown) in zip(candidates, evaluations):
+            if best is not None and breakdown.total >= best.total_cost:
+                continue
+            calculator = MVPPCostCalculator(mvpp, trigger, cache=cache)
+            best = DesignResult(
                 mvpp=mvpp,
-                materialized=result.materialized,
+                materialized=[mvpp.vertex_by_name(n) for n in names],
                 breakdown=breakdown,
                 calculator=calculator,
                 candidates=candidates,
+                config=config,
             )
-            if best is None or candidate.total_cost < best.total_cost:
-                best = candidate
         assert best is not None  # generate_mvpps raises on empty workloads
+        if cache is not None:
+            cache.publish(hits_before, misses_before)
+            best.cache_stats = cache.stats()
+            span.set(
+                cache_hits=cache.hits - hits_before,
+                cache_misses=cache.misses - misses_before,
+                cache_hit_ratio=cache.hit_ratio,
+            )
         span.set(
             chosen=best.mvpp.name,
             materialized=list(best.materialized_names),

@@ -45,6 +45,12 @@ class GeneticConfig:
         if not 0 <= self.elitism < self.population_size:
             raise MVPPError("elitism must be < population_size")
 
+    @classmethod
+    def from_design(cls, config) -> "GeneticConfig":
+        """Search knobs derived from a :class:`~repro.mvpp.config.DesignConfig`
+        (currently just the shared seed, keeping runs reproducible)."""
+        return cls(seed=config.seed)
+
 
 def genetic_search(
     mvpp: MVPP,

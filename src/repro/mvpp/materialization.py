@@ -22,11 +22,14 @@ query-result node, prune its branch, accept tmp2, skip tmp1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, FrozenSet, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.mvpp.cost import MVPPCostCalculator, PER_PERIOD
 from repro.mvpp.graph import MVPP, Vertex
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.executor import Executor
 
 
 @dataclass(frozen=True)
@@ -72,6 +75,7 @@ def select_views(
     calculator: Optional[MVPPCostCalculator] = None,
     refine: bool = False,
     space_budget: Optional[float] = None,
+    executor: Optional["Executor"] = None,
 ) -> MaterializationResult:
     """Run the paper's Figure-9 heuristic on an annotated MVPP.
 
@@ -87,6 +91,11 @@ def select_views(
     views — the classic space-constrained variant of the problem.  A
     vertex that no longer fits is skipped (decision ``"skip-budget"``)
     without pruning its branch: a smaller relative may still fit.
+
+    ``executor`` (a :class:`repro.parallel.Executor`) fans out the
+    initial per-vertex weight evaluation; the greedy loop itself is
+    inherently sequential.  Results are identical for every backend —
+    the weights are collected in vertex order before sorting.
     """
     calculator = calculator or MVPPCostCalculator(mvpp, PER_PERIOD)
     if space_budget is not None and space_budget < 0:
@@ -104,9 +113,14 @@ def select_views(
                 _record_step(span, step)
 
         # Step 2: candidates with positive weight, descending weight order.
-        weighted = [
-            (calculator.weight(vertex), vertex) for vertex in mvpp.operations
-        ]
+        operations = mvpp.operations
+        if executor is not None:
+            weights = executor.map(calculator.weight, operations)
+            weighted = list(zip(weights, operations))
+        else:
+            weighted = [
+                (calculator.weight(vertex), vertex) for vertex in operations
+            ]
         queue: List[Tuple[float, Vertex]] = sorted(
             ((w, v) for w, v in weighted if w > 0),
             key=lambda item: (-item[0], item[1].vertex_id),

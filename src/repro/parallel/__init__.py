@@ -1,0 +1,37 @@
+"""repro.parallel — deterministic fan-out for the design pipeline.
+
+See :mod:`repro.parallel.executor` for the backend contract.  The
+public entry point is :func:`resolve_executor`, which
+:func:`repro.mvpp.generation.design`, :func:`repro.mvpp.strategies.compare`
+and the CLI use to honour ``DesignConfig.workers`` / ``--workers``.
+"""
+
+from repro.parallel.executor import (
+    AUTO,
+    EXECUTOR_KINDS,
+    MAX_AUTO_WORKERS,
+    PROCESS,
+    SERIAL,
+    THREAD,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_workers,
+    resolve_executor,
+)
+
+__all__ = [
+    "AUTO",
+    "EXECUTOR_KINDS",
+    "MAX_AUTO_WORKERS",
+    "PROCESS",
+    "SERIAL",
+    "THREAD",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "default_workers",
+    "resolve_executor",
+]

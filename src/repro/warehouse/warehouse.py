@@ -20,14 +20,21 @@ the measured block I/O realizes the design's predicted query cost.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+import warnings
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro import obs
 from repro.catalog.schema import Catalog
 from repro.catalog.statistics import StatisticsCatalog
 from repro.errors import WarehouseError
 from repro.executor.engine import ExecutionEngine, Database, NESTED_LOOP
-from repro.mvpp.cost import CostBreakdown, MVPPCostCalculator, PER_PERIOD
+from repro.mvpp.config import DesignConfig, coerce_design_config
+from repro.mvpp.cost import (
+    CostBreakdown,
+    CostCache,
+    MVPPCostCalculator,
+    PER_PERIOD,
+)
 from repro.mvpp.generation import DesignResult, design as run_design
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost_model import CostModel, DEFAULT_COST_MODEL
@@ -89,6 +96,9 @@ class DataWarehouse:
         self.maintainer = ViewMaintainer(self.database, self.engine)
         self._queries: List[QuerySpec] = []
         self._update_frequencies: Dict[str, float] = {}
+        # Shared subtree-cost memo, reused across design()/redesign()
+        # runs; invalidated whenever statistics change (sync_statistics).
+        self.cost_cache = CostCache()
         self._design: Optional[DesignResult] = None
         self._views: List[MaterializedView] = []
         # Freshness tracking: base-relation versions bump on every load
@@ -138,18 +148,29 @@ class DataWarehouse:
 
     # ---------------------------------------------------------------- design
     def design(
-        self, rotations: Optional[int] = None, push_down: bool = True
+        self, config: Optional[DesignConfig] = None, **legacy: Any
     ) -> DesignResult:
-        """Run the full MVPP pipeline and install the chosen views."""
+        """Run the full MVPP pipeline and install the chosen views.
+
+        Takes the same :class:`~repro.mvpp.config.DesignConfig` as
+        :func:`repro.design`; a config without an explicit
+        ``maintenance_trigger`` inherits the warehouse's.  The legacy
+        ``rotations`` / ``push_down`` keyword arguments still work but
+        emit a :class:`DeprecationWarning`.
+        """
         if not self._queries:
             raise WarehouseError("register at least one query before designing")
+        config = coerce_design_config(
+            config, legacy, owner="DataWarehouse.design()"
+        )
+        if config.maintenance_trigger is None:
+            config = config.replace(maintenance_trigger=self.maintenance_trigger)
         result = run_design(
             self.workload,
-            self.estimator,
-            self.cost_model,
-            rotations=rotations,
-            maintenance_trigger=self.maintenance_trigger,
-            push_down=push_down,
+            config,
+            estimator=self.estimator,
+            cost_model=self.cost_model,
+            cache=self.cost_cache if config.cache else None,
         )
         self._design = result
         self._views = [
@@ -215,12 +236,17 @@ class DataWarehouse:
         return self.database.register(relation, table)
 
     def sync_statistics(self) -> None:
-        """Overwrite registered relation statistics with loaded actuals."""
+        """Overwrite registered relation statistics with loaded actuals.
+
+        Invalidates the shared cost cache: every memoized subtree cost
+        was computed against the superseded statistics.
+        """
         for name in self.database.table_names:
             table = self.database.table(name)
             if name in self.catalog:
                 self.statistics.set_relation(name, table.cardinality, table.num_blocks)
         self.estimator = CardinalityEstimator(self.statistics)
+        self.cost_cache.invalidate()
 
     def materialize(self) -> List[RefreshReport]:
         """Compute and store every designed view."""
@@ -252,8 +278,32 @@ class DataWarehouse:
         return [view for view in self.views if not self.is_fresh(view)]
 
     # --------------------------------------------------------------- queries
+    @staticmethod
+    def _positional_shim(
+        method: str, extra: Tuple[Any, ...], use_views: bool, freshness: str
+    ) -> Tuple[bool, str]:
+        """Accept the pre-1.1 positional ``(use_views, freshness)`` call
+        shape with a :class:`DeprecationWarning` (keyword-only now)."""
+        if not extra:
+            return use_views, freshness
+        if len(extra) > 2:
+            raise TypeError(
+                f"DataWarehouse.{method}() takes at most 3 positional arguments"
+            )
+        warnings.warn(
+            f"passing use_views/freshness positionally to "
+            f"DataWarehouse.{method}() is deprecated; use keywords "
+            f"(e.g. {method}(name, use_views=False))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        use_views = bool(extra[0])
+        if len(extra) == 2:
+            freshness = extra[1]
+        return use_views, freshness
+
     def query_plan(
-        self, name: str, use_views: bool = True, freshness: str = "any"
+        self, name: str, *extra: Any, use_views: bool = True, freshness: str = "any"
     ):
         """The (possibly view-rewritten) executable plan for a query.
 
@@ -265,6 +315,9 @@ class DataWarehouse:
           falls back to base data;
         * ``"refresh"`` — refresh stale views first, then use them all.
         """
+        use_views, freshness = self._positional_shim(
+            "query_plan", extra, use_views, freshness
+        )
         spec = next((q for q in self._queries if q.name == name), None)
         if spec is None:
             raise WarehouseError(f"unknown query {name!r}")
@@ -293,10 +346,18 @@ class DataWarehouse:
     def execute(
         self,
         name: str,
+        *extra: Any,
         use_views: bool = True,
         freshness: str = "any",
     ) -> Tuple[Table, IOSnapshot]:
-        """Answer a registered query; returns (result, measured block I/O)."""
+        """Answer a registered query; returns (result, measured block I/O).
+
+        ``use_views`` and ``freshness`` are keyword-only (positional
+        bools are deprecated).
+        """
+        use_views, freshness = self._positional_shim(
+            "execute", extra, use_views, freshness
+        )
         with obs.span(
             "execution.warehouse_query",
             query=name,
@@ -337,7 +398,7 @@ class DataWarehouse:
             )
 
     def redesign(
-        self, rotations: Optional[int] = None, push_down: bool = True
+        self, config: Optional[DesignConfig] = None, **legacy: Any
     ) -> "MigrationPlan":
         """Re-run the design pipeline and migrate the installed views.
 
@@ -345,15 +406,22 @@ class DataWarehouse:
         as-is (their names included); obsolete view tables are dropped;
         only genuinely new views are materialized (when base data is
         loaded).  Returns the executed migration plan.
+
+        Accepts the same :class:`~repro.mvpp.config.DesignConfig` as
+        :meth:`design` (legacy ``rotations`` / ``push_down`` keywords
+        are shimmed with a :class:`DeprecationWarning`).
         """
         from repro.warehouse.evolution import plan_migration
 
+        config = coerce_design_config(
+            config, legacy, owner="DataWarehouse.redesign()"
+        )
         installed = list(self._views)
         had_tables = {
             v.name for v in installed if v.name in self.database
         }
         old_versions = dict(self._view_versions)
-        self.design(rotations=rotations, push_down=push_down)
+        self.design(config)
         migration = plan_migration(installed, self._views)
         # Adopt kept identities + new views as the installed set, and
         # restore the kept views' freshness records.
@@ -377,14 +445,18 @@ class DataWarehouse:
         return migration
 
     def explain(
-        self, name: str, use_views: bool = True, freshness: str = "any"
+        self, name: str, *extra: Any, use_views: bool = True, freshness: str = "any"
     ) -> str:
         """EXPLAIN-style report: the executable plan with estimated
         per-node cardinalities and block-access costs, plus which
-        materialized views the rewrite uses."""
+        materialized views the rewrite uses.  ``use_views`` and
+        ``freshness`` are keyword-only (positional bools are deprecated)."""
         from repro.optimizer.plans import AnnotatedPlan
         from repro.warehouse.rewriter import rewrite_with_views
 
+        use_views, freshness = self._positional_shim(
+            "explain", extra, use_views, freshness
+        )
         spec = next((q for q in self._queries if q.name == name), None)
         if spec is None:
             raise WarehouseError(f"unknown query {name!r}")
@@ -418,14 +490,20 @@ class DataWarehouse:
             lines.append(plan.describe())
         return "\n".join(lines)
 
-    def profile(self, name: str, use_views: bool = True) -> "QueryProfile":
+    def profile(
+        self, name: str, *extra: Any, use_views: bool = True
+    ) -> "QueryProfile":
         """Run a query and report estimated-vs-measured cost and rows.
 
-        The estimation error quantifies how well the Table-1-style
-        statistics describe the loaded data — large deviations suggest
-        running :meth:`sync_statistics` (or re-designing).
+        ``use_views`` is keyword-only (a positional bool is deprecated),
+        matching :meth:`execute` / :meth:`explain`.  The estimation
+        error quantifies how well the Table-1-style statistics describe
+        the loaded data — large deviations suggest running
+        :meth:`sync_statistics` (or re-designing).
         """
         from repro.optimizer.plans import AnnotatedPlan
+
+        use_views, _ = self._positional_shim("profile", extra, use_views, "any")
 
         plan = self.query_plan(name, use_views=use_views)
         estimated_cost: Optional[float] = None

@@ -1,0 +1,156 @@
+"""Tests for the shared cross-candidate CostCache.
+
+Covers key soundness (cached costs equal uncached costs, across
+materialization sets and across candidate MVPPs), the hit/miss
+accounting, invalidation on ``DataWarehouse.sync_statistics()``, and the
+``repro.obs`` export.
+"""
+
+import pytest
+
+from repro import obs
+from repro.mvpp import (
+    CostCache,
+    DesignConfig,
+    MVPPCostCalculator,
+    design,
+    generate_mvpps,
+)
+from repro.warehouse import DataWarehouse
+from repro.workload import paper_workload
+
+
+class TestCacheMechanics:
+    def test_empty_cache_stats(self):
+        cache = CostCache()
+        assert len(cache) == 0
+        assert cache.hit_ratio == 0.0
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "hit_ratio": 0.0,
+            "size": 0,
+            "invalidations": 0,
+        }
+
+    def test_lookup_store_counts(self):
+        cache = CostCache()
+        key = ("sig", frozenset())
+        assert cache.lookup(key) is None
+        cache.store(key, 42.0)
+        assert cache.lookup(key) == 42.0
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_ratio == 0.5
+
+    def test_invalidate_clears_but_keeps_counters(self):
+        cache = CostCache()
+        cache.store(("sig", frozenset()), 1.0)
+        cache.lookup(("sig", frozenset()))
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        assert cache.invalidations == 1
+
+
+class TestCacheCorrectness:
+    def test_cached_costs_match_uncached(self, paper_mvpp):
+        plain = MVPPCostCalculator(paper_mvpp)
+        cached = MVPPCostCalculator(paper_mvpp, cache=CostCache())
+        operations = paper_mvpp.operations
+        subsets = [
+            (),
+            operations[:1],
+            operations[:3],
+            operations,
+        ]
+        for subset in subsets:
+            expected = plain.breakdown(subset)
+            actual = cached.breakdown(subset)
+            assert actual.query_processing == expected.query_processing
+            assert actual.maintenance == expected.maintenance
+
+    def test_cache_shared_across_candidates(self, workload):
+        cache = CostCache()
+        for mvpp in generate_mvpps(workload):
+            calculator = MVPPCostCalculator(mvpp, cache=cache)
+            calculator.breakdown(())
+            calculator.breakdown(mvpp.operations[:2])
+        assert cache.hits > 0  # rotations share subtrees
+        # Re-costing the first candidate is now mostly cache hits.
+        first = generate_mvpps(workload)[0]
+        hits_before = cache.hits
+        misses_before = cache.misses
+        MVPPCostCalculator(first, cache=cache).breakdown(())
+        assert cache.hits > hits_before
+        assert cache.misses == misses_before
+
+    def test_design_results_identical_with_and_without_cache(self, workload):
+        with_cache = design(workload, DesignConfig(cache=True))
+        without = design(workload, DesignConfig(cache=False))
+        assert with_cache.views == without.views
+        assert with_cache.total_cost == without.total_cost
+        assert with_cache.cache_stats is not None
+        assert without.cache_stats is None
+
+    def test_design_cache_hit_ratio_documented_floor(self, workload):
+        """The acceptance floor: >= 50% hits on the full paper sweep."""
+        result = design(workload, DesignConfig())
+        assert result.cache_stats["hit_ratio"] >= 0.5
+
+
+class TestWarehouseInvalidation:
+    def test_sync_statistics_invalidates(self):
+        warehouse = DataWarehouse.from_workload(paper_workload())
+        warehouse.design(DesignConfig(rotations=2))
+        assert len(warehouse.cost_cache) > 0
+        warehouse.sync_statistics()
+        assert len(warehouse.cost_cache) == 0
+        assert warehouse.cost_cache.invalidations == 1
+
+    def test_redesign_after_sync_repopulates(self):
+        warehouse = DataWarehouse.from_workload(paper_workload())
+        first = warehouse.design(DesignConfig(rotations=2))
+        warehouse.sync_statistics()
+        plan = warehouse.redesign(DesignConfig(rotations=2))
+        assert len(warehouse.cost_cache) > 0
+        # Unchanged statistics: same design, so the migration is a no-op.
+        assert plan.is_noop
+        assert warehouse.design_result.views == first.views
+
+    def test_cache_disabled_leaves_warehouse_cache_empty(self):
+        warehouse = DataWarehouse.from_workload(paper_workload())
+        warehouse.design(DesignConfig(rotations=2, cache=False))
+        assert len(warehouse.cost_cache) == 0
+
+
+class TestObsExport:
+    def test_publish_exports_counters_and_gauges(self):
+        was_enabled = obs.enabled()
+        obs.enable(reset=True)
+        try:
+            cache = CostCache()
+            key = ("sig", frozenset())
+            cache.lookup(key)
+            cache.store(key, 1.0)
+            cache.lookup(key)
+            cache.publish()
+            metrics = obs.snapshot()["metrics"]
+            assert metrics["counters"]["cost_cache.hits"] == 1
+            assert metrics["counters"]["cost_cache.misses"] == 1
+            assert metrics["gauges"]["cost_cache.size"] == 1
+            assert metrics["gauges"]["cost_cache.hit_ratio"] == 0.5
+        finally:
+            if not was_enabled:
+                obs.disable()
+
+    def test_design_publishes_cache_metrics(self, workload):
+        was_enabled = obs.enabled()
+        obs.enable(reset=True)
+        try:
+            design(workload, DesignConfig(rotations=2))
+            metrics = obs.snapshot()["metrics"]
+            assert metrics["counters"]["cost_cache.hits"] > 0
+            assert metrics["gauges"]["cost_cache.size"] > 0
+        finally:
+            if not was_enabled:
+                obs.disable()

@@ -1,0 +1,104 @@
+"""Unit tests for the repro.parallel executor abstraction."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.parallel import (
+    AUTO,
+    EXECUTOR_KINDS,
+    MAX_AUTO_WORKERS,
+    PROCESS,
+    SERIAL,
+    THREAD,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_workers,
+    resolve_executor,
+)
+
+
+def _square(x):
+    """Module-level so the process backend can pickle it."""
+    return x * x
+
+
+class TestBackends:
+    @pytest.mark.parametrize(
+        "executor",
+        [SerialExecutor(), ThreadExecutor(4), ProcessExecutor(2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_map_preserves_order(self, executor):
+        items = list(range(20))
+        assert executor.map(_square, items) == [x * x for x in items]
+
+    def test_map_empty(self):
+        assert ThreadExecutor(4).map(_square, []) == []
+
+    def test_thread_map_supports_closures(self):
+        offset = 7
+        assert ThreadExecutor(2).map(lambda x: x + offset, [1, 2]) == [8, 9]
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise ValueError(f"task {x}")
+
+        with pytest.raises(ValueError):
+            ThreadExecutor(2).map(boom, [1, 2, 3])
+
+    def test_workers_validated(self):
+        with pytest.raises(ReproError):
+            ThreadExecutor(0)
+
+    def test_serial_forces_single_worker(self):
+        assert SerialExecutor(workers=9).workers == 1
+
+
+class TestResolve:
+    def test_kinds_constant(self):
+        assert set(EXECUTOR_KINDS) == {AUTO, SERIAL, THREAD, PROCESS}
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ReproError):
+            resolve_executor("fibers", workers=2)
+
+    def test_negative_workers_raise(self):
+        with pytest.raises(ReproError):
+            resolve_executor(AUTO, workers=-1)
+
+    def test_single_worker_is_serial(self):
+        for kind in EXECUTOR_KINDS:
+            assert isinstance(resolve_executor(kind, workers=1), SerialExecutor)
+
+    def test_auto_picks_threads(self):
+        executor = resolve_executor(AUTO, workers=3)
+        assert isinstance(executor, ThreadExecutor)
+        assert executor.workers == 3
+
+    def test_process_request_honored(self):
+        assert isinstance(resolve_executor(PROCESS, workers=2), ProcessExecutor)
+
+    def test_process_degrades_to_thread_for_closures(self):
+        executor = resolve_executor(PROCESS, workers=2, closures=True)
+        assert isinstance(executor, ThreadExecutor)
+
+    def test_zero_workers_auto_sizes(self):
+        executor = resolve_executor(AUTO, workers=0)
+        assert executor.workers == default_workers()
+        assert 1 <= executor.workers <= MAX_AUTO_WORKERS
+
+
+class TestObservability:
+    def test_task_counter_exported(self):
+        was_enabled = obs.enabled()
+        obs.enable(reset=True)
+        try:
+            ThreadExecutor(2).map(_square, [1, 2, 3])
+            counters = obs.snapshot()["metrics"]["counters"]
+            assert counters["parallel.tasks{backend=thread}"] == 3
+        finally:
+            if not was_enabled:
+                obs.disable()
