@@ -208,6 +208,11 @@ class StatisticsCatalog:
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of every relation with registered statistics."""
+        return tuple(self._relations)
+
     def relation(self, name: str) -> RelationStatistics:
         try:
             return self._relations[name]

@@ -8,10 +8,14 @@ Usage (also via ``python -m repro``)::
     repro trace    --workload paper       # Figure-9 selection trace
     repro profile  --workload paper       # instrumented end-to-end run
     repro dot      --workload paper       # DOT export of the chosen MVPP
+    repro lint     --workload paper       # semantic lint of the design problem
+    repro lint     --self                 # determinism lint of the repro sources
 
 Synthetic workloads accept ``--seed/--relations/--queries``; ``design``
 can persist the result with ``--json FILE``; ``profile`` writes the full
-span tree and metrics snapshot with ``--trace-json FILE``.
+span tree and metrics snapshot with ``--trace-json FILE``; ``lint``
+emits ``--format text|json|sarif`` and exits nonzero on error-severity
+findings.
 """
 
 from __future__ import annotations
@@ -202,6 +206,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(dot_parser)
     dot_parser.add_argument("--output", metavar="FILE", default=None,
                             help="write DOT here instead of stdout")
+
+    lint_parser = commands.add_parser(
+        "lint",
+        help="static analysis: semantic MVPP/workload lints or --self code lint",
+    )
+    _add_workload_arguments(lint_parser)
+    lint_parser.add_argument(
+        "--self", dest="self_check", action="store_true",
+        help="lint the repro package sources for determinism violations",
+    )
+    lint_parser.add_argument(
+        "--path", action="append", metavar="PATH", default=None,
+        help="lint these files/directories instead of the installed package "
+             "(implies the code analyzer)",
+    )
+    lint_parser.add_argument(
+        "--target", choices=("workload", "mvpp", "design", "all"), default="all",
+        help="semantic scope: the workload spec, every candidate MVPP, "
+             "the chosen design, or all three (default: all)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the report here instead of stdout",
+    )
+    lint_parser.add_argument(
+        "--rules", action="store_true",
+        help="list the rule catalog and exit",
+    )
     return parser
 
 
@@ -370,6 +406,72 @@ def command_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import lint as lint_mod
+
+    if args.rules:
+        print("registered lint rules:")
+        for rule in lint_mod.all_rules():
+            paper = f"  [{rule.paper}]" if rule.paper else ""
+            print(
+                f"  {rule.rule_id}  {rule.severity.label:<7} "
+                f"({rule.scope}) {rule.summary}{paper}"
+            )
+        return 0
+
+    if args.self_check or args.path:
+        if args.path:
+            report = lint_mod.lint_paths(
+                [Path(p) for p in args.path], base=Path.cwd()
+            )
+        else:
+            report = lint_mod.lint_self()
+    else:
+        workload = resolve_workload(args)
+        config = design_config(args)
+        report = lint_mod.LintReport(target=f"workload {workload.name!r}")
+        if args.target in ("workload", "all"):
+            report.merge(lint_mod.lint_workload(workload))
+        if args.target in ("mvpp", "all"):
+            for mvpp in generate_mvpps(workload, config=config):
+                report.merge(lint_mod.lint_mvpp(mvpp, workload=workload))
+        if args.target in ("design", "all"):
+            result = design(workload, config)
+            design_report = lint_mod.lint_design(
+                result.mvpp,
+                result.materialized,
+                calculator=result.calculator,
+                workload=workload,
+            )
+            if args.target == "all":
+                # The per-candidate pass above already ran the mvpp-scope
+                # rules on the chosen MVPP; keep only design-scope findings.
+                design_report.diagnostics = [
+                    d
+                    for d in design_report.diagnostics
+                    if lint_mod.get_rule(d.rule).scope != "mvpp"
+                ]
+            report.merge(design_report)
+        report.diagnostics = report.sorted()
+
+    report.publish()
+    if args.format == "json":
+        text = json.dumps(lint_mod.report_to_json(report), indent=2)
+    elif args.format == "sarif":
+        text = json.dumps(lint_mod.report_to_sarif(report), indent=2)
+    else:
+        text = lint_mod.render_text(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"lint report written to {args.output}")
+    else:
+        print(text)
+    return report.exit_code
+
+
 COMMANDS = {
     "workloads": command_workloads,
     "strategies": command_strategies,
@@ -379,6 +481,7 @@ COMMANDS = {
     "profile": command_profile,
     "report": command_report,
     "dot": command_dot,
+    "lint": command_lint,
 }
 
 

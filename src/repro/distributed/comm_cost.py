@@ -86,7 +86,7 @@ class DistributedCostCalculator(MVPPCostCalculator):
 
     def maintenance_cost(self, materialized: FrozenSet[int]) -> float:
         total = 0.0
-        for vertex_id in materialized:
+        for vertex_id in sorted(materialized):  # id order: deterministic float sum
             vertex = self.mvpp.vertex(vertex_id)
             if vertex.is_leaf:
                 continue

@@ -94,6 +94,10 @@ class WarehouseError(ReproError):
     """Data warehouse facade misuse (unknown query, missing data, ...)."""
 
 
+class LintError(ReproError):
+    """Static analysis failed, or a lint gate found error-severity findings."""
+
+
 class WorkloadError(ReproError):
     """Workload or data generation parameters are invalid."""
 

@@ -1,0 +1,78 @@
+"""repro.lint — two-layer static analysis for the MVPP pipeline.
+
+Layer 1 (:mod:`repro.lint.semantic`) lints the *artifacts*: workloads,
+MVPP graphs, and finished designs, enforcing the invariants the paper's
+algorithms assume (Figure-4 push-down, merged common subexpressions,
+frequency annotations, cost monotonicity, Figure-9 post-conditions).
+
+Layer 2 (:mod:`repro.lint.code`) lints the *source*: an AST analyzer
+enforcing the repo's determinism contract (no set-iteration order
+dependence, no unseeded randomness, no wall-clock reads on cost paths,
+no mutable defaults), runnable as ``repro lint --self``.
+
+Both layers share one vocabulary (:class:`Diagnostic`, :class:`Severity`,
+:class:`LintReport`), one string-keyed rule registry (mirroring the
+selection-strategy registry), and the emitters in
+:mod:`repro.lint.emitters` (text / JSON / SARIF).  The rule catalog is
+documented in ``docs/lint.md``.
+"""
+
+from repro.lint.diagnostics import (
+    SCOPES,
+    Diagnostic,
+    LintReport,
+    Location,
+    Rule,
+    Severity,
+    all_rules,
+    get_rule,
+    register_rule,
+    rule_ids,
+    rules_for,
+)
+from repro.lint.code import (
+    CodeContext,
+    Suppressions,
+    lint_paths,
+    lint_self,
+    lint_source,
+)
+from repro.lint.emitters import (
+    LINT_SCHEMA_VERSION,
+    render_text,
+    report_to_json,
+    report_to_sarif,
+)
+from repro.lint.semantic import (
+    SemanticContext,
+    lint_design,
+    lint_mvpp,
+    lint_workload,
+)
+
+__all__ = [
+    "CodeContext",
+    "Diagnostic",
+    "LINT_SCHEMA_VERSION",
+    "LintReport",
+    "Location",
+    "Rule",
+    "SCOPES",
+    "SemanticContext",
+    "Severity",
+    "Suppressions",
+    "all_rules",
+    "get_rule",
+    "lint_design",
+    "lint_mvpp",
+    "lint_paths",
+    "lint_self",
+    "lint_source",
+    "lint_workload",
+    "register_rule",
+    "render_text",
+    "report_to_json",
+    "report_to_sarif",
+    "rule_ids",
+    "rules_for",
+]

@@ -1,0 +1,276 @@
+"""Shared diagnostic types and the string-keyed lint-rule registry.
+
+The lint subsystem has two analyzer layers (semantic MVPP/workload
+linting in :mod:`repro.lint.semantic`, the determinism-enforcing code
+analyzer in :mod:`repro.lint.code`) but one vocabulary: every finding is
+a :class:`Diagnostic` carrying a rule id, a :class:`Severity`, a
+:class:`Location` (a graph vertex or a source line), a message, and an
+optional fix hint.  Rules register themselves under their id exactly
+like selection strategies register under their name
+(:func:`repro.mvpp.strategies.register_strategy`), so applications can
+list, look up, or override rules by string key.
+
+Severity gates exit codes: a :class:`LintReport` with any
+``Severity.ERROR`` diagnostic makes ``repro lint`` exit nonzero;
+warnings and notes are informational.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import LintError
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering allows ``severity >= Severity.ERROR``."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise LintError(
+                f"unknown severity {text!r}; expected one of "
+                f"{', '.join(s.label for s in cls)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a diagnostic points.
+
+    Semantic diagnostics locate a vertex in an MVPP (``mvpp`` and
+    ``vertex``); code diagnostics locate a source line (``file``,
+    ``line``, ``column``).  Either side may be empty — a workload-level
+    finding has no location at all.
+    """
+
+    file: Optional[str] = None
+    line: Optional[int] = None
+    column: Optional[int] = None
+    mvpp: Optional[str] = None
+    vertex: Optional[str] = None
+
+    def render(self) -> str:
+        if self.file is not None:
+            line = f":{self.line}" if self.line is not None else ""
+            column = f":{self.column}" if self.column is not None else ""
+            return f"{self.file}{line}{column}"
+        if self.mvpp is not None or self.vertex is not None:
+            mvpp = self.mvpp or "?"
+            return f"{mvpp}::{self.vertex}" if self.vertex else mvpp
+        return "<workload>"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    rule: str
+    severity: Severity
+    message: str
+    location: Location = field(default_factory=Location)
+    hint: str = ""
+
+    def render(self) -> str:
+        text = (
+            f"{self.location.render()}: {self.severity.label}"
+            f" [{self.rule}] {self.message}"
+        )
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+
+# ---------------------------------------------------------------------------
+# the rule registry — mirrors the strategy registry in mvpp/strategies.py
+# ---------------------------------------------------------------------------
+#: Analyzer layers a rule can belong to.  Semantic scopes receive a
+#: :class:`repro.lint.semantic.SemanticContext`; ``code`` rules receive a
+#: :class:`repro.lint.code.CodeContext`.
+SCOPES = ("workload", "mvpp", "design", "code")
+
+RuleCheck = Callable[..., Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule: identity, default severity, and its check."""
+
+    rule_id: str
+    scope: str
+    severity: Severity
+    summary: str
+    check: RuleCheck
+    paper: str = ""  # paper/reference anchor shown in the rule catalog
+
+    def diagnostic(
+        self,
+        message: str,
+        location: Optional[Location] = None,
+        hint: str = "",
+        severity: Optional[Severity] = None,
+    ) -> Diagnostic:
+        """A diagnostic pre-filled with this rule's id and severity."""
+        return Diagnostic(
+            rule=self.rule_id,
+            severity=severity or self.severity,
+            message=message,
+            location=location or Location(),
+            hint=hint,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(
+    rule_id: str,
+    scope: str,
+    severity: Severity,
+    summary: str,
+    paper: str = "",
+) -> Callable[[RuleCheck], RuleCheck]:
+    """Register a lint rule under ``rule_id`` (decorator).
+
+    Re-registering an id overrides it (last registration wins), matching
+    the strategy registry's contract, so applications can swap in
+    stricter or looser variants of a shipped rule.
+    """
+    if scope not in SCOPES:
+        raise LintError(f"unknown rule scope {scope!r}; expected one of {SCOPES}")
+
+    def decorator(fn: RuleCheck) -> RuleCheck:
+        _REGISTRY[rule_id] = Rule(
+            rule_id=rule_id,
+            scope=scope,
+            severity=severity,
+            summary=summary,
+            check=fn,
+            paper=paper,
+        )
+        return fn
+
+    return decorator
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up a registered rule; raises with the known ids."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise LintError(
+            f"unknown lint rule {rule_id!r}; registered: {', '.join(rule_ids())}"
+        ) from None
+
+
+def rule_ids() -> Tuple[str, ...]:
+    """Registered rule ids, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def rules_for(scope: str) -> List[Rule]:
+    """Every registered rule belonging to ``scope``, in registration order."""
+    if scope not in SCOPES:
+        raise LintError(f"unknown rule scope {scope!r}; expected one of {SCOPES}")
+    return [rule for rule in _REGISTRY.values() if rule.scope == scope]
+
+
+def all_rules() -> List[Rule]:
+    return list(_REGISTRY.values())
+
+
+# ---------------------------------------------------------------------------
+# reports
+# ---------------------------------------------------------------------------
+@dataclass
+class LintReport:
+    """The outcome of one lint run: diagnostics plus what was analyzed."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    target: str = ""  # human-readable description of what was linted
+    suppressed: int = 0  # findings silenced by per-line suppressions
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "LintReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.suppressed += other.suppressed
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity >= Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 1 on any error-severity finding, else 0."""
+        return 1 if self.has_errors else 0
+
+    def counts(self) -> Dict[str, int]:
+        """``{severity label: count}`` over all diagnostics."""
+        out = {severity.label: 0 for severity in Severity}
+        for diagnostic in self.diagnostics:
+            out[diagnostic.severity.label] += 1
+        return out
+
+    def sorted(self) -> List[Diagnostic]:
+        """Diagnostics ordered severity-descending, then by location/rule."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                -int(d.severity),
+                d.location.file or "",
+                d.location.line or 0,
+                d.location.mvpp or "",
+                d.location.vertex or "",
+                d.rule,
+            ),
+        )
+
+    def raise_on_errors(self) -> None:
+        """Raise :class:`LintError` summarizing error-severity findings."""
+        errors = self.errors
+        if errors:
+            rendered = "; ".join(d.render() for d in errors[:5])
+            more = f" (+{len(errors) - 5} more)" if len(errors) > 5 else ""
+            raise LintError(
+                f"lint found {len(errors)} error(s) in {self.target or 'target'}: "
+                f"{rendered}{more}"
+            )
+
+    def publish(self) -> None:
+        """Export per-rule/severity counters to the :mod:`repro.obs` registry."""
+        from repro import obs
+
+        registry = obs.metrics()
+        for diagnostic in self.diagnostics:
+            registry.counter(
+                "lint.diagnostics",
+                rule=diagnostic.rule,
+                severity=diagnostic.severity.label,
+            ).inc()
+        if self.suppressed:
+            registry.counter("lint.suppressed").inc(self.suppressed)

@@ -1,0 +1,161 @@
+"""Rendering lint reports: human text, machine JSON, and SARIF 2.1.0.
+
+SARIF (Static Analysis Results Interchange Format) is what code-hosting
+CI surfaces ingest; the emitter maps :class:`Severity` onto SARIF levels
+(``error`` / ``warning`` / ``note``), semantic vertex locations onto
+logical locations, and file locations onto physical ones.  The rule
+catalog travels in ``tool.driver.rules`` so viewers can show summaries
+and paper references next to each finding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity, all_rules
+
+#: Bumped when the JSON report shape changes (mirrors the obs profile
+#: document's ``schema`` field).
+LINT_SCHEMA_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.NOTE: "note",
+}
+
+
+def render_text(report: LintReport) -> str:
+    """One line per finding plus a trailing summary line."""
+    lines = [diagnostic.render() for diagnostic in report.sorted()]
+    counts = report.counts()
+    summary = (
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['note']} note(s)"
+    )
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    if report.target:
+        summary += f" — {report.target}"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _diagnostic_to_dict(diagnostic: Diagnostic) -> Dict[str, Any]:
+    location = diagnostic.location
+    return {
+        "rule": diagnostic.rule,
+        "severity": diagnostic.severity.label,
+        "message": diagnostic.message,
+        "hint": diagnostic.hint,
+        "location": {
+            "file": location.file,
+            "line": location.line,
+            "column": location.column,
+            "mvpp": location.mvpp,
+            "vertex": location.vertex,
+        },
+    }
+
+
+def report_to_json(report: LintReport) -> Dict[str, Any]:
+    """The JSON document printed by ``repro lint --format json``."""
+    return {
+        "schema": LINT_SCHEMA_VERSION,
+        "target": report.target,
+        "summary": {**report.counts(), "suppressed": report.suppressed},
+        "diagnostics": [
+            _diagnostic_to_dict(diagnostic) for diagnostic in report.sorted()
+        ],
+    }
+
+
+def _sarif_location(diagnostic: Diagnostic) -> Dict[str, Any]:
+    location = diagnostic.location
+    out: Dict[str, Any] = {}
+    if location.file is not None:
+        region: Dict[str, Any] = {}
+        if location.line is not None:
+            region["startLine"] = location.line
+        if location.column is not None:
+            # SARIF columns are 1-based; ast col_offset is 0-based.
+            region["startColumn"] = location.column + 1
+        physical: Dict[str, Any] = {
+            "artifactLocation": {"uri": location.file.replace("\\", "/")}
+        }
+        if region:
+            physical["region"] = region
+        out["physicalLocation"] = physical
+    if location.mvpp is not None or location.vertex is not None:
+        name = location.vertex or location.mvpp or ""
+        out["logicalLocations"] = [
+            {
+                "name": name,
+                "fullyQualifiedName": diagnostic.location.render(),
+                "kind": "member",
+            }
+        ]
+    return out
+
+
+def report_to_sarif(
+    report: LintReport, tool_name: str = "repro-lint", version: str = ""
+) -> Dict[str, Any]:
+    """The report as a single-run SARIF 2.1.0 log."""
+    if not version:
+        from repro import __version__ as version  # noqa: F811
+
+    rules: List[Dict[str, Any]] = []
+    for rule in all_rules():
+        entry: Dict[str, Any] = {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": _SARIF_LEVELS[rule.severity]},
+        }
+        if rule.paper:
+            entry["fullDescription"] = {"text": rule.paper}
+        rules.append(entry)
+    rule_index = {entry["id"]: i for i, entry in enumerate(rules)}
+
+    results = []
+    for diagnostic in report.sorted():
+        message = diagnostic.message
+        if diagnostic.hint:
+            message += f" (hint: {diagnostic.hint})"
+        result: Dict[str, Any] = {
+            "ruleId": diagnostic.rule,
+            "level": _SARIF_LEVELS[diagnostic.severity],
+            "message": {"text": message},
+        }
+        if diagnostic.rule in rule_index:
+            result["ruleIndex"] = rule_index[diagnostic.rule]
+        location = _sarif_location(diagnostic)
+        if location:
+            result["locations"] = [location]
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": version,
+                        "informationUri": (
+                            "https://github.com/repro/repro/blob/main/docs/lint.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

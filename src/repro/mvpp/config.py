@@ -51,6 +51,11 @@ class DesignConfig:
     (the paper's accounting) while :meth:`DataWarehouse.design
     <repro.warehouse.warehouse.DataWarehouse.design>` substitutes the
     warehouse's configured trigger.
+
+    ``lint=True`` runs the semantic linter (:mod:`repro.lint.semantic`)
+    over the chosen design before returning: the report is attached as
+    ``DesignResult.lint_report``, its counters land in :mod:`repro.obs`,
+    and error-severity findings raise :class:`~repro.errors.LintError`.
     """
 
     strategy: str = "heuristic"
@@ -62,6 +67,7 @@ class DesignConfig:
     maintenance_trigger: Optional[str] = None
     push_down: bool = True
     include_naive: bool = False
+    lint: bool = False
 
     def __post_init__(self) -> None:
         if not self.strategy or not isinstance(self.strategy, str):

@@ -226,9 +226,13 @@ class MVPPCostCalculator:
         return total
 
     def maintenance_cost(self, materialized: FrozenSet[int]) -> float:
-        """``Σ fu · Cm(v)`` over materialized vertices (recompute)."""
+        """``Σ fu · Cm(v)`` over materialized vertices (recompute).
+
+        Iterates in vertex-id order so the float sum is independent of
+        the set's hash order (bit-identical across runs and backends).
+        """
         total = 0.0
-        for vertex_id in materialized:
+        for vertex_id in sorted(materialized):
             vertex = self.mvpp.vertex(vertex_id)
             if vertex.is_leaf:
                 continue  # base relations carry no view-maintenance cost
@@ -283,7 +287,7 @@ class MVPPCostCalculator:
         descendant_ids = self.mvpp.descendants(vertex)
         already_saved = sum(
             self.mvpp.vertex(i).access_cost
-            for i in descendant_ids & materialized
+            for i in sorted(descendant_ids & materialized)
         )
         effective = vertex.access_cost - already_saved
         saving = sum(

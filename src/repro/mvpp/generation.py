@@ -353,6 +353,7 @@ class DesignResult:
     candidates: List[MVPP]
     config: DesignConfig = field(default_factory=lambda: DEFAULT_DESIGN_CONFIG)
     cache_stats: Optional[Dict[str, float]] = None
+    lint_report: Optional[Any] = None  # LintReport when config.lint=True
 
     @property
     def materialized_names(self) -> Tuple[str, ...]:
@@ -482,6 +483,19 @@ def design(
                 config=config,
             )
         assert best is not None  # generate_mvpps raises on empty workloads
+        if config.lint:
+            from repro.lint.semantic import lint_design
+
+            report = lint_design(
+                best.mvpp,
+                best.materialized,
+                calculator=best.calculator,
+                workload=workload,
+            )
+            best.lint_report = report
+            report.publish()
+            span.set(lint_diagnostics=len(report.diagnostics))
+            report.raise_on_errors()
         if cache is not None:
             cache.publish(hits_before, misses_before)
             best.cache_stats = cache.stats()

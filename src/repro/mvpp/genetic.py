@@ -77,7 +77,7 @@ def genetic_search(
     population: List[Tuple[bool, ...]] = [tuple([False] * n)]
     while len(population) < config.population_size:
         population.append(tuple(rng.random() < 0.25 for _ in range(n)))
-    scores = {mask: fitness(mask) for mask in set(population)}
+    scores = {mask: fitness(mask) for mask in dict.fromkeys(population)}
 
     def tournament() -> Tuple[bool, ...]:
         contenders = [rng.choice(population) for _ in range(config.tournament_size)]

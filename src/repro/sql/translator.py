@@ -68,7 +68,7 @@ class _Translator:
                     f"self-joins are not supported"
                 )
             self._schemas[table.name] = schema
-            for binding in {table.binding, table.name}:
+            for binding in dict.fromkeys((table.binding, table.name)):
                 if binding in self._bindings and self._bindings[binding] != table.name:
                     raise TranslationError(f"ambiguous table binding {binding!r}")
                 self._bindings[binding] = table.name

@@ -469,7 +469,7 @@ class DataWarehouse:
         if used:
             lines.append(
                 "materialized views used: "
-                + ", ".join(sorted({v.name for v in used}))
+                + ", ".join(sorted({v.name for v in used}))  # lint: ignore[C102] — names are strings, totally ordered
             )
         else:
             lines.append("materialized views used: (none)")

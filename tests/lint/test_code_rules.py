@@ -1,0 +1,197 @@
+"""Fixture tests for the Layer-2 code analyzer: every rule must fire on a
+snippet seeding its violation, and stay silent on the clean variant."""
+
+import textwrap
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import Severity, Suppressions, lint_paths, lint_self, lint_source
+
+
+def rules_fired(source):
+    report = lint_source(textwrap.dedent(source), path="snippet.py")
+    return sorted(d.rule for d in report.diagnostics)
+
+
+class TestC101SetIteration:
+    def test_for_loop_over_set_literal(self):
+        assert rules_fired("""
+            for x in {1, 2, 3}:
+                print(x)
+        """) == ["C101"]
+
+    def test_comprehension_over_set_call(self):
+        assert rules_fired("""
+            out = [x for x in set(items)]
+        """) == ["C101"]
+
+    def test_ordering_sink_call(self):
+        assert rules_fired("""
+            pairs = list({"a", "b"})
+        """) == ["C101"]
+
+    def test_join_over_set_comprehension(self):
+        assert rules_fired("""
+            text = ", ".join({v.name for v in vs})
+        """) == ["C101"]
+
+    def test_sorted_wrapping_is_clean(self):
+        assert rules_fired("""
+            for x in sorted({3, 1, 2}, key=int):
+                print(x)
+        """) == []
+
+    def test_named_set_variable_not_resolved(self):
+        # conservative: a Name is never treated as a set
+        assert rules_fired("""
+            items = compute()
+            for x in items:
+                print(x)
+        """) == []
+
+
+class TestC102UnkeyedOrdering:
+    def test_sorted_over_set_without_key(self):
+        assert rules_fired("""
+            order = sorted({b.vertex for b in found})
+        """) == ["C102"]
+
+    def test_min_over_frozenset(self):
+        assert rules_fired("""
+            first = min(frozenset(xs))
+        """) == ["C102"]
+
+    def test_key_keyword_is_clean(self):
+        assert rules_fired("""
+            order = sorted({b for b in found}, key=str)
+        """) == []
+
+    def test_sorted_over_list_is_clean(self):
+        assert rules_fired("""
+            order = sorted([3, 1, 2])
+        """) == []
+
+
+class TestC103UnseededRandom:
+    def test_module_level_draw(self):
+        assert rules_fired("""
+            import random
+            pick = random.choice(options)
+        """) == ["C103"]
+
+    def test_from_import_of_draw_names(self):
+        assert rules_fired("""
+            from random import shuffle
+        """) == ["C103"]
+
+    def test_seeded_instance_is_clean(self):
+        assert rules_fired("""
+            import random
+            rng = random.Random(42)
+            pick = rng.choice(options)
+        """) == []
+
+
+class TestC104WallClock:
+    def test_time_time_on_design_path(self):
+        assert rules_fired("""
+            import time
+            started = time.time()
+        """) == ["C104"]
+
+    def test_datetime_now(self):
+        assert rules_fired("""
+            import datetime
+            stamp = datetime.datetime.now()
+        """) == ["C104"]
+
+    def test_obs_path_exempt(self):
+        source = "import time\nstarted = time.perf_counter()\n"
+        report = lint_source(source, path="repro/obs/tracing.py")
+        assert [d.rule for d in report.diagnostics] == []
+
+    def test_benchmarks_path_exempt(self):
+        source = "import time\nstarted = time.perf_counter()\n"
+        report = lint_source(source, path="benchmarks/bench_design.py")
+        assert [d.rule for d in report.diagnostics] == []
+
+
+class TestC105MutableDefaults:
+    def test_list_display_default(self):
+        assert rules_fired("""
+            def f(items=[]):
+                return items
+        """) == ["C105"]
+
+    def test_dict_call_default_and_kwonly(self):
+        assert rules_fired("""
+            def f(a, cache=dict(), *, seen=set()):
+                return a
+        """) == ["C105", "C105"]
+
+    def test_none_default_is_clean(self):
+        assert rules_fired("""
+            def f(items=None):
+                return items or []
+        """) == []
+
+
+class TestSuppressions:
+    def test_parse_specific_and_blanket(self):
+        sup = Suppressions.parse(
+            "x = 1  # lint: ignore[C101, c102]\n"
+            "y = 2  # lint: ignore\n"
+            "z = 3\n"
+        )
+        assert sup.covers(1, "C101")
+        assert sup.covers(1, "C102")
+        assert not sup.covers(1, "C103")
+        assert sup.covers(2, "C105")
+        assert not sup.covers(3, "C101")
+        assert not sup.covers(None, "C101")
+
+    def test_suppressed_finding_counted_not_reported(self):
+        report = lint_source(
+            "order = sorted({1, 2})  # lint: ignore[C102]\n", path="s.py"
+        )
+        assert report.diagnostics == []
+        assert report.suppressed == 1
+
+    def test_suppression_of_other_rule_does_not_silence(self):
+        report = lint_source(
+            "order = sorted({1, 2})  # lint: ignore[C101]\n", path="s.py"
+        )
+        assert [d.rule for d in report.diagnostics] == ["C102"]
+        assert report.suppressed == 0
+
+
+class TestEntryPoints:
+    def test_syntax_error_raises_lint_error(self):
+        with pytest.raises(LintError, match="cannot parse"):
+            lint_source("def broken(:\n", path="bad.py")
+
+    def test_lint_paths_relativizes_and_merges(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("for x in {1}:\n    pass\n")
+        (tmp_path / "pkg" / "b.py").write_text("y = sorted([1])\n")
+        report = lint_paths([tmp_path / "pkg"], base=tmp_path)
+        assert [d.rule for d in report.diagnostics] == ["C101"]
+        assert report.diagnostics[0].location.file == "pkg/a.py"
+
+    def test_own_sources_are_clean(self):
+        """The repo-wide gate: repro's own code has no violations."""
+        report = lint_self()
+        assert report.diagnostics == [], "\n".join(
+            d.render() for d in report.diagnostics
+        )
+        # the documented intentional exemption in warehouse.py
+        assert report.suppressed >= 1
+
+    def test_diagnostics_carry_severity_and_location(self):
+        report = lint_source("for x in {1}:\n    pass\n", path="s.py")
+        (diag,) = report.diagnostics
+        assert diag.severity is Severity.ERROR
+        assert diag.location.file == "s.py"
+        assert diag.location.line == 1
+        assert report.exit_code == 1

@@ -1,0 +1,157 @@
+"""Unit tests for the shared lint framework (severities, registry, reports)."""
+
+import pytest
+
+from repro import obs
+from repro.errors import LintError
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    Location,
+    Severity,
+    all_rules,
+    get_rule,
+    register_rule,
+    rule_ids,
+    rules_for,
+)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+
+    def test_labels(self):
+        assert [s.label for s in Severity] == ["note", "warning", "error"]
+
+    def test_parse_round_trips(self):
+        for severity in Severity:
+            assert Severity.parse(severity.label) is severity
+        assert Severity.parse("ERROR") is Severity.ERROR
+
+    def test_parse_unknown_rejected(self):
+        with pytest.raises(LintError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestLocation:
+    def test_source_location_renders_file_line_column(self):
+        loc = Location(file="src/repro/x.py", line=12, column=4)
+        assert loc.render() == "src/repro/x.py:12:4"
+
+    def test_vertex_location_renders_mvpp_and_vertex(self):
+        assert Location(mvpp="m1", vertex="tmp3").render() == "m1::tmp3"
+
+    def test_empty_location(self):
+        assert Location().render() == "<workload>"
+
+
+class TestRegistry:
+    def test_known_rules_registered(self):
+        ids = rule_ids()
+        for expected in ("W001", "M003", "D001", "C101", "C105"):
+            assert expected in ids
+
+    def test_get_rule_unknown_rejected(self):
+        with pytest.raises(LintError, match="unknown lint rule"):
+            get_rule("Z999")
+
+    def test_rules_for_scope_partitions(self):
+        scoped = {r.rule_id for s in ("workload", "mvpp", "design", "code")
+                  for r in rules_for(s)}
+        assert scoped == set(rule_ids())
+        assert len(all_rules()) == len(rule_ids())
+
+    def test_rules_for_unknown_scope_rejected(self):
+        with pytest.raises(LintError, match="unknown rule scope"):
+            rules_for("cosmic")
+
+    def test_register_rule_override_wins(self):
+        original = get_rule("W004")
+        try:
+            @register_rule("W004", scope="workload",
+                           severity=Severity.ERROR, summary="stricter")
+            def stricter(ctx):
+                return []
+
+            assert get_rule("W004").severity is Severity.ERROR
+            assert get_rule("W004").summary == "stricter"
+        finally:
+            register_rule(
+                "W004", scope=original.scope, severity=original.severity,
+                summary=original.summary, paper=original.paper,
+            )(original.check)
+
+    def test_rule_diagnostic_prefills_and_overrides(self):
+        rule = get_rule("M005")
+        default = rule.diagnostic("msg")
+        assert default.rule == "M005"
+        assert default.severity is rule.severity
+        escalated = rule.diagnostic("msg", severity=Severity.ERROR)
+        assert escalated.severity is Severity.ERROR
+
+
+def _diag(rule, severity, line=1):
+    return Diagnostic(
+        rule=rule, severity=severity, message="m",
+        location=Location(file="f.py", line=line),
+    )
+
+
+class TestLintReport:
+    def test_counts_and_exit_code(self):
+        report = LintReport(target="t")
+        report.extend([
+            _diag("C101", Severity.ERROR),
+            _diag("M001", Severity.WARNING),
+            _diag("W004", Severity.NOTE),
+        ])
+        assert report.counts() == {"error": 1, "warning": 1, "note": 1}
+        assert report.has_errors
+        assert report.exit_code == 1
+        assert LintReport().exit_code == 0
+
+    def test_merge_accumulates(self):
+        a = LintReport(suppressed=1)
+        a.extend([_diag("C101", Severity.ERROR)])
+        b = LintReport(suppressed=2)
+        b.extend([_diag("C102", Severity.ERROR)])
+        a.merge(b)
+        assert len(a.diagnostics) == 2
+        assert a.suppressed == 3
+
+    def test_sorted_orders_severity_then_location(self):
+        report = LintReport()
+        report.extend([
+            _diag("W004", Severity.NOTE, line=1),
+            _diag("C102", Severity.ERROR, line=9),
+            _diag("C101", Severity.ERROR, line=3),
+        ])
+        ordered = report.sorted()
+        assert [d.rule for d in ordered] == ["C101", "C102", "W004"]
+
+    def test_raise_on_errors(self):
+        report = LintReport(target="unit")
+        report.extend([_diag("C103", Severity.ERROR)])
+        with pytest.raises(LintError, match=r"1 error\(s\) in unit.*C103"):
+            report.raise_on_errors()
+        LintReport().raise_on_errors()  # no errors: no raise
+
+    def test_publish_exports_counters(self):
+        was_enabled = obs.enabled()
+        obs.enable(reset=True)
+        try:
+            report = LintReport(suppressed=2)
+            report.extend([
+                _diag("C101", Severity.ERROR),
+                _diag("C101", Severity.ERROR),
+            ])
+            report.publish()
+            counter = obs.metrics().counter(
+                "lint.diagnostics", rule="C101", severity="error"
+            )
+            assert counter.value == 2
+            assert obs.metrics().counter("lint.suppressed").value == 2
+        finally:
+            if not was_enabled:
+                obs.disable()

@@ -1,0 +1,111 @@
+"""End-to-end tests for ``repro lint`` and the ``DesignConfig.lint`` gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import LintError
+from repro.lint import LINT_SCHEMA_VERSION
+from repro.mvpp import DesignConfig, design
+from repro.workload import paper_workload
+
+
+class TestLintCommand:
+    def test_paper_workload_exits_zero(self, capsys):
+        assert main(["lint", "--workload", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_target_workload_only(self, capsys):
+        assert main(["lint", "--workload", "paper", "--target", "workload"]) == 0
+
+    def test_target_mvpp_with_rotations(self, capsys):
+        assert (
+            main(["lint", "--workload", "paper", "--target", "mvpp",
+                  "--rotations", "1"])
+            == 0
+        )
+
+    def test_self_exits_zero(self, capsys):
+        assert main(["lint", "--self"]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed" in out  # the documented warehouse.py exemption
+
+    def test_path_lints_given_files(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("for x in {1, 2}:\n    pass\n")
+        assert main(["lint", "--path", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "C101" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("pick = sorted({1, 2})\n")
+        assert main(["lint", "--path", str(bad), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == LINT_SCHEMA_VERSION
+        assert document["summary"]["error"] == 1
+        assert document["diagnostics"][0]["rule"] == "C102"
+
+    def test_sarif_format(self, capsys):
+        assert main(["lint", "--workload", "paper", "--format", "sarif"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"C101", "M003", "W001", "D001"} <= rule_ids
+        assert run["results"] == []
+
+    def test_sarif_result_levels(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main(["lint", "--path", str(bad), "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        (result,) = document["runs"][0]["results"]
+        assert result["ruleId"] == "C104"
+        assert result["level"] == "error"
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        assert (
+            main(["lint", "--workload", "paper", "--format", "json",
+                  "--output", str(target)])
+            == 0
+        )
+        assert "written to" in capsys.readouterr().out
+        assert json.loads(target.read_text())["summary"]["error"] == 0
+
+    def test_rules_catalog(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("W001", "M001", "D001", "C101"):
+            assert rule_id in out
+        assert "Figure 4" in out  # paper anchors are shown
+
+
+class TestDesignConfigLint:
+    def test_design_with_lint_attaches_clean_report(self):
+        result = design(paper_workload(), DesignConfig(lint=True))
+        assert result.lint_report is not None
+        assert result.lint_report.exit_code == 0
+        assert result.lint_report.target.startswith("design on MVPP")
+
+    def test_design_without_lint_has_no_report(self):
+        result = design(paper_workload(), DesignConfig())
+        assert result.lint_report is None
+
+    def test_lint_gate_raises_on_errors(self, monkeypatch):
+        import repro.lint.semantic as semantic
+
+        def inject(mvpp, materialized, calculator=None, workload=None):
+            from repro.lint import LintReport, Severity, get_rule
+
+            report = LintReport(target="injected")
+            report.extend([get_rule("M003").diagnostic("planted duplicate")])
+            return report
+
+        monkeypatch.setattr(semantic, "lint_design", inject)
+        with pytest.raises(LintError, match="planted duplicate"):
+            design(paper_workload(), DesignConfig(lint=True))

@@ -1,0 +1,49 @@
+"""Property test: every MVPP the generator produces passes the semantic
+linter with no error-severity findings, for arbitrary workloads.
+
+Warnings are allowed (a random workload may legitimately leave a leaf
+full-width); errors (missed merges, negative or non-monotone costs,
+missing statistics) would mean the generation pipeline itself violates
+the paper's invariants.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.lint import Severity, lint_mvpp, lint_workload
+from repro.mvpp import generate_mvpps
+from repro.workload import GeneratorConfig, generate_workload
+
+
+@st.composite
+def generator_configs(draw):
+    num_relations = draw(st.integers(min_value=3, max_value=6))
+    return GeneratorConfig(
+        num_relations=num_relations,
+        num_queries=draw(st.integers(min_value=2, max_value=4)),
+        max_query_relations=draw(
+            st.integers(min_value=2, max_value=min(4, num_relations))
+        ),
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+    )
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(config=generator_configs())
+def test_generated_mvpps_have_no_error_findings(config):
+    workload = generate_workload(config).workload
+
+    workload_report = lint_workload(workload)
+    assert workload_report.errors == [], "\n".join(
+        d.render() for d in workload_report.errors
+    )
+
+    for mvpp in generate_mvpps(workload):
+        report = lint_mvpp(mvpp, workload=workload)
+        errors = [d for d in report.diagnostics if d.severity >= Severity.ERROR]
+        assert errors == [], f"{mvpp.name}:\n" + "\n".join(
+            d.render() for d in errors
+        )

@@ -1,0 +1,250 @@
+"""Fixture tests for the Layer-1 semantic rules: each seeds one violation
+into a real workload/MVPP/design and asserts the expected rule fires."""
+
+import dataclasses
+
+import pytest
+
+from repro.lint import Severity, lint_design, lint_mvpp, lint_workload
+from repro.mvpp import MVPPCostCalculator, design, generate_mvpps
+from repro.mvpp.graph import VertexKind
+from repro.workload import paper_workload
+from repro.workload.spec import QuerySpec
+
+
+def fired(report, rule_id):
+    return [d for d in report.diagnostics if d.rule == rule_id]
+
+
+@pytest.fixture()
+def fresh_workload():
+    """A private paper workload instance, safe to mutate."""
+    return paper_workload()
+
+
+@pytest.fixture()
+def fresh_mvpp(fresh_workload):
+    """A private first-rotation MVPP over the paper workload."""
+    return generate_mvpps(fresh_workload, rotations=1)[0]
+
+
+class TestWorkloadRules:
+    def test_paper_workload_is_clean(self, fresh_workload):
+        report = lint_workload(fresh_workload)
+        assert report.diagnostics == []
+        assert report.exit_code == 0
+
+    def test_w001_zero_query_frequency(self, fresh_workload):
+        queries = tuple(
+            dataclasses.replace(q, frequency=0.0) if q.name == "Q2" else q
+            for q in fresh_workload.queries
+        )
+        workload = dataclasses.replace(fresh_workload, queries=queries)
+        (diag,) = fired(lint_workload(workload), "W001")
+        assert "Q2" in diag.message
+        assert diag.severity is Severity.WARNING
+
+    def test_w002_zero_update_frequency(self, fresh_workload):
+        frequencies = dict(fresh_workload.update_frequencies)
+        frequencies["Part"] = 0.0
+        workload = dataclasses.replace(
+            fresh_workload, update_frequencies=frequencies
+        )
+        (diag,) = fired(lint_workload(workload), "W002")
+        assert "Part" in diag.message
+
+    def test_w003_missing_statistics_is_error(self, fresh_workload):
+        from repro.catalog.statistics import StatisticsCatalog
+
+        workload = dataclasses.replace(
+            fresh_workload, statistics=StatisticsCatalog()
+        )
+        report = lint_workload(workload)
+        missing = fired(report, "W003")
+        assert {d.severity for d in missing} == {Severity.ERROR}
+        assert len(missing) == len(workload.catalog.relation_names)
+        assert report.exit_code == 1
+
+    def test_w003_stale_statistics_is_warning(self, fresh_workload):
+        fresh_workload.statistics.set_relation("Ghost", 100)
+        (diag,) = fired(lint_workload(fresh_workload), "W003")
+        assert diag.severity is Severity.WARNING
+        assert "Ghost" in diag.message
+
+    def test_w003_view_statistics_exempt(self, fresh_workload):
+        fresh_workload.statistics.set_relation("mv_tmp3", 100)
+        assert fired(lint_workload(fresh_workload), "W003") == []
+
+    def test_w004_duplicate_sql(self, fresh_workload):
+        duplicate = QuerySpec("Q9", fresh_workload.queries[0].sql, 2.0)
+        workload = dataclasses.replace(
+            fresh_workload, queries=fresh_workload.queries + (duplicate,)
+        )
+        (diag,) = fired(lint_workload(workload), "W004")
+        assert "Q1" in diag.message and "Q9" in diag.message
+        assert diag.severity is Severity.NOTE
+
+
+class TestMVPPRules:
+    def test_generated_mvpps_are_clean(self, fresh_workload):
+        for mvpp in generate_mvpps(fresh_workload):
+            report = lint_mvpp(mvpp, workload=fresh_workload)
+            assert report.diagnostics == [], "\n".join(
+                d.render() for d in report.diagnostics
+            )
+
+    def test_m001_unmerged_selections(self, fresh_workload):
+        """The pre-merge (Figure 3) form: each query keeps its own plan, so
+        shared base relations are read through several distinct stems."""
+        from repro.mvpp.builder import build_from_workload
+
+        mvpp = build_from_workload(fresh_workload)
+        report = lint_mvpp(mvpp)
+        m001 = fired(report, "M001")
+        # Order is read filtered by Q4 (quantity > 100) and raw by Q3's path.
+        assert any("Order" in d.message for d in m001)
+        assert all(d.severity is Severity.WARNING for d in m001)
+        assert all(d.location.mvpp == mvpp.name for d in m001)
+
+    def test_m002_missing_projection_pushdown(self, fresh_workload):
+        """push_down=False yields the paper's Figure-7 form: full-width
+        base relations feeding joins with never-referenced attributes."""
+        mvpp = generate_mvpps(fresh_workload, rotations=1, push_down=False)[0]
+        m002 = fired(lint_mvpp(mvpp), "M002")
+        assert m002, "expected full-width leaves in the no-pushdown form"
+        flagged = {d.location.vertex for d in m002}
+        assert "Part" in flagged
+
+    def test_m003_duplicate_subtree(self, fresh_mvpp):
+        victim = next(
+            v for v in fresh_mvpp if v.kind is VertexKind.OPERATION
+        )
+        clone = fresh_mvpp._new_vertex(
+            "clone", VertexKind.OPERATION, victim.operator,
+            children=(), register_signature=False,
+        )
+        report = lint_mvpp(fresh_mvpp)
+        (diag,) = fired(report, "M003")
+        assert victim.name in diag.message and clone.name in diag.message
+        assert diag.severity is Severity.ERROR
+        assert report.exit_code == 1
+
+    def test_m004_unreachable_vertex(self, fresh_mvpp):
+        clone = fresh_mvpp._new_vertex(
+            "orphan", VertexKind.OPERATION,
+            next(v for v in fresh_mvpp if v.kind is VertexKind.OPERATION).operator,
+            children=(), register_signature=False,
+        )
+        m004 = fired(lint_mvpp(fresh_mvpp), "M004")
+        assert [d.location.vertex for d in m004] == [clone.name]
+
+    def test_m005_frequency_annotations(self, fresh_mvpp):
+        root = fresh_mvpp.roots[0]
+        leaf = fresh_mvpp.leaves[0]
+        root.frequency = 0.0
+        leaf.frequency = -1.0
+        report = lint_mvpp(fresh_mvpp)
+        m005 = fired(report, "M005")
+        by_vertex = {d.location.vertex: d for d in m005}
+        assert by_vertex[root.name].severity is Severity.WARNING
+        assert by_vertex[leaf.name].severity is Severity.ERROR
+
+    def test_m005_zero_fu_is_warning(self, fresh_mvpp):
+        fresh_mvpp.leaves[0].frequency = 0.0
+        (diag,) = fired(lint_mvpp(fresh_mvpp), "M005")
+        assert diag.severity is Severity.WARNING
+        assert "fu=0" in diag.message
+
+    def test_m006_negative_cost(self, fresh_mvpp):
+        victim = next(
+            v for v in fresh_mvpp if v.kind is VertexKind.OPERATION
+        )
+        victim.access_cost = -5.0
+        report = lint_mvpp(fresh_mvpp)
+        m006 = fired(report, "M006")
+        assert [d.location.vertex for d in m006] == [victim.name]
+        assert report.exit_code == 1
+
+    def test_m007_non_monotone_access_cost(self, fresh_mvpp):
+        # find an operation with an operation child and invert their costs
+        victim = next(
+            v
+            for v in fresh_mvpp
+            if v.kind is VertexKind.OPERATION
+            and any(
+                c.kind is VertexKind.OPERATION
+                for c in fresh_mvpp.children_of(v)
+            )
+        )
+        child = next(
+            c
+            for c in fresh_mvpp.children_of(victim)
+            if c.kind is VertexKind.OPERATION
+        )
+        victim.access_cost = child.access_cost / 2
+        m007 = fired(lint_mvpp(fresh_mvpp), "M007")
+        assert any(
+            d.location.vertex == victim.name and child.name in d.message
+            for d in m007
+        )
+
+    def test_m007_maintenance_below_access(self, fresh_mvpp):
+        victim = next(
+            v for v in fresh_mvpp if v.kind is VertexKind.OPERATION
+        )
+        victim.maintenance_cost = victim.access_cost / 2
+        m007 = fired(lint_mvpp(fresh_mvpp), "M007")
+        assert any(
+            d.location.vertex == victim.name and "Cm=" in d.message
+            for d in m007
+        )
+
+    def test_unannotated_mvpp_skips_cost_rules(self, fresh_workload):
+        from repro.mvpp.builder import build_from_workload
+
+        mvpp = build_from_workload(fresh_workload)
+        mvpp._annotated = False
+        report = lint_mvpp(mvpp)
+        assert fired(report, "M006") == []
+        assert fired(report, "M007") == []
+
+
+class TestDesignRules:
+    def test_paper_design_is_clean(self, fresh_workload):
+        result = design(fresh_workload)
+        report = lint_design(
+            result.mvpp, result.materialized,
+            calculator=result.calculator, workload=fresh_workload,
+        )
+        assert report.diagnostics == [], "\n".join(
+            d.render() for d in report.diagnostics
+        )
+
+    def test_d001_non_positive_weight(self, fresh_mvpp):
+        calculator = MVPPCostCalculator(fresh_mvpp)
+        loser = min(
+            (v for v in fresh_mvpp if v.kind is VertexKind.OPERATION),
+            key=lambda v: (calculator.weight(v), v.vertex_id),
+        )
+        assert calculator.weight(loser) <= 0, "paper MVPP should have one"
+        report = lint_design(fresh_mvpp, [loser], calculator=calculator)
+        (diag,) = fired(report, "D001")
+        assert diag.location.vertex == loser.name
+        assert diag.severity is Severity.WARNING
+
+    def test_d002_shadowed_view(self, fresh_mvpp):
+        calculator = MVPPCostCalculator(fresh_mvpp)
+        shadowed = next(
+            v
+            for v in fresh_mvpp
+            if v.kind is VertexKind.OPERATION and fresh_mvpp.parents_of(v)
+            and calculator.weight(v) > 0
+        )
+        chosen = [shadowed] + fresh_mvpp.parents_of(shadowed)
+        report = lint_design(fresh_mvpp, chosen, calculator=calculator)
+        d002 = fired(report, "D002")
+        assert any(d.location.vertex == shadowed.name for d in d002)
+
+    def test_lint_design_defaults_calculator(self, fresh_mvpp):
+        report = lint_design(fresh_mvpp, [])
+        assert fired(report, "D001") == []

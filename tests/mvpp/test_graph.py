@@ -101,6 +101,35 @@ class TestTraversal:
             assert all(c in seen for c in vertex.children)
             seen.add(vertex.vertex_id)
 
+    def test_topological_order_matches_sorted_list_reference(
+        self, workload, estimator
+    ):
+        """The heapq Kahn rewrite must emit exactly the order the original
+        sort-the-ready-list-per-iteration implementation produced, on every
+        paper-workload MVPP."""
+        from repro.mvpp import generate_mvpps
+
+        def reference_order(graph):
+            in_degree = {
+                i: len(v.children) for i, v in graph._vertices.items()
+            }
+            ready = sorted(i for i, d in in_degree.items() if d == 0)
+            order = []
+            while ready:
+                current = ready.pop(0)
+                order.append(graph._vertices[current])
+                for parent in graph._vertices[current].parents:
+                    in_degree[parent] -= 1
+                    if in_degree[parent] == 0:
+                        ready.append(parent)
+                ready.sort()
+            return order
+
+        for graph in generate_mvpps(workload, estimator):
+            expected = [v.vertex_id for v in reference_order(graph)]
+            actual = [v.vertex_id for v in graph.topological_order()]
+            assert actual == expected
+
     def test_vertex_by_name(self, mvpp):
         assert mvpp.vertex_by_name("Q1").is_root
         with pytest.raises(MVPPError):
