@@ -171,20 +171,29 @@ class Select(Operator):
 class Project(Operator):
     """Projection π_attributes(child).
 
-    Projection is set-styled for costing purposes but the executor keeps
-    duplicates (SQL bag semantics) — matching the paper, which never
-    deduplicates.
+    By default projection is set-styled for costing purposes but the
+    executor keeps duplicates (SQL bag semantics) — matching the paper,
+    which never deduplicates.  With ``distinct=True`` (``SELECT
+    DISTINCT``) the executor eliminates duplicate output tuples; the
+    flag is part of the signature, so a bag projection never matches a
+    duplicate-eliminating one during view rewriting.
     """
 
-    __slots__ = ("attributes",)
+    __slots__ = ("attributes", "distinct")
 
-    def __init__(self, child: Operator, attributes: Sequence[str]):
+    def __init__(
+        self,
+        child: Operator,
+        attributes: Sequence[str],
+        distinct: bool = False,
+    ):
         if not attributes:
             raise AlgebraError("Project requires at least one attribute")
         resolved = tuple(child.schema.attribute(a).name for a in attributes)
         schema = child.schema.project(resolved, relation_name=child.schema.name)
         super().__init__((child,), schema)
         self.attributes = resolved
+        self.distinct = bool(distinct)
 
     @property
     def child(self) -> Operator:
@@ -192,15 +201,17 @@ class Project(Operator):
 
     def _compute_signature(self) -> str:
         attrs = ",".join(sorted(self.attributes))
-        return f"project[{attrs}]({self.child.signature})"
+        tag = "distinct" if self.distinct else "project"
+        return f"{tag}[{attrs}]({self.child.signature})"
 
     @property
     def label(self) -> str:
-        return f"π[{', '.join(self.attributes)}]"
+        prefix = "δπ" if self.distinct else "π"
+        return f"{prefix}[{', '.join(self.attributes)}]"
 
     def with_children(self, children: Sequence[Operator]) -> "Project":
         (child,) = children
-        return Project(child, self.attributes)
+        return Project(child, self.attributes, self.distinct)
 
 
 class Join(Operator):
@@ -456,14 +467,22 @@ def select_if(child: Operator, predicate: Optional[Expression]) -> Operator:
     return Select(child, predicate)
 
 
-def project_if(child: Operator, attributes: Optional[Sequence[str]]) -> Operator:
-    """Project unless ``attributes`` is None/empty or already the schema."""
+def project_if(
+    child: Operator,
+    attributes: Optional[Sequence[str]],
+    distinct: bool = False,
+) -> Operator:
+    """Project unless ``attributes`` is None/empty or already the schema.
+
+    A ``distinct`` projection is always kept (even when it projects onto
+    the full schema) because it still eliminates duplicates.
+    """
     if not attributes:
         return child
     resolved = tuple(child.schema.attribute(a).name for a in attributes)
-    if resolved == child.schema.attribute_names:
+    if resolved == child.schema.attribute_names and not distinct:
         return child
-    return Project(child, resolved)
+    return Project(child, resolved, distinct)
 
 
 # Re-export the predicate helpers most callers need alongside operators.

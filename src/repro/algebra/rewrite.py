@@ -54,13 +54,14 @@ class PulledPlan:
     aggregate: Optional[Aggregate] = None
     sort: Optional[Sort] = None
     limit: Optional[Limit] = None
+    distinct: bool = False
 
     def assemble(self) -> Operator:
         """Rebuild an executable operator tree from the normal form."""
         plan = select_if(self.skeleton, self.selection)
         if self.aggregate is not None:
             plan = self.aggregate.with_children((plan,))
-        plan = project_if(plan, self.projection)
+        plan = project_if(plan, self.projection, distinct=self.distinct)
         return self.decorate(plan)
 
     def decorate(self, plan: Operator) -> Operator:
@@ -82,6 +83,7 @@ def pull_up(plan: Operator) -> PulledPlan:
     sort: Optional[Sort] = None
     limit: Optional[Limit] = None
     projection: Tuple[str, ...] = plan.schema.attribute_names
+    distinct = False
 
     node = plan
     # Peel the output layers: Limit / Sort / Project / Aggregate may cap
@@ -94,6 +96,7 @@ def pull_up(plan: Operator) -> PulledPlan:
             sort = node
             node = node.child
         elif isinstance(node, Project):
+            distinct = distinct or node.distinct
             node = node.child
         elif isinstance(node, Aggregate):
             if aggregate is not None:
@@ -111,6 +114,7 @@ def pull_up(plan: Operator) -> PulledPlan:
         aggregate=aggregate,
         sort=sort,
         limit=limit,
+        distinct=distinct,
     )
 
 
@@ -198,7 +202,7 @@ def _project_down(node: Operator, needed: Set[str]) -> Operator:
     if isinstance(node, Project):
         keep = [a for a in node.attributes if a in needed] or list(node.attributes)
         below = set(keep)
-        return project_if(_project_down(node.child, below), keep)
+        return project_if(_project_down(node.child, below), keep, distinct=node.distinct)
     if isinstance(node, Join):
         below = set(needed)
         if node.condition is not None:
@@ -229,7 +233,7 @@ def optimize_tree(plan: Operator, project_leaves: bool = True) -> Operator:
     body = push_down_selections(pulled.skeleton, pulled.selection)
     if pulled.aggregate is not None:
         body = pulled.aggregate.with_children((body,))
-    result = project_if(body, pulled.projection)
+    result = project_if(body, pulled.projection, distinct=pulled.distinct)
     if project_leaves:
         result = push_down_projections(result, result.schema.attribute_names)
     return pulled.decorate(result)

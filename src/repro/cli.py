@@ -7,6 +7,8 @@ Usage (also via ``python -m repro``)::
     repro compare  --workload paper       # Table-2-style strategy table
     repro trace    --workload paper       # Figure-9 selection trace
     repro profile  --workload paper       # instrumented end-to-end run
+    repro refresh  --failure-rate 0.3     # resilient scheduler refresh pass
+    repro simulate --faults               # seeded fault-injection lifecycle
     repro dot      --workload paper       # DOT export of the chosen MVPP
     repro lint     --workload paper       # semantic lint of the design problem
     repro lint     --self                 # determinism lint of the repro sources
@@ -207,6 +209,50 @@ def build_parser() -> argparse.ArgumentParser:
     dot_parser.add_argument("--output", metavar="FILE", default=None,
                             help="write DOT here instead of stdout")
 
+    refresh_parser = commands.add_parser(
+        "refresh",
+        help="resilient view refresh: retry/backoff/breaker scheduler",
+    )
+    _add_workload_arguments(refresh_parser)
+    refresh_parser.add_argument(
+        "--scale", type=float, default=0.01,
+        help="fraction of the statistics' cardinalities to load (default 0.01)",
+    )
+    refresh_parser.add_argument(
+        "--failure-rate", type=float, default=0.0,
+        help="injected storage failure rate during maintenance (default 0)",
+    )
+    refresh_parser.add_argument(
+        "--max-attempts", type=int, default=5,
+        help="retry attempts per view refresh (default 5)",
+    )
+
+    simulate_parser = commands.add_parser(
+        "simulate",
+        help="end-to-end lifecycle simulation (updates, refreshes, queries)",
+    )
+    _add_workload_arguments(simulate_parser)
+    simulate_parser.add_argument(
+        "--faults", action="store_true",
+        help="inject seeded storage faults during maintenance",
+    )
+    simulate_parser.add_argument(
+        "--failure-rate", type=float, default=0.3,
+        help="injected failure rate when --faults is on (default 0.3)",
+    )
+    simulate_parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="update/serve/refresh rounds to simulate (default 3)",
+    )
+    simulate_parser.add_argument(
+        "--scale", type=float, default=0.02,
+        help="fraction of the statistics' cardinalities to load (default 0.02)",
+    )
+    simulate_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+
     lint_parser = commands.add_parser(
         "lint",
         help="static analysis: semantic MVPP/workload lints or --self code lint",
@@ -406,6 +452,90 @@ def command_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_refresh(args: argparse.Namespace) -> int:
+    from repro.resilience import FaultPolicy, ResilienceConfig, RetryPolicy
+    from repro.warehouse import DataWarehouse
+
+    if args.scale <= 0:
+        raise ReproError(f"--scale must be positive: {args.scale}")
+    workload, rows = resolve_workload_rows(args, args.scale)
+    warehouse = DataWarehouse.from_workload(workload)
+    warehouse.design(design_config(args))
+    for relation, relation_rows in rows.items():
+        warehouse.load(relation, relation_rows)
+    warehouse.materialize()
+    injector = None
+    if args.failure_rate > 0:
+        injector = warehouse.attach_faults(
+            FaultPolicy(storage_failure_rate=args.failure_rate, seed=args.seed)
+        )
+    config = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=args.max_attempts), seed=args.seed
+    )
+    scheduler = warehouse.scheduler(config, injector=injector)
+    # Make the views stale so the refreshes do real work.
+    target = max(rows, key=lambda name: (workload.update_frequency(name), name))
+    delta = rows[target][: max(1, len(rows[target]) // 100)]
+    warehouse.apply_update(target, delta, policy="defer")
+
+    outcomes = scheduler.refresh_all()
+    print(f"resilient refresh on {workload.name} "
+          f"(failure rate {args.failure_rate:g}, seed {args.seed}):")
+    for outcome in outcomes:
+        detail = f" ({outcome.error})" if outcome.error else ""
+        print(
+            f"  {outcome.view:>10}: {outcome.status:<10} "
+            f"attempts={outcome.attempts} epoch={outcome.epoch} "
+            f"ticks={outcome.ticks:.1f}{detail}"
+        )
+    if injector is not None:
+        stats = injector.stats()
+        print(f"faults injected: {stats['storage_faults']:g} storage, "
+              f"{stats['comm_faults']:g} comm")
+    stale = warehouse.stale_views()
+    print(f"stale views remaining: {len(stale)}")
+    return 0 if not stale else 1
+
+
+def command_simulate(args: argparse.Namespace) -> int:
+    from repro.resilience import simulate_faults
+
+    if args.rounds < 1:
+        raise ReproError(f"--rounds must be >= 1: {args.rounds}")
+    if args.scale <= 0:
+        raise ReproError(f"--scale must be positive: {args.scale}")
+    failure_rate = args.failure_rate if args.faults else 0.0
+    if not 0.0 <= failure_rate <= 1.0:
+        raise ReproError(f"--failure-rate must be in [0, 1]: {failure_rate}")
+    workload, rows = resolve_workload_rows(args, args.scale)
+    result = simulate_faults(
+        failure_rate=failure_rate,
+        seed=args.seed,
+        rounds=args.rounds,
+        workload=workload,
+        rows=rows,
+    )
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.ok else 1
+    document = result.to_dict()
+    print(f"simulated {result.rounds} rounds on {result.workload} "
+          f"(failure rate {failure_rate:g}, seed {result.seed}):")
+    refreshes = document["refreshes"]
+    print(f"  refreshes: {refreshes['succeeded']} ok / "
+          f"{refreshes['failed']} failed / {refreshes['skipped']} skipped "
+          f"({refreshes['retries']} retries over {refreshes['attempted']} attempts)")
+    print(f"  faults injected: {result.faults_injected.get('storage_faults', 0):g} "
+          f"storage, {result.faults_injected.get('comm_faults', 0):g} comm")
+    queries = document["queries"]
+    print(f"  queries: {queries['fresh']} fresh / {queries['stale']} stale / "
+          f"{queries['degraded']} degraded "
+          f"({queries['consistency_violations']} consistency violations)")
+    print(f"  converged: {result.converged} "
+          f"(epochs {result.final_epochs}, {result.final_ticks:.1f} ticks)")
+    return 0 if result.ok else 1
+
+
 def command_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -481,6 +611,8 @@ COMMANDS = {
     "profile": command_profile,
     "report": command_report,
     "dot": command_dot,
+    "refresh": command_refresh,
+    "simulate": command_simulate,
     "lint": command_lint,
 }
 

@@ -82,6 +82,18 @@ class Topology:
             raise DistributedError(f"negative block count: {blocks}")
         return self.link_cost(source, destination) * blocks
 
+    def with_faults(self, injector) -> "FaultyTopology":
+        """This topology behind seeded communication-fault injection.
+
+        Returns a :class:`repro.resilience.faults.FaultyTopology` proxy:
+        every cross-site :meth:`transfer_cost` first asks ``injector``
+        whether the link is up (raising
+        :class:`~repro.errors.CommFault` when it is not).
+        """
+        from repro.resilience.faults import FaultyTopology
+
+        return FaultyTopology(self, injector)
+
     def _require(self, name: str) -> None:
         if name not in self._sites:
             raise DistributedError(f"unknown site {name!r}")

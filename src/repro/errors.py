@@ -104,3 +104,45 @@ class WorkloadError(ReproError):
 
 class DistributedError(ReproError):
     """Site topology or placement constraint violated."""
+
+
+class ResilienceError(ReproError):
+    """Fault-injection or refresh-scheduling misuse (bad rates, ...)."""
+
+
+class InjectedFault(ResilienceError):
+    """A fault deliberately injected by the resilience test harness.
+
+    Carries the fault ``kind`` (``"storage"`` / ``"comm"``) and the
+    ``target`` it fired on (a relation or site name) so retry loops and
+    tests can assert on exactly what failed.
+    """
+
+    def __init__(self, kind: str, target: str, operation: str = ""):
+        what = f" during {operation}" if operation else ""
+        super().__init__(f"injected {kind} fault on {target!r}{what}")
+        self.kind = kind
+        self.target = target
+        self.operation = operation
+
+
+class StorageFault(InjectedFault):
+    """Injected failure at the storage-I/O boundary (block read/write)."""
+
+    def __init__(self, target: str, operation: str = ""):
+        super().__init__("storage", target, operation)
+
+
+class CommFault(InjectedFault):
+    """Injected failure at the site-communication boundary."""
+
+    def __init__(self, target: str, operation: str = ""):
+        super().__init__("comm", target, operation)
+
+
+class RefreshTimeout(ResilienceError):
+    """A view refresh attempt exceeded the scheduler's timeout budget."""
+
+
+class CircuitOpenError(ResilienceError):
+    """An operation was rejected because the view's circuit breaker is open."""

@@ -42,11 +42,18 @@ SORT_MERGE = "sort-merge"
 
 
 class Database:
-    """A named collection of tables sharing one I/O counter."""
+    """A named collection of tables sharing one I/O counter.
+
+    When a :class:`repro.resilience.faults.FaultInjector` is attached
+    (``fault_injector``), :meth:`table` hands out fault-injecting
+    proxies sharing the stored rows, so seeded storage failures fire at
+    the same boundary real I/O errors would.
+    """
 
     def __init__(self) -> None:
         self.io = IOCounter()
         self._tables: Dict[str, Table] = {}
+        self.fault_injector = None
 
     def register(self, name: str, table: Table) -> Table:
         """Register ``table`` under ``name``, adopting the shared counter."""
@@ -56,9 +63,14 @@ class Database:
 
     def table(self, name: str) -> Table:
         try:
-            return self._tables[name]
+            table = self._tables[name]
         except KeyError:
             raise ExecutionError(f"no table named {name!r} is loaded") from None
+        if self.fault_injector is not None:
+            from repro.resilience.faults import FaultyTable
+
+            return FaultyTable(table, name, self.fault_injector)
+        return table
 
     def drop(self, name: str) -> None:
         self._tables.pop(name, None)
@@ -101,7 +113,7 @@ class ExecutionEngine:
         if isinstance(plan, Select):
             return linear_select(self.execute(plan.child), plan.predicate)
         if isinstance(plan, Project):
-            return project_table(self.execute(plan.child), plan.attributes)
+            return project_table(self.execute(plan.child), plan.attributes, plan.distinct)
         if isinstance(plan, Join):
             return self._execute_join(plan)
         if isinstance(plan, Aggregate):

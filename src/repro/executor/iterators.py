@@ -28,15 +28,28 @@ def linear_select(source: Table, predicate: Expression) -> Table:
     return out
 
 
-def project_table(source: Table, attributes: Sequence[str]) -> Table:
-    """π (bag semantics): one pass; output packs more rows per block."""
+def project_table(
+    source: Table, attributes: Sequence[str], distinct: bool = False
+) -> Table:
+    """π: one pass; output packs more rows per block.
+
+    Bag semantics by default; with ``distinct=True`` duplicate output
+    tuples are eliminated (hash-set dedup, first occurrence wins).
+    """
     resolved = [source.schema.attribute(a).name for a in attributes]
     schema = source.schema.project(resolved)
     fraction = len(resolved) / max(1, source.schema.arity)
     blocking_factor = source.blocking_factor / max(fraction, 1e-9)
     out = Table(schema, blocking_factor, io=source.io)
+    seen: set = set()
     for row in source.scan(count_io=True):
-        out.insert({name: row[name] for name in resolved})
+        projected = {name: row[name] for name in resolved}
+        if distinct:
+            key = tuple(projected[name] for name in resolved)
+            if key in seen:
+                continue
+            seen.add(key)
+        out.insert(projected)
     return out
 
 

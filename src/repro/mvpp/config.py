@@ -25,6 +25,7 @@ from typing import Any, Dict, Optional, Protocol, Tuple, runtime_checkable
 from repro.errors import MVPPError
 from repro.mvpp.cost import PER_BASE, PER_PERIOD
 from repro.parallel.executor import EXECUTOR_KINDS
+from repro.resilience.config import ResilienceConfig
 
 __all__ = [
     "CostedResult",
@@ -68,8 +69,15 @@ class DesignConfig:
     push_down: bool = True
     include_naive: bool = False
     lint: bool = False
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResilienceConfig
+        ):
+            raise MVPPError(
+                f"resilience must be a ResilienceConfig: {self.resilience!r}"
+            )
         if not self.strategy or not isinstance(self.strategy, str):
             raise MVPPError(f"strategy must be a non-empty name: {self.strategy!r}")
         if self.rotations is not None and self.rotations < 1:

@@ -295,6 +295,32 @@ class MVPPCostCalculator:
         ) * effective
         return saving - self.refresh_trigger(vertex) * vertex.maintenance_cost
 
+    def removal_delta(
+        self,
+        vertex: Vertex,
+        with_ids: FrozenSet[int],
+        without_ids: FrozenSet[int],
+    ) -> float:
+        """Exact ``C_total(without) − C_total(with)`` for dropping ``vertex``.
+
+        Only query roots that read through ``vertex`` can change their
+        access cost, and the maintenance sum loses exactly ``vertex``'s
+        own term — so the delta is computed by re-costing just those
+        roots instead of the whole design (the refinement loop's
+        per-candidate full :meth:`breakdown` was O(roots) per probe).
+        Roots are visited in vertex-id order for bit-identical sums.
+        """
+        delta = 0.0
+        for root in sorted(
+            self.mvpp.queries_using(vertex), key=lambda v: v.vertex_id
+        ):
+            delta += root.frequency * (
+                self.access_cost(root, without_ids)
+                - self.access_cost(root, with_ids)
+            )
+        delta -= self.refresh_trigger(vertex) * vertex.maintenance_cost
+        return delta
+
     # ----------------------------------------------------------------- utils
     def _as_ids(self, vertices: Iterable[Vertex]) -> Set[int]:
         out: Set[int] = set()

@@ -21,8 +21,9 @@ query-result node, prune its branch, accept tmp2, skip tmp1).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, FrozenSet, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Deque, FrozenSet, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.mvpp.cost import MVPPCostCalculator, PER_PERIOD
@@ -121,9 +122,11 @@ def select_views(
             weighted = [
                 (calculator.weight(vertex), vertex) for vertex in operations
             ]
-        queue: List[Tuple[float, Vertex]] = sorted(
-            ((w, v) for w, v in weighted if w > 0),
-            key=lambda item: (-item[0], item[1].vertex_id),
+        queue: Deque[Tuple[float, Vertex]] = deque(
+            sorted(
+                ((w, v) for w, v in weighted if w > 0),
+                key=lambda item: (-item[0], item[1].vertex_id),
+            )
         )
         span.set(candidates=len(queue))
 
@@ -131,7 +134,7 @@ def select_views(
         used_blocks = 0.0
 
         while queue:
-            weight, vertex = queue.pop(0)
+            weight, vertex = queue.popleft()
             blocks = float(vertex.stats.blocks) if vertex.stats is not None else 0.0
             if space_budget is not None and used_blocks + blocks > space_budget:
                 record(SelectionStep(vertex.name, weight, None, "skip-budget"))
@@ -147,8 +150,10 @@ def select_views(
             # Step 7: prune the rest of this branch — vertices related to v
             # by ancestry can only do worse once v itself is not worth it.
             branch = mvpp.ancestors(vertex) | mvpp.descendants(vertex)
-            pruned = [name for _, u in queue if u.vertex_id in branch for name in (u.name,)]
-            queue = [(w, u) for w, u in queue if u.vertex_id not in branch]
+            pruned = [u.name for _, u in queue if u.vertex_id in branch]
+            queue = deque(
+                (w, u) for w, u in queue if u.vertex_id not in branch
+            )
             record(
                 SelectionStep(vertex.name, weight, saving, "reject", tuple(pruned))
             )
@@ -160,7 +165,13 @@ def select_views(
             parents = mvpp.parents_of(vertex)
             if parents and all(p.vertex_id in selected for p in parents):
                 record(
-                    SelectionStep(vertex.name, 0.0, None, "pruned", (vertex.name,))
+                    SelectionStep(
+                        vertex.name,
+                        calculator.weight(vertex),
+                        None,
+                        "pruned",
+                        (vertex.name,),
+                    )
                 )
                 continue
             final.append(vertex)
@@ -181,21 +192,34 @@ def _drop_net_losses(
     calculator: MVPPCostCalculator,
     trace: List[SelectionStep],
 ) -> List[Vertex]:
-    """Iteratively remove vertices whose removal lowers the true total."""
+    """Iteratively remove vertices whose removal lowers the true total.
+
+    Each candidate is probed with
+    :meth:`MVPPCostCalculator.removal_delta` — an exact incremental
+    re-cost of only the query roots reading through the candidate —
+    rather than a full :meth:`~MVPPCostCalculator.breakdown` of the
+    remaining design, which recomputed every root per probe.
+    """
     current = list(chosen)
-    total = calculator.breakdown(current).total
     improved = True
     while improved and current:
         improved = False
+        with_ids = frozenset(v.vertex_id for v in current)
         for vertex in sorted(current, key=lambda v: v.access_cost):
-            without = [v for v in current if v.vertex_id != vertex.vertex_id]
-            candidate_total = calculator.breakdown(without).total
-            if candidate_total < total:
-                current = without
-                total = candidate_total
+            without_ids = with_ids - {vertex.vertex_id}
+            if calculator.removal_delta(vertex, with_ids, without_ids) < 0:
+                current = [
+                    v for v in current if v.vertex_id != vertex.vertex_id
+                ]
                 improved = True
                 trace.append(
-                    SelectionStep(vertex.name, 0.0, None, "pruned", (vertex.name,))
+                    SelectionStep(
+                        vertex.name,
+                        calculator.weight(vertex),
+                        None,
+                        "pruned",
+                        (vertex.name,),
+                    )
                 )
                 break
     return current

@@ -139,11 +139,14 @@ def operator_to_dict(operator: Operator) -> Dict[str, Any]:
             "child": operator_to_dict(operator.child),
         }
     if isinstance(operator, Project):
-        return {
+        payload = {
             "kind": "project",
             "attributes": list(operator.attributes),
             "child": operator_to_dict(operator.child),
         }
+        if operator.distinct:
+            payload["distinct"] = True
+        return payload
     if isinstance(operator, Join):
         return {
             "kind": "join",
@@ -194,7 +197,11 @@ def operator_from_dict(data: Dict[str, Any]) -> Operator:
             expression_from_dict(data["predicate"]),
         )
     if kind == "project":
-        return Project(operator_from_dict(data["child"]), data["attributes"])
+        return Project(
+            operator_from_dict(data["child"]),
+            data["attributes"],
+            distinct=bool(data.get("distinct", False)),
+        )
     if kind == "join":
         condition = (
             expression_from_dict(data["condition"])

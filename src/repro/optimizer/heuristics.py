@@ -64,7 +64,7 @@ def optimize_query(
     body = select_if(body, P.conjunction(remaining))
     if pulled.aggregate is not None:
         body = pulled.aggregate.with_children((body,))
-    result = project_if(body, pulled.projection)
+    result = project_if(body, pulled.projection, distinct=pulled.distinct)
     if push_projections:
         result = push_down_projections(result, result.schema.attribute_names)
     return pulled.decorate(result)

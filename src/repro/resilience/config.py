@@ -1,0 +1,131 @@
+"""Configuration for the resilience subsystem.
+
+Three frozen dataclasses mirror the three mechanisms of
+:mod:`repro.resilience`:
+
+* :class:`RetryPolicy` — how a failed refresh attempt is retried
+  (bounded exponential backoff with seeded jitter, an overall per-call
+  timeout budget);
+* :class:`BreakerPolicy` — when a repeatedly-failing view's circuit
+  breaker opens, and when it probes again (half-open);
+* :class:`ResilienceConfig` — the umbrella carried by
+  :class:`repro.mvpp.config.DesignConfig` (``resilience=``) and by
+  :meth:`DataWarehouse.scheduler
+  <repro.warehouse.warehouse.DataWarehouse.scheduler>`.
+
+All durations are expressed in *logical ticks*, not wall-clock seconds:
+one tick per block of I/O performed plus whatever delay ticks the fault
+injector adds.  The scheduler never reads a wall clock (the repo-wide
+determinism contract, lint rule C104), so a fixed seed reproduces the
+exact same retry/backoff/breaker trajectory on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.errors import ResilienceError
+
+__all__ = [
+    "RetryPolicy",
+    "BreakerPolicy",
+    "ResilienceConfig",
+    "DEFAULT_RESILIENCE_CONFIG",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for refresh attempts.
+
+    Attempt ``k`` (1-based) that fails sleeps
+    ``min(max_backoff, base_backoff · 2^(k-1)) · (1 + jitter·u)`` logical
+    ticks before the next try, where ``u ∈ [0, 1)`` is drawn from the
+    scheduler's seeded stream.  ``timeout_ticks`` caps the total ticks
+    one refresh call may consume across all its attempts (``None`` =
+    unbounded).
+    """
+
+    max_attempts: int = 5
+    base_backoff: float = 4.0
+    max_backoff: float = 64.0
+    jitter: float = 0.5
+    timeout_ticks: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError(
+                f"max_attempts must be >= 1: {self.max_attempts}"
+            )
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ResilienceError("backoff durations must be >= 0")
+        if self.max_backoff < self.base_backoff:
+            raise ResilienceError(
+                f"max_backoff ({self.max_backoff}) must be >= "
+                f"base_backoff ({self.base_backoff})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ResilienceError(f"jitter must be in [0, 1]: {self.jitter}")
+        if self.timeout_ticks is not None and self.timeout_ticks <= 0:
+            raise ResilienceError(
+                f"timeout_ticks must be positive (or None): {self.timeout_ticks}"
+            )
+
+    def backoff_ticks(self, attempt: int, u: float) -> float:
+        """Sleep duration after failed attempt ``attempt`` (1-based)."""
+        base = min(self.max_backoff, self.base_backoff * (2.0 ** (attempt - 1)))
+        return base * (1.0 + self.jitter * u)
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Per-view circuit breaker thresholds.
+
+    ``failure_threshold`` consecutive failed refreshes open the breaker;
+    an open breaker rejects refreshes (and drops the view from query
+    rewrites) until ``reset_ticks`` logical ticks have elapsed, at which
+    point it goes *half-open* and admits a single probe refresh.  The
+    probe's outcome closes or re-opens the breaker.
+    """
+
+    failure_threshold: int = 3
+    reset_ticks: float = 128.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ResilienceError(
+                f"failure_threshold must be >= 1: {self.failure_threshold}"
+            )
+        if self.reset_ticks <= 0:
+            raise ResilienceError(
+                f"reset_ticks must be positive: {self.reset_ticks}"
+            )
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Every resilience knob in one immutable value.
+
+    ``seed`` feeds the scheduler's jitter stream (the fault injector has
+    its own seed on :class:`repro.resilience.faults.FaultPolicy`, so
+    fault decisions and backoff jitter never share a stream).
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.retry, RetryPolicy):
+            raise ResilienceError(f"not a RetryPolicy: {self.retry!r}")
+        if not isinstance(self.breaker, BreakerPolicy):
+            raise ResilienceError(f"not a BreakerPolicy: {self.breaker!r}")
+
+    def replace(self, **changes: Any) -> "ResilienceConfig":
+        """A copy with the given fields changed (re-validated)."""
+        return replace(self, **changes)
+
+
+#: The all-defaults resilience configuration.
+DEFAULT_RESILIENCE_CONFIG = ResilienceConfig()

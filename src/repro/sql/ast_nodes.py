@@ -134,6 +134,7 @@ class SelectStatement:
     group_by: Tuple[ColumnName, ...] = field(default_factory=tuple)
     order_by: Tuple[OrderItem, ...] = field(default_factory=tuple)
     limit: Optional[int] = None
+    distinct: bool = False
 
     @property
     def is_star(self) -> bool:
@@ -147,7 +148,8 @@ class SelectStatement:
 
     def __str__(self) -> str:
         select = "*" if self.is_star else ", ".join(str(i) for i in self.select_items)
-        text = f"SELECT {select} FROM {', '.join(str(t) for t in self.tables)}"
+        qualifier = "DISTINCT " if self.distinct else ""
+        text = f"SELECT {qualifier}{select} FROM {', '.join(str(t) for t in self.tables)}"
         if self.where is not None:
             text += f" WHERE {self.where}"
         if self.group_by:

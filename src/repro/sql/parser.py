@@ -95,9 +95,25 @@ class _Parser:
             return self._advance()
         return None
 
+    def _accept_distinct(self) -> bool:
+        """DISTINCT is soft too: ``SELECT distinct FROM R`` reads a
+        *column* named distinct.  It is the keyword only when another
+        select item follows it (a select list cannot be empty)."""
+        token = self._current
+        if token.type is not TokenType.IDENT or token.value.upper() != "DISTINCT":
+            return False
+        following = self._tokens[self._pos + 1]
+        if following.matches(TokenType.KEYWORD, "FROM") or (
+            following.type in (TokenType.COMMA, TokenType.EOF)
+        ):
+            return False
+        self._advance()
+        return True
+
     # ------------------------------------------------------------ statement
     def parse_statement(self) -> SelectStatement:
         self._expect(TokenType.KEYWORD, "SELECT")
+        distinct = self._accept_distinct()
         select_items = self._parse_select_list()
         self._expect(TokenType.KEYWORD, "FROM")
         tables, join_conditions = self._parse_table_list()
@@ -131,7 +147,7 @@ class _Parser:
         else:
             combined = BooleanCondition("and", tuple(conditions))
         return SelectStatement(
-            select_items, tables, combined, group_by, order_by, limit
+            select_items, tables, combined, group_by, order_by, limit, distinct
         )
 
     def _parse_select_list(self) -> Tuple[SelectItem, ...]:

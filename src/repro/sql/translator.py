@@ -157,6 +157,10 @@ class _Translator:
     def _apply_projection(self, plan: Operator) -> Operator:
         statement = self._statement
         if statement.is_star:
+            if statement.distinct:
+                return project_if(
+                    plan, plan.schema.attribute_names, distinct=True
+                )
             return plan
         output = []
         for item in statement.select_items:
@@ -169,7 +173,7 @@ class _Translator:
                 if item.alias is not None:
                     raise TranslationError("column aliases (AS) on plain columns are not supported")
                 output.append(self._resolve(item.expression).name)
-        return project_if(plan, output)
+        return project_if(plan, output, distinct=statement.distinct)
 
     def _apply_order_limit(self, plan: Operator) -> Operator:
         statement = self._statement

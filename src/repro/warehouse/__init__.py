@@ -15,11 +15,12 @@ from repro.warehouse.simulation import (
     WarehouseSimulator,
     simulate,
 )
-from repro.warehouse.warehouse import DataWarehouse, QueryProfile
+from repro.warehouse.warehouse import DataWarehouse, QueryProfile, ServedResult
 
 __all__ = [
     "DataWarehouse",
     "QueryProfile",
+    "ServedResult",
     "INCREMENTAL",
     "MaterializedView",
     "MigrationPlan",

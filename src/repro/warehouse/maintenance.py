@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro import obs
-from repro.algebra.operators import Aggregate, Operator, Relation
+from repro.algebra.operators import Aggregate, Operator, Project, Relation
 from repro.errors import WarehouseError
 from repro.executor.engine import Database, ExecutionEngine
 from repro.executor.iterators import materialize_table
@@ -94,7 +94,15 @@ class ViewMaintainer:
         For an SPJ view, the new tuples are exactly the view's plan
         evaluated with ``relation`` replaced by the delta — the classic
         counting-free insert rule.  Aggregate views fall back to
-        recomputation.
+        recomputation, as do *self-join* views: substituting the delta
+        for every occurrence of ``relation`` would evaluate ``δR ⋈ δR``
+        instead of ``δR ⋈ R  ∪  R_old ⋈ δR``, silently dropping rows.
+        Views with a duplicate-eliminating projection insert only delta
+        tuples not already stored, preserving set semantics.
+
+        The refresh is atomic: deltas are applied to a shadow copy that
+        replaces the stored table only once fully built, so concurrent
+        readers never observe a partially-refreshed view.
         """
         if view.name not in self.database:
             raise WarehouseError(
@@ -110,6 +118,17 @@ class ViewMaintainer:
             )
         if any(isinstance(node, Aggregate) for node in view.plan.walk()):
             return self.materialize(view)
+        references = sum(
+            1
+            for node in view.plan.walk()
+            if isinstance(node, Relation) and node.name == relation
+        )
+        if references > 1:
+            return self.materialize(view)
+        distinct_plan = any(
+            isinstance(node, Project) and node.distinct
+            for node in view.plan.walk()
+        )
 
         with obs.span(
             "maintenance.refresh", view=view.name, policy=INCREMENTAL,
@@ -122,13 +141,29 @@ class ViewMaintainer:
             delta_result = delta_engine.execute(view.plan)
 
             stored = self.database.table(view.name)
-            added = stored.insert_many(delta_result.rows(), count_io=True)
+            new_rows = delta_result.rows()
+            if distinct_plan:
+                names = stored.schema.attribute_names
+                existing = {
+                    tuple(row[n] for n in names) for row in stored.rows()
+                }
+                new_rows = [
+                    row
+                    for row in new_rows
+                    if tuple(row[n] for n in names) not in existing
+                ]
+            shadow = Table(
+                stored.schema, stored.blocking_factor, io=self.database.io
+            )
+            shadow.insert_many(stored.rows(), count_io=False)
+            added = shadow.insert_many(new_rows, count_io=True)
+            self.database.register(view.name, shadow)
             span.set(rows_added=added)
             report = RefreshReport(
                 view=view.name,
                 policy=INCREMENTAL,
                 io=self.database.io.since(before),
-                rows_after=stored.cardinality,
+                rows_after=shadow.cardinality,
             )
             _record_refresh(span, report)
         return report

@@ -57,6 +57,34 @@ from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
+class ServedResult:
+    """A query answer annotated with its freshness provenance.
+
+    ``staleness`` maps each materialized view the answer read to its
+    version lag (0 = fresh; ``n`` = the view misses ``n`` base-relation
+    update batches).  ``degraded`` is True when at least one installed
+    view was excluded from the rewrite because its circuit breaker is
+    open — the answer fell back (partly or fully) to base relations.
+    """
+
+    query: str
+    table: Table
+    io: IOSnapshot
+    views_used: Tuple[str, ...]
+    staleness: Mapping[str, int]
+    degraded: bool
+
+    @property
+    def max_staleness(self) -> int:
+        """The worst version lag among the views this answer read."""
+        return max(self.staleness.values(), default=0)
+
+    @property
+    def is_fresh(self) -> bool:
+        return self.max_staleness == 0 and not self.degraded
+
+
+@dataclass(frozen=True)
 class QueryProfile:
     """Estimated-vs-measured report for one query execution."""
 
@@ -105,6 +133,13 @@ class DataWarehouse:
         # or update; each view records the versions it was built from.
         self._base_versions: Dict[str, int] = {}
         self._view_versions: Dict[str, Dict[str, int]] = {}
+        # Resilience: optional fault injector + refresh scheduler, and
+        # the row count each view held at its last committed swap (the
+        # never-partial contract's witness).
+        self.fault_injector = None
+        self._scheduler = None
+        self._resilience_config = None
+        self._committed_cards: Dict[str, int] = {}
 
     # --------------------------------------------------------------- queries
     def add_query(self, name: str, sql: str, frequency: float) -> QuerySpec:
@@ -165,6 +200,10 @@ class DataWarehouse:
         )
         if config.maintenance_trigger is None:
             config = config.replace(maintenance_trigger=self.maintenance_trigger)
+        if config.resilience is not None:
+            # Remember as the default policy for scheduler() / serve().
+            self._resilience_config = config.resilience
+            self._scheduler = None
         result = run_design(
             self.workload,
             config,
@@ -262,6 +301,10 @@ class DataWarehouse:
             relation: self._base_versions.get(relation, 0)
             for relation in view.base_relations
         }
+        if view.name in self.database:
+            self._committed_cards[view.name] = self.database.table(
+                view.name
+            ).cardinality
 
     def is_fresh(self, view: MaterializedView) -> bool:
         """Whether a view reflects the current base-relation contents."""
@@ -276,6 +319,74 @@ class DataWarehouse:
     def stale_views(self) -> List[MaterializedView]:
         """Views whose stored contents lag behind their base relations."""
         return [view for view in self.views if not self.is_fresh(view)]
+
+    def staleness(self, view: MaterializedView) -> int:
+        """Version lag: base-update batches the view has not absorbed."""
+        recorded = self._view_versions.get(view.name)
+        if recorded is None:
+            return 0  # never materialized — it cannot serve queries anyway
+        return sum(
+            max(0, self._base_versions.get(relation, 0) - version)
+            for relation, version in sorted(recorded.items())
+        )
+
+    def committed_cardinality(self, view_name: str) -> Optional[int]:
+        """Rows the view held at its last committed (atomic) swap."""
+        return self._committed_cards.get(view_name)
+
+    # ------------------------------------------------------------- resilience
+    def attach_faults(self, policy) -> "FaultInjector":
+        """Install seeded fault injection on this warehouse's storage.
+
+        ``policy`` is a :class:`repro.resilience.faults.FaultPolicy`;
+        the returned :class:`~repro.resilience.faults.FaultInjector` is
+        shared with any scheduler created afterwards.  Call
+        :meth:`detach_faults` to go back to failure-free storage.
+        """
+        from repro.resilience.faults import FaultInjector, FaultPolicy
+
+        if not isinstance(policy, FaultPolicy):
+            raise WarehouseError(f"not a FaultPolicy: {policy!r}")
+        injector = FaultInjector(policy)
+        self.fault_injector = injector
+        self.database.fault_injector = injector
+        self._scheduler = None  # rebuilt with the new injector on demand
+        return injector
+
+    def detach_faults(self) -> None:
+        """Remove fault injection (storage becomes failure-free again)."""
+        self.fault_injector = None
+        self.database.fault_injector = None
+        self._scheduler = None
+
+    def scheduler(self, config=None, injector=None) -> "RefreshScheduler":
+        """The warehouse's :class:`~repro.resilience.scheduler.RefreshScheduler`.
+
+        Created lazily from ``config`` (default: the design's
+        ``DesignConfig.resilience`` block, else all defaults) and the
+        attached fault injector; passing either argument rebuilds it.
+        """
+        from repro.resilience.config import ResilienceConfig
+        from repro.resilience.scheduler import RefreshScheduler
+
+        if config is not None or injector is not None or self._scheduler is None:
+            resolved = config or self._resilience_config or ResilienceConfig()
+            self._scheduler = RefreshScheduler(
+                self,
+                resolved,
+                injector if injector is not None else self.fault_injector,
+            )
+        return self._scheduler
+
+    def refresh_resilient(self) -> List["RefreshOutcome"]:
+        """One scheduler pass over every view (retry/backoff/breaker)."""
+        return self.scheduler().refresh_all()
+
+    def _breaker_allows(self, view_name: str) -> bool:
+        """Whether the query path may read this view (breaker not open)."""
+        if self._scheduler is None:
+            return True
+        return self._scheduler.allows(view_name)
 
     # --------------------------------------------------------------- queries
     @staticmethod
@@ -340,6 +451,9 @@ class DataWarehouse:
         elif freshness == "fresh":
             views = [v for v in views if self.is_fresh(v)]
         views = [v for v in views if v.name in self.database]
+        # Graceful degradation: a view whose circuit breaker is open is
+        # treated as unavailable — the rewrite falls back to base data.
+        views = [v for v in views if self._breaker_allows(v.name)]
         rewritten, _ = rewrite_with_views(plan, views)
         return rewritten
 
@@ -378,6 +492,90 @@ class DataWarehouse:
             if obs.enabled():
                 self._record_drift(name, plan, io.total)
         return result, io
+
+    def serve(self, name: str, freshness: str = "any") -> ServedResult:
+        """Answer a query with explicit freshness provenance.
+
+        The fault-tolerant face of :meth:`execute`: the result is
+        annotated with which materialized views it read, how stale each
+        one is (in base-update batches), and whether the answer was
+        *degraded* — i.e. some installed view was skipped because its
+        circuit breaker is open, falling back to base relations.
+
+        The staleness contract (see ``docs/resilience.md``): an answer
+        is always internally consistent.  Views are refreshed into a
+        shadow table and swapped atomically, so a served view is either
+        its previous committed contents or its new committed contents —
+        never a mix.
+        """
+        spec = next((q for q in self._queries if q.name == name), None)
+        if spec is None:
+            raise WarehouseError(f"unknown query {name!r}")
+        if freshness not in ("any", "fresh", "refresh"):
+            raise WarehouseError(f"unknown freshness policy {freshness!r}")
+        with obs.span(
+            "execution.serve", query=name, freshness=freshness
+        ) as span:
+            if self._design is not None:
+                plan = self.design_result.mvpp.query_root(name).operator
+            else:
+                plan = optimize_query(
+                    parse_query(spec.sql, self.catalog),
+                    self.estimator,
+                    self.cost_model,
+                )
+            views = [v for v in self._views if v.name in self.database]
+            if freshness == "refresh":
+                for view in self.stale_views():
+                    if view.name in self.database:
+                        self.maintainer.materialize(view)
+                        self._mark_fresh(view)
+            elif freshness == "fresh":
+                views = [v for v in views if self.is_fresh(v)]
+            available = [v for v in views if self._breaker_allows(v.name)]
+            degraded = len(available) < len(views)
+            rewritten, used = rewrite_with_views(plan, available)
+            missing = [
+                r for r in rewritten.base_relations() if r not in self.database
+            ]
+            if missing:
+                raise WarehouseError(
+                    f"load base data before executing: missing {sorted(missing)}"
+                )
+            result, io = self.engine.run(rewritten)
+            by_name = {v.name: v for v in self._views}
+            used_names = sorted(dict.fromkeys(v.name for v in used))
+            staleness = {
+                view_name: self.staleness(by_name[view_name])
+                for view_name in used_names
+            }
+            served = ServedResult(
+                query=name,
+                table=result,
+                io=io,
+                views_used=tuple(used_names),
+                staleness=staleness,
+                degraded=degraded,
+            )
+            span.set(
+                measured_io=io.total,
+                rows=result.cardinality,
+                views_used=list(served.views_used),
+                max_staleness=served.max_staleness,
+                degraded=degraded,
+            )
+            if obs.enabled():
+                registry = obs.metrics()
+                registry.counter(
+                    "resilience.queries_served",
+                    freshness="fresh" if served.is_fresh else (
+                        "degraded" if degraded else "stale"
+                    ),
+                ).inc()
+                registry.histogram("resilience.staleness").observe(
+                    float(served.max_staleness)
+                )
+        return served
 
     def _record_drift(self, name: str, plan, measured_io: int) -> None:
         """Publish per-query estimated-vs-measured cost drift metrics."""

@@ -63,6 +63,86 @@ class TestSelection:
             result = select_views(mvpp, calc)
             assert calc.breakdown(result.materialized).total <= calc.breakdown(()).total
 
+    def test_pruned_steps_record_real_weights(self, paper_mvpps):
+        """Step-9 / refinement trace entries must carry the vertex's
+        actual weight, not a 0.0 placeholder (regression: ``repro
+        trace`` lost the weight of pruned vertices)."""
+        seen_pruned = 0
+        for mvpp in paper_mvpps:
+            calc = MVPPCostCalculator(mvpp)
+            result = select_views(mvpp, calc, refine=True)
+            by_name = {v.name: v for v in mvpp.operations}
+            for step in result.trace:
+                if step.decision != "pruned":
+                    continue
+                seen_pruned += 1
+                assert step.weight == pytest.approx(
+                    calc.weight(by_name[step.vertex])
+                )
+                # A pruned vertex made it into M, so its weight was > 0.
+                assert step.weight > 0
+        assert seen_pruned > 0, "no pruned step exercised on any rotation"
+
+
+class TestRefinementEquivalence:
+    def test_refined_trace_matches_full_breakdown_reference(self, paper_mvpps):
+        """The incremental ``removal_delta`` refinement must make the
+        exact decisions (same drops, same order, same final set) as the
+        original full-``breakdown``-per-candidate implementation, on
+        every paper-workload rotation."""
+        from repro.mvpp.materialization import (
+            SelectionStep,
+            _drop_net_losses,
+            select_views,
+        )
+
+        def reference_drop_net_losses(chosen, calculator, trace):
+            # The pre-optimization O(candidates · roots) implementation.
+            current = list(chosen)
+            total = calculator.breakdown(current).total
+            improved = True
+            while improved and current:
+                improved = False
+                for vertex in sorted(current, key=lambda v: v.access_cost):
+                    without = [
+                        v for v in current if v.vertex_id != vertex.vertex_id
+                    ]
+                    candidate_total = calculator.breakdown(without).total
+                    if candidate_total < total:
+                        current = without
+                        total = candidate_total
+                        improved = True
+                        trace.append(
+                            SelectionStep(
+                                vertex.name,
+                                calculator.weight(vertex),
+                                None,
+                                "pruned",
+                                (vertex.name,),
+                            )
+                        )
+                        break
+            return current
+
+        for mvpp in paper_mvpps:
+            calc = MVPPCostCalculator(mvpp)
+            base = select_views(mvpp, calc)
+            fast_trace, slow_trace = [], []
+            fast = _drop_net_losses(list(base.materialized), calc, fast_trace)
+            slow = reference_drop_net_losses(
+                list(base.materialized), calc, slow_trace
+            )
+            assert [v.name for v in fast] == [v.name for v in slow]
+            assert fast_trace == slow_trace
+
+    def test_full_selection_trace_is_stable(self, paper_mvpps):
+        """End-to-end: refine=True traces are bit-identical across runs."""
+        for mvpp in paper_mvpps:
+            a = select_views(mvpp, MVPPCostCalculator(mvpp), refine=True)
+            b = select_views(mvpp, MVPPCostCalculator(mvpp), refine=True)
+            assert a.trace == b.trace
+            assert a.names == b.names
+
 
 class TestSyntheticWorkloads:
     @pytest.mark.parametrize("seed", range(5))

@@ -1,0 +1,183 @@
+"""Unit tests for the seeded fault-injection harness."""
+
+import pytest
+
+from repro.catalog.schema import Attribute, DataType, RelationSchema
+from repro.errors import CommFault, ResilienceError, StorageFault
+from repro.distributed import Topology
+from repro.resilience import (
+    SCOPE_ALL,
+    FaultInjector,
+    FaultPolicy,
+    FaultyTable,
+)
+from repro.storage.table import Table
+
+
+def make_table(rows=10):
+    schema = RelationSchema("T", (Attribute("a", DataType.INTEGER),))
+    table = Table(schema, blocking_factor=4)
+    for i in range(rows):
+        table.insert({"a": i})
+    return table
+
+
+class TestFaultPolicy:
+    def test_rates_validated(self):
+        with pytest.raises(ResilienceError):
+            FaultPolicy(storage_failure_rate=1.5)
+        with pytest.raises(ResilienceError):
+            FaultPolicy(comm_failure_rate=-0.1)
+        with pytest.raises(ResilienceError):
+            FaultPolicy(relation_rates=(("Order", 2.0),))
+        with pytest.raises(ResilienceError):
+            FaultPolicy(scope="sometimes")
+
+    def test_per_target_rates_override_default(self):
+        policy = FaultPolicy(
+            storage_failure_rate=0.1, relation_rates=(("Order", 0.9),)
+        )
+        assert policy.rate_for_relation("Order") == 0.9
+        assert policy.rate_for_relation("Customer") == 0.1
+
+    def test_injects_anything(self):
+        assert not FaultPolicy().injects_anything
+        assert FaultPolicy(storage_failure_rate=0.01).injects_anything
+        assert FaultPolicy(site_rates=(("s1", 0.5),)).injects_anything
+
+
+class TestFaultInjector:
+    def test_deterministic_fault_sequence(self):
+        def sequence(seed):
+            injector = FaultInjector(
+                FaultPolicy(storage_failure_rate=0.5, scope=SCOPE_ALL, seed=seed)
+            )
+            out = []
+            for _ in range(50):
+                try:
+                    injector.maybe_fail_storage("T", "scan")
+                    out.append(0)
+                except StorageFault:
+                    out.append(1)
+            return out
+
+        assert sequence(3) == sequence(3)
+        assert sequence(3) != sequence(4)
+
+    def test_scope_maintenance_gates_injection(self):
+        injector = FaultInjector(
+            FaultPolicy(storage_failure_rate=1.0, seed=0)
+        )
+        injector.maybe_fail_storage("T", "scan")  # outside maintenance: no-op
+        with injector.maintenance():
+            with pytest.raises(StorageFault):
+                injector.maybe_fail_storage("T", "scan")
+        injector.maybe_fail_storage("T", "scan")  # closed again
+
+    def test_counters_and_stats(self):
+        injector = FaultInjector(
+            FaultPolicy(storage_failure_rate=1.0, scope=SCOPE_ALL, seed=0)
+        )
+        for _ in range(3):
+            with pytest.raises(StorageFault):
+                injector.maybe_fail_storage("T", "write")
+        assert injector.storage_faults == 3
+        assert injector.stats()["storage_faults"] == 3
+
+    def test_delays_accumulate_and_drain(self):
+        injector = FaultInjector(
+            FaultPolicy(delay_rate=1.0, delay_ticks=2.5, scope=SCOPE_ALL, seed=0)
+        )
+        injector.maybe_fail_storage("T", "scan")
+        injector.maybe_fail_storage("T", "scan")
+        assert injector.delays == 2
+        assert injector.drain_delay_ticks() == 5.0
+        assert injector.drain_delay_ticks() == 0.0  # drained
+
+
+class TestFaultyTable:
+    def test_shares_rows_and_io_with_inner(self):
+        inner = make_table()
+        injector = FaultInjector(FaultPolicy(seed=0))
+        proxy = FaultyTable(inner, "T", injector)
+        assert proxy.cardinality == inner.cardinality
+        proxy.insert({"a": 99})
+        assert inner.cardinality == 11  # write went to the shared rows
+        assert proxy.io is inner.io
+
+    def test_failed_write_leaves_no_partial_state(self):
+        inner = make_table()
+        injector = FaultInjector(
+            FaultPolicy(storage_failure_rate=1.0, scope=SCOPE_ALL, seed=0)
+        )
+        proxy = FaultyTable(inner, "T", injector)
+        before = list(inner.rows())
+        with pytest.raises(StorageFault):
+            proxy.insert_many([{"a": 100}, {"a": 101}])
+        assert inner.rows() == before  # aborted before any append
+
+    def test_scan_fault_raises_before_iteration(self):
+        inner = make_table()
+        injector = FaultInjector(
+            FaultPolicy(storage_failure_rate=1.0, scope=SCOPE_ALL, seed=0)
+        )
+        proxy = FaultyTable(inner, "T", injector)
+        with pytest.raises(StorageFault):
+            proxy.scan()
+
+
+class TestFaultyTopology:
+    def test_transfer_faults_are_seeded(self):
+        topology = Topology(["hq", "site1"])
+        injector = FaultInjector(
+            FaultPolicy(comm_failure_rate=1.0, scope=SCOPE_ALL, seed=0)
+        )
+        faulty = topology.with_faults(injector)
+        with pytest.raises(CommFault):
+            faulty.transfer_cost("hq", "site1", 10)
+        assert injector.comm_faults == 1
+
+    def test_intra_site_transfers_never_fail(self):
+        topology = Topology(["hq"])
+        injector = FaultInjector(
+            FaultPolicy(comm_failure_rate=1.0, scope=SCOPE_ALL, seed=0)
+        )
+        faulty = topology.with_faults(injector)
+        assert faulty.transfer_cost("hq", "hq", 10) == 0.0
+
+    def test_delegates_everything_else(self):
+        topology = Topology(["hq", "site1"])
+        topology.set_link("hq", "site1", 3.0)
+        injector = FaultInjector(FaultPolicy(seed=0))
+        faulty = topology.with_faults(injector)
+        assert faulty.link_cost("hq", "site1") == 3.0
+        assert "site1" in faulty
+        assert faulty.transfer_cost("hq", "site1", 2) == 6.0
+
+    def test_per_site_rate_uses_worst_endpoint(self):
+        topology = Topology(["hq", "flaky"])
+        injector = FaultInjector(
+            FaultPolicy(site_rates=(("flaky", 1.0),), scope=SCOPE_ALL, seed=0)
+        )
+        faulty = topology.with_faults(injector)
+        with pytest.raises(CommFault):
+            faulty.transfer_cost("hq", "flaky", 1)
+
+
+class TestDatabaseIntegration:
+    def test_database_wraps_tables_when_injector_attached(self):
+        from repro.executor.engine import Database
+
+        database = Database()
+        schema = RelationSchema("T", (Attribute("a", DataType.INTEGER),))
+        database.register("T", Table(schema))
+        injector = FaultInjector(
+            FaultPolicy(storage_failure_rate=1.0, scope=SCOPE_ALL, seed=0)
+        )
+        database.fault_injector = injector
+        table = database.table("T")
+        assert isinstance(table, FaultyTable)
+        with pytest.raises(StorageFault):
+            table.scan()
+        database.fault_injector = None
+        assert not isinstance(database.table("T"), FaultyTable)

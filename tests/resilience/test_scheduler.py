@@ -1,0 +1,247 @@
+"""Unit tests for the retry/backoff/breaker refresh scheduler."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+    FaultPolicy,
+    LogicalClock,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.warehouse import DataWarehouse
+from repro.workload import paper_rows, paper_workload
+
+
+def make_warehouse(seed=7):
+    warehouse = DataWarehouse.from_workload(paper_workload())
+    warehouse.design()
+    for relation, rows in paper_rows(scale=0.02, seed=seed).items():
+        warehouse.load(relation, rows)
+    warehouse.materialize()
+    return warehouse
+
+
+def make_stale(warehouse):
+    """Defer-update Order so every Order-based view goes stale."""
+    delta = [
+        {"Pid": 1, "Cid": 2, "quantity": 5, "date": datetime.date(1996, 7, 7)}
+    ]
+    warehouse.apply_update("Order", delta, policy="defer")
+    stale = warehouse.stale_views()
+    assert stale
+    return stale
+
+
+class TestPolicies:
+    def test_backoff_doubles_and_caps(self):
+        retry = RetryPolicy(base_backoff=4.0, max_backoff=10.0, jitter=0.0)
+        assert retry.backoff_ticks(1, 0.0) == 4.0
+        assert retry.backoff_ticks(2, 0.0) == 8.0
+        assert retry.backoff_ticks(3, 0.0) == 10.0  # capped
+        assert retry.backoff_ticks(9, 0.0) == 10.0
+
+    def test_jitter_scales_with_draw(self):
+        retry = RetryPolicy(base_backoff=4.0, jitter=0.5)
+        assert retry.backoff_ticks(1, 0.0) == 4.0
+        assert retry.backoff_ticks(1, 1.0) == 6.0  # 4 · (1 + 0.5)
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ResilienceError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ResilienceError):
+            ResilienceConfig(retry=object())
+
+
+class TestLogicalClock:
+    def test_advances_monotonically(self):
+        clock = LogicalClock()
+        assert clock.now == 0.0
+        clock.advance(3.0)
+        clock.advance(0.5)
+        assert clock.now == 3.5
+
+    def test_rejects_negative_ticks(self):
+        with pytest.raises(ResilienceError):
+            LogicalClock().advance(-1.0)
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=2, reset=10.0):
+        clock = LogicalClock()
+        return CircuitBreaker(BreakerPolicy(threshold, reset), clock), clock
+
+    def test_opens_after_threshold_failures(self):
+        breaker, _ = self.make(threshold=2)
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allows()
+
+    def test_half_opens_after_reset_ticks(self):
+        breaker, clock = self.make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.1)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allows()
+
+    def test_half_open_admits_one_probe(self):
+        breaker, clock = self.make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.begin_probe()
+        assert not breaker.allows()  # probe in flight
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.begin_probe()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.failures == 0
+
+    def test_probe_failure_reopens_from_now(self):
+        breaker, clock = self.make(threshold=2, reset=10.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.begin_probe()
+        breaker.record_failure()
+        assert breaker.state == OPEN  # full reset window restarts
+        clock.advance(9.0)
+        assert breaker.state == OPEN
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+
+class TestRefreshScheduler:
+    def test_clean_refresh_bumps_epoch(self):
+        warehouse = make_warehouse()
+        stale = make_stale(warehouse)
+        scheduler = warehouse.scheduler()
+        view = stale[0]
+        assert scheduler.epoch(view.name) == 0
+        outcome = scheduler.refresh_view(view)
+        assert outcome.ok and outcome.status == "refreshed"
+        assert outcome.attempts == 1
+        assert scheduler.epoch(view.name) == 1
+        assert warehouse.is_fresh(view)
+        assert outcome.ticks > 0  # I/O advanced the logical clock
+
+    def test_refresh_all_covers_views_in_name_order(self):
+        warehouse = make_warehouse()
+        make_stale(warehouse)
+        outcomes = warehouse.refresh_resilient()
+        assert [o.view for o in outcomes] == sorted(o.view for o in outcomes)
+        assert all(o.ok for o in outcomes)
+        assert not warehouse.stale_views()
+
+    def test_certain_failure_exhausts_attempts_and_opens_breaker(self):
+        warehouse = make_warehouse()
+        stale = make_stale(warehouse)
+        warehouse.attach_faults(FaultPolicy(storage_failure_rate=1.0, seed=0))
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=3),
+            breaker=BreakerPolicy(failure_threshold=1, reset_ticks=50.0),
+            seed=0,
+        )
+        scheduler = warehouse.scheduler(config)
+        view = stale[0]
+
+        outcome = scheduler.refresh_view(view)
+        assert outcome.status == "failed"
+        assert outcome.attempts == 3
+        assert outcome.error
+        assert scheduler.breaker_state(view.name) == OPEN
+        assert scheduler.epoch(view.name) == 0
+        assert not warehouse.is_fresh(view)
+
+        skipped = scheduler.refresh_view(view)
+        assert skipped.status == "skipped"
+        assert skipped.attempts == 0
+        assert "breaker" in skipped.error
+
+    def test_timeout_budget_cuts_retries_short(self):
+        warehouse = make_warehouse()
+        stale = make_stale(warehouse)
+        warehouse.attach_faults(FaultPolicy(storage_failure_rate=1.0, seed=0))
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=10, timeout_ticks=1.0),
+            seed=0,
+        )
+        scheduler = warehouse.scheduler(config)
+        outcome = scheduler.refresh_view(stale[0])
+        assert outcome.status == "failed"
+        assert outcome.attempts < 10
+        assert "timeout" in outcome.error
+
+    def test_open_breaker_recovers_after_reset_window(self):
+        warehouse = make_warehouse()
+        stale = make_stale(warehouse)
+        injector = warehouse.attach_faults(
+            FaultPolicy(storage_failure_rate=1.0, seed=0)
+        )
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=2),
+            breaker=BreakerPolicy(failure_threshold=1, reset_ticks=10.0),
+            seed=0,
+        )
+        scheduler = warehouse.scheduler(config)
+        view = stale[0]
+        assert scheduler.refresh_view(view).status == "failed"
+        assert scheduler.breaker_state(view.name) == OPEN
+
+        # Heal the fault and let the breaker age into its probe window.
+        warehouse.detach_faults()
+        scheduler.injector = None
+        scheduler.clock.advance(10.0)
+        assert scheduler.breaker_state(view.name) == HALF_OPEN
+        outcome = scheduler.refresh_view(view)
+        assert outcome.ok
+        assert scheduler.breaker_state(view.name) == CLOSED
+        assert injector.storage_faults > 0  # the faults really fired
+
+    def test_converges_under_thirty_percent_failures(self):
+        warehouse = make_warehouse()
+        make_stale(warehouse)
+        warehouse.attach_faults(FaultPolicy(storage_failure_rate=0.3, seed=11))
+        scheduler = warehouse.scheduler(
+            ResilienceConfig(retry=RetryPolicy(max_attempts=5), seed=11)
+        )
+        outcomes = scheduler.refresh_until_converged()
+        assert all(o.ok for o in outcomes)
+        assert not warehouse.stale_views()
+
+    def test_trajectory_is_deterministic_for_fixed_seed(self):
+        def run(seed):
+            warehouse = make_warehouse()
+            make_stale(warehouse)
+            warehouse.attach_faults(
+                FaultPolicy(storage_failure_rate=0.4, seed=seed)
+            )
+            scheduler = warehouse.scheduler(
+                ResilienceConfig(retry=RetryPolicy(max_attempts=6), seed=seed)
+            )
+            outcomes = scheduler.refresh_until_converged()
+            return [
+                (o.view, o.status, o.attempts, o.ticks, o.epoch)
+                for o in outcomes
+            ] + [round(scheduler.clock.now, 9)]
+
+        assert run(5) == run(5)

@@ -1,0 +1,88 @@
+"""Unit tests for SELECT DISTINCT, from parsing to execution."""
+
+from repro.algebra.operators import Project
+from repro.executor.engine import ExecutionEngine, load_database
+from repro.mvpp.serialize import operator_from_dict, operator_to_dict
+from repro.sql.parser import parse
+from repro.sql.translator import parse_query
+from repro.workload.datagen import paper_rows
+
+
+class TestParsing:
+    def test_distinct_flag_set(self):
+        assert parse("SELECT DISTINCT a FROM R").distinct
+        assert not parse("SELECT a FROM R").distinct
+
+    def test_distinct_is_soft_keyword(self):
+        # A column (or table) may be named "distinct" without quoting.
+        statement = parse("SELECT distinct FROM R")
+        assert not statement.distinct
+        assert [str(c.expression) for c in statement.select_items] == [
+            "distinct"
+        ]
+
+    def test_round_trip(self):
+        sql = "SELECT DISTINCT a, b FROM R WHERE a > 1"
+        assert "DISTINCT" in str(parse(sql))
+        assert parse(str(parse(sql))) == parse(sql)
+
+
+class TestTranslation:
+    def test_distinct_projection_on_top(self, workload, estimator):
+        from repro.optimizer.heuristics import optimize_query
+
+        plan = parse_query(
+            "SELECT DISTINCT Customer.city FROM Customer", workload.catalog
+        )
+        assert isinstance(plan, Project) and plan.distinct
+        optimized = optimize_query(plan, estimator)
+        assert isinstance(optimized, Project) and optimized.distinct
+
+    def test_signature_distinguishes_distinct(self, workload):
+        plain = parse_query("SELECT Customer.city FROM Customer", workload.catalog)
+        distinct = parse_query(
+            "SELECT DISTINCT Customer.city FROM Customer", workload.catalog
+        )
+        assert plain.signature != distinct.signature
+
+    def test_serializer_round_trips_distinct(self, workload):
+        plan = parse_query(
+            "SELECT DISTINCT Customer.city FROM Customer", workload.catalog
+        )
+        restored = operator_from_dict(operator_to_dict(plan))
+        assert isinstance(restored, Project) and restored.distinct
+        assert restored.signature == plan.signature
+
+
+class TestExecution:
+    def test_distinct_eliminates_duplicates(self, workload):
+        database = load_database(paper_rows(scale=0.02, seed=3), workload.catalog)
+        engine = ExecutionEngine(database)
+        plan = parse_query(
+            "SELECT DISTINCT Customer.city FROM Customer", workload.catalog
+        )
+        result = engine.execute(plan)
+        cities = [r["Customer.city"] for r in result.rows()]
+        assert len(cities) == len(set(cities))
+
+        plain = engine.execute(
+            parse_query("SELECT Customer.city FROM Customer", workload.catalog)
+        )
+        assert set(cities) == {r["Customer.city"] for r in plain.rows()}
+        assert len(cities) < plain.cardinality
+
+    def test_first_occurrence_order_preserved(self, workload):
+        database = load_database(paper_rows(scale=0.02, seed=3), workload.catalog)
+        engine = ExecutionEngine(database)
+        plain = engine.execute(
+            parse_query("SELECT Customer.city FROM Customer", workload.catalog)
+        )
+        expected = list(
+            dict.fromkeys(r["Customer.city"] for r in plain.rows())
+        )
+        distinct = engine.execute(
+            parse_query(
+                "SELECT DISTINCT Customer.city FROM Customer", workload.catalog
+            )
+        )
+        assert [r["Customer.city"] for r in distinct.rows()] == expected

@@ -159,3 +159,105 @@ class TestErrorExit:
         )
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestRefreshCommand:
+    def test_clean_refresh_exits_zero(self, capsys):
+        assert main(["refresh", "--workload", "paper", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "resilient refresh" in out
+        assert "refreshed" in out
+        assert "stale views remaining: 0" in out
+
+    def test_refresh_with_faults_reports_injections(self, capsys):
+        assert (
+            main(
+                [
+                    "refresh",
+                    "--workload",
+                    "paper",
+                    "--scale",
+                    "0.02",
+                    "--failure-rate",
+                    "0.3",
+                    "--seed",
+                    "7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "failure rate 0.3" in out
+        assert "faults injected:" in out
+
+
+class TestSimulateCommand:
+    def test_fault_simulation_converges(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--faults",
+                    "--workload",
+                    "paper",
+                    "--scale",
+                    "0.02",
+                    "--seed",
+                    "7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "converged: True" in out
+        assert "0 consistency violations" in out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--faults",
+                    "--workload",
+                    "paper",
+                    "--scale",
+                    "0.02",
+                    "--rounds",
+                    "2",
+                    "--seed",
+                    "7",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["converged"] is True
+        assert document["queries"]["consistency_violations"] == 0
+        assert document["refreshes"]["succeeded"] >= 2
+
+    def test_without_faults_flag_runs_failure_free(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--workload",
+                    "paper",
+                    "--scale",
+                    "0.02",
+                    "--rounds",
+                    "1",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["faults_injected"].get("storage_faults", 0) == 0
+        assert document["refreshes"]["retries"] == 0
+
+    def test_bad_rounds_rejected(self, capsys):
+        assert main(["simulate", "--faults", "--rounds", "0"]) == 1
+        assert "error:" in capsys.readouterr().err

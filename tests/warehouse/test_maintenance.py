@@ -100,6 +100,94 @@ class TestIncremental:
         with pytest.raises(WarehouseError):
             maintainer.incremental_refresh(view, "Order", [])
 
+    def test_self_join_views_fall_back_to_recompute(self, database, workload):
+        """Regression: the overlay substitutes the delta for *every*
+        occurrence of the updated relation, so a self-join view would be
+        maintained as ``δR ⋈ δR`` instead of ``δR ⋈ R ∪ R_old ⋈ δR`` —
+        silently dropping almost all new rows.  Multiple references must
+        fall back to recomputation."""
+        import datetime
+
+        from repro.algebra.operators import Join, Project, Relation
+
+        schema = workload.catalog.schema("Order").qualify()
+        order = Relation("Order", schema)
+        plan = Join(
+            Project(order, ["Order.Pid"]),
+            Project(order, ["Order.Cid"]),
+            None,
+        )
+        view = MaterializedView(name="mv_self", plan=plan)
+        maintainer = ViewMaintainer(database)
+        maintainer.materialize(view)
+
+        delta = [
+            {"Pid": 4, "Cid": 2, "quantity": 3, "date": datetime.date(1996, 1, 1)}
+        ]
+        database.table("Order").insert_many(delta)
+        report = maintainer.incremental_refresh(view, "Order", delta)
+
+        assert report.policy == RECOMPUTE  # fell back — delta rule is unsound
+        stored = sorted(
+            tuple(sorted(r.items())) for r in database.table("mv_self").rows()
+        )
+        assert stored == brute_force_rows(database, view)
+
+    def test_distinct_projection_does_not_accrue_duplicates(
+        self, database, workload, estimator
+    ):
+        """A duplicate-eliminating projection view must stay a set: a
+        delta row projecting onto an already-stored tuple is dropped."""
+        plan = optimize_query(
+            parse_query(
+                "SELECT DISTINCT Customer.city FROM Customer",
+                workload.catalog,
+            ),
+            estimator,
+        )
+        view = MaterializedView(name="mv_cities", plan=plan)
+        maintainer = ViewMaintainer(database)
+        maintainer.materialize(view)
+        cities_before = {r["Customer.city"] for r in database.table("mv_cities").rows()}
+        existing_city = sorted(cities_before)[0]
+
+        delta = [
+            {"Cid": 20_001, "name": "A", "city": existing_city},
+            {"Cid": 20_002, "name": "B", "city": "Neverwhere"},
+        ]
+        database.table("Customer").insert_many(delta)
+        report = maintainer.incremental_refresh(view, "Customer", delta)
+
+        assert report.policy == INCREMENTAL
+        stored = [r["Customer.city"] for r in database.table("mv_cities").rows()]
+        assert len(stored) == len(set(stored)), "duplicates accrued"
+        assert set(stored) == cities_before | {"Neverwhere"}
+        assert sorted(
+            tuple(sorted(r.items())) for r in database.table("mv_cities").rows()
+        ) == brute_force_rows(database, view)
+
+    def test_incremental_refresh_swaps_atomically(self, database, view):
+        """The delta is applied to a shadow copy that replaces the stored
+        table only once complete — a reader holding the old table never
+        observes rows appearing mid-refresh."""
+        import datetime
+
+        maintainer = ViewMaintainer(database)
+        maintainer.materialize(view)
+        old_table = database.table("mv_oc")
+        rows_before = list(old_table.rows())
+
+        delta = [
+            {"Pid": 1, "Cid": 2, "quantity": 5, "date": datetime.date(1996, 7, 7)}
+        ]
+        database.table("Order").insert_many(delta)
+        maintainer.incremental_refresh(view, "Order", delta)
+
+        new_table = database.table("mv_oc")
+        assert new_table is not old_table
+        assert old_table.rows() == rows_before  # old snapshot untouched
+        assert new_table.cardinality > old_table.cardinality
+
     def test_aggregate_views_fall_back_to_recompute(self, database, workload, estimator):
         plan = optimize_query(
             parse_query(
