@@ -1,0 +1,95 @@
+"""Benchmark — adaptive redesign vs the static and eager baselines.
+
+Replays the seeded drifting workload (phase A = design-time profile,
+phase B = inverted hot set, phase C = alternating) through
+:func:`repro.adaptive.simulate_drift` and checks the tentpole contract:
+
+* **payoff** — the drift-triggered, cost-gated adaptive controller ends
+  with a lower cumulative cost (serving + migration) than *both* the
+  never-redesign baseline and the redesign-every-window baseline;
+* **stability** — on the stationary control run (phase A throughout,
+  same seeded jitter) the controller accepts zero redesigns, so its
+  trajectory is exactly the static one;
+* **determinism** — the whole trajectory (decisions, costs, tick
+  stamps) reproduces bit-identically for a fixed seed.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the replay (fewer windows, one
+seed) for CI smoke runs.
+"""
+
+import os
+
+from repro.adaptive import simulate_drift
+from repro.analysis import render_table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+SEEDS = (7,) if SMOKE else (7, 11)
+WINDOWS_PER_PHASE = 2 if SMOKE else 4
+
+
+def run_replays():
+    out = {}
+    for seed in SEEDS:
+        out[seed] = simulate_drift(
+            seed=seed, windows_per_phase=WINDOWS_PER_PHASE
+        )
+    out["stationary"] = simulate_drift(
+        seed=SEEDS[0], windows_per_phase=WINDOWS_PER_PHASE, stationary=True
+    )
+    return out
+
+
+def test_adaptive_beats_both_baselines(benchmark):
+    results = benchmark.pedantic(run_replays, rounds=1, iterations=1)
+
+    rows = []
+    for seed in SEEDS:
+        result = results[seed]
+        # The tentpole payoff, per seed: adaptive < static and < eager.
+        assert result.adaptive_beats_static, result.describe()
+        assert result.adaptive_beats_eager, result.describe()
+        assert result.accepted >= 1
+        # Hysteresis keeps the controller calmer than eager redesign.
+        assert (
+            result.variants["adaptive"].migrations
+            < result.variants["eager"].migrations
+        )
+        for name in ("static", "adaptive", "eager"):
+            outcome = result.variants[name]
+            rows.append(
+                [
+                    f"seed {seed}" if name == "static" else "",
+                    name,
+                    f"{outcome.serving_cost:,.0f}",
+                    f"{outcome.migration_cost:,.0f}",
+                    f"{outcome.total_cost:,.0f}",
+                    str(outcome.migrations),
+                ]
+            )
+
+    stationary = results["stationary"]
+    assert stationary.accepted == 0, stationary.describe()
+    assert (
+        stationary.variants["adaptive"].total_cost
+        == stationary.variants["static"].total_cost
+    )
+
+    # Determinism: the same seed reproduces the trajectory bit for bit.
+    again = simulate_drift(
+        seed=SEEDS[0], windows_per_phase=WINDOWS_PER_PHASE
+    )
+    assert again.to_dict() == results[SEEDS[0]].to_dict()
+
+    print()
+    print(
+        render_table(
+            ["Replay", "Policy", "Serving", "Migration", "Total", "Moves"],
+            rows,
+        )
+    )
+    print(
+        f"stationary control: {stationary.accepted} accepted over "
+        f"{stationary.windows} windows (decisions: "
+        f"{', '.join(sorted(set(stationary.decisions)))})"
+    )

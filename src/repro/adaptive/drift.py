@@ -1,0 +1,103 @@
+"""Deterministic drift detection over frequency vectors.
+
+:class:`DriftDetector` compares the live ``fq``/``fu`` estimate against
+the frequencies the installed design was computed for.  A frequency has
+*drifted* when its relative change clears the policy threshold::
+
+    |observed - baseline| / max(baseline, noise_floor)  >=  drift_threshold
+
+Frequencies that are negligible on both sides (at or below the noise
+floor) are skipped — they cannot steer view selection either way, so
+flagging them would only cause churn.  Detection is pure arithmetic over
+sorted keys: no randomness, no clocks, bit-identical across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.adaptive.policy import DEFAULT_ADAPTIVE_POLICY, AdaptivePolicy
+from repro.workload.query_log import FrequencyEstimate
+
+__all__ = ["DriftChange", "DriftEvent", "DriftDetector"]
+
+
+@dataclass(frozen=True)
+class DriftChange:
+    """One frequency that moved past the drift threshold."""
+
+    kind: str  # "query" (fq) | "update" (fu)
+    name: str
+    baseline: float
+    observed: float
+    relative_change: float
+
+    def describe(self) -> str:
+        label = "fq" if self.kind == "query" else "fu"
+        return (
+            f"{label}({self.name}): {self.baseline:g} -> {self.observed:g} "
+            f"({self.relative_change:+.0%})"
+        )
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """The live workload no longer matches the design-time frequencies."""
+
+    tick: float
+    magnitude: float  # the largest relative change observed
+    changes: Tuple[DriftChange, ...]
+
+    def describe(self) -> str:
+        parts = ", ".join(change.describe() for change in self.changes)
+        return (
+            f"drift at tick {self.tick:g} (magnitude {self.magnitude:.0%}): "
+            f"{parts}"
+        )
+
+
+class DriftDetector:
+    """Compares live estimates against design-time frequency vectors."""
+
+    def __init__(self, policy: Optional[AdaptivePolicy] = None):
+        self.policy = policy or DEFAULT_ADAPTIVE_POLICY
+
+    def _changes(
+        self, kind: str, baseline: Mapping[str, float], observed: Mapping[str, float]
+    ) -> List[DriftChange]:
+        policy = self.policy
+        changes: List[DriftChange] = []
+        for name in sorted(set(baseline) | set(observed)):
+            old = baseline.get(name, 0.0)
+            new = observed.get(name, 0.0)
+            if old <= policy.noise_floor and new <= policy.noise_floor:
+                continue  # negligible either way; cannot steer the design
+            if abs(new - old) < policy.min_absolute_change:
+                continue  # within shot noise on low-count estimates
+            relative = abs(new - old) / max(old, policy.noise_floor)
+            if relative >= policy.drift_threshold:
+                changes.append(DriftChange(kind, name, old, new, relative))
+        return changes
+
+    def check(
+        self,
+        baseline_queries: Mapping[str, float],
+        baseline_updates: Mapping[str, float],
+        estimate: Optional[FrequencyEstimate],
+        tick: float,
+    ) -> Optional[DriftEvent]:
+        """A :class:`DriftEvent` when the estimate drifted, else ``None``.
+
+        ``estimate=None`` (the monitor's insufficient-observation guard)
+        never drifts: silence is not evidence of change.
+        """
+        if estimate is None:
+            return None
+        changes = self._changes(
+            "query", baseline_queries, estimate.query_frequencies
+        ) + self._changes("update", baseline_updates, estimate.update_frequencies)
+        if not changes:
+            return None
+        magnitude = max(change.relative_change for change in changes)
+        return DriftEvent(tick=tick, magnitude=magnitude, changes=tuple(changes))

@@ -1,0 +1,106 @@
+"""Online workload observation over the logical tick clock.
+
+:class:`WorkloadMonitor` is the adaptive controller's sensor: the
+warehouse query and update paths report every event to it (name plus the
+logical tick it happened at), and :meth:`WorkloadMonitor.estimate` turns
+the recent events into a per-period :class:`~repro.workload.query_log.
+FrequencyEstimate` — the same estimation code the offline
+``repro.workload.query_log`` pipeline uses, extended with the policy's
+sliding window and optional exponential decay.
+
+The monitor never reads a wall clock.  Ticks come from the caller
+(ordinarily the :class:`~repro.resilience.scheduler.LogicalClock` the
+controller shares with the refresh scheduler), so a fixed seed
+reproduces the exact same observation stream and estimates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.adaptive.policy import DEFAULT_ADAPTIVE_POLICY, AdaptivePolicy
+from repro.errors import AdaptiveError
+from repro.workload.query_log import (
+    FrequencyEstimate,
+    LogEntry,
+    estimate_frequencies,
+)
+
+__all__ = ["WorkloadMonitor"]
+
+
+class WorkloadMonitor:
+    """Sliding-window + exponential-decay frequency estimates, online.
+
+    Events are appended in tick order (enforced — the log must be
+    causal) and pruned once they age out of the policy's window, so the
+    monitor's memory is bounded by the window's event density, not the
+    warehouse's lifetime.
+    """
+
+    def __init__(self, policy: Optional[AdaptivePolicy] = None):
+        self.policy = policy or DEFAULT_ADAPTIVE_POLICY
+        self._events: Deque[LogEntry] = deque()
+        self.total_recorded = 0  # lifetime count (pruning does not lower it)
+
+    # ---------------------------------------------------------------- record
+    def record_query(self, name: str, tick: float) -> None:
+        """Record one query execution observed at ``tick``."""
+        self._record(LogEntry("query", name, tick))
+
+    def record_update(self, relation: str, tick: float) -> None:
+        """Record one base-relation update batch observed at ``tick``."""
+        self._record(LogEntry("update", relation, tick))
+
+    def _record(self, entry: LogEntry) -> None:
+        if self._events and entry.timestamp < self._events[-1].timestamp:
+            raise AdaptiveError(
+                f"event at tick {entry.timestamp} predates the newest "
+                f"recorded tick {self._events[-1].timestamp}; the monitor "
+                f"log must be causal"
+            )
+        self._events.append(entry)
+        self.total_recorded += 1
+        self._prune(entry.timestamp)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.policy.window_ticks
+        while self._events and self._events[0].timestamp < horizon:
+            self._events.popleft()
+
+    # -------------------------------------------------------------- estimate
+    @property
+    def observations(self) -> int:
+        """Events currently inside the sliding window."""
+        return len(self._events)
+
+    def sufficient(self, now: Optional[float] = None) -> bool:
+        """Whether the window holds enough events to estimate from."""
+        if now is not None:
+            self._prune(now)
+        return self.observations >= self.policy.min_observations
+
+    def estimate(self, now: Optional[float] = None) -> Optional[FrequencyEstimate]:
+        """The windowed per-period estimate as of ``now``.
+
+        ``now`` defaults to the newest recorded tick.  Returns ``None``
+        while the window holds fewer than the policy's
+        ``min_observations`` events — the caller must not act on noise.
+        """
+        if now is None:
+            now = self._events[-1].timestamp if self._events else 0.0
+        self._prune(now)
+        if not self.sufficient():
+            return None
+        return estimate_frequencies(
+            self._events,
+            period=self.policy.period_ticks,
+            half_life_periods=self.policy.half_life_periods,
+            window_periods=self.policy.window_periods,
+            now=now,
+        )
+
+    def clear(self) -> None:
+        """Drop every recorded event (e.g. after an accepted redesign)."""
+        self._events.clear()

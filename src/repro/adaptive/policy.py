@@ -1,0 +1,144 @@
+"""Configuration for the adaptive design controller.
+
+:class:`AdaptivePolicy` is the single frozen value carrying every knob of
+:mod:`repro.adaptive`: how the live workload is estimated (sliding
+window + optional exponential decay over the logical tick clock), when
+the estimate counts as *drifted* from the design-time frequencies, and
+when a drift-triggered redesign is actually worth migrating to.
+
+The accept rule is transition-aware (see ``docs/adaptive.md``)::
+
+    net_benefit = (old_total_cost - new_total_cost) * amortization_horizon
+                  - migration_cost(plan)
+    accept      iff net_benefit >= min_benefit_margin
+
+with two hysteresis guards so alternating workloads cannot thrash: at
+least ``cooldown_ticks`` must elapse between accepted redesigns, and
+``min_benefit_margin`` keeps marginal flip-flops out.  All durations are
+logical ticks (one tick per block of I/O, the :mod:`repro.resilience`
+clock), never wall-clock seconds — a fixed seed reproduces the exact
+same adaptation trajectory on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from repro.errors import AdaptiveError
+
+__all__ = ["AdaptivePolicy", "DEFAULT_ADAPTIVE_POLICY"]
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Every knob of the adaptive controller in one immutable value.
+
+    Estimation:
+
+    * ``period_ticks`` — logical ticks per design period; observed event
+      counts are normalized by it so live estimates are comparable to
+      the design-time per-period ``fq``/``fu``;
+    * ``window_periods`` — sliding estimation window (in periods): only
+      events this recent feed the estimate;
+    * ``half_life_periods`` — optional exponential decay *within* the
+      window (``None`` = uniform weights);
+    * ``min_observations`` — events required before the estimate may
+      trigger anything (the minimum-observation guard).
+
+    Drift detection:
+
+    * ``drift_threshold`` — relative change ``|new - old| / max(old,
+      noise_floor)`` of any frequency that counts as drift;
+    * ``min_absolute_change`` — the change must *also* clear this many
+      events per period.  Sliding-window estimates of rare events are
+      quantized (a window sliding over a once-per-period event stream
+      gains or loses a whole event at the horizon edge), so a purely
+      relative threshold misfires on them; the absolute guard makes
+      shot noise on low counts undetectable while real phase flips
+      (several events per period) sail through;
+    * ``noise_floor`` — frequencies with both sides at or below this are
+      ignored (they cannot steer the design either way).
+
+    Hysteresis / acceptance:
+
+    * ``cooldown_ticks`` — minimum ticks between *accepted* redesigns;
+      keep it at or above the drift window (lint rule ``A001``);
+    * ``min_benefit_margin`` — minimum net benefit (block accesses) a
+      migration must clear (``A002`` flags zero);
+    * ``amortization_horizon_periods`` — periods over which a redesign's
+      per-period saving is credited against its one-off migration cost;
+    * ``drop_cost_per_block`` — bookkeeping cost charged per stored
+      block of a dropped view.
+    """
+
+    period_ticks: float = 64.0
+    window_periods: float = 4.0
+    half_life_periods: Optional[float] = None
+    min_observations: int = 10
+    drift_threshold: float = 0.5
+    min_absolute_change: float = 0.0
+    noise_floor: float = 0.05
+    cooldown_ticks: float = 512.0
+    min_benefit_margin: float = 1.0
+    amortization_horizon_periods: float = 8.0
+    drop_cost_per_block: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.period_ticks <= 0:
+            raise AdaptiveError(
+                f"period_ticks must be positive: {self.period_ticks}"
+            )
+        if self.window_periods <= 0:
+            raise AdaptiveError(
+                f"window_periods must be positive: {self.window_periods}"
+            )
+        if self.half_life_periods is not None and self.half_life_periods <= 0:
+            raise AdaptiveError(
+                f"half_life_periods must be positive (or None): "
+                f"{self.half_life_periods}"
+            )
+        if self.min_observations < 1:
+            raise AdaptiveError(
+                f"min_observations must be >= 1: {self.min_observations}"
+            )
+        if self.drift_threshold <= 0:
+            raise AdaptiveError(
+                f"drift_threshold must be positive: {self.drift_threshold}"
+            )
+        if self.min_absolute_change < 0:
+            raise AdaptiveError(
+                f"min_absolute_change must be >= 0: {self.min_absolute_change}"
+            )
+        if self.noise_floor < 0:
+            raise AdaptiveError(f"noise_floor must be >= 0: {self.noise_floor}")
+        if self.cooldown_ticks < 0:
+            raise AdaptiveError(
+                f"cooldown_ticks must be >= 0: {self.cooldown_ticks}"
+            )
+        if self.min_benefit_margin < 0:
+            raise AdaptiveError(
+                f"min_benefit_margin must be >= 0: {self.min_benefit_margin}"
+            )
+        if self.amortization_horizon_periods <= 0:
+            raise AdaptiveError(
+                f"amortization_horizon_periods must be positive: "
+                f"{self.amortization_horizon_periods}"
+            )
+        if self.drop_cost_per_block < 0:
+            raise AdaptiveError(
+                f"drop_cost_per_block must be >= 0: {self.drop_cost_per_block}"
+            )
+
+    @property
+    def window_ticks(self) -> float:
+        """The sliding estimation window expressed in logical ticks."""
+        return self.window_periods * self.period_ticks
+
+    def replace(self, **changes: Any) -> "AdaptivePolicy":
+        """A copy with the given fields changed (re-validated)."""
+        return replace(self, **changes)
+
+
+#: The all-defaults adaptive policy (cooldown = 2x the drift window).
+DEFAULT_ADAPTIVE_POLICY = AdaptivePolicy()

@@ -9,6 +9,8 @@ Usage (also via ``python -m repro``)::
     repro profile  --workload paper       # instrumented end-to-end run
     repro refresh  --failure-rate 0.3     # resilient scheduler refresh pass
     repro simulate --faults               # seeded fault-injection lifecycle
+    repro simulate --drift                # static vs adaptive vs eager redesign
+    repro adapt    --windows 8            # online drift-detection replay
     repro dot      --workload paper       # DOT export of the chosen MVPP
     repro lint     --workload paper       # semantic lint of the design problem
     repro lint     --self                 # determinism lint of the repro sources
@@ -249,6 +251,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of the statistics' cardinalities to load (default 0.02)",
     )
     simulate_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    simulate_parser.add_argument(
+        "--drift", action="store_true",
+        help="replay a drifting workload instead: static vs adaptive vs "
+             "eager redesign on the logical tick clock",
+    )
+    simulate_parser.add_argument(
+        "--stationary", action="store_true",
+        help="with --drift: stationary control run (the design-time "
+             "profile throughout; the controller must accept nothing)",
+    )
+    simulate_parser.add_argument(
+        "--windows-per-phase", type=int, default=4,
+        help="with --drift: observation windows per workload phase "
+             "(default 4; the replay runs three phases)",
+    )
+
+    adapt_parser = commands.add_parser(
+        "adapt",
+        help="online adaptation: drift detection + cost-gated redesign",
+    )
+    _add_workload_arguments(adapt_parser)
+    adapt_parser.add_argument(
+        "--windows", type=int, default=8,
+        help="observation windows to replay (default 8; the hot set "
+             "inverts halfway through)",
+    )
+    adapt_parser.add_argument(
+        "--stationary", action="store_true",
+        help="keep the design-time profile throughout (control run)",
+    )
+    adapt_parser.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="output format (default: text)",
     )
@@ -498,6 +534,9 @@ def command_refresh(args: argparse.Namespace) -> int:
 
 
 def command_simulate(args: argparse.Namespace) -> int:
+    if args.drift:
+        return _simulate_drift(args)
+
     from repro.resilience import simulate_faults
 
     if args.rounds < 1:
@@ -534,6 +573,105 @@ def command_simulate(args: argparse.Namespace) -> int:
     print(f"  converged: {result.converged} "
           f"(epochs {result.final_epochs}, {result.final_ticks:.1f} ticks)")
     return 0 if result.ok else 1
+
+
+def _simulate_drift(args: argparse.Namespace) -> int:
+    from repro.adaptive import simulate_drift
+
+    result = simulate_drift(
+        seed=args.seed,
+        windows_per_phase=args.windows_per_phase,
+        stationary=args.stationary,
+        workload=resolve_workload(args),
+    )
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.describe())
+    if result.stationary:
+        # The control run passes only if the controller stayed put.
+        return 0 if result.accepted == 0 else 1
+    return (
+        0
+        if result.adaptive_beats_static and result.adaptive_beats_eager
+        else 1
+    )
+
+
+def command_adapt(args: argparse.Namespace) -> int:
+    from repro.adaptive import simulation_policy
+    from repro.warehouse import DataWarehouse
+
+    if args.windows < 2:
+        raise ReproError(f"--windows must be >= 2: {args.windows}")
+    workload = resolve_workload(args)
+    config = design_config(args)
+    # One event per unit of design-time frequency (at least one), so the
+    # opening windows replay exactly what the designer expected.
+    base_counts = {
+        spec.name: max(1, int(round(spec.frequency)))
+        for spec in workload.queries
+    }
+    # The drifted profile swaps the hot set end-for-end: the busiest
+    # query inherits the rarest query's rate and vice versa.
+    ranked = sorted(base_counts, key=lambda name: (base_counts[name], name))
+    drifted_counts = {
+        name: base_counts[other]
+        for name, other in zip(ranked, reversed(ranked))
+    }
+    updates = sorted(workload.update_frequencies)
+    expected_events = sum(base_counts.values()) + len(updates)
+    policy = simulation_policy(float(expected_events))
+
+    warehouse = DataWarehouse.from_workload(workload)
+    warehouse.design(config.replace(adaptive=policy))
+    controller = warehouse.controller()
+
+    switch = args.windows // 2
+    for window in range(args.windows):
+        drifted = not args.stationary and window >= switch
+        counts = drifted_counts if drifted else base_counts
+        for name in sorted(counts):
+            for _ in range(counts[name]):
+                controller.note_query(name, 1.0)
+        for relation in updates:
+            controller.note_update(relation, 1.0)
+        controller.evaluate()
+
+    decisions = controller.history
+    accepted = sum(1 for decision in decisions if decision.accepted)
+    if args.format == "json":
+        document = {
+            "workload": workload.name,
+            "windows": args.windows,
+            "stationary": args.stationary,
+            "period_ticks": policy.period_ticks,
+            "decisions": [decision.to_dict() for decision in decisions],
+            "accepted": accepted,
+            "final_views": list(
+                controller.installed_result.materialized_names
+            ),
+        }
+        print(json.dumps(document, indent=2))
+        return 0
+    shape = (
+        "stationary"
+        if args.stationary
+        else f"hot set inverts at window {switch}"
+    )
+    print(
+        f"adaptive replay on {workload.name}: {args.windows} windows "
+        f"({shape}), seed {args.seed}"
+    )
+    for window, decision in enumerate(decisions):
+        print(f"  window {window:>2}: {decision.describe()}")
+    drift_events = sum(
+        1 for decision in decisions if decision.drift is not None
+    )
+    print(f"  drift events: {drift_events}, accepted redesigns: {accepted}")
+    views = ", ".join(controller.installed_result.materialized_names)
+    print(f"  serving views: {views or '(nothing)'}")
+    return 0
 
 
 def command_lint(args: argparse.Namespace) -> int:
@@ -613,6 +751,7 @@ COMMANDS = {
     "dot": command_dot,
     "refresh": command_refresh,
     "simulate": command_simulate,
+    "adapt": command_adapt,
     "lint": command_lint,
 }
 

@@ -102,6 +102,20 @@ class WorkloadError(ReproError):
     """Workload or data generation parameters are invalid."""
 
 
+class WorkloadWarning(ReproError, UserWarning):
+    """A workload input is suspicious but recoverable (e.g. a frequency
+    estimate naming relations the catalog does not know — usually a typo
+    in the query log's relation names).
+
+    Derives from both ``ReproError`` (every repro condition is catchable
+    with one except clause) and ``UserWarning`` (so ``warnings.warn``
+    and ``-W error`` filters treat it as a normal warning category)."""
+
+
+class AdaptiveError(ReproError):
+    """Adaptive-controller misuse (bad policy knobs, no design, ...)."""
+
+
 class DistributedError(ReproError):
     """Site topology or placement constraint violated."""
 

@@ -45,6 +45,7 @@ from repro.lint.emitters import (
 )
 from repro.lint.semantic import (
     SemanticContext,
+    lint_adaptive_policy,
     lint_design,
     lint_mvpp,
     lint_workload,
@@ -63,6 +64,7 @@ __all__ = [
     "Suppressions",
     "all_rules",
     "get_rule",
+    "lint_adaptive_policy",
     "lint_design",
     "lint_mvpp",
     "lint_paths",

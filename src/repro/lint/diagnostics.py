@@ -96,10 +96,11 @@ class Diagnostic:
 # ---------------------------------------------------------------------------
 # the rule registry — mirrors the strategy registry in mvpp/strategies.py
 # ---------------------------------------------------------------------------
-#: Analyzer layers a rule can belong to.  Semantic scopes receive a
+#: Analyzer layers a rule can belong to.  Semantic scopes (including
+#: ``adaptive``, which inspects an AdaptivePolicy) receive a
 #: :class:`repro.lint.semantic.SemanticContext`; ``code`` rules receive a
 #: :class:`repro.lint.code.CodeContext`.
-SCOPES = ("workload", "mvpp", "design", "code")
+SCOPES = ("workload", "mvpp", "design", "adaptive", "code")
 
 RuleCheck = Callable[..., Iterable[Diagnostic]]
 

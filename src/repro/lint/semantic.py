@@ -27,7 +27,7 @@ the context and run the rules of the matching scopes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.algebra.operators import (
     Aggregate,
@@ -37,6 +37,7 @@ from repro.algebra.operators import (
     Select,
     Sort,
 )
+from repro.errors import LintError
 from repro.lint.diagnostics import (
     Diagnostic,
     LintReport,
@@ -62,13 +63,16 @@ class SemanticContext:
 
     ``workload`` rules need only the workload; ``mvpp`` rules need the
     graph; ``design`` rules additionally need the chosen vertices and a
-    calculator for weights.  Entry points fill in what they have.
+    calculator for weights; ``adaptive`` rules inspect the
+    :class:`~repro.adaptive.policy.AdaptivePolicy` in ``policy``.  Entry
+    points fill in what they have.
     """
 
     workload: Optional[Workload] = None
     mvpp: Optional[MVPP] = None
     materialized: Optional[Sequence[Vertex]] = None
     calculator: Optional[MVPPCostCalculator] = None
+    policy: Optional[Any] = None  # AdaptivePolicy (lazy import)
 
     def location(self, vertex: Optional[Vertex] = None) -> Location:
         return Location(
@@ -472,6 +476,56 @@ def check_shadowed_views(ctx: SemanticContext) -> Iterator[Diagnostic]:
 
 
 # ---------------------------------------------------------------------------
+# adaptive-policy rules
+# ---------------------------------------------------------------------------
+@register_rule(
+    "A001",
+    scope="adaptive",
+    severity=Severity.WARNING,
+    summary="cooldown shorter than the drift estimation window "
+    "(guaranteed thrash)",
+    paper="beyond the paper: docs/adaptive.md (hysteresis)",
+)
+def check_cooldown_vs_window(ctx: SemanticContext) -> Iterator[Diagnostic]:
+    rule = get_rule("A001")
+    assert ctx.policy is not None
+    policy = ctx.policy
+    if policy.cooldown_ticks < policy.window_ticks:
+        yield rule.diagnostic(
+            f"cooldown_ticks={policy.cooldown_ticks:g} is shorter than the "
+            f"drift window ({policy.window_ticks:g} ticks = "
+            f"{policy.window_periods:g} periods); the estimate that "
+            f"triggered one redesign can trigger the next before it leaves "
+            f"the window, so an alternating workload redesigns every "
+            f"evaluation",
+            hint="raise cooldown_ticks to at least window_periods * "
+            "period_ticks",
+        )
+
+
+@register_rule(
+    "A002",
+    scope="adaptive",
+    severity=Severity.WARNING,
+    summary="zero min_benefit_margin accepts break-even migrations",
+    paper="beyond the paper: docs/adaptive.md (benefit gate)",
+)
+def check_benefit_margin(ctx: SemanticContext) -> Iterator[Diagnostic]:
+    rule = get_rule("A002")
+    assert ctx.policy is not None
+    policy = ctx.policy
+    if policy.min_benefit_margin == 0:
+        yield rule.diagnostic(
+            "min_benefit_margin=0 accepts any migration whose net benefit "
+            "is merely non-negative; estimation noise around break-even "
+            "flips the view set back and forth for free on paper while "
+            "paying real build cost",
+            hint="set a positive margin (a fraction of the workload's "
+            "per-period total cost is a good start)",
+        )
+
+
+# ---------------------------------------------------------------------------
 # entry points
 # ---------------------------------------------------------------------------
 def _run_rules(
@@ -502,14 +556,31 @@ def lint_design(
     materialized: Sequence[Vertex],
     calculator: Optional[MVPPCostCalculator] = None,
     workload: Optional[Workload] = None,
+    policy: Optional[Any] = None,
 ) -> LintReport:
-    """Run the MVPP- and design-scope rules over a finished design."""
+    """Run the MVPP- and design-scope rules over a finished design.
+
+    With ``policy`` (an :class:`~repro.adaptive.policy.AdaptivePolicy`,
+    e.g. ``DesignConfig.adaptive``), the adaptive-scope rules run too.
+    """
     ctx = SemanticContext(
         workload=workload,
         mvpp=mvpp,
         materialized=list(materialized),
         calculator=calculator,
+        policy=policy,
     )
-    return _run_rules(
-        ("mvpp", "design"), ctx, target=f"design on MVPP {mvpp.name!r}"
+    scopes = ("mvpp", "design") if policy is None else (
+        "mvpp", "design", "adaptive"
     )
+    return _run_rules(scopes, ctx, target=f"design on MVPP {mvpp.name!r}")
+
+
+def lint_adaptive_policy(policy: Any) -> LintReport:
+    """Run the adaptive-scope rules over one AdaptivePolicy."""
+    from repro.adaptive.policy import AdaptivePolicy
+
+    if not isinstance(policy, AdaptivePolicy):
+        raise LintError(f"not an AdaptivePolicy: {policy!r}")
+    ctx = SemanticContext(policy=policy)
+    return _run_rules(("adaptive",), ctx, target="adaptive policy")

@@ -57,6 +57,12 @@ class DesignConfig:
     over the chosen design before returning: the report is attached as
     ``DesignResult.lint_report``, its counters land in :mod:`repro.obs`,
     and error-severity findings raise :class:`~repro.errors.LintError`.
+
+    ``adaptive`` (an :class:`~repro.adaptive.policy.AdaptivePolicy`, or
+    ``None`` for a static design) configures the online controller built
+    by :meth:`DataWarehouse.controller
+    <repro.warehouse.warehouse.DataWarehouse.controller>`: drift
+    detection windows, hysteresis, and the cost-gated migration rule.
     """
 
     strategy: str = "heuristic"
@@ -70,6 +76,7 @@ class DesignConfig:
     include_naive: bool = False
     lint: bool = False
     resilience: Optional[ResilienceConfig] = None
+    adaptive: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.resilience is not None and not isinstance(
@@ -78,6 +85,14 @@ class DesignConfig:
             raise MVPPError(
                 f"resilience must be a ResilienceConfig: {self.resilience!r}"
             )
+        if self.adaptive is not None:
+            # Imported lazily: repro.adaptive depends on this module.
+            from repro.adaptive.policy import AdaptivePolicy
+
+            if not isinstance(self.adaptive, AdaptivePolicy):
+                raise MVPPError(
+                    f"adaptive must be an AdaptivePolicy: {self.adaptive!r}"
+                )
         if not self.strategy or not isinstance(self.strategy, str):
             raise MVPPError(f"strategy must be a non-empty name: {self.strategy!r}")
         if self.rotations is not None and self.rotations < 1:

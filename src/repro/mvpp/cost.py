@@ -259,6 +259,50 @@ class MVPPCostCalculator:
     def total_cost(self, materialized: Iterable[Vertex]) -> float:
         return self.breakdown(materialized).total
 
+    def breakdown_with_frequencies(
+        self,
+        materialized: Iterable[Vertex],
+        query_frequencies: Dict[str, float],
+        update_frequencies: Dict[str, float],
+    ) -> CostBreakdown:
+        """Re-weigh a design under frequencies other than the annotated ones.
+
+        Access costs ``Ca`` and maintenance costs ``Cm`` depend only on
+        statistics and the materialized set, never on frequencies, so an
+        installed design can be evaluated under a *live* frequency vector
+        (e.g. the adaptive controller's estimate) without re-annotating
+        the graph: query cost weighs each root by
+        ``query_frequencies[name]`` (absent roots cost nothing) and the
+        refresh trigger draws base-relation frequencies from
+        ``update_frequencies`` (absent relations fall back to the
+        annotated ``fu``).  Iteration is name/id ordered so the float
+        sums stay bit-identical across runs.
+        """
+        ids = frozenset(self._as_ids(materialized))
+        query = 0.0
+        for root in self.mvpp.roots:
+            frequency = query_frequencies.get(root.name, 0.0)
+            if frequency:
+                query += frequency * self.access_cost(root, ids)
+        maintenance = 0.0
+        for vertex_id in sorted(ids):
+            vertex = self.mvpp.vertex(vertex_id)
+            if vertex.is_leaf:
+                continue
+            bases = self.mvpp.base_relations_of(vertex)
+            if not bases:
+                continue
+            frequencies = [
+                update_frequencies.get(base.name, base.frequency)
+                for base in bases
+            ]
+            if self.maintenance_trigger == PER_BASE:
+                trigger = sum(frequencies)
+            else:
+                trigger = max(frequencies)
+            maintenance += trigger * vertex.maintenance_cost
+        return CostBreakdown(query_processing=query, maintenance=maintenance)
+
     # ---------------------------------------------------------------- weight
     def weight(self, vertex: Vertex) -> float:
         """The paper's ``w(v)``: query saving minus maintenance cost.

@@ -491,6 +491,7 @@ def design(
                 best.materialized,
                 calculator=best.calculator,
                 workload=workload,
+                policy=config.adaptive,
             )
             best.lint_report = report
             report.publish()

@@ -8,14 +8,40 @@ is unchanged keeps its stored table (and name) even if the new design
 labels it differently — and :meth:`apply_migration` executes the plan
 with minimal work: drop obsolete tables, materialize only genuinely new
 views.
+
+A migration is itself a cost event, not just a diff: building each
+created view costs its access cost ``Ca`` (the blocks touched to compute
+it from base relations), and dropping a stored view costs bookkeeping
+proportional to its stored blocks.  :func:`cost_migration` annotates a
+plan with that price so the adaptive controller
+(:mod:`repro.adaptive.controller`) can weigh a redesign's per-period
+saving against the one-off cost of getting there.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.warehouse.view import MaterializedView
+
+
+@dataclass(frozen=True)
+class MigrationCost:
+    """The one-off price of executing a migration plan.
+
+    ``build`` is the total access cost ``Ca`` of computing the created
+    views from base relations; ``teardown`` is the bookkeeping cost of
+    dropping the obsolete view tables (catalog updates, index
+    invalidation, space reclamation), charged per stored block.
+    """
+
+    build: float = 0.0
+    teardown: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.build + self.teardown
 
 
 @dataclass(frozen=True)
@@ -25,10 +51,20 @@ class MigrationPlan:
     keep: Tuple[MaterializedView, ...]  # same defining plan; table reused
     create: Tuple[MaterializedView, ...]  # new plans to materialize
     drop: Tuple[MaterializedView, ...]  # installed views no longer wanted
+    cost: Optional[MigrationCost] = None  # set by cost_migration()
 
     @property
     def is_noop(self) -> bool:
         return not self.create and not self.drop
+
+    @property
+    def migration_cost(self) -> float:
+        """The plan's one-off price (0.0 when never costed)."""
+        return self.cost.total if self.cost is not None else 0.0
+
+    def with_cost(self, cost: MigrationCost) -> "MigrationPlan":
+        """A copy of this plan annotated with its one-off price."""
+        return replace(self, cost=cost)
 
     def describe(self) -> str:
         lines = []
@@ -39,6 +75,12 @@ class MigrationPlan:
         ):
             names = ", ".join(v.name for v in views) or "(none)"
             lines.append(f"{label}: {names}")
+        if self.cost is not None:
+            lines.append(
+                f"migration cost: {self.cost.total:,.0f} blocks "
+                f"(build {self.cost.build:,.0f} + "
+                f"teardown {self.cost.teardown:,.0f})"
+            )
         return "\n".join(lines)
 
 
@@ -71,3 +113,27 @@ def plan_migration(
         if view.signature not in target_signatures
     ]
     return MigrationPlan(tuple(keep), tuple(create), tuple(drop))
+
+
+def cost_migration(
+    plan: MigrationPlan,
+    access_costs: Mapping[str, float],
+    stored_blocks: Mapping[str, float],
+    drop_cost_per_block: float = 0.1,
+) -> MigrationPlan:
+    """Annotate ``plan`` with its one-off execution price.
+
+    ``access_costs`` maps a defining-plan *signature* to the view's
+    access cost ``Ca`` (the new design's annotation — what it costs to
+    build the view from base relations); ``stored_blocks`` maps an
+    installed view *name* to its stored block count.  A created view
+    whose signature is missing costs 0 (no annotation available); a
+    dropped view with no recorded blocks likewise tears down for free.
+    """
+    build = sum(
+        access_costs.get(view.signature, 0.0) for view in plan.create
+    )
+    teardown = drop_cost_per_block * sum(
+        stored_blocks.get(view.name, 0.0) for view in plan.drop
+    )
+    return plan.with_cost(MigrationCost(build=build, teardown=teardown))

@@ -140,6 +140,9 @@ class DataWarehouse:
         self._scheduler = None
         self._resilience_config = None
         self._committed_cards: Dict[str, int] = {}
+        # Adaptive: lazily-built controller; when present, the query and
+        # update paths report every event to its workload monitor.
+        self._controller = None
 
     # --------------------------------------------------------------- queries
     def add_query(self, name: str, sql: str, frequency: float) -> QuerySpec:
@@ -160,6 +163,22 @@ class DataWarehouse:
             raise WarehouseError(f"update frequency must be >= 0: {frequency}")
         self._update_frequencies[relation] = frequency
         self._design = None
+
+    def set_query_frequency(self, name: str, frequency: float) -> None:
+        """Change a registered query's access frequency ``fq``.
+
+        Invalidates the current design (like every workload change); the
+        adaptive controller uses this to write observed frequencies back
+        before installing an accepted redesign.
+        """
+        if frequency < 0:
+            raise WarehouseError(f"query frequency must be >= 0: {frequency}")
+        for index, spec in enumerate(self._queries):
+            if spec.name == name:
+                self._queries[index] = QuerySpec(spec.name, spec.sql, frequency)
+                self._design = None
+                return
+        raise WarehouseError(f"unknown query {name!r}")
 
     @property
     def workload(self) -> Workload:
@@ -382,6 +401,42 @@ class DataWarehouse:
         """One scheduler pass over every view (retry/backoff/breaker)."""
         return self.scheduler().refresh_all()
 
+    # --------------------------------------------------------------- adaptive
+    def controller(self, policy=None, config=None) -> "AdaptiveController":
+        """The warehouse's :class:`~repro.adaptive.controller.AdaptiveController`.
+
+        Created lazily (requires a design); passing ``policy`` (an
+        :class:`~repro.adaptive.policy.AdaptivePolicy`) or ``config``
+        rebuilds it.  While a controller is attached, :meth:`execute`,
+        :meth:`serve` and :meth:`apply_update` report every event to its
+        workload monitor, advancing the shared logical clock by the
+        measured block I/O.
+        """
+        from repro.adaptive.controller import AdaptiveController
+
+        if policy is not None or config is not None or self._controller is None:
+            self._controller = AdaptiveController(
+                self, policy=policy, config=config
+            )
+        return self._controller
+
+    def adapt(self) -> "AdaptationDecision":
+        """Run one adaptive decision: observe → detect → redesign → migrate.
+
+        Returns the :class:`~repro.adaptive.controller.AdaptationDecision`
+        (also appended to ``controller().history``); never raises on a
+        failed migration — the previous design keeps serving.
+        """
+        return self.controller().evaluate()
+
+    def _note_query(self, name: str, io_blocks: int) -> None:
+        if self._controller is not None:
+            self._controller.note_query(name, max(1.0, float(io_blocks)))
+
+    def _note_update(self, relation: str, io_blocks: int) -> None:
+        if self._controller is not None:
+            self._controller.note_update(relation, max(1.0, float(io_blocks)))
+
     def _breaker_allows(self, view_name: str) -> bool:
         """Whether the query path may read this view (breaker not open)."""
         if self._scheduler is None:
@@ -491,6 +546,7 @@ class DataWarehouse:
             span.set(measured_io=io.total, rows=result.cardinality)
             if obs.enabled():
                 self._record_drift(name, plan, io.total)
+        self._note_query(name, io.total)
         return result, io
 
     def serve(self, name: str, freshness: str = "any") -> ServedResult:
@@ -575,6 +631,7 @@ class DataWarehouse:
                 registry.histogram("resilience.staleness").observe(
                     float(served.max_staleness)
                 )
+        self._note_query(name, io.total)
         return served
 
     def _record_drift(self, name: str, plan, measured_io: int) -> None:
@@ -602,44 +659,121 @@ class DataWarehouse:
 
         Stored tables of views whose defining plans survive are kept
         as-is (their names included); obsolete view tables are dropped;
-        only genuinely new views are materialized (when base data is
-        loaded).  Returns the executed migration plan.
+        only genuinely new views are materialized (whenever their base
+        data is loaded).  Returns the executed migration plan, annotated
+        with its one-off cost (see
+        :func:`~repro.warehouse.evolution.cost_migration`).
 
         Accepts the same :class:`~repro.mvpp.config.DesignConfig` as
         :meth:`design` (legacy ``rotations`` / ``push_down`` keywords
         are shimmed with a :class:`DeprecationWarning`).
         """
-        from repro.warehouse.evolution import plan_migration
-
+        if not self._queries:
+            raise WarehouseError("register at least one query before designing")
         config = coerce_design_config(
             config, legacy, owner="DataWarehouse.redesign()"
         )
+        if config.maintenance_trigger is None:
+            config = config.replace(maintenance_trigger=self.maintenance_trigger)
+        if config.resilience is not None:
+            self._resilience_config = config.resilience
+            self._scheduler = None
+        result = run_design(
+            self.workload,
+            config,
+            estimator=self.estimator,
+            cost_model=self.cost_model,
+            cache=self.cost_cache if config.cache else None,
+        )
+        return self.install_design(result)
+
+    def install_design(
+        self, result: DesignResult, scheduler: Optional["RefreshScheduler"] = None
+    ) -> "MigrationPlan":
+        """Migrate the installed view set to an already-computed design.
+
+        The staged path behind :meth:`redesign` and the adaptive
+        controller: genuinely new views are built *before* the serving
+        set changes (queries keep answering from the old views while the
+        new tables fill), then the design, view set, freshness records,
+        dropped tables and registered statistics are swapped in one
+        step.  When ``scheduler`` is given, each new view is built
+        through its retry/backoff/breaker machinery; a view that fails
+        to build aborts the whole migration — built tables are torn down
+        and the old design keeps serving — and raises
+        :class:`WarehouseError`.
+
+        Views are materialized whenever their base data is loaded; with
+        no data loaded the new views are installed unmaterialized
+        (exactly like :meth:`design` + a later :meth:`materialize`).
+        """
+        from repro.warehouse.evolution import cost_migration, plan_migration
+
         installed = list(self._views)
-        had_tables = {
-            v.name for v in installed if v.name in self.database
-        }
         old_versions = dict(self._view_versions)
-        self.design(config)
-        migration = plan_migration(installed, self._views)
-        # Adopt kept identities + new views as the installed set, and
-        # restore the kept views' freshness records.
-        self._views = list(migration.keep) + list(migration.create)
-        for view in migration.keep:
-            if view.name in old_versions:
-                self._view_versions[view.name] = old_versions[view.name]
-        for view in migration.drop:
-            self.database.drop(view.name)
-            self._view_versions.pop(view.name, None)
-            self.engine.indexes.invalidate(view.name)
+        new_views = [
+            MaterializedView(name=f"mv_{vertex.name}", plan=vertex.operator)
+            for vertex in result.materialized
+        ]
+        migration = plan_migration(installed, new_views)
+        migration = cost_migration(
+            migration,
+            access_costs={
+                vertex.operator.signature: vertex.access_cost
+                for vertex in result.materialized
+            },
+            stored_blocks={
+                view.name: float(self.database.table(view.name).num_blocks)
+                for view in migration.drop
+                if view.name in self.database
+            },
+        )
         data_loaded = all(
             relation in self.database
             for view in migration.create
             for relation in view.base_relations
         )
-        if migration.create and data_loaded and had_tables:
+        built: List[MaterializedView] = []
+        if migration.create and data_loaded:
             for view in migration.create:
-                self.maintainer.materialize(view)
-                self._mark_fresh(view)
+                if scheduler is not None:
+                    outcome = scheduler.refresh_view(view)
+                    if not outcome.ok:
+                        for done in built:
+                            self.database.drop(done.name)
+                            self._view_versions.pop(done.name, None)
+                            self.engine.indexes.invalidate(done.name)
+                        self._view_versions.pop(view.name, None)
+                        raise WarehouseError(
+                            f"migration aborted: view {view.name!r} failed "
+                            f"to build ({outcome.error or outcome.status}); "
+                            f"the previous design keeps serving"
+                        )
+                else:
+                    self.maintainer.materialize(view)
+                built.append(view)
+        # Atomic swap: from here on queries see the new design.
+        self._design = result
+        self._views = list(migration.keep) + list(migration.create)
+        self._view_versions.clear()
+        for view in migration.keep:
+            if view.name in old_versions:
+                self._view_versions[view.name] = old_versions[view.name]
+        for view in built:
+            self._mark_fresh(view)
+        for view in migration.drop:
+            self.database.drop(view.name)
+            self._committed_cards.pop(view.name, None)
+            self.engine.indexes.invalidate(view.name)
+        # Register the new views' estimated sizes so rewritten plans
+        # (reading mv_* relations) remain estimable, e.g. by explain().
+        for vertex in result.materialized:
+            if vertex.stats is not None:
+                self.statistics.set_relation(
+                    f"mv_{vertex.name}",
+                    vertex.stats.cardinality,
+                    vertex.stats.blocks,
+                )
         return migration
 
     def explain(
@@ -750,6 +884,7 @@ class DataWarehouse:
         with obs.span(
             "maintenance.update", relation=relation, policy=policy
         ) as span:
+            io_before = self.database.io.snapshot()
             rows = list(rows)
             span.set(delta_rows=len(rows))
             self.database.table(relation).insert_many(rows)
@@ -757,6 +892,9 @@ class DataWarehouse:
             self.engine.indexes.invalidate(relation)
             reports: List[RefreshReport] = []
             if policy == "defer":
+                self._note_update(
+                    relation, self.database.io.since(io_before).total
+                )
                 return reports
             for view in self.views:
                 if not view.depends_on(relation):
@@ -772,4 +910,5 @@ class DataWarehouse:
                 self._mark_fresh(view)
                 self.engine.indexes.invalidate(view.name)
             span.set(views_refreshed=len(reports))
+            self._note_update(relation, self.database.io.since(io_before).total)
         return reports

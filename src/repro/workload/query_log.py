@@ -3,16 +3,20 @@
 The paper takes the frequencies ``fq`` as given.  In practice they come
 from observation: this module turns a log of executed queries (and base
 relation updates) into per-period frequencies ready to feed the design
-pipeline, with optional exponential decay so recent behaviour dominates.
+pipeline, with optional exponential decay so recent behaviour dominates
+and an optional sliding window so old behaviour drops out entirely —
+the estimation model behind the online
+:class:`~repro.adaptive.monitor.WorkloadMonitor`.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import WorkloadError
+from repro.errors import WorkloadError, WorkloadWarning
 from repro.workload.spec import QuerySpec, Workload
 
 
@@ -42,6 +46,8 @@ def estimate_frequencies(
     entries: Iterable[LogEntry],
     period: float,
     half_life_periods: Optional[float] = None,
+    window_periods: Optional[float] = None,
+    now: Optional[float] = None,
 ) -> FrequencyEstimate:
     """Aggregate a log into per-period frequencies.
 
@@ -50,14 +56,34 @@ def estimate_frequencies(
     decay (an event ``h`` half-lives ago counts 2^-h) and frequencies are
     normalized by the total decayed weight instead of the raw span — a
     simple sliding-importance model for drifting workloads.
+
+    ``window_periods`` restricts the estimate to a sliding window: only
+    entries at most that many periods old (relative to ``now``, which
+    defaults to the newest entry's timestamp) are counted.  ``now`` also
+    anchors the decay, so an estimate taken mid-silence keeps aging the
+    last burst of events instead of treating it as current.
     """
     if period <= 0:
         raise WorkloadError(f"period must be positive: {period}")
+    if window_periods is not None and window_periods <= 0:
+        raise WorkloadError(f"window_periods must be positive: {window_periods}")
     entries = sorted(entries, key=lambda e: e.timestamp)
     if not entries:
         raise WorkloadError("cannot estimate frequencies from an empty log")
+    end = entries[-1].timestamp if now is None else now
+    if end < entries[-1].timestamp:
+        raise WorkloadError(
+            f"now={end} predates the newest log entry "
+            f"({entries[-1].timestamp}); the log is not causal"
+        )
+    if window_periods is not None:
+        horizon = end - window_periods * period
+        entries = [e for e in entries if e.timestamp >= horizon]
+        if not entries:
+            raise WorkloadError(
+                "no log entries within the estimation window"
+            )
     start = entries[0].timestamp
-    end = entries[-1].timestamp
     span_periods = max((end - start) / period, 1.0)
 
     def weight(entry: LogEntry) -> float:
@@ -97,7 +123,42 @@ def apply_to_workload(
     the designer ignores them) unless ``drop_unobserved_queries`` removes
     them entirely; relations absent from the log keep their registered
     update frequencies.
+
+    Estimate entries that name nothing in the workload are ignored, but
+    a :class:`~repro.errors.WorkloadWarning` is emitted naming them —
+    an unknown relation or query in a frequency estimate is usually a
+    typo in the log's names, and silently dropping it would quietly
+    mis-steer the design.
     """
+    known_queries = {spec.name for spec in workload.queries}
+    unknown_queries = sorted(
+        set(estimate.query_frequencies) - known_queries
+    )
+    unknown_relations = sorted(
+        name
+        for name in estimate.update_frequencies
+        if name not in workload.catalog
+    )
+    if unknown_queries or unknown_relations:
+        parts = []
+        if unknown_relations:
+            parts.append(
+                "relation(s) not in the catalog: "
+                + ", ".join(repr(n) for n in unknown_relations)
+            )
+        if unknown_queries:
+            parts.append(
+                "query name(s) not in the workload: "
+                + ", ".join(repr(n) for n in unknown_queries)
+            )
+        warnings.warn(
+            WorkloadWarning(
+                f"frequency estimate for workload {workload.name!r} names "
+                f"{'; '.join(parts)} — these entries are ignored (typo in "
+                f"the log's names?)"
+            ),
+            stacklevel=2,
+        )
     queries: List[QuerySpec] = []
     for spec in workload.queries:
         frequency = estimate.query_frequencies.get(spec.name)

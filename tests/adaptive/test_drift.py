@@ -1,0 +1,106 @@
+"""Unit tests for the deterministic drift detector."""
+
+import pytest
+
+from repro.adaptive import AdaptivePolicy, DriftDetector
+from repro.workload.query_log import FrequencyEstimate
+
+
+def estimate(fq, fu=None):
+    return FrequencyEstimate(
+        query_frequencies=fq, update_frequencies=fu or {}, periods=1.0
+    )
+
+
+@pytest.fixture()
+def detector():
+    return DriftDetector(
+        AdaptivePolicy(drift_threshold=0.5, noise_floor=0.05)
+    )
+
+
+class TestCheck:
+    def test_identical_vectors_no_drift(self, detector):
+        baseline = {"Q1": 10.0, "Q2": 0.5}
+        assert detector.check(baseline, {}, estimate(dict(baseline)), 0.0) is None
+
+    def test_none_estimate_never_drifts(self, detector):
+        assert detector.check({"Q1": 1.0}, {}, None, 0.0) is None
+
+    def test_doubling_drifts(self, detector):
+        event = detector.check({"Q1": 1.0}, {}, estimate({"Q1": 2.0}), 7.0)
+        assert event is not None
+        assert event.tick == 7.0
+        assert event.magnitude == pytest.approx(1.0)
+        (change,) = event.changes
+        assert (change.kind, change.name) == ("query", "Q1")
+        assert "Q1" in change.describe()
+
+    def test_small_change_ignored(self, detector):
+        assert (
+            detector.check({"Q1": 10.0}, {}, estimate({"Q1": 12.0}), 0.0)
+            is None
+        )
+
+    def test_noise_floor_skips_negligible(self, detector):
+        # 0 -> 0.04 is a huge relative change but both sides are noise.
+        assert (
+            detector.check({"Q9": 0.0}, {}, estimate({"Q9": 0.04}), 0.0)
+            is None
+        )
+
+    def test_new_query_appearing_drifts(self, detector):
+        event = detector.check({}, {}, estimate({"Q9": 1.0}), 0.0)
+        assert event is not None
+        (change,) = event.changes
+        assert change.baseline == 0.0 and change.observed == 1.0
+
+    def test_update_frequencies_checked(self, detector):
+        event = detector.check(
+            {}, {"Order": 1.0}, estimate({}, {"Order": 3.0}), 0.0
+        )
+        assert event is not None
+        assert event.changes[0].kind == "update"
+
+    def test_magnitude_is_max_over_changes(self, detector):
+        event = detector.check(
+            {"Q1": 1.0, "Q2": 1.0},
+            {},
+            estimate({"Q1": 2.0, "Q2": 4.0}),
+            0.0,
+        )
+        assert event.magnitude == pytest.approx(3.0)
+        assert [c.name for c in event.changes] == ["Q1", "Q2"]  # sorted
+        assert "magnitude" in event.describe()
+
+
+class TestMinAbsoluteChange:
+    """The dual threshold: relative AND absolute must both clear."""
+
+    def test_shot_noise_on_rare_events_suppressed(self):
+        detector = DriftDetector(
+            AdaptivePolicy(drift_threshold=0.5, min_absolute_change=1.0)
+        )
+        # +50% relative, but only half an event per period: a sliding
+        # window gaining one rare event at its edge looks exactly like
+        # this, and must not count as drift.
+        assert (
+            detector.check({"Q2": 1.0}, {}, estimate({"Q2": 1.5}), 0.0)
+            is None
+        )
+
+    def test_real_phase_flip_still_detected(self):
+        detector = DriftDetector(
+            AdaptivePolicy(drift_threshold=0.5, min_absolute_change=1.0)
+        )
+        event = detector.check({"Q2": 1.0}, {}, estimate({"Q2": 8.0}), 0.0)
+        assert event is not None
+
+    def test_zero_guard_keeps_relative_behaviour(self):
+        detector = DriftDetector(
+            AdaptivePolicy(drift_threshold=0.5, min_absolute_change=0.0)
+        )
+        assert (
+            detector.check({"Q2": 1.0}, {}, estimate({"Q2": 1.5}), 0.0)
+            is not None
+        )

@@ -1,0 +1,76 @@
+"""Unit tests for the online workload monitor."""
+
+import pytest
+
+from repro.adaptive import AdaptivePolicy, WorkloadMonitor
+from repro.errors import AdaptiveError
+
+
+@pytest.fixture()
+def policy():
+    # Window = 2 periods of 10 ticks; three events unlock the estimate.
+    return AdaptivePolicy(
+        period_ticks=10.0, window_periods=2.0, min_observations=3
+    )
+
+
+class TestRecording:
+    def test_causality_enforced(self, policy):
+        monitor = WorkloadMonitor(policy)
+        monitor.record_query("Q1", 5.0)
+        with pytest.raises(AdaptiveError, match="causal"):
+            monitor.record_query("Q2", 3.0)
+
+    def test_equal_ticks_allowed(self, policy):
+        monitor = WorkloadMonitor(policy)
+        monitor.record_query("Q1", 5.0)
+        monitor.record_update("Order", 5.0)
+        assert monitor.observations == 2
+
+    def test_pruning_bounds_memory(self, policy):
+        monitor = WorkloadMonitor(policy)
+        monitor.record_query("Q1", 0.0)
+        monitor.record_query("Q1", 100.0)  # 0.0 ages out (window is 20)
+        assert monitor.observations == 1
+        assert monitor.total_recorded == 2  # lifetime count survives pruning
+
+    def test_clear(self, policy):
+        monitor = WorkloadMonitor(policy)
+        monitor.record_query("Q1", 1.0)
+        monitor.clear()
+        assert monitor.observations == 0
+
+
+class TestEstimate:
+    def test_none_below_min_observations(self, policy):
+        monitor = WorkloadMonitor(policy)
+        monitor.record_query("Q1", 1.0)
+        monitor.record_query("Q1", 2.0)
+        assert not monitor.sufficient()
+        assert monitor.estimate() is None
+
+    def test_rates_recovered(self, policy):
+        monitor = WorkloadMonitor(policy)
+        # Five Q1 runs and one Order update per 10-tick period, two periods.
+        for period in range(2):
+            base = period * 10.0
+            for i in range(5):
+                monitor.record_query("Q1", base + i)
+            monitor.record_update("Order", base + 9.0)
+        estimate = monitor.estimate(now=20.0)
+        assert estimate is not None
+        assert estimate.query_frequencies["Q1"] == pytest.approx(5.0, rel=0.25)
+        assert estimate.update_frequencies["Order"] == pytest.approx(
+            1.0, rel=0.25
+        )
+
+    def test_sufficient_prunes_with_now(self, policy):
+        monitor = WorkloadMonitor(policy)
+        for tick in range(3):
+            monitor.record_query("Q1", float(tick))
+        assert monitor.sufficient()
+        # Far in the future everything aged out of the window.
+        assert not monitor.sufficient(now=1000.0)
+
+    def test_estimate_empty_monitor(self, policy):
+        assert WorkloadMonitor(policy).estimate() is None

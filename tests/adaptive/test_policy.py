@@ -1,0 +1,58 @@
+"""Unit tests for the adaptive-controller policy value."""
+
+import pytest
+
+from repro.adaptive import DEFAULT_ADAPTIVE_POLICY, AdaptivePolicy
+from repro.errors import AdaptiveError
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("period_ticks", 0.0),
+            ("period_ticks", -1.0),
+            ("window_periods", 0.0),
+            ("half_life_periods", 0.0),
+            ("min_observations", 0),
+            ("drift_threshold", 0.0),
+            ("min_absolute_change", -0.5),
+            ("noise_floor", -0.1),
+            ("cooldown_ticks", -1.0),
+            ("min_benefit_margin", -1.0),
+            ("amortization_horizon_periods", 0.0),
+            ("drop_cost_per_block", -0.1),
+        ],
+    )
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(AdaptiveError, match=field):
+            AdaptivePolicy(**{field: value})
+
+    def test_half_life_none_allowed(self):
+        assert AdaptivePolicy(half_life_periods=None).half_life_periods is None
+
+    def test_replace_revalidates(self):
+        with pytest.raises(AdaptiveError):
+            DEFAULT_ADAPTIVE_POLICY.replace(period_ticks=0.0)
+
+    def test_replace_changes_field(self):
+        policy = DEFAULT_ADAPTIVE_POLICY.replace(drift_threshold=0.9)
+        assert policy.drift_threshold == 0.9
+        assert policy.period_ticks == DEFAULT_ADAPTIVE_POLICY.period_ticks
+
+
+class TestDerived:
+    def test_window_ticks(self):
+        policy = AdaptivePolicy(period_ticks=10.0, window_periods=3.0)
+        assert policy.window_ticks == 30.0
+
+    def test_default_policy_passes_its_own_lint(self):
+        """The shipped defaults must not trip A001/A002."""
+        from repro.lint import lint_adaptive_policy
+
+        report = lint_adaptive_policy(DEFAULT_ADAPTIVE_POLICY)
+        assert report.diagnostics == []
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_ADAPTIVE_POLICY.drift_threshold = 1.0

@@ -1,0 +1,89 @@
+"""Tests for the drifting-workload replay (static vs adaptive vs eager)."""
+
+import pytest
+
+from repro.adaptive import simulate_drift, simulation_policy
+from repro.errors import AdaptiveError
+
+
+@pytest.fixture(scope="module")
+def seed7():
+    return simulate_drift(seed=7)
+
+
+class TestDeterminism:
+    def test_seed7_trajectory_is_bit_identical(self, seed7):
+        """ISSUE acceptance: the seed-7 replay reproduces exactly."""
+        again = simulate_drift(seed=7)
+        assert again.to_dict() == seed7.to_dict()
+
+    def test_different_seeds_share_structure(self):
+        result = simulate_drift(seed=1, windows_per_phase=2)
+        assert result.windows == 6
+        assert set(result.variants) == {"static", "adaptive", "eager"}
+        assert len(result.decisions) == 6
+        assert len(result.phases) == 6
+
+
+class TestOutcomes:
+    def test_adaptive_beats_both_baselines(self, seed7):
+        """ISSUE acceptance: drift-triggered + cost-gated beats never-
+        redesign and redesign-every-window."""
+        assert seed7.adaptive_beats_static
+        assert seed7.adaptive_beats_eager
+        assert seed7.accepted >= 1
+        assert seed7.drift_events >= seed7.accepted
+
+    def test_adaptive_migrates_less_than_eager(self, seed7):
+        adaptive = seed7.variants["adaptive"]
+        eager = seed7.variants["eager"]
+        assert adaptive.migrations < eager.migrations
+        assert adaptive.migration_cost < eager.migration_cost
+
+    def test_static_never_migrates(self, seed7):
+        static = seed7.variants["static"]
+        assert static.migrations == 0
+        assert static.migration_cost == 0.0
+        assert static.final_views  # designed once, still serving
+
+    def test_stationary_control_accepts_nothing(self):
+        result = simulate_drift(seed=0, stationary=True)
+        assert result.stationary
+        assert result.accepted == 0
+        # With no accepted migration the adaptive variant pays exactly
+        # the static serving cost.
+        assert (
+            result.variants["adaptive"].total_cost
+            == result.variants["static"].total_cost
+        )
+
+    def test_window_costs_cover_every_window(self, seed7):
+        for outcome in seed7.variants.values():
+            assert len(outcome.window_costs) == seed7.windows
+
+
+class TestInterface:
+    def test_bad_windows_rejected(self):
+        with pytest.raises(AdaptiveError):
+            simulate_drift(windows_per_phase=0)
+
+    def test_describe_lists_variants_and_decisions(self, seed7):
+        text = seed7.describe()
+        for name in ("static", "adaptive", "eager"):
+            assert name in text
+        assert "decisions" in text
+
+    def test_to_dict_is_json_safe(self, seed7):
+        import json
+
+        document = json.loads(json.dumps(seed7.to_dict()))
+        assert document["seed"] == 7
+        assert document["variants"]["adaptive"]["total_cost"] == (
+            seed7.variants["adaptive"].total_cost
+        )
+
+    def test_simulation_policy_scales_with_events(self):
+        policy = simulation_policy(40.0)
+        assert policy.period_ticks == 40.0
+        assert policy.cooldown_ticks == 80.0
+        assert policy.min_absolute_change == 1.0

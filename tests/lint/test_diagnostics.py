@@ -57,8 +57,9 @@ class TestRegistry:
             get_rule("Z999")
 
     def test_rules_for_scope_partitions(self):
-        scoped = {r.rule_id for s in ("workload", "mvpp", "design", "code")
-                  for r in rules_for(s)}
+        from repro.lint import SCOPES
+
+        scoped = {r.rule_id for s in SCOPES for r in rules_for(s)}
         assert scoped == set(rule_ids())
         assert len(all_rules()) == len(rule_ids())
 

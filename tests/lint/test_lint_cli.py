@@ -99,7 +99,8 @@ class TestDesignConfigLint:
     def test_lint_gate_raises_on_errors(self, monkeypatch):
         import repro.lint.semantic as semantic
 
-        def inject(mvpp, materialized, calculator=None, workload=None):
+        def inject(mvpp, materialized, calculator=None, workload=None,
+                   policy=None):
             from repro.lint import LintReport, Severity, get_rule
 
             report = LintReport(target="injected")

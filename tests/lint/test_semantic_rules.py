@@ -248,3 +248,67 @@ class TestDesignRules:
     def test_lint_design_defaults_calculator(self, fresh_mvpp):
         report = lint_design(fresh_mvpp, [])
         assert fired(report, "D001") == []
+
+
+class TestAdaptiveRules:
+    def test_a001_cooldown_below_drift_window(self):
+        from repro.adaptive import AdaptivePolicy
+        from repro.lint import lint_adaptive_policy
+
+        policy = AdaptivePolicy(
+            period_ticks=10.0, window_periods=4.0, cooldown_ticks=10.0
+        )
+        (diag,) = fired(lint_adaptive_policy(policy), "A001")
+        assert diag.severity is Severity.WARNING
+        assert "cooldown" in diag.message
+
+    def test_a002_zero_benefit_margin(self):
+        from repro.adaptive import AdaptivePolicy
+        from repro.lint import lint_adaptive_policy
+
+        policy = AdaptivePolicy(min_benefit_margin=0.0)
+        (diag,) = fired(lint_adaptive_policy(policy), "A002")
+        assert diag.severity is Severity.WARNING
+
+    def test_default_policy_is_clean(self):
+        from repro.adaptive import DEFAULT_ADAPTIVE_POLICY
+        from repro.lint import lint_adaptive_policy
+
+        assert lint_adaptive_policy(DEFAULT_ADAPTIVE_POLICY).diagnostics == []
+
+    def test_non_policy_rejected(self):
+        from repro.errors import LintError
+        from repro.lint import lint_adaptive_policy
+
+        with pytest.raises(LintError):
+            lint_adaptive_policy(object())
+
+    def test_lint_design_runs_adaptive_scope_with_policy(self, fresh_workload):
+        from repro.adaptive import AdaptivePolicy
+
+        policy = AdaptivePolicy(
+            period_ticks=10.0, window_periods=4.0, cooldown_ticks=0.0,
+            min_benefit_margin=0.0,
+        )
+        result = design(fresh_workload)
+        report = lint_design(
+            result.mvpp, result.materialized,
+            calculator=result.calculator, workload=fresh_workload,
+            policy=policy,
+        )
+        assert fired(report, "A001") and fired(report, "A002")
+
+    def test_design_pipeline_lints_config_policy(self, fresh_workload):
+        """design(config with adaptive=...) feeds the policy to the
+        lint gate; warnings never abort the run."""
+        from repro.adaptive import AdaptivePolicy
+        from repro.mvpp import DesignConfig
+
+        policy = AdaptivePolicy(
+            period_ticks=10.0, window_periods=4.0, cooldown_ticks=0.0
+        )
+        result = design(
+            fresh_workload, DesignConfig(adaptive=policy, lint=True)
+        )
+        assert result.lint_report is not None
+        assert any(d.rule == "A001" for d in result.lint_report.diagnostics)

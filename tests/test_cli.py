@@ -261,3 +261,61 @@ class TestSimulateCommand:
     def test_bad_rounds_rejected(self, capsys):
         assert main(["simulate", "--faults", "--rounds", "0"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestSimulateDrift:
+    def test_drift_replay_beats_baselines(self, capsys):
+        assert main(["simulate", "--drift", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        for name in ("static", "adaptive", "eager"):
+            assert name in out
+        assert "accepted" in out
+
+    def test_stationary_control_exits_zero(self, capsys):
+        assert main(["simulate", "--drift", "--stationary", "--seed", "1"]) == 0
+        assert "stationary control" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate", "--drift", "--seed", "7",
+                    "--windows-per-phase", "2", "--format", "json",
+                ]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["windows"] == 6
+        assert set(document["variants"]) == {"static", "adaptive", "eager"}
+
+    def test_bad_windows_rejected(self, capsys):
+        assert main(["simulate", "--drift", "--windows-per-phase", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAdaptCommand:
+    def test_inverting_hot_set_adapts(self, capsys):
+        assert main(["adapt", "--windows", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "hot set inverts" in out
+        assert "accepted" in out
+        assert "serving views:" in out
+
+    def test_stationary_accepts_nothing(self, capsys):
+        assert main(["adapt", "--windows", "6", "--stationary"]) == 0
+        out = capsys.readouterr().out
+        assert "accepted redesigns: 0" in out
+
+    def test_json_format(self, capsys):
+        assert (
+            main(["adapt", "--windows", "6", "--format", "json"]) == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["decisions"]) == 6
+        assert document["accepted"] >= 1
+        assert document["final_views"]
+
+    def test_too_few_windows_rejected(self, capsys):
+        assert main(["adapt", "--windows", "1"]) == 1
+        assert "--windows" in capsys.readouterr().err

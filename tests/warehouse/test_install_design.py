@@ -1,0 +1,134 @@
+"""Tests for the staged view-set migration behind redesign()/adapt()."""
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.mvpp import DesignConfig, design as run_design
+from repro.resilience import FaultPolicy, ResilienceConfig, RetryPolicy
+from repro.warehouse import DataWarehouse
+from repro.workload import paper_rows, paper_workload
+
+
+def make_warehouse(load=True, materialize=True):
+    warehouse = DataWarehouse.from_workload(paper_workload())
+    warehouse.design(DesignConfig(seed=0))
+    if load:
+        for relation, rows in paper_rows(scale=0.01, seed=17).items():
+            warehouse.load(relation, rows)
+        if materialize:
+            warehouse.materialize()
+    return warehouse
+
+
+def favor_q1(warehouse):
+    """Re-rank the workload so only Q1 matters (forces a migration)."""
+    for spec in warehouse.workload.queries:
+        warehouse.set_query_frequency(
+            spec.name, 50.0 if spec.name == "Q1" else 0.0
+        )
+
+
+def rows_equal(a, b):
+    key = lambda t: sorted(  # noqa: E731
+        tuple(sorted(r.items())) for r in t.rows()
+    )
+    return key(a) == key(b)
+
+
+class TestInstallDesign:
+    def test_reinstalling_current_design_is_noop(self):
+        warehouse = make_warehouse()
+        before = set(warehouse.database.table_names)
+        migration = warehouse.install_design(warehouse.design_result)
+        assert migration.is_noop
+        assert set(warehouse.database.table_names) == before
+        assert warehouse.stale_views() == []
+
+    def test_swap_builds_creates_and_drops_obsolete(self):
+        warehouse = make_warehouse()
+        favor_q1(warehouse)
+        result = run_design(warehouse.workload, DesignConfig(seed=0))
+        migration = warehouse.install_design(result)
+        assert not migration.is_noop
+        assert migration.cost is not None
+        for view in warehouse.views:
+            assert view.name in warehouse.database
+        for view in migration.drop:
+            assert view.name not in warehouse.database
+        with_views, _ = warehouse.execute("Q1", use_views=True)
+        without, _ = warehouse.execute("Q1", use_views=False)
+        assert rows_equal(with_views, without)
+
+    def test_new_view_statistics_registered(self):
+        warehouse = make_warehouse()
+        favor_q1(warehouse)
+        result = run_design(warehouse.workload, DesignConfig(seed=0))
+        warehouse.install_design(result)
+        for vertex in result.materialized:
+            stats = warehouse.statistics.relation(f"mv_{vertex.name}")
+            assert stats.cardinality == vertex.stats.cardinality
+
+    def test_unloaded_warehouse_installs_unmaterialized(self):
+        warehouse = make_warehouse(load=False)
+        favor_q1(warehouse)
+        result = run_design(warehouse.workload, DesignConfig(seed=0))
+        warehouse.install_design(result)
+        assert warehouse.views
+        for view in warehouse.views:
+            assert view.name not in warehouse.database
+        # The usual load + materialize path completes the installation.
+        for relation, rows in paper_rows(scale=0.01, seed=17).items():
+            warehouse.load(relation, rows)
+        warehouse.materialize()
+        for view in warehouse.views:
+            assert view.name in warehouse.database
+
+
+class TestRedesignMaterializes:
+    def test_creates_built_even_without_prior_view_tables(self):
+        """Regression: redesign() must materialize new views whenever the
+        base data is loaded — even if no view table existed before (the
+        old ``had_tables`` guard skipped the build in that case)."""
+        warehouse = make_warehouse(load=True, materialize=False)
+        assert all(v.name not in warehouse.database for v in warehouse.views)
+        favor_q1(warehouse)
+        migration = warehouse.redesign()
+        assert migration.create
+        for view in migration.create:
+            assert view.name in warehouse.database
+        assert not warehouse.stale_views()
+
+
+class TestResilientMigration:
+    def test_failed_build_rolls_back_and_old_design_serves(self):
+        warehouse = make_warehouse()
+        before_views = tuple(v.name for v in warehouse.views)
+        before_tables = set(warehouse.database.table_names)
+        favor_q1(warehouse)
+        result = run_design(warehouse.workload, DesignConfig(seed=0))
+        injector = warehouse.attach_faults(
+            FaultPolicy(storage_failure_rate=1.0, seed=0)
+        )
+        scheduler = warehouse.scheduler(
+            ResilienceConfig(retry=RetryPolicy(max_attempts=2), seed=0),
+            injector=injector,
+        )
+        with pytest.raises(WarehouseError, match="migration aborted"):
+            warehouse.install_design(result, scheduler=scheduler)
+        assert tuple(v.name for v in warehouse.views) == before_views
+        assert set(warehouse.database.table_names) == before_tables
+        warehouse.detach_faults()
+        answered, _ = warehouse.execute("Q4", use_views=True)
+        assert answered.rows()
+
+    def test_scheduler_build_succeeds_without_faults(self):
+        warehouse = make_warehouse()
+        favor_q1(warehouse)
+        result = run_design(warehouse.workload, DesignConfig(seed=0))
+        migration = warehouse.install_design(
+            result, scheduler=warehouse.scheduler()
+        )
+        assert migration.create
+        for view in warehouse.views:
+            assert view.name in warehouse.database
+        assert not warehouse.stale_views()

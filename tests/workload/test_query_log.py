@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import WorkloadError
+from repro.errors import WorkloadError, WorkloadWarning
 from repro.workload import paper_workload
 from repro.workload.query_log import (
     FrequencyEstimate,
@@ -97,14 +97,32 @@ class TestApplyToWorkload:
     def test_all_dropped_rejected(self):
         workload = paper_workload()
         estimate = FrequencyEstimate({"Q99": 1.0}, {}, 1.0)
-        with pytest.raises(WorkloadError):
+        with pytest.warns(WorkloadWarning), pytest.raises(WorkloadError):
             apply_to_workload(workload, estimate, drop_unobserved_queries=True)
 
-    def test_unknown_relations_ignored(self):
+    def test_unknown_relations_ignored_with_warning(self):
         workload = paper_workload()
         estimate = FrequencyEstimate({"Q1": 1.0}, {"Elsewhere": 9.0}, 1.0)
-        observed = apply_to_workload(workload, estimate)
+        with pytest.warns(WorkloadWarning, match="'Elsewhere'"):
+            observed = apply_to_workload(workload, estimate)
         assert "Elsewhere" not in observed.update_frequencies
+
+    def test_unknown_queries_ignored_with_warning(self):
+        workload = paper_workload()
+        estimate = FrequencyEstimate({"Q1": 2.0, "Q99": 5.0}, {}, 1.0)
+        with pytest.warns(WorkloadWarning, match="'Q99'"):
+            observed = apply_to_workload(workload, estimate)
+        assert observed.query("Q1").frequency == 2.0
+        assert "Q99" not in {q.name for q in observed.queries}
+
+    def test_known_names_warn_nothing(self):
+        import warnings
+
+        workload = paper_workload()
+        estimate = FrequencyEstimate({"Q1": 2.0}, {"Order": 3.0}, 1.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            apply_to_workload(workload, estimate)
 
     def test_design_from_observed_frequencies(self):
         """A log-derived workload flows through the design pipeline, and
