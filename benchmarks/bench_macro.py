@@ -1,0 +1,67 @@
+"""Macro benchmark — the whole lifecycle behind ``repro bench --suite macro``.
+
+One run sweeps design, load, the scaled Table-2 query sweep, a resilient
+refresh, and an adaptive drift replay, producing the schema-versioned
+document committed at the repo root as ``BENCH_macro.json``.  This
+wrapper times :func:`repro.obs.macro.run_macro` with pytest-benchmark
+and asserts the document's invariants: it validates, it self-compares
+clean, and (in smoke mode) it reproduces the committed baseline
+bit-compatibly.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the deterministic CI mode: wall-clock
+readings are zeroed, leaving a document that is a pure function of the
+seed.
+"""
+
+import json
+import os
+
+from repro.obs.macro import (
+    MacroConfig,
+    compare_bench,
+    run_macro,
+    validate_bench,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Mirrors the `repro bench --suite macro` defaults, so this benchmark
+#: exercises the exact configuration behind the committed baseline.
+CONFIG = MacroConfig(smoke=SMOKE)
+
+BASELINE = os.path.join(os.path.dirname(__file__), "..", "BENCH_macro.json")
+
+
+def test_macro_suite(benchmark):
+    document = benchmark.pedantic(
+        lambda: run_macro(CONFIG), rounds=1, iterations=1
+    )
+
+    assert validate_bench(document) == []
+    assert compare_bench(document, document) == []
+    phases = document["phases"]
+    assert phases["load"]["io_blocks"] > 0
+    assert phases["queries"]["io_blocks"] > 0
+    assert document["calibration"]["samples"] > 0
+    assert document["journal"]["events"] > 0
+
+    if SMOKE and os.path.exists(BASELINE):
+        with open(BASELINE) as handle:
+            baseline = json.load(handle)
+        assert compare_bench(baseline, document) == [], (
+            "macro suite regressed against the committed BENCH_macro.json"
+        )
+        assert json.dumps(baseline, sort_keys=True) == json.dumps(
+            document, sort_keys=True
+        ), "smoke-mode document is no longer bit-compatible with baseline"
+
+    benchmark.extra_info["phases"] = phases
+    benchmark.extra_info["calibration"] = document["calibration"]
+
+    print()
+    print(f"{'phase':<10} {'wall_ms':>10} {'io_blocks':>10}")
+    for name, bucket in phases.items():
+        print(
+            f"{name:<10} {bucket['wall_ms']:>10.3f} "
+            f"{bucket['io_blocks']:>10.0f}"
+        )

@@ -365,13 +365,21 @@ class AdaptiveController:
         (the decision's ``action`` says what happened, and the previous
         design keeps serving).
         """
-        with obs.span("adaptive.evaluate") as span:
+        with obs.correlation("adapt"), obs.span("adaptive.evaluate") as span:
             decision = self._decide(self.clock.now)
             span.set(
                 action=decision.action,
                 tick=decision.tick,
                 net_benefit=decision.net_benefit,
             )
+            if obs.enabled():
+                obs.journal_event(
+                    "adaptive.decision",
+                    tick=decision.tick,
+                    action=decision.action,
+                    net_benefit=decision.net_benefit,
+                    detail=decision.detail,
+                )
         self.history.append(decision)
         return decision
 

@@ -11,6 +11,9 @@ Usage (also via ``python -m repro``)::
     repro simulate --faults               # seeded fault-injection lifecycle
     repro simulate --drift                # static vs adaptive vs eager redesign
     repro adapt    --windows 8            # online drift-detection replay
+    repro trace    --events               # flight-recorder journal as JSONL
+    repro calibrate --workload paper      # estimated-vs-measured Ca/Cm report
+    repro bench    --suite macro          # BENCH-tracked macro benchmark
     repro dot      --workload paper       # DOT export of the chosen MVPP
     repro lint     --workload paper       # semantic lint of the design problem
     repro lint     --self                 # determinism lint of the repro sources
@@ -182,6 +185,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json"), default="text",
         help="output format (json shares the observability serializer)",
     )
+    trace_parser.add_argument(
+        "--events", action="store_true",
+        help="run an instrumented lifecycle and dump the flight-recorder "
+             "journal as JSONL instead of the selection trace",
+    )
+    trace_parser.add_argument(
+        "--scale", type=float, default=0.01,
+        help="with --events: fraction of the statistics' cardinalities "
+             "to load (default 0.01)",
+    )
+    trace_parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="with --events: write the JSONL here instead of stdout",
+    )
 
     profile_parser = commands.add_parser(
         "profile",
@@ -320,6 +337,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules", action="store_true",
         help="list the rule catalog and exit",
     )
+
+    calibrate_parser = commands.add_parser(
+        "calibrate",
+        help="estimated-vs-measured Ca/Cm report (worst-calibrated first)",
+    )
+    _add_workload_arguments(calibrate_parser)
+    calibrate_parser.add_argument(
+        "--scale", type=float, default=0.01,
+        help="fraction of the statistics' cardinalities to load (default 0.01)",
+    )
+    calibrate_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    calibrate_parser.add_argument(
+        "--limit", type=int, default=5,
+        help="worst-calibrated entries to highlight (default 5)",
+    )
+
+    bench_parser = commands.add_parser(
+        "bench",
+        help="macro-benchmark sweep, BENCH-tracked with a regression gate",
+    )
+    _add_workload_arguments(bench_parser)
+    bench_parser.add_argument(
+        "--suite", choices=("macro",), default="macro",
+        help="benchmark suite to run (default: macro)",
+    )
+    bench_parser.add_argument(
+        "--scale", type=float, default=0.01,
+        help="fraction of the statistics' cardinalities to load (default 0.01)",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="query-sweep repetitions (default 3)",
+    )
+    bench_parser.add_argument(
+        "--windows", type=int, default=4,
+        help="drift-replay observation windows (default 4)",
+    )
+    bench_parser.add_argument(
+        "--output", metavar="FILE", default="BENCH_macro.json",
+        help="write the benchmark document here (default: BENCH_macro.json)",
+    )
+    bench_parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="compare against this document (default: the --output path "
+             "when it already exists)",
+    )
+    bench_parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed per-phase regression before failing (default 0.25)",
+    )
+    bench_parser.add_argument(
+        "--smoke", action="store_true",
+        help="deterministic mode: record wall_ms as 0 so the document is "
+             "bit-compatible across machines (also via REPRO_BENCH_SMOKE)",
+    )
     return parser
 
 
@@ -378,7 +453,73 @@ def command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_instrumented_lifecycle(args: argparse.Namespace, scale: float):
+    """Design, load, query, update, resilient refresh, adapt — once.
+
+    The shared driver behind ``repro trace --events`` and ``repro
+    calibrate``: every instrumented subsystem (executor, maintenance,
+    scheduler, controller) runs at least once, so the journal and the
+    calibration log carry one full story.
+    """
+    from repro.warehouse import DataWarehouse
+
+    if scale <= 0:
+        raise ReproError(f"--scale must be positive: {scale}")
+    workload, rows = resolve_workload_rows(args, scale)
+    warehouse = DataWarehouse.from_workload(workload)
+    warehouse.design(design_config(args))
+    for relation, relation_rows in rows.items():
+        warehouse.load(relation, relation_rows)
+    warehouse.materialize()
+    # Sync statistics (base and stored views) to the loaded actuals, so
+    # calibration measures cost-model error rather than the gap between
+    # the Table-1 statistics and the --scale fraction actually loaded.
+    warehouse.sync_statistics()
+    for view in warehouse.views:
+        if view.name in warehouse.database:
+            table = warehouse.database.table(view.name)
+            warehouse.statistics.set_relation(
+                view.name, table.cardinality, table.num_blocks
+            )
+    for spec in workload.queries:
+        warehouse.execute(spec.name)
+    target = max(
+        rows, key=lambda name: (workload.update_frequency(name), name)
+    )
+    delta = rows[target][: max(1, len(rows[target]) // 100)]
+    warehouse.apply_update(target, delta, policy="defer")
+    warehouse.refresh_resilient()
+    warehouse.adapt()
+    return workload, warehouse
+
+
+def command_trace_events(args: argparse.Namespace) -> int:
+    """Dump the flight-recorder journal of one lifecycle as JSONL."""
+    was_enabled = obs.enabled()
+    obs.enable(reset=True)
+    try:
+        workload, _ = _run_instrumented_lifecycle(args, args.scale)
+        journal = obs.journal()
+        text = journal.to_jsonl()
+        events = len(journal)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(
+            f"{events} event(s) from workload {workload.name} "
+            f"written to {args.output}"
+        )
+    else:
+        print(text, end="")
+    return 0
+
+
 def command_trace(args: argparse.Namespace) -> int:
+    if getattr(args, "events", False):
+        return command_trace_events(args)
     workload = resolve_workload(args)
     mvpp = generate_mvpps(workload, rotations=args.rotations or 1)[0]
     calculator = MVPPCostCalculator(mvpp)
@@ -427,6 +568,12 @@ def command_profile(args: argparse.Namespace) -> int:
         delta = rows[target][: max(1, len(rows[target]) // 100)]
         warehouse.apply_update(target, delta, policy="incremental")
         warehouse.refresh()
+        # Resilience + adaptive: one scheduler pass over deliberately
+        # staled views and one controller decision, so the profile
+        # document exercises every phase in PHASES.
+        warehouse.apply_update(target, delta, policy="defer")
+        warehouse.refresh_resilient()
+        warehouse.adapt()
 
         document = obs.snapshot(workload=workload.name)
     finally:
@@ -740,6 +887,100 @@ def command_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def command_calibrate(args: argparse.Namespace) -> int:
+    from repro.obs.calibration import calibration_report
+
+    was_enabled = obs.enabled()
+    obs.enable(reset=True)
+    try:
+        workload, _ = _run_instrumented_lifecycle(args, args.scale)
+        report = calibration_report(obs.calibration().samples)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    if args.format == "json":
+        document = {
+            "workload": workload.name,
+            "scale": args.scale,
+            **report.to_dict(),
+        }
+        print(json.dumps(document, indent=2))
+        return 0
+    print(
+        f"cost-model calibration on {workload.name} "
+        f"(scale={args.scale:g}, seed={args.seed})"
+    )
+    print(report.render_text())
+    worst = report.worst(args.limit)
+    if worst:
+        print(f"worst calibrated: {', '.join(e.name for e in worst)}")
+    return 0
+
+
+def command_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs.macro import (
+        MacroConfig,
+        compare_bench,
+        run_macro,
+        smoke_mode,
+        validate_bench,
+    )
+
+    config = MacroConfig(
+        workload=args.workload,
+        scale=args.scale,
+        repeats=args.repeats,
+        windows=args.windows,
+        seed=args.seed,
+        smoke=args.smoke or smoke_mode(),
+    )
+    try:
+        config.validate()
+    except ValueError as error:
+        raise ReproError(str(error)) from None
+    baseline = None
+    baseline_path = args.baseline or args.output
+    if baseline_path and os.path.exists(baseline_path):
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+    document = run_macro(config)
+    problems = validate_bench(document)
+    if problems:
+        for problem in problems:
+            print(f"bench schema problem: {problem}", file=sys.stderr)
+        return 1
+    dump_json(document, args.output)
+    mode = "smoke" if document["smoke"] else "timed"
+    print(
+        f"macro bench on {document['workload']} ({mode}, "
+        f"seed={args.seed}) -> {args.output}"
+    )
+    print(f"{'phase':<10} {'wall_ms':>10} {'io_blocks':>10}")
+    for name, bucket in document["phases"].items():
+        print(
+            f"{name:<10} {bucket['wall_ms']:>10.3f} "
+            f"{bucket['io_blocks']:>10.0f}"
+        )
+    calibration = document["calibration"]
+    print(
+        f"calibration: {calibration['samples']} sample(s), mean relative "
+        f"error {calibration['mean_relative_error']:.3f}"
+    )
+    if baseline is not None:
+        regressions = compare_bench(baseline, document, args.tolerance)
+        if regressions:
+            for regression in regressions:
+                print(f"REGRESSION: {regression}", file=sys.stderr)
+            return 1
+        print(
+            f"no regressions against {baseline_path} "
+            f"(tolerance {args.tolerance:.0%})"
+        )
+    return 0
+
+
 COMMANDS = {
     "workloads": command_workloads,
     "strategies": command_strategies,
@@ -753,6 +994,8 @@ COMMANDS = {
     "simulate": command_simulate,
     "adapt": command_adapt,
     "lint": command_lint,
+    "calibrate": command_calibrate,
+    "bench": command_bench,
 }
 
 

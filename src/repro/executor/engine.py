@@ -97,12 +97,20 @@ class ExecutionEngine:
 
     def execute(self, plan: Operator) -> Table:
         """Run ``plan`` and return its result table (I/O is accumulated)."""
+        if not obs.enabled():
+            return self._execute(plan)
+        before = self.database.io.snapshot()
         result = self._execute(plan)
-        if obs.enabled():
-            obs.metrics().counter(
-                "executor.rows_produced",
-                operator=type(plan).__name__.lower(),
-            ).inc(result.cardinality)
+        registry = obs.metrics()
+        operator = type(plan).__name__.lower()
+        registry.counter(
+            "executor.rows_produced", operator=operator
+        ).inc(result.cardinality)
+        # Inclusive per-operator block I/O (children included) — the
+        # measured side of the calibration layer's operator breakdown.
+        registry.histogram("executor.operator_io", operator=operator).observe(
+            float(self.database.io.since(before).total)
+        )
         return result
 
     def _execute(self, plan: Operator) -> Table:

@@ -81,6 +81,26 @@ WALL_CLOCK_EXEMPT_PARTS = ("obs", "benchmarks")
 #: Builtins that turn an iterable into ordered output (C101 sinks).
 ORDERING_SINKS = {"list", "tuple", "enumerate", "zip", "iter", "next"}
 
+#: Methods whose first string-literal argument is an obs metric/event
+#: name checked by O001 (registry instruments, journal events, spans,
+#: and the `_counter`-style wrappers subsystems define around them).
+OBS_NAME_METHODS = {
+    "counter", "gauge", "histogram", "span", "journal_event",
+    "_counter", "_gauge", "_histogram", "_journal",
+}
+
+#: Subsystem prefixes an obs metric/event name may start with.
+OBS_NAME_PREFIXES = {
+    "adaptive", "bench", "calibration", "cost_cache", "distributed",
+    "execution", "executor", "generation", "journal", "lint",
+    "maintenance", "obs", "parallel", "resilience", "selection",
+    "storage", "warehouse",
+}
+
+#: Lowercase dot-separated with at least two segments, e.g.
+#: ``resilience.refresh.ticks``.
+_OBS_NAME = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
 _SUPPRESSION = re.compile(
     r"#\s*lint:\s*ignore(?:\[(?P<ids>[A-Za-z0-9_,\s]+)\])?"
 )
@@ -324,6 +344,54 @@ def check_mutable_defaults(ctx: CodeContext) -> Iterator[Diagnostic]:
                     hint="default to None and create the value inside the "
                     "function",
                 )
+
+
+@register_rule(
+    "O001",
+    scope="code",
+    severity=Severity.ERROR,
+    summary="obs metric/event name breaks the naming contract",
+    paper="docs/observability.md metric and event-name catalog",
+)
+def check_obs_names(ctx: CodeContext) -> Iterator[Diagnostic]:
+    """Metric/span/journal names must be lowercase dot-separated with a
+    known subsystem prefix, so instrumented series can't silently
+    fragment into near-duplicates (``Executor.QueryIO`` vs
+    ``executor.query_io``)."""
+    rule = get_rule("O001")
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        if isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            method = node.func.id
+        else:
+            continue
+        if method not in OBS_NAME_METHODS:
+            continue
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            continue
+        name = first.value
+        if not _OBS_NAME.match(name):
+            yield rule.diagnostic(
+                f"obs name {name!r} is not lowercase dot-separated "
+                f"(<subsystem>.<metric>)",
+                location=ctx.location(first),
+                hint="use lowercase segments joined by dots, e.g. "
+                "'executor.query_io'",
+            )
+            continue
+        prefix = name.split(".", 1)[0]
+        if prefix not in OBS_NAME_PREFIXES:
+            yield rule.diagnostic(
+                f"obs name {name!r} has unknown subsystem prefix "
+                f"{prefix!r}",
+                location=ctx.location(first),
+                hint=f"use a registered prefix ({', '.join(sorted(OBS_NAME_PREFIXES))}) "
+                "or add the new subsystem to OBS_NAME_PREFIXES",
+            )
 
 
 # ---------------------------------------------------------------------------

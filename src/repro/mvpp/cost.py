@@ -119,6 +119,13 @@ class CostCache:
         )
         registry.gauge("cost_cache.size").set(len(self._data))
         registry.gauge("cost_cache.hit_ratio").set(self.hit_ratio)
+        if obs.enabled():
+            obs.journal_event(
+                "cost_cache.publish",
+                hits=max(0, self.hits - hits_before),
+                misses=max(0, self.misses - misses_before),
+                size=len(self._data),
+            )
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,12 @@ from __future__ import annotations
 import os
 from typing import Any, Dict
 
+from repro.obs.calibration import (
+    CalibrationLog,
+    CalibrationSample,
+    NoopCalibrationLog,
+)
+from repro.obs.journal import EventJournal, JournalEvent, NoopJournal
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -45,20 +51,30 @@ from repro.obs.tracing import NOOP_SPAN, NoopSpan, NoopTracer, Span, Tracer
 from repro.obs import export
 
 __all__ = [
+    "CalibrationLog",
+    "CalibrationSample",
     "Counter",
+    "EventJournal",
     "Gauge",
     "Histogram",
+    "JournalEvent",
     "MetricsRegistry",
+    "NoopCalibrationLog",
+    "NoopJournal",
     "NoopMetricsRegistry",
     "NoopSpan",
     "NoopTracer",
     "Span",
     "Tracer",
+    "calibration",
+    "correlation",
     "enable",
     "disable",
     "enabled",
     "event",
     "export",
+    "journal",
+    "journal_event",
     "metrics",
     "reset",
     "snapshot",
@@ -71,10 +87,14 @@ ENV_VAR = "REPRO_OBS"
 
 _NOOP_TRACER = NoopTracer()
 _NOOP_METRICS = NoopMetricsRegistry()
+_NOOP_JOURNAL = NoopJournal()
+_NOOP_CALIBRATION = NoopCalibrationLog()
 
 _enabled = False
 _tracer: Tracer = _NOOP_TRACER  # type: ignore[assignment]
 _metrics: MetricsRegistry = _NOOP_METRICS
+_journal: EventJournal = _NOOP_JOURNAL
+_calibration: CalibrationLog = _NOOP_CALIBRATION
 
 
 def enabled() -> bool:
@@ -88,28 +108,36 @@ def enable(reset: bool = False) -> None:
     Idempotent; with ``reset=True`` any previously collected spans and
     metrics are discarded first (also when already enabled).
     """
-    global _enabled, _tracer, _metrics
+    global _enabled, _tracer, _metrics, _journal, _calibration
     if not _enabled:
         _tracer = Tracer()
         _metrics = MetricsRegistry()
+        _journal = EventJournal()
+        _calibration = CalibrationLog()
         _enabled = True
     elif reset:
         _tracer.reset()
         _metrics.reset()
+        _journal.reset()
+        _calibration.reset()
 
 
 def disable() -> None:
     """Return to the zero-cost no-op mode (collected data is dropped)."""
-    global _enabled, _tracer, _metrics
+    global _enabled, _tracer, _metrics, _journal, _calibration
     _enabled = False
     _tracer = _NOOP_TRACER  # type: ignore[assignment]
     _metrics = _NOOP_METRICS
+    _journal = _NOOP_JOURNAL
+    _calibration = _NOOP_CALIBRATION
 
 
 def reset() -> None:
     """Drop collected spans and metrics, keeping the current mode."""
     _tracer.reset()
     _metrics.reset()
+    _journal.reset()
+    _calibration.reset()
 
 
 def tracer() -> Tracer:
@@ -120,6 +148,41 @@ def tracer() -> Tracer:
 def metrics() -> MetricsRegistry:
     """The current registry (a :class:`NoopMetricsRegistry` while disabled)."""
     return _metrics
+
+
+def journal() -> EventJournal:
+    """The current flight recorder (a :class:`NoopJournal` while disabled)."""
+    return _journal
+
+
+def calibration() -> CalibrationLog:
+    """The current calibration log (no-op while disabled)."""
+    return _calibration
+
+
+def journal_event(
+    kind: str,
+    correlation_id: "str | None" = None,
+    tick: "float | None" = None,
+    **attributes: Any,
+) -> None:
+    """Record one flight-recorder event (no-op while disabled)."""
+    if _enabled:
+        _journal.record(
+            kind, correlation_id=correlation_id, tick=tick, **attributes
+        )
+
+
+def correlation(scope: str = "corr", correlation_id: "str | None" = None):
+    """Open a correlation scope on the current journal.
+
+    Use as a context manager; the yielded id tags every
+    :func:`journal_event` recorded inside, threading one logical
+    operation (a refresh, a redesign, a served query) across
+    subsystems.  While disabled this is a shared no-op scope yielding
+    the empty id.
+    """
+    return _journal.correlation(scope, correlation_id)
 
 
 def span(name: str, **attributes: Any):
@@ -137,7 +200,9 @@ def event(name: str, **attributes: Any) -> None:
 
 def snapshot(workload: str = "") -> Dict[str, Any]:
     """The full observability state as a JSON-safe profile document."""
-    return export.profile_to_dict(_tracer, _metrics, workload=workload)
+    return export.profile_to_dict(
+        _tracer, _metrics, workload=workload, journal=_journal
+    )
 
 
 if os.environ.get(ENV_VAR, "").lower() not in ("", "0", "false", "off"):

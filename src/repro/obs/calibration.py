@@ -1,0 +1,248 @@
+"""Cost-model calibration: estimated Ca/Cm against measured executor work.
+
+The paper's whole selection argument rests on the Figure-9 weight
+``w(v) = Σ fq·Ca(v) − Σ fu·Cm(v)``, yet ``Ca``/``Cm`` are *estimates*
+(Table-1 statistics through the block cost model).  This module records
+each estimate next to what the executor actually did, so the adaptive
+redesign gate — and any future executor work — can know how far the
+cost model is from the truth before trusting it.
+
+Two phases are calibrated:
+
+* ``access`` — a query answered through the installed views: estimated
+  cost of the (rewritten) plan vs the measured block I/O;
+* ``maintenance`` — a view refresh: the design-time ``Cm`` annotation
+  vs the measured refresh I/O.
+
+Each :meth:`CalibrationLog.record` call keeps a bounded
+:class:`CalibrationSample` and feeds the ``calibration.error{phase,
+operator}`` histogram in the live metrics registry, so profiles carry
+the aggregate error distribution even after samples rotate out.
+``calibration_report`` ranks the worst-calibrated views/queries —
+surfaced by ``repro calibrate --workload paper``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "CalibrationLog",
+    "CalibrationReport",
+    "CalibrationSample",
+    "NoopCalibrationLog",
+    "PHASE_ACCESS",
+    "PHASE_MAINTENANCE",
+    "calibration_report",
+]
+
+PHASE_ACCESS = "access"
+PHASE_MAINTENANCE = "maintenance"
+
+#: Samples retained per log (ring buffer; histograms keep aggregating).
+DEFAULT_SAMPLE_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One estimated-vs-measured observation."""
+
+    phase: str  # PHASE_ACCESS | PHASE_MAINTENANCE
+    name: str  # query or view name
+    operator: str  # root operator kind of the costed plan
+    estimated: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        """``estimated / measured`` (measured floored at one block)."""
+        return self.estimated / max(self.measured, 1.0)
+
+    @property
+    def relative_error(self) -> float:
+        """``|estimated − measured| / max(measured, 1)`` — 0 is perfect."""
+        return abs(self.estimated - self.measured) / max(self.measured, 1.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "phase": self.phase,
+            "name": self.name,
+            "operator": self.operator,
+            "estimated": self.estimated,
+            "measured": self.measured,
+            "ratio": self.ratio,
+            "relative_error": self.relative_error,
+        }
+
+
+class CalibrationLog:
+    """Collects calibration samples and publishes error histograms.
+
+    Instrumented code calls :meth:`record` under ``obs.enabled()``; each
+    call appends a sample (bounded ring) and observes the sample's
+    relative error into ``calibration.error{phase, operator}`` on the
+    current metrics registry.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_SAMPLE_CAPACITY):
+        self.capacity = capacity
+        self._samples: "deque[CalibrationSample]" = deque(maxlen=capacity)
+
+    def record(
+        self,
+        phase: str,
+        name: str,
+        operator: str,
+        estimated: float,
+        measured: float,
+    ) -> Optional[CalibrationSample]:
+        if phase not in (PHASE_ACCESS, PHASE_MAINTENANCE):
+            raise ValueError(f"unknown calibration phase {phase!r}")
+        sample = CalibrationSample(
+            phase=phase,
+            name=name,
+            operator=operator,
+            estimated=float(estimated),
+            measured=float(measured),
+        )
+        self._samples.append(sample)
+        from repro import obs
+
+        obs.metrics().histogram(
+            "calibration.error", phase=phase, operator=operator
+        ).observe(sample.relative_error)
+        return sample
+
+    @property
+    def samples(self) -> List[CalibrationSample]:
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+
+class NoopCalibrationLog(CalibrationLog):
+    """Disabled mode: recording does nothing, the log stays empty."""
+
+    def record(
+        self,
+        phase: str,
+        name: str,
+        operator: str,
+        estimated: float,
+        measured: float,
+    ) -> None:  # type: ignore[override]
+        return None
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Aggregate:
+    """Per-(phase, name) roll-up of calibration samples."""
+
+    phase: str
+    name: str
+    operator: str
+    count: int
+    estimated: float  # summed over samples
+    measured: float  # summed over samples
+    mean_relative_error: float
+    worst_relative_error: float
+
+    @property
+    def ratio(self) -> float:
+        return self.estimated / max(self.measured, 1.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "phase": self.phase,
+            "name": self.name,
+            "operator": self.operator,
+            "count": self.count,
+            "estimated": self.estimated,
+            "measured": self.measured,
+            "ratio": self.ratio,
+            "mean_relative_error": self.mean_relative_error,
+            "worst_relative_error": self.worst_relative_error,
+        }
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Worst-calibrated-first ranking over one run's samples."""
+
+    entries: List[_Aggregate]
+    samples: int
+
+    @property
+    def mean_relative_error(self) -> float:
+        if not self.entries:
+            return 0.0
+        total = sum(e.mean_relative_error * e.count for e in self.entries)
+        return total / max(self.samples, 1)
+
+    def worst(self, limit: int = 5) -> List[_Aggregate]:
+        return self.entries[:limit]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "samples": self.samples,
+            "mean_relative_error": self.mean_relative_error,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"calibration: {self.samples} sample(s), "
+            f"mean relative error {self.mean_relative_error:.3f}",
+            f"{'target':<16} {'phase':<12} {'operator':<10} "
+            f"{'est':>10} {'meas':>10} {'ratio':>7} {'err':>7}",
+        ]
+        for entry in self.entries:
+            lines.append(
+                f"{entry.name:<16} {entry.phase:<12} {entry.operator:<10} "
+                f"{entry.estimated:>10.0f} {entry.measured:>10.0f} "
+                f"{entry.ratio:>7.2f} {entry.mean_relative_error:>7.3f}"
+            )
+        if not self.entries:
+            lines.append("(no calibration samples were recorded)")
+        return "\n".join(lines)
+
+
+def calibration_report(
+    samples: List[CalibrationSample],
+) -> CalibrationReport:
+    """Aggregate samples per (phase, target), worst-calibrated first.
+
+    Ties (including the zero-error case) break on phase then name, so
+    the ranking is deterministic for a seeded run.
+    """
+    grouped: Dict[tuple, List[CalibrationSample]] = {}
+    for sample in samples:
+        grouped.setdefault((sample.phase, sample.name), []).append(sample)
+    entries: List[_Aggregate] = []
+    for (phase, name), group in grouped.items():
+        errors = [s.relative_error for s in group]
+        entries.append(
+            _Aggregate(
+                phase=phase,
+                name=name,
+                operator=group[-1].operator,
+                count=len(group),
+                estimated=sum(s.estimated for s in group),
+                measured=sum(s.measured for s in group),
+                mean_relative_error=sum(errors) / len(errors),
+                worst_relative_error=max(errors),
+            )
+        )
+    entries.sort(
+        key=lambda e: (-e.mean_relative_error, e.phase, e.name)
+    )
+    return CalibrationReport(entries=entries, samples=len(samples))

@@ -8,30 +8,41 @@ all emit the same shapes.
 The profile document schema (``PROFILE_SCHEMA_VERSION``)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "workload": "paper",
       "phases":  {"generation": {"wall_ms": ..., "spans": N}, ...},
       "spans":   [<span tree>, ...],
-      "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
+      "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
+      "events":  [{"seq": 1, "kind": ..., "correlation_id": ..., ...}, ...]
     }
 
 Span nodes carry ``name``, ``duration_ms``, ``attributes``, ``events``
-(with times relative to the span start), and ``children``.
+(with times relative to the span start), and ``children``.  Version 2
+added the ``resilience``/``adaptive`` phases and the flight-recorder
+``events`` list (see :mod:`repro.obs.journal`).
 """
 
 from __future__ import annotations
 
 import datetime
 import json
-from typing import Any, Dict, IO, Iterable, List, Union
+from typing import Any, Dict, IO, Iterable, List, Optional, Union
 
+from repro.obs.journal import EventJournal
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Span, Tracer
 
-PROFILE_SCHEMA_VERSION = 1
+PROFILE_SCHEMA_VERSION = 2
 
 #: Pipeline phases a profile document reports (the span-name prefixes).
-PHASES = ("generation", "selection", "execution", "maintenance")
+PHASES = (
+    "generation",
+    "selection",
+    "execution",
+    "maintenance",
+    "resilience",
+    "adaptive",
+)
 
 
 def jsonable(value: Any) -> Any:
@@ -141,8 +152,18 @@ def selection_trace_to_dict(
 # ---------------------------------------------------------------------------
 # full profile documents
 # ---------------------------------------------------------------------------
+def events_to_list(journal: Optional[EventJournal]) -> List[Dict[str, Any]]:
+    """The journal's retained events as JSON-safe dicts (oldest first)."""
+    if journal is None:
+        return []
+    return journal.to_list()
+
+
 def profile_to_dict(
-    tracer: Tracer, registry: MetricsRegistry, workload: str = ""
+    tracer: Tracer,
+    registry: MetricsRegistry,
+    workload: str = "",
+    journal: Optional[EventJournal] = None,
 ) -> Dict[str, Any]:
     """The complete observability snapshot for one profiled run."""
     return {
@@ -151,6 +172,7 @@ def profile_to_dict(
         "phases": phase_summary(tracer),
         "spans": spans_to_list(tracer),
         "metrics": registry.to_dict(),
+        "events": events_to_list(journal),
     }
 
 
@@ -165,7 +187,7 @@ def validate_profile(document: Dict[str, Any]) -> List[str]:
         problems.append(
             f"schema must be {PROFILE_SCHEMA_VERSION}: {document.get('schema')!r}"
         )
-    for key in ("phases", "spans", "metrics"):
+    for key in ("phases", "spans", "metrics", "events"):
         if key not in document:
             problems.append(f"missing top-level key {key!r}")
     for phase in PHASES:
@@ -191,6 +213,18 @@ def validate_profile(document: Dict[str, Any]) -> List[str]:
 
     for index, node in enumerate(document.get("spans", ())):
         check_span(node, f"spans[{index}]")
+
+    events = document.get("events", [])
+    if not isinstance(events, list):
+        problems.append("events must be a list")
+    else:
+        for index, node in enumerate(events):
+            if not isinstance(node, dict):
+                problems.append(f"events[{index}] is not an object")
+                continue
+            for key in ("seq", "kind", "correlation_id", "tick", "attributes"):
+                if key not in node:
+                    problems.append(f"events[{index}] missing {key!r}")
     return problems
 
 

@@ -1,0 +1,296 @@
+"""Flight recorder: a bounded, deterministic structured-event journal.
+
+Spans answer "where did the time go"; the journal answers "what
+*happened*, in what order, and on whose behalf".  Every entry is a
+:class:`JournalEvent` — a monotonically numbered, structured record on
+the pipeline's *logical* tick clock (never the wall clock, so a fixed
+seed reproduces the exact event stream bit-identically) — and events
+belonging to one request, refresh, or redesign share a **correlation
+id**, threading the story of a single operation across subsystems::
+
+    with obs.correlation("refresh") as cid:
+        obs.journal_event("resilience.refresh.begin", view="mv_tmp3")
+        ...
+        obs.journal_event("resilience.epoch.advance", epoch=2)
+
+    refresh = obs.journal().find(correlation_id=cid)
+
+The journal is **bounded**: a ring buffer of ``capacity`` events keeps
+memory constant on long-running simulations, and :attr:`EventJournal.
+dropped` counts evictions so truncation is never silent.  Export is
+JSONL (one event per line, ``repro trace --events``) or embedded in the
+profile document (``events``; see :mod:`repro.obs.export`).
+
+Like every other ``repro.obs`` surface, the disabled mode
+(:class:`NoopJournal`) costs one method call per instrumentation point.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterator, List, Optional, Union
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "EventJournal",
+    "JournalEvent",
+    "NoopJournal",
+]
+
+#: Ring-buffer bound: events beyond this evict the oldest (counted in
+#: :attr:`EventJournal.dropped`).
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class JournalEvent:
+    """One structured flight-recorder entry.
+
+    ``seq`` is a per-journal monotonic sequence number (total order even
+    when ``tick`` stands still); ``tick`` is the logical-clock reading
+    supplied by the instrumentation point (``None`` outside any clock);
+    ``correlation_id`` groups the events of one logical operation
+    (empty when recorded outside any :meth:`EventJournal.correlation`
+    scope).
+    """
+
+    seq: int
+    kind: str
+    correlation_id: str = ""
+    tick: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        from repro.obs.export import jsonable
+
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "correlation_id": self.correlation_id,
+            "tick": self.tick,
+            "attributes": jsonable(self.attributes),
+        }
+
+    def matches(
+        self,
+        kind: Optional[str] = None,
+        correlation_id: Optional[str] = None,
+        **attributes: Any,
+    ) -> bool:
+        """Whether this event satisfies every given filter.
+
+        ``kind`` may be exact (``"resilience.refresh.begin"``) or a
+        prefix ending in ``.`` (``"resilience."`` matches the whole
+        subsystem).
+        """
+        if kind is not None:
+            if kind.endswith("."):
+                if not self.kind.startswith(kind):
+                    return False
+            elif self.kind != kind:
+                return False
+        if correlation_id is not None and self.correlation_id != correlation_id:
+            return False
+        for key, value in attributes.items():
+            if self.attributes.get(key) != value:
+                return False
+        return True
+
+
+class _NoopCorrelation:
+    """Shared disabled-mode correlation scope (yields the empty id)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> str:
+        return ""
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_CORRELATION = _NoopCorrelation()
+
+
+class EventJournal:
+    """Collects :class:`JournalEvent` records into a bounded ring buffer.
+
+    Thread-safe: the buffer and sequence counter are lock-protected, and
+    the correlation-scope stack is thread-local (each thread narrates
+    its own operation).  Correlation ids are issued deterministically —
+    ``"<scope>-<n>"`` from a per-journal counter — so a seeded run
+    produces the same ids every time.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"journal capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: "deque[JournalEvent]" = deque(maxlen=capacity)
+        self._seq = 0
+        self._correlations = 0
+        self.dropped = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------- recording
+    def record(
+        self,
+        kind: str,
+        correlation_id: Optional[str] = None,
+        tick: Optional[float] = None,
+        **attributes: Any,
+    ) -> JournalEvent:
+        """Append one event; inherits the current correlation scope."""
+        if correlation_id is None:
+            correlation_id = self.current_correlation()
+        with self._lock:
+            self._seq += 1
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            event = JournalEvent(
+                seq=self._seq,
+                kind=kind,
+                correlation_id=correlation_id,
+                tick=tick,
+                attributes=dict(attributes),
+            )
+            self._events.append(event)
+        return event
+
+    # ----------------------------------------------------------- correlation
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_correlation(self) -> str:
+        """The innermost correlation id on this thread ("" outside any)."""
+        stack = self._stack()
+        return stack[-1] if stack else ""
+
+    @contextmanager
+    def correlation(
+        self, scope: str = "corr", correlation_id: Optional[str] = None
+    ) -> Iterator[str]:
+        """Open a correlation scope; events inside inherit its id.
+
+        Scopes nest (the innermost wins), and a caller-supplied
+        ``correlation_id`` joins an existing story instead of opening a
+        new one — e.g. a refresh triggered by a migration records under
+        the migration's id.
+        """
+        if correlation_id is None:
+            with self._lock:
+                self._correlations += 1
+                correlation_id = f"{scope}-{self._correlations}"
+        stack = self._stack()
+        stack.append(correlation_id)
+        try:
+            yield correlation_id
+        finally:
+            if stack and stack[-1] == correlation_id:
+                stack.pop()
+            else:  # tolerate mis-nested exits rather than corrupt the stack
+                try:
+                    stack.remove(correlation_id)
+                except ValueError:
+                    pass
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def events(self) -> List[JournalEvent]:
+        """Every retained event, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def find(
+        self,
+        kind: Optional[str] = None,
+        correlation_id: Optional[str] = None,
+        **attributes: Any,
+    ) -> List[JournalEvent]:
+        """Retained events matching every filter (see
+        :meth:`JournalEvent.matches`), oldest first."""
+        return [
+            event
+            for event in self.events
+            if event.matches(kind=kind, correlation_id=correlation_id, **attributes)
+        ]
+
+    def correlation_ids(self) -> List[str]:
+        """Distinct non-empty correlation ids, in first-seen order."""
+        return list(
+            dict.fromkeys(
+                event.correlation_id
+                for event in self.events
+                if event.correlation_id
+            )
+        )
+
+    # --------------------------------------------------------------- exports
+    def to_list(self) -> List[Dict[str, Any]]:
+        return [event.to_dict() for event in self.events]
+
+    def to_jsonl(self) -> str:
+        """One compact JSON object per line (trailing newline when any)."""
+        lines = [
+            json.dumps(event.to_dict(), separators=(",", ":"))
+            for event in self.events
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def dump_jsonl(self, target: Union[str, IO[str]]) -> None:
+        """Write the JSONL exposition to a path or open file handle."""
+        text = self.to_jsonl()
+        if isinstance(target, str):
+            with open(target, "w") as handle:
+                handle.write(text)
+        else:
+            target.write(text)
+
+    def reset(self) -> None:
+        """Drop retained events; sequence and correlation counters keep
+        counting so ids never repeat within one enabled session."""
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+        self._local = threading.local()
+
+
+class NoopJournal(EventJournal):
+    """Disabled mode: recording does nothing, scopes yield the empty id."""
+
+    def record(
+        self,
+        kind: str,
+        correlation_id: Optional[str] = None,
+        tick: Optional[float] = None,
+        **attributes: Any,
+    ) -> None:  # type: ignore[override]
+        return None
+
+    def correlation(
+        self, scope: str = "corr", correlation_id: Optional[str] = None
+    ) -> _NoopCorrelation:  # type: ignore[override]
+        return _NOOP_CORRELATION
+
+    def current_correlation(self) -> str:
+        return ""
+
+    def find(
+        self,
+        kind: Optional[str] = None,
+        correlation_id: Optional[str] = None,
+        **attributes: Any,
+    ) -> List[JournalEvent]:
+        return []

@@ -192,13 +192,21 @@ class RefreshScheduler:
             else started + retry.timeout_ticks
         )
 
-        with obs.span(
+        with obs.correlation("refresh"), obs.span(
             "resilience.refresh", view=view.name, breaker=breaker.state
         ) as span:
+            self._journal(
+                "resilience.refresh.begin",
+                view=view.name,
+                breaker=breaker.state,
+            )
             if not breaker.allows():
                 self._gauge(view.name, breaker)
                 self._counter("resilience.refresh.skipped", view=view.name)
                 span.set(status="skipped")
+                self._journal(
+                    "resilience.refresh.end", view=view.name, status="skipped"
+                )
                 return RefreshOutcome(
                     view.name, "skipped", 0, 0.0, self.epoch(view.name),
                     error="circuit breaker open",
@@ -210,6 +218,11 @@ class RefreshScheduler:
             for attempt in range(1, retry.max_attempts + 1):
                 attempts = attempt
                 self._counter("resilience.refresh.attempts", view=view.name)
+                self._journal(
+                    "resilience.refresh.attempt",
+                    view=view.name,
+                    attempt=attempt,
+                )
                 io_before = self.warehouse.database.io.snapshot()
                 try:
                     if self.injector is not None:
@@ -237,16 +250,28 @@ class RefreshScheduler:
                         self._counter(
                             "resilience.refresh.retries", view=view.name
                         )
+                        self._journal(
+                            "resilience.refresh.retry",
+                            view=view.name,
+                            attempt=attempt,
+                            backoff=backoff,
+                            error=error,
+                        )
                         self.clock.advance(backoff)
                         continue
                     break
                 else:
                     self.clock.advance(float(report.io.total))
                     self._drain_delays()
-                    breaker.record_success()
+                    self._breaker_event(view.name, breaker, breaker.record_success)
                     self.warehouse._mark_fresh(view)
                     self.warehouse.engine.indexes.invalidate(view.name)
                     self._epochs[view.name] = self.epoch(view.name) + 1
+                    self._journal(
+                        "resilience.epoch.advance",
+                        view=view.name,
+                        epoch=self._epochs[view.name],
+                    )
                     self._gauge(view.name, breaker)
                     ticks = self.clock.now - started
                     self._histogram(
@@ -256,16 +281,29 @@ class RefreshScheduler:
                         status="refreshed", attempts=attempt,
                         epoch=self._epochs[view.name],
                     )
+                    self._journal(
+                        "resilience.refresh.end",
+                        view=view.name,
+                        status="refreshed",
+                        attempts=attempt,
+                    )
                     return RefreshOutcome(
                         view.name, "refreshed", attempt, ticks,
                         self._epochs[view.name],
                     )
 
-            breaker.record_failure()
+            self._breaker_event(view.name, breaker, breaker.record_failure)
             self._gauge(view.name, breaker)
             ticks = self.clock.now - started
             self._histogram("resilience.refresh.ticks", view.name, ticks)
             span.set(status="failed", attempts=attempts, error=error)
+            self._journal(
+                "resilience.refresh.end",
+                view=view.name,
+                status="failed",
+                attempts=attempts,
+                error=error,
+            )
             return RefreshOutcome(
                 view.name, "failed", attempts, ticks,
                 self.epoch(view.name), error=error,
@@ -307,6 +345,24 @@ class RefreshScheduler:
     def _drain_delays(self) -> None:
         if self.injector is not None:
             self.clock.advance(self.injector.drain_delay_ticks())
+
+    def _journal(self, kind: str, **attributes) -> None:
+        """One flight-recorder event stamped with the logical clock."""
+        if obs.enabled():
+            obs.journal_event(kind, tick=self.clock.now, **attributes)
+
+    def _breaker_event(self, view_name: str, breaker: CircuitBreaker, action) -> None:
+        """Run a breaker state change, journaling any observable transition."""
+        before = breaker.state
+        action()
+        after = breaker.state
+        if after != before:
+            self._journal(
+                "resilience.breaker.transition",
+                view=view_name,
+                from_state=before,
+                to_state=after,
+            )
 
     @staticmethod
     def _counter(name: str, **labels: str) -> None:

@@ -27,7 +27,9 @@ RECOMPUTE = "recompute"
 INCREMENTAL = "incremental"
 
 
-def _record_refresh(span, report: "RefreshReport") -> None:
+def _record_refresh(
+    span, report: "RefreshReport", view: Optional[MaterializedView] = None
+) -> None:
     """Attach a refresh outcome to its span and the per-policy metrics."""
     span.set(
         io_reads=report.io.reads,
@@ -42,6 +44,16 @@ def _record_refresh(span, report: "RefreshReport") -> None:
         registry.histogram(
             "maintenance.io", policy=report.policy
         ).observe(report.io.total)
+        if view is not None and view.estimated_maintenance is not None:
+            # Calibrate the design's Cm annotation against the refresh
+            # the executor actually performed (blocks of I/O).
+            obs.calibration().record(
+                "maintenance",
+                view.name,
+                report.policy,
+                view.estimated_maintenance,
+                float(report.io.total),
+            )
 
 
 @dataclass(frozen=True)
@@ -79,7 +91,7 @@ class ViewMaintainer:
                 io=self.database.io.since(before),
                 rows_after=stored.cardinality,
             )
-            _record_refresh(span, report)
+            _record_refresh(span, report, view)
         return report
 
     # ------------------------------------------------------------ incremental
@@ -165,7 +177,7 @@ class ViewMaintainer:
                 io=self.database.io.since(before),
                 rows_after=shadow.cardinality,
             )
-            _record_refresh(span, report)
+            _record_refresh(span, report, view)
         return report
 
     def _delta_table(

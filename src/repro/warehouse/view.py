@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet
+from typing import FrozenSet, Optional
 
 from repro.algebra.operators import Operator
 from repro.catalog.schema import RelationSchema
@@ -16,10 +16,19 @@ class MaterializedView:
     ``plan`` computes the view's contents from base relations; its
     signature identifies which plan subtrees the rewriter may replace with
     a scan of the stored view.
+
+    ``estimated_maintenance`` (the design's ``Cm`` for this vertex) and
+    ``estimated_blocks`` (its Table-1 size estimate) are optional
+    annotations carried from the design so refreshes can be calibrated
+    against what the cost model predicted (see
+    :mod:`repro.obs.calibration`); views built without a design run
+    leave them ``None``.
     """
 
     name: str
     plan: Operator
+    estimated_maintenance: Optional[float] = None
+    estimated_blocks: Optional[float] = None
 
     @property
     def signature(self) -> str:

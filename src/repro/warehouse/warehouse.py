@@ -231,10 +231,7 @@ class DataWarehouse:
             cache=self.cost_cache if config.cache else None,
         )
         self._design = result
-        self._views = [
-            MaterializedView(name=f"mv_{vertex.name}", plan=vertex.operator)
-            for vertex in result.materialized
-        ]
+        self._views = [self._view_from_vertex(vertex) for vertex in result.materialized]
         # A fresh design invalidates freshness records: views must be
         # (re)materialized before they count as fresh.  redesign()
         # restores the records of views it keeps.
@@ -249,6 +246,18 @@ class DataWarehouse:
                     vertex.stats.blocks,
                 )
         return result
+
+    @staticmethod
+    def _view_from_vertex(vertex) -> MaterializedView:
+        """Build an installed view carrying the design's cost annotations."""
+        return MaterializedView(
+            name=f"mv_{vertex.name}",
+            plan=vertex.operator,
+            estimated_maintenance=float(vertex.maintenance_cost) or None,
+            estimated_blocks=(
+                float(vertex.stats.blocks) if vertex.stats is not None else None
+            ),
+        )
 
     @property
     def design_result(self) -> DesignResult:
@@ -631,6 +640,14 @@ class DataWarehouse:
                 registry.histogram("resilience.staleness").observe(
                     float(served.max_staleness)
                 )
+                if degraded:
+                    obs.journal_event(
+                        "warehouse.serve.degraded",
+                        query=name,
+                        excluded=sorted(
+                            v.name for v in views if v not in available
+                        ),
+                    )
         self._note_query(name, io.total)
         return served
 
@@ -651,6 +668,13 @@ class DataWarehouse:
             registry.gauge("warehouse.cost_drift_ratio", query=name).set(
                 estimated / measured_io
             )
+        obs.calibration().record(
+            "access",
+            name,
+            type(plan).__name__.lower(),
+            estimated,
+            float(measured_io),
+        )
 
     def redesign(
         self, config: Optional[DesignConfig] = None, **legacy: Any
@@ -712,8 +736,7 @@ class DataWarehouse:
         installed = list(self._views)
         old_versions = dict(self._view_versions)
         new_views = [
-            MaterializedView(name=f"mv_{vertex.name}", plan=vertex.operator)
-            for vertex in result.materialized
+            self._view_from_vertex(vertex) for vertex in result.materialized
         ]
         migration = plan_migration(installed, new_views)
         migration = cost_migration(

@@ -137,6 +137,56 @@ class TestC105MutableDefaults:
         """) == []
 
 
+class TestO001ObsNames:
+    def test_uppercase_name_rejected(self):
+        assert rules_fired("""
+            registry.counter("Executor.QueryIO").inc(1)
+        """) == ["O001"]
+
+    def test_unknown_subsystem_prefix_rejected(self):
+        assert rules_fired("""
+            registry.histogram("nonsense.latency").observe(1.0)
+        """) == ["O001"]
+
+    def test_single_segment_name_rejected(self):
+        assert rules_fired("""
+            obs.journal_event("refresh")
+        """) == ["O001"]
+
+    def test_known_prefix_and_shape_is_clean(self):
+        assert rules_fired("""
+            registry.counter("executor.blocks_read").inc(12)
+            registry.gauge("warehouse.cost_drift_ratio", query="Q1").set(1.0)
+            obs.journal_event("resilience.refresh.begin", view="mv_a")
+        """) == []
+
+    def test_span_names_checked_too(self):
+        assert rules_fired("""
+            with obs.span("Bad Span Name"):
+                pass
+        """) == ["O001"]
+
+    def test_non_literal_first_argument_not_resolved(self):
+        # conservative: only string literals are checked
+        assert rules_fired("""
+            registry.counter(metric_name).inc(1)
+        """) == []
+
+    def test_unrelated_call_names_ignored(self):
+        assert rules_fired("""
+            print("Not An Obs Name")
+            logger.info("Free Text")
+        """) == []
+
+    def test_suppression_honored(self):
+        report = lint_source(
+            'registry.counter("Legacy.Name")  # lint: ignore[O001]\n',
+            path="s.py",
+        )
+        assert report.diagnostics == []
+        assert report.suppressed == 1
+
+
 class TestSuppressions:
     def test_parse_specific_and_blanket(self):
         sup = Suppressions.parse(

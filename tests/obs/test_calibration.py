@@ -1,0 +1,176 @@
+"""Unit tests for the cost-model calibration log and report."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.calibration import (
+    PHASE_ACCESS,
+    PHASE_MAINTENANCE,
+    CalibrationLog,
+    CalibrationSample,
+    NoopCalibrationLog,
+    calibration_report,
+)
+
+
+class TestSampleMath:
+    def test_ratio_and_relative_error(self):
+        sample = CalibrationSample(
+            PHASE_ACCESS, "Q1", "aggregate", estimated=120.0, measured=100.0
+        )
+        assert sample.ratio == pytest.approx(1.2)
+        assert sample.relative_error == pytest.approx(0.2)
+
+    def test_measured_is_floored_at_one_block(self):
+        sample = CalibrationSample(
+            PHASE_ACCESS, "Q1", "select", estimated=3.0, measured=0.0
+        )
+        assert sample.ratio == 3.0
+        assert sample.relative_error == 3.0
+
+    def test_to_dict_is_json_safe(self):
+        sample = CalibrationSample(
+            PHASE_MAINTENANCE, "mv_tmp3", "join", 50.0, 40.0
+        )
+        data = json.loads(json.dumps(sample.to_dict()))
+        assert data["phase"] == PHASE_MAINTENANCE
+        assert data["ratio"] == pytest.approx(1.25)
+        assert data["relative_error"] == pytest.approx(0.25)
+
+
+class TestCalibrationLog:
+    def test_record_keeps_bounded_samples(self):
+        log = CalibrationLog(capacity=2)
+        for n in range(3):
+            log.record(PHASE_ACCESS, f"Q{n}", "select", n, n)
+        assert len(log) == 2
+        assert [s.name for s in log.samples] == ["Q1", "Q2"]
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            CalibrationLog().record("guess", "Q1", "select", 1.0, 1.0)
+
+    def test_record_coerces_to_float(self):
+        log = CalibrationLog()
+        sample = log.record(PHASE_ACCESS, "Q1", "select", 5, 4)
+        assert sample.estimated == 5.0
+        assert isinstance(sample.measured, float)
+
+    def test_record_feeds_error_histogram(self, enabled_obs):
+        obs.calibration().record(PHASE_ACCESS, "Q1", "aggregate", 150.0, 100.0)
+        histogram = obs.metrics().histogram(
+            "calibration.error", phase=PHASE_ACCESS, operator="aggregate"
+        )
+        assert histogram.count == 1
+        assert histogram.summary()["max"] == pytest.approx(0.5)
+
+    def test_reset_clears_samples(self):
+        log = CalibrationLog()
+        log.record(PHASE_ACCESS, "Q1", "select", 1.0, 1.0)
+        log.reset()
+        assert log.samples == []
+
+
+class TestNoopCalibrationLog:
+    def test_record_does_nothing(self):
+        log = NoopCalibrationLog()
+        assert log.record(PHASE_ACCESS, "Q1", "select", 1.0, 2.0) is None
+        assert len(log) == 0
+
+    def test_disabled_facade_stays_empty(self):
+        obs.disable()
+        obs.calibration().record(PHASE_ACCESS, "Q1", "select", 1.0, 2.0)
+        assert obs.calibration().samples == []
+
+
+class TestCalibrationReport:
+    def _samples(self):
+        return [
+            CalibrationSample(PHASE_ACCESS, "Q1", "aggregate", 100.0, 100.0),
+            CalibrationSample(PHASE_ACCESS, "Q2", "aggregate", 150.0, 100.0),
+            CalibrationSample(PHASE_ACCESS, "Q2", "aggregate", 250.0, 100.0),
+            CalibrationSample(PHASE_MAINTENANCE, "mv_a", "join", 80.0, 40.0),
+        ]
+
+    def test_ranks_worst_calibrated_first(self):
+        report = calibration_report(self._samples())
+        assert report.samples == 4
+        assert [(e.phase, e.name) for e in report.entries] == [
+            (PHASE_ACCESS, "Q2"),  # mean err 1.0
+            (PHASE_MAINTENANCE, "mv_a"),  # err 1.0, ties break on phase
+            (PHASE_ACCESS, "Q1"),  # err 0.0
+        ]
+        q2 = report.entries[0]
+        assert q2.count == 2
+        assert q2.estimated == 400.0
+        assert q2.measured == 200.0
+        assert q2.mean_relative_error == pytest.approx(1.0)
+        assert q2.worst_relative_error == pytest.approx(1.5)
+
+    def test_mean_weights_entries_by_sample_count(self):
+        report = calibration_report(self._samples())
+        # (0.0·1 + 1.0·2 + 1.0·1) / 4
+        assert report.mean_relative_error == pytest.approx(0.75)
+
+    def test_worst_limits_entries(self):
+        report = calibration_report(self._samples())
+        assert [e.name for e in report.worst(1)] == ["Q2"]
+
+    def test_empty_report(self):
+        report = calibration_report([])
+        assert report.samples == 0
+        assert report.mean_relative_error == 0.0
+        assert "no calibration samples" in report.render_text()
+
+    def test_render_text_lists_every_entry(self):
+        text = calibration_report(self._samples()).render_text()
+        lines = text.splitlines()
+        assert "mean relative error 0.750" in lines[0]
+        for name in ("Q1", "Q2", "mv_a"):
+            assert any(line.startswith(name) for line in lines)
+
+    def test_to_dict_round_trips(self):
+        document = json.loads(
+            json.dumps(calibration_report(self._samples()).to_dict())
+        )
+        assert document["samples"] == 4
+        assert document["entries"][0]["name"] == "Q2"
+        assert document["entries"][0]["worst_relative_error"] == 1.5
+
+
+class TestWarehouseCalibration:
+    """The warehouse records access + maintenance samples end to end."""
+
+    def test_lifecycle_produces_both_phases(self, enabled_obs):
+        import datetime
+
+        from repro.warehouse import DataWarehouse
+        from repro.workload import paper_rows, paper_workload
+
+        warehouse = DataWarehouse.from_workload(paper_workload())
+        warehouse.design()
+        for relation, rows in paper_rows(scale=0.02, seed=7).items():
+            warehouse.load(relation, rows)
+        warehouse.materialize()
+        for spec in warehouse.workload.queries:
+            warehouse.execute(spec.name)
+        delta = [
+            {"Pid": 1, "Cid": 2, "quantity": 5,
+             "date": datetime.date(1996, 7, 7)}
+        ]
+        warehouse.apply_update("Order", delta, policy="defer")
+        warehouse.refresh()
+
+        samples = obs.calibration().samples
+        phases = {s.phase for s in samples}
+        assert phases == {PHASE_ACCESS, PHASE_MAINTENANCE}
+        access = [s for s in samples if s.phase == PHASE_ACCESS]
+        assert {s.name for s in access} == {
+            spec.name for spec in warehouse.workload.queries
+        }
+        maintenance = [s for s in samples if s.phase == PHASE_MAINTENANCE]
+        # every maintenance sample compares the design-time Cm annotation
+        assert all(s.name.startswith("mv_") for s in maintenance)
+        assert all(s.estimated > 0 for s in maintenance)

@@ -7,6 +7,8 @@ from repro import obs
 from repro.mvpp import MVPPCostCalculator, select_views
 from repro.obs.export import (
     PHASES,
+    PROFILE_SCHEMA_VERSION,
+    events_to_list,
     jsonable,
     phase_summary,
     profile_to_dict,
@@ -15,6 +17,7 @@ from repro.obs.export import (
     span_to_dict,
     validate_profile,
 )
+from repro.obs.journal import EventJournal
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 
@@ -132,3 +135,57 @@ class TestProfileValidation:
         assert any(
             "duration_ms" in p for p in validate_profile(document)
         )
+
+
+class TestProfileSchemaV2:
+    """Schema 2 added the resilience/adaptive phases and the event
+    journal to the profile document."""
+
+    def test_version_and_phase_roster(self):
+        assert PROFILE_SCHEMA_VERSION == 2
+        assert "resilience" in PHASES
+        assert "adaptive" in PHASES
+
+    def test_profile_embeds_journal_events(self):
+        journal = EventJournal()
+        with journal.correlation("refresh") as cid:
+            journal.record("resilience.refresh.begin", tick=1.0, view="mv_a")
+        document = profile_to_dict(
+            Tracer(), MetricsRegistry(), workload="w", journal=journal
+        )
+        json.dumps(document)
+        (event,) = document["events"]
+        assert event["kind"] == "resilience.refresh.begin"
+        assert event["correlation_id"] == cid
+        assert event["tick"] == 1.0
+        assert event["attributes"] == {"view": "mv_a"}
+
+    def test_events_to_list_without_journal(self):
+        assert events_to_list(None) == []
+        document = profile_to_dict(Tracer(), MetricsRegistry())
+        assert document["events"] == []
+
+    def test_missing_events_key_reported(self):
+        tracer = Tracer()
+        for phase in PHASES:
+            with tracer.span(f"{phase}.step"):
+                pass
+        document = profile_to_dict(tracer, MetricsRegistry())
+        del document["events"]
+        assert any("events" in p for p in validate_profile(document))
+
+    def test_malformed_event_reported(self):
+        tracer = Tracer()
+        for phase in PHASES:
+            with tracer.span(f"{phase}.step"):
+                pass
+        journal = EventJournal()
+        journal.record("obs.test")
+        document = profile_to_dict(tracer, MetricsRegistry(), journal=journal)
+        assert validate_profile(document) == []
+        del document["events"][0]["correlation_id"]
+        assert any(
+            "correlation_id" in p for p in validate_profile(document)
+        )
+        document["events"] = "not-a-list"
+        assert any("list" in p for p in validate_profile(document))

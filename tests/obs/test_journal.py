@@ -1,0 +1,300 @@
+"""Unit + end-to-end tests for the flight-recorder event journal."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.journal import EventJournal, NoopJournal
+
+
+@pytest.fixture()
+def journal():
+    return EventJournal()
+
+
+class TestRecording:
+    def test_sequence_is_monotonic(self, journal):
+        first = journal.record("executor.start")
+        second = journal.record("executor.stop")
+        assert (first.seq, second.seq) == (1, 2)
+        assert [e.kind for e in journal.events] == [
+            "executor.start",
+            "executor.stop",
+        ]
+
+    def test_attributes_are_copied(self, journal):
+        attributes = {"view": "mv_tmp3"}
+        event = journal.record("resilience.refresh.begin", **attributes)
+        attributes["view"] = "mutated"
+        assert event.attributes == {"view": "mv_tmp3"}
+
+    def test_tick_defaults_to_none(self, journal):
+        assert journal.record("adaptive.decision").tick is None
+        assert journal.record("adaptive.decision", tick=3.5).tick == 3.5
+
+    def test_len_counts_retained_events(self, journal):
+        assert len(journal) == 0
+        journal.record("obs.test")
+        assert len(journal) == 1
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest_and_counts_drops(self):
+        journal = EventJournal(capacity=3)
+        for n in range(5):
+            journal.record("obs.test", n=n)
+        assert len(journal) == 3
+        assert journal.dropped == 2
+        assert [e.attributes["n"] for e in journal.events] == [2, 3, 4]
+        # seq keeps the total order even after eviction
+        assert [e.seq for e in journal.events] == [3, 4, 5]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventJournal(capacity=0)
+
+
+class TestFind:
+    def test_exact_kind(self, journal):
+        journal.record("resilience.refresh.begin")
+        journal.record("resilience.refresh.end")
+        found = journal.find(kind="resilience.refresh.begin")
+        assert [e.kind for e in found] == ["resilience.refresh.begin"]
+
+    def test_prefix_kind_matches_subsystem(self, journal):
+        journal.record("resilience.refresh.begin")
+        journal.record("resilience.epoch.advance")
+        journal.record("adaptive.decision")
+        assert len(journal.find(kind="resilience.")) == 2
+        # a prefix must end in "." to be treated as one
+        assert journal.find(kind="resilience") == []
+
+    def test_attribute_filters(self, journal):
+        journal.record("resilience.refresh.begin", view="mv_a")
+        journal.record("resilience.refresh.begin", view="mv_b")
+        found = journal.find(view="mv_b")
+        assert [e.attributes["view"] for e in found] == ["mv_b"]
+
+
+class TestCorrelation:
+    def test_events_inherit_scope_id(self, journal):
+        with journal.correlation("refresh") as cid:
+            journal.record("resilience.refresh.begin")
+            journal.record("resilience.refresh.end")
+        journal.record("obs.outside")
+        story = journal.find(correlation_id=cid)
+        assert [e.kind for e in story] == [
+            "resilience.refresh.begin",
+            "resilience.refresh.end",
+        ]
+        assert journal.find(kind="obs.outside")[0].correlation_id == ""
+
+    def test_ids_are_deterministic_per_scope(self, journal):
+        ids = []
+        for _ in range(2):
+            with journal.correlation("refresh") as cid:
+                ids.append(cid)
+        with journal.correlation("adapt") as cid:
+            ids.append(cid)
+        assert ids == ["refresh-1", "refresh-2", "adapt-3"]
+
+    def test_nested_scopes_innermost_wins(self, journal):
+        with journal.correlation("outer") as outer:
+            journal.record("obs.a")
+            with journal.correlation("inner") as inner:
+                journal.record("obs.b")
+            journal.record("obs.c")
+        by_kind = {e.kind: e.correlation_id for e in journal.events}
+        assert by_kind == {"obs.a": outer, "obs.b": inner, "obs.c": outer}
+
+    def test_caller_supplied_id_joins_existing_story(self, journal):
+        with journal.correlation("migrate") as cid:
+            pass
+        with journal.correlation("refresh", correlation_id=cid):
+            journal.record("resilience.refresh.begin")
+        assert journal.events[0].correlation_id == cid
+        # joining does not burn a fresh counter value
+        with journal.correlation("refresh") as next_cid:
+            pass
+        assert next_cid == "refresh-2"
+
+    def test_correlation_ids_in_first_seen_order(self, journal):
+        with journal.correlation("a") as a:
+            journal.record("obs.x")
+        with journal.correlation("b") as b:
+            journal.record("obs.y")
+            journal.record("obs.z")
+        journal.record("obs.w")  # empty id is excluded
+        assert journal.correlation_ids() == [a, b]
+
+
+class TestExports:
+    def test_to_jsonl_one_compact_object_per_line(self, journal):
+        with journal.correlation("refresh"):
+            journal.record("resilience.refresh.begin", view="mv_a", tick=2.0)
+        journal.record("adaptive.decision")
+        lines = journal.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "seq": 1,
+            "kind": "resilience.refresh.begin",
+            "correlation_id": "refresh-1",
+            "tick": 2.0,
+            "attributes": {"view": "mv_a"},
+        }
+        assert ": " not in lines[0]  # compact separators
+
+    def test_empty_journal_exports_empty_string(self, journal):
+        assert journal.to_jsonl() == ""
+        assert journal.to_list() == []
+
+    def test_dump_jsonl_to_path(self, journal, tmp_path):
+        journal.record("obs.test")
+        target = tmp_path / "events.jsonl"
+        journal.dump_jsonl(str(target))
+        assert json.loads(target.read_text())["kind"] == "obs.test"
+
+    def test_reset_keeps_counters_counting(self, journal):
+        with journal.correlation("refresh"):
+            journal.record("obs.a")
+        journal.reset()
+        assert len(journal) == 0
+        assert journal.dropped == 0
+        event = journal.record("obs.b")
+        assert event.seq == 2  # sequence never repeats in one session
+        with journal.correlation("refresh") as cid:
+            pass
+        assert cid == "refresh-2"
+
+
+class TestNoopJournal:
+    def test_record_returns_none_and_stores_nothing(self):
+        journal = NoopJournal()
+        assert journal.record("obs.test", view="mv_a") is None
+        assert len(journal) == 0
+        assert journal.find() == []
+        assert journal.to_jsonl() == ""
+
+    def test_correlation_yields_empty_id(self):
+        journal = NoopJournal()
+        with journal.correlation("refresh") as cid:
+            assert cid == ""
+        assert journal.current_correlation() == ""
+
+
+class TestObsFacade:
+    def test_disabled_journal_event_is_dropped(self):
+        obs.disable()
+        obs.journal_event("obs.test")
+        assert obs.journal().find() == []
+
+    def test_enabled_journal_event_inherits_facade_correlation(
+        self, enabled_obs
+    ):
+        with obs.correlation("refresh") as cid:
+            obs.journal_event("resilience.refresh.begin", view="mv_a")
+        (event,) = obs.journal().find(kind="resilience.refresh.begin")
+        assert event.correlation_id == cid
+
+    def test_enable_reset_swaps_in_fresh_journal(self):
+        obs.enable(reset=True)
+        obs.journal_event("obs.test")
+        assert len(obs.journal()) == 1
+        obs.enable(reset=True)
+        assert len(obs.journal()) == 0
+
+
+class TestEndToEndRefreshStory:
+    """One scheduler refresh is traceable through a single correlation id:
+    begin -> attempts/retries -> breaker transition -> end (and the epoch
+    advance on the success path)."""
+
+    @staticmethod
+    def _stale_warehouse():
+        import datetime
+
+        from repro.warehouse import DataWarehouse
+        from repro.workload import paper_rows, paper_workload
+
+        warehouse = DataWarehouse.from_workload(paper_workload())
+        warehouse.design()
+        for relation, rows in paper_rows(scale=0.02, seed=7).items():
+            warehouse.load(relation, rows)
+        warehouse.materialize()
+        delta = [
+            {"Pid": 1, "Cid": 2, "quantity": 5,
+             "date": datetime.date(1996, 7, 7)}
+        ]
+        warehouse.apply_update("Order", delta, policy="defer")
+        stale = warehouse.stale_views()
+        assert stale
+        return warehouse, stale
+
+    def test_successful_refresh_threads_one_correlation(self, enabled_obs):
+        warehouse, stale = self._stale_warehouse()
+        scheduler = warehouse.scheduler()
+        outcome = scheduler.refresh_view(stale[0])
+        assert outcome.ok
+
+        begins = obs.journal().find(kind="resilience.refresh.begin")
+        assert len(begins) == 1
+        cid = begins[0].correlation_id
+        assert cid.startswith("refresh-")
+        story = obs.journal().find(correlation_id=cid)
+        kinds = [e.kind for e in story]
+        assert kinds[0] == "resilience.refresh.begin"
+        assert "resilience.refresh.attempt" in kinds
+        assert "resilience.epoch.advance" in kinds
+        assert kinds[-1] == "resilience.refresh.end"
+        assert story[-1].attributes["status"] == "refreshed"
+        # events carry the scheduler's logical clock, never wall time
+        ticks = [e.tick for e in story]
+        assert all(t is not None for t in ticks)
+        assert ticks == sorted(ticks)
+
+    def test_failing_refresh_journals_retries_and_breaker(self, enabled_obs):
+        from repro.resilience import (
+            BreakerPolicy,
+            FaultPolicy,
+            ResilienceConfig,
+            RetryPolicy,
+        )
+
+        warehouse, stale = self._stale_warehouse()
+        warehouse.attach_faults(FaultPolicy(storage_failure_rate=1.0, seed=0))
+        scheduler = warehouse.scheduler(
+            ResilienceConfig(
+                retry=RetryPolicy(max_attempts=3),
+                breaker=BreakerPolicy(
+                    failure_threshold=1, reset_ticks=50.0
+                ),
+                seed=0,
+            )
+        )
+        outcome = scheduler.refresh_view(stale[0])
+        assert outcome.status == "failed"
+
+        (begin,) = obs.journal().find(kind="resilience.refresh.begin")
+        story = obs.journal().find(correlation_id=begin.correlation_id)
+        kinds = [e.kind for e in story]
+        assert kinds.count("resilience.refresh.attempt") == 3
+        assert kinds.count("resilience.refresh.retry") == 2
+        assert "resilience.epoch.advance" not in kinds
+        (transition,) = [
+            e for e in story
+            if e.kind == "resilience.breaker.transition"
+        ]
+        assert transition.attributes["to_state"] == "open"
+        assert story[-1].attributes["status"] == "failed"
+
+    def test_refresh_all_opens_one_scope_per_view(self, enabled_obs):
+        warehouse, _ = self._stale_warehouse()
+        outcomes = warehouse.refresh_resilient()
+        assert len(outcomes) >= 2
+        ids = obs.journal().correlation_ids()
+        assert len(ids) == len(outcomes)
+        for cid, outcome in zip(ids, outcomes):
+            story = obs.journal().find(correlation_id=cid)
+            assert story[0].attributes["view"] == outcome.view

@@ -1,0 +1,171 @@
+"""Tests for the macro-benchmark harness and its regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.macro import (
+    BENCH_SCHEMA_VERSION,
+    MACRO_PHASES,
+    MacroConfig,
+    compare_bench,
+    run_macro,
+    smoke_mode,
+    validate_bench,
+)
+
+SMOKE_CONFIG = MacroConfig(scale=0.01, repeats=1, windows=2, smoke=True)
+
+
+@pytest.fixture(scope="module")
+def smoke_document():
+    document = run_macro(SMOKE_CONFIG)
+    obs.disable()
+    return document
+
+
+class TestMacroConfig:
+    def test_defaults_validate(self):
+        MacroConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"scale": 0.0}, {"repeats": 0}, {"windows": 1}],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MacroConfig(**kwargs).validate()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            run_macro(MacroConfig(workload="nope", smoke=True))
+
+
+class TestSmokeMode:
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SMOKE", raising=False)
+        assert not smoke_mode()
+        monkeypatch.setenv("REPRO_BENCH_SMOKE", "0")
+        assert not smoke_mode()
+        monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
+        assert smoke_mode()
+
+
+class TestRunMacro:
+    def test_document_shape(self, smoke_document):
+        assert validate_bench(smoke_document) == []
+        assert smoke_document["schema"] == BENCH_SCHEMA_VERSION
+        assert smoke_document["suite"] == "macro"
+        assert smoke_document["smoke"] is True
+        assert set(smoke_document["phases"]) == set(MACRO_PHASES)
+        json.dumps(smoke_document)  # must be JSON-safe
+
+    def test_smoke_zeroes_wall_time_but_not_io(self, smoke_document):
+        for name, bucket in smoke_document["phases"].items():
+            assert bucket["wall_ms"] == 0.0, name
+        assert smoke_document["phases"]["load"]["io_blocks"] > 0
+        assert smoke_document["phases"]["queries"]["io_blocks"] > 0
+
+    def test_phases_carry_counts(self, smoke_document):
+        phases = smoke_document["phases"]
+        assert phases["design"]["views"] >= 1
+        assert phases["load"]["rows"] > 0
+        assert phases["queries"]["executed"] >= SMOKE_CONFIG.repeats
+        assert phases["refresh"]["refreshed"] >= 1
+        assert phases["drift"]["decisions"] == SMOKE_CONFIG.windows
+
+    def test_calibration_and_journal_sections(self, smoke_document):
+        calibration = smoke_document["calibration"]
+        assert calibration["samples"] > 0
+        assert calibration["worst"]
+        assert smoke_document["journal"]["events"] > 0
+        assert smoke_document["journal"]["correlations"] > 0
+        assert smoke_document["journal"]["dropped"] == 0
+
+    def test_latency_section_limits_to_known_histograms(self, smoke_document):
+        assert smoke_document["latency"]
+        for name in smoke_document["latency"]:
+            assert name.startswith(
+                ("executor.query_io", "resilience.refresh.ticks",
+                 "maintenance.io")
+            )
+
+    def test_smoke_runs_are_bit_compatible(self, smoke_document):
+        again = run_macro(SMOKE_CONFIG)
+        assert json.dumps(smoke_document, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+
+    def test_restores_disabled_obs(self, smoke_document):
+        assert not obs.enabled()
+
+
+class TestValidateBench:
+    def test_missing_keys_reported(self, smoke_document):
+        document = copy.deepcopy(smoke_document)
+        del document["calibration"]
+        del document["phases"]["refresh"]
+        problems = validate_bench(document)
+        assert any("calibration" in p for p in problems)
+        assert any("refresh" in p for p in problems)
+
+    def test_wrong_schema_reported(self, smoke_document):
+        document = dict(smoke_document, schema=99)
+        assert any("schema" in p for p in validate_bench(document))
+
+
+class TestCompareBench:
+    def test_identical_documents_pass(self, smoke_document):
+        assert compare_bench(smoke_document, smoke_document) == []
+
+    def test_io_regression_detected(self, smoke_document):
+        current = copy.deepcopy(smoke_document)
+        current["phases"]["queries"]["io_blocks"] *= 2.0
+        regressions = compare_bench(smoke_document, current)
+        assert len(regressions) == 1
+        assert "queries" in regressions[0]
+        assert "io_blocks" in regressions[0]
+
+    def test_io_within_tolerance_passes(self, smoke_document):
+        current = copy.deepcopy(smoke_document)
+        current["phases"]["queries"]["io_blocks"] *= 1.2
+        assert compare_bench(smoke_document, current, tolerance=0.25) == []
+
+    def test_missing_phase_reported(self, smoke_document):
+        current = copy.deepcopy(smoke_document)
+        del current["phases"]["drift"]
+        assert any(
+            "drift" in r for r in compare_bench(smoke_document, current)
+        )
+
+    def test_wall_time_ignored_when_either_side_is_smoke(
+        self, smoke_document
+    ):
+        current = copy.deepcopy(smoke_document)
+        current["phases"]["queries"]["wall_ms"] = 1e9
+        assert compare_bench(smoke_document, current) == []
+
+    def test_wall_time_compared_between_timed_runs(self):
+        baseline = {
+            "schema": BENCH_SCHEMA_VERSION,
+            "smoke": False,
+            "phases": {"queries": {"wall_ms": 100.0, "io_blocks": 10.0}},
+        }
+        current = copy.deepcopy(baseline)
+        current["phases"]["queries"]["wall_ms"] = 200.0
+        regressions = compare_bench(baseline, current)
+        assert len(regressions) == 1
+        assert "wall_ms" in regressions[0]
+
+    def test_schema_mismatch_short_circuits(self, smoke_document):
+        current = dict(copy.deepcopy(smoke_document), schema=99)
+        current["phases"]["queries"]["io_blocks"] *= 10
+        regressions = compare_bench(smoke_document, current)
+        assert len(regressions) == 1
+        assert "schema" in regressions[0]
+
+    def test_negative_tolerance_rejected(self, smoke_document):
+        with pytest.raises(ValueError):
+            compare_bench(smoke_document, smoke_document, tolerance=-0.1)

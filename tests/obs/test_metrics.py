@@ -7,6 +7,7 @@ import pytest
 from repro.obs.metrics import (
     MetricsRegistry,
     NoopMetricsRegistry,
+    _escape_label_value,
 )
 
 
@@ -111,6 +112,29 @@ class TestExports:
         assert "io_count 1" in text
         assert "io_sum 4" in text
 
+    def test_prometheus_escapes_hostile_label_values(self, registry):
+        """Backslash, quote, and newline in a label value must follow the
+        text-exposition escaping rules, not corrupt the line format."""
+        registry.counter("rows", query='he said "hi"').inc(1)
+        registry.gauge("drift", path="C:\\tmp").set(0.5)
+        registry.counter("hits", note="line1\nline2").inc(2)
+        text = registry.to_prometheus()
+        assert 'rows{query="he said \\"hi\\""} 1' in text
+        assert 'drift{path="C:\\\\tmp"} 0.5' in text
+        assert 'hits{note="line1\\nline2"} 2' in text
+        # the raw newline never splits an exposition line
+        assert not any(
+            line.startswith("line2") for line in text.splitlines()
+        )
+
+    def test_escape_label_value_helper(self):
+        assert _escape_label_value("plain") == "plain"
+        assert _escape_label_value("\\") == "\\\\"
+        assert _escape_label_value('"') == '\\"'
+        assert _escape_label_value("a\nb") == "a\\nb"
+        # backslash first: an already-escaped quote is not double-mangled
+        assert _escape_label_value('\\"') == '\\\\\\"'
+
     def test_empty_registry_exports(self, registry):
         assert registry.to_dict() == {
             "counters": {},
@@ -144,3 +168,30 @@ class TestNoopRegistry:
     def test_shared_singletons(self):
         registry = NoopMetricsRegistry()
         assert registry.counter("a") is registry.counter("b", any="label")
+
+    def test_snapshots_stay_zeroed_after_mutation(self):
+        registry = NoopMetricsRegistry()
+        registry.counter("a", x="y").inc(5)
+        registry.gauge("b").set(2)
+        registry.histogram("c").observe(3)
+        assert registry.to_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert registry.to_prometheus() == ""
+        assert registry.histogram("c").summary() == {"count": 0, "sum": 0.0}
+
+
+class TestSummaryStability:
+    def test_summary_is_pure(self, registry):
+        histogram = registry.histogram("io")
+        for value in (4, 2, 8):
+            histogram.observe(value)
+        first = histogram.summary()
+        second = histogram.summary()
+        assert first == second
+        # summarizing must not reorder or consume the samples
+        histogram.observe(1)
+        assert histogram.summary()["count"] == 4
+        assert histogram.summary()["min"] == 1

@@ -106,3 +106,31 @@ def test_noop_primitives_are_cheap():
             obs.metrics().counter("x").inc()
     per_call = (time.perf_counter() - start) / iterations
     assert per_call < 5e-6
+
+
+def test_noop_journal_and_calibration_are_cheap():
+    """The flight-recorder and calibration entry points follow the same
+    disabled-mode budget as the rest of ``repro.obs``."""
+    assert not obs.enabled()
+    iterations = 50_000
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        obs.journal_event("resilience.refresh.begin", view="mv_a")
+    per_event = (time.perf_counter() - start) / iterations
+    assert per_event < 5e-6
+    assert len(obs.journal()) == 0
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with obs.correlation("refresh"):
+            pass
+    per_scope = (time.perf_counter() - start) / iterations
+    assert per_scope < 5e-6
+
+    start = time.perf_counter()
+    for _ in range(iterations):
+        obs.calibration().record("access", "Q1", "select", 1.0, 1.0)
+    per_sample = (time.perf_counter() - start) / iterations
+    assert per_sample < 5e-6
+    assert obs.calibration().samples == []

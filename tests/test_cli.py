@@ -319,3 +319,125 @@ class TestAdaptCommand:
     def test_too_few_windows_rejected(self, capsys):
         assert main(["adapt", "--windows", "1"]) == 1
         assert "--windows" in capsys.readouterr().err
+
+
+class TestTraceEventsFlag:
+    def test_jsonl_on_stdout(self, capsys):
+        assert main(["trace", "--workload", "paper", "--events"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        for event in events:
+            assert {"seq", "kind", "correlation_id", "tick", "attributes"} <= (
+                set(event)
+            )
+        # one refresh story is threaded through a single correlation id
+        refresh_ids = {
+            e["correlation_id"]
+            for e in events
+            if e["kind"].startswith("resilience.refresh.")
+        }
+        assert refresh_ids
+        assert all(cid.startswith("refresh-") for cid in refresh_ids)
+        kinds = {e["kind"] for e in events}
+        assert "resilience.refresh.begin" in kinds
+        assert "resilience.epoch.advance" in kinds
+        assert "adaptive.decision" in kinds
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "trace", "--workload", "paper", "--events",
+                    "--output", str(target),
+                ]
+            )
+            == 0
+        )
+        assert "event(s)" in capsys.readouterr().out
+        lines = target.read_text().strip().splitlines()
+        assert all(json.loads(line)["seq"] >= 1 for line in lines)
+
+
+class TestCalibrateCommand:
+    def test_text_report(self, capsys):
+        assert main(["calibrate", "--workload", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "cost-model calibration on paper" in out
+        assert "mean relative error" in out
+        assert "worst calibrated:" in out
+
+    def test_json_report(self, capsys):
+        assert (
+            main(["calibrate", "--workload", "paper", "--format", "json"])
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["workload"] == "paper-example"
+        assert document["samples"] > 0
+        phases = {entry["phase"] for entry in document["entries"]}
+        assert phases == {"access", "maintenance"}
+        errors = [e["mean_relative_error"] for e in document["entries"]]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_bad_scale_rejected(self, capsys):
+        assert main(["calibrate", "--workload", "paper", "--scale", "0"]) == 1
+        assert "--scale" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def _run(self, tmp_path, extra=()):
+        target = tmp_path / "BENCH_macro.json"
+        argv = [
+            "bench", "--suite", "macro", "--smoke",
+            "--repeats", "1", "--windows", "2", "--output", str(target),
+        ]
+        return main(argv + list(extra)), target
+
+    def test_smoke_run_writes_valid_document(self, tmp_path, capsys):
+        code, target = self._run(tmp_path)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "macro bench on paper-example (smoke" in out
+        assert "calibration:" in out
+        document = json.loads(target.read_text())
+        assert document["schema"] == 1
+        assert document["smoke"] is True
+        assert set(document["phases"]) == {
+            "design", "load", "queries", "refresh", "drift",
+        }
+
+    def test_second_run_gates_against_committed_baseline(
+        self, tmp_path, capsys
+    ):
+        assert self._run(tmp_path)[0] == 0
+        capsys.readouterr()
+        code, _ = self._run(tmp_path)
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        code, target = self._run(tmp_path)
+        assert code == 0
+        document = json.loads(target.read_text())
+        document["phases"]["queries"]["io_blocks"] /= 10.0
+        target.write_text(json.dumps(document))
+        capsys.readouterr()
+        code, _ = self._run(tmp_path)
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_explicit_baseline_flag(self, tmp_path, capsys):
+        code, target = self._run(tmp_path)
+        assert code == 0
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(target.read_text())
+        capsys.readouterr()
+        code, _ = self._run(tmp_path, ["--baseline", str(baseline)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_bad_knobs_rejected(self, capsys):
+        assert main(["bench", "--suite", "macro", "--windows", "1"]) == 1
+        assert "windows" in capsys.readouterr().err
