@@ -4,6 +4,7 @@ Usage (also via ``python -m repro``)::
 
     repro workloads                       # list built-in workloads
     repro design   --workload paper       # run the full design pipeline
+    repro explain  --workload paper       # logical + physical plan per query
     repro compare  --workload paper       # Table-2-style strategy table
     repro trace    --workload paper       # Figure-9 selection trace
     repro profile  --workload paper       # instrumented end-to-end run
@@ -133,6 +134,11 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         "--strategy", default="heuristic", metavar="NAME",
         help="view-selection strategy (see `repro strategies`)",
     )
+    parser.add_argument(
+        "--engine", choices=("vectorized", "reference"), default="vectorized",
+        help="execution engine: the vectorized columnar executor or the "
+             "row-at-a-time reference oracle (default: vectorized)",
+    )
 
 
 def design_config(args: argparse.Namespace) -> DesignConfig:
@@ -144,6 +150,7 @@ def design_config(args: argparse.Namespace) -> DesignConfig:
         executor=args.parallel,
         cache=not args.no_cost_cache,
         seed=args.seed,
+        engine=args.engine,
     )
 
 
@@ -167,6 +174,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(design_parser)
     design_parser.add_argument("--json", metavar="FILE", default=None,
                                help="write the design result as JSON")
+
+    explain_parser = commands.add_parser(
+        "explain",
+        help="logical plan annotations plus the physical operator tree",
+    )
+    _add_workload_arguments(explain_parser)
+    explain_parser.add_argument(
+        "--query", metavar="NAME", default=None,
+        help="explain only this registered query (default: all of them)",
+    )
 
     compare_parser = commands.add_parser(
         "compare", help="compare materialization strategies (Table 2)"
@@ -437,6 +454,30 @@ def command_design(args: argparse.Namespace) -> int:
         with open(args.json, "w") as handle:
             json.dump(design_to_dict(result), handle, indent=2)
         print(f"design written to {args.json}")
+    return 0
+
+
+def command_explain(args: argparse.Namespace) -> int:
+    from repro.warehouse import DataWarehouse
+
+    workload = resolve_workload(args)
+    warehouse = DataWarehouse.from_workload(workload, engine=args.engine)
+    warehouse.design(design_config(args))
+    names = [spec.name for spec in workload.queries]
+    if args.query is not None:
+        if args.query not in names:
+            raise ReproError(
+                f"unknown query {args.query!r}; "
+                f"expected one of {', '.join(names)}"
+            )
+        names = [args.query]
+    for index, name in enumerate(names):
+        if index:
+            print()
+        print(warehouse.explain(name))
+        plan = warehouse.query_plan(name)
+        print(f"physical plan ({warehouse.engine.engine} engine):")
+        print(warehouse.engine.explain(plan))
     return 0
 
 
@@ -935,6 +976,7 @@ def command_bench(args: argparse.Namespace) -> int:
         windows=args.windows,
         seed=args.seed,
         smoke=args.smoke or smoke_mode(),
+        engine=args.engine,
     )
     try:
         config.validate()
@@ -985,6 +1027,7 @@ COMMANDS = {
     "workloads": command_workloads,
     "strategies": command_strategies,
     "design": command_design,
+    "explain": command_explain,
     "compare": command_compare,
     "trace": command_trace,
     "profile": command_profile,

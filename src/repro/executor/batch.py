@@ -1,0 +1,336 @@
+"""Columnar batches and vectorized expression compilation.
+
+This module is the data plane of the vectorized executor
+(:mod:`repro.executor.physical`).  A :class:`Batch` is a fixed-size
+columnar chunk — one Python list per attribute, aligned by row
+position, with the producing operator's schema carried along — and the
+unit :meth:`PhysicalOperator.batches` yields.
+
+The compilers translate :mod:`repro.algebra.expressions` trees into
+closures over column vectors:
+
+* :func:`compile_mask` — a selection predicate over one input becomes
+  ``fn(columns, n) -> mask`` where the mask holds SQL three-valued
+  results (``True`` / ``False`` / ``None``) per row, exactly matching
+  ``Expression.evaluate`` on the corresponding row dict.
+* :func:`compile_pair` — a join condition becomes a scalar
+  ``fn(left_row, right_row) -> value`` over *tuples* (one value per
+  attribute), with column references resolved against the merged-dict
+  semantics of the row engine (``{**outer_row, **inner_row}``: inner
+  keys shadow outer keys, and short-name fallback searches the merged
+  key set).
+
+Both compilers return ``None`` for anything they cannot translate
+(an unknown node type, or a column reference the row engine would
+resolve dynamically per row); callers then fall back to row-at-a-time
+``evaluate`` so behaviour — including raised errors — is unchanged.
+"""
+
+from __future__ import annotations
+
+import operator as _operator
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.algebra.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    Not,
+    Or,
+)
+
+__all__ = [
+    "Batch",
+    "DEFAULT_BATCH_SIZE",
+    "compile_mask",
+    "compile_pair",
+    "iter_batches",
+    "resolve_column",
+    "resolve_merged_column",
+]
+
+#: Rows per batch unless the engine overrides it.
+DEFAULT_BATCH_SIZE = 1024
+
+_COMPARISON_OPS = {
+    "=": _operator.eq,
+    "!=": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
+}
+
+#: ``fn(columns, n) -> vector`` — a compiled columnwise expression.
+MaskFn = Callable[[Sequence[List[Any]], int], List[Any]]
+#: ``fn(left_row, right_row) -> value`` — a compiled pairwise expression.
+PairFn = Callable[[Tuple[Any, ...], Tuple[Any, ...]], Any]
+
+
+class Batch:
+    """One columnar chunk of an operator's output.
+
+    ``columns`` holds one list per schema attribute, all of length
+    ``length``; ``None`` marks SQL NULL.  Batches are read-only by
+    convention — operators build fresh column lists rather than mutate
+    a batch they were handed.
+    """
+
+    __slots__ = ("schema", "columns", "length")
+
+    def __init__(self, schema, columns: Sequence[List[Any]], length: int):
+        self.schema = schema
+        self.columns = tuple(columns)
+        self.length = length
+
+    def column(self, name: str) -> List[Any]:
+        """The column for attribute ``name`` (resolved like the schema)."""
+        return self.columns[self.schema.index_of(name)]
+
+    def rows(self):
+        """Row dicts (for tests and debugging — operators stay columnar)."""
+        names = self.schema.attribute_names
+        for values in zip(*self.columns) if self.columns else ():
+            yield dict(zip(names, values))
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return f"Batch({self.schema.name}, rows={self.length})"
+
+
+def iter_batches(schema, columns: Sequence[List[Any]], length: int, batch_size: int):
+    """Slice full columns into :class:`Batch` chunks of ``batch_size``."""
+    if batch_size < 1:
+        raise ValueError(f"batch size must be >= 1: {batch_size}")
+    for start in range(0, length, batch_size):
+        stop = min(start + batch_size, length)
+        yield Batch(
+            schema,
+            [column[start:stop] for column in columns],
+            stop - start,
+        )
+
+
+# --------------------------------------------------------------- resolution
+def resolve_column(name: str, names: Sequence[str]) -> Optional[int]:
+    """Index of ``name`` in ``names`` under row-dict lookup semantics.
+
+    Mirrors :meth:`ColumnRef.evaluate`: exact key first, then a unique
+    short-name suffix match.  Returns ``None`` when the reference would
+    not resolve (ambiguous or missing) — the caller falls back to
+    row-wise evaluation so the row engine's error surfaces unchanged.
+    """
+    for index, key in enumerate(names):
+        if key == name:
+            return index
+    short = name.rsplit(".", 1)[-1]
+    matches = [
+        index
+        for index, key in enumerate(names)
+        if key.rsplit(".", 1)[-1] == short
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    return None
+
+
+def resolve_merged_column(
+    name: str, left_names: Sequence[str], right_names: Sequence[str]
+) -> Optional[Tuple[int, int]]:
+    """Resolve ``name`` against ``{**left_row, **right_row}`` semantics.
+
+    Returns ``(side, index)`` with side 0 = left, 1 = right.  A key
+    present on both sides resolves to the right (the inner row's value
+    shadows the outer's in the merged dict); the short-name fallback
+    requires uniqueness across the merged key *set*, exactly like
+    :meth:`ColumnRef.evaluate` over the merged row.
+    """
+    if name in right_names:
+        return (1, list(right_names).index(name))
+    if name in left_names:
+        return (0, list(left_names).index(name))
+    left_set = set(left_names)
+    merged = list(left_names) + [k for k in right_names if k not in left_set]
+    short = name.rsplit(".", 1)[-1]
+    matches = [k for k in merged if k.rsplit(".", 1)[-1] == short]
+    if len(matches) != 1:
+        return None
+    key = matches[0]
+    if key in right_names:
+        return (1, list(right_names).index(key))
+    return (0, list(left_names).index(key))
+
+
+# ----------------------------------------------------------- 3VL combiners
+def _and3(values: Tuple[Any, ...]) -> Optional[bool]:
+    saw_null = False
+    for value in values:
+        if value is None:
+            saw_null = True
+        elif not value:
+            return False
+    return None if saw_null else True
+
+
+def _or3(values: Tuple[Any, ...]) -> Optional[bool]:
+    saw_null = False
+    for value in values:
+        if value is None:
+            saw_null = True
+        elif value:
+            return True
+    return None if saw_null else False
+
+
+# ------------------------------------------------------------ mask compiler
+def compile_mask(expr: Optional[Expression], names: Sequence[str]) -> Optional[MaskFn]:
+    """Compile ``expr`` to a columnwise kernel over columns named ``names``.
+
+    The returned function maps (columns, row count) to a per-row vector
+    of ``expr.evaluate`` results.  ``None`` means the expression (or a
+    sub-expression) is not vectorizable; the caller must evaluate row
+    dicts instead.
+    """
+    if expr is None:
+        return None
+    names = tuple(names)
+
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda cols, n: [value] * n
+
+    if isinstance(expr, ColumnRef):
+        index = resolve_column(expr.name, names)
+        if index is None:
+            return None
+        return lambda cols, n: cols[index]
+
+    if isinstance(expr, Comparison):
+        op = _COMPARISON_OPS[expr.op]
+        left, right = expr.left, expr.right
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            index = resolve_column(left.name, names)
+            if index is None:
+                return None
+            value = right.value
+            if value is None:
+                return lambda cols, n: [None] * n
+            return lambda cols, n: [
+                None if item is None else op(item, value)
+                for item in cols[index]
+            ]
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            li = resolve_column(left.name, names)
+            ri = resolve_column(right.name, names)
+            if li is None or ri is None:
+                return None
+            return lambda cols, n: [
+                None if (a is None or b is None) else op(a, b)
+                for a, b in zip(cols[li], cols[ri])
+            ]
+        left_fn = compile_mask(left, names)
+        right_fn = compile_mask(right, names)
+        if left_fn is None or right_fn is None:
+            return None
+        return lambda cols, n: [
+            None if (a is None or b is None) else op(a, b)
+            for a, b in zip(left_fn(cols, n), right_fn(cols, n))
+        ]
+
+    if isinstance(expr, (And, Or)):
+        combine = _and3 if isinstance(expr, And) else _or3
+        child_fns = [compile_mask(child, names) for child in expr.children]
+        if any(fn is None for fn in child_fns):
+            return None
+        return lambda cols, n: [
+            combine(values)
+            for values in zip(*[fn(cols, n) for fn in child_fns])
+        ]
+
+    if isinstance(expr, Not):
+        child_fn = compile_mask(expr.operand, names)
+        if child_fn is None:
+            return None
+        return lambda cols, n: [
+            None if value is None else (not value)
+            for value in child_fn(cols, n)
+        ]
+
+    return None
+
+
+# ------------------------------------------------------------ pair compiler
+def compile_pair(
+    expr: Optional[Expression],
+    left_names: Sequence[str],
+    right_names: Sequence[str],
+) -> Optional[PairFn]:
+    """Compile a join condition to a scalar kernel over row tuples.
+
+    The returned ``fn(left_row, right_row)`` equals
+    ``expr.evaluate({**left_row_dict, **right_row_dict})`` for rows
+    given as value tuples in schema order.  ``None`` means fall back to
+    merged-dict evaluation.
+    """
+    if expr is None:
+        return None
+
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda lrow, rrow: value
+
+    if isinstance(expr, ColumnRef):
+        resolved = resolve_merged_column(expr.name, left_names, right_names)
+        if resolved is None:
+            return None
+        side, index = resolved
+        if side == 1:
+            return lambda lrow, rrow: rrow[index]
+        return lambda lrow, rrow: lrow[index]
+
+    if isinstance(expr, Comparison):
+        op = _COMPARISON_OPS[expr.op]
+        left_fn = compile_pair(expr.left, left_names, right_names)
+        right_fn = compile_pair(expr.right, left_names, right_names)
+        if left_fn is None or right_fn is None:
+            return None
+
+        def comparison(lrow, rrow, op=op, lf=left_fn, rf=right_fn):
+            a = lf(lrow, rrow)
+            b = rf(lrow, rrow)
+            if a is None or b is None:
+                return None
+            return op(a, b)
+
+        return comparison
+
+    if isinstance(expr, (And, Or)):
+        combine = _and3 if isinstance(expr, And) else _or3
+        child_fns = [
+            compile_pair(child, left_names, right_names)
+            for child in expr.children
+        ]
+        if any(fn is None for fn in child_fns):
+            return None
+        return lambda lrow, rrow: combine(
+            tuple(fn(lrow, rrow) for fn in child_fns)
+        )
+
+    if isinstance(expr, Not):
+        child_fn = compile_pair(expr.operand, left_names, right_names)
+        if child_fn is None:
+            return None
+
+        def negation(lrow, rrow, fn=child_fn):
+            value = fn(lrow, rrow)
+            if value is None:
+                return None
+            return not value
+
+        return negation
+
+    return None

@@ -1,10 +1,23 @@
 """Plan execution over a database of in-memory tables.
 
-The :class:`ExecutionEngine` walks a logical operator tree and runs the
-matching physical operators; the join implementation (nested-loop, per
-the paper, or hash) is selected per engine.  All operators share the
-database's :class:`IOCounter`, so a single query's measured block I/O is
-directly comparable with the cost model's prediction.
+The :class:`ExecutionEngine` runs logical operator trees through one of
+two execution engines sharing a single semantics:
+
+* ``vectorized`` (the default) — :class:`~repro.executor.physical.PhysicalPlanner`
+  lowers the logical plan to a physical operator tree once per execute,
+  then drives it columnar batch-at-a-time over
+  :class:`~repro.storage.columnar.ColumnView` chunks.  Hash-join build
+  sides are reused across refreshes through the engine's
+  :class:`~repro.executor.physical.BuildSideCache`.
+* ``reference`` — the original row-at-a-time operators
+  (:mod:`repro.executor.iterators`), kept as the behavioural oracle the
+  equivalence suite checks the vectorized engine against.
+
+Both engines produce bit-identical rows and charge identical block I/O
+to the same counters, so a query's measured I/O is directly comparable
+with the cost model's prediction regardless of engine.  The join
+implementation (nested-loop, per the paper, or hash / sort-merge /
+index-nested-loop) is selected per engine instance.
 """
 
 from __future__ import annotations
@@ -12,7 +25,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro import obs
-from repro.algebra import predicates as P
 from repro.algebra.operators import (
     Aggregate,
     Join,
@@ -26,19 +38,26 @@ from repro.algebra.operators import (
 from repro.errors import ExecutionError
 from repro.storage.block import IOCounter, IOSnapshot
 from repro.storage.table import DEFAULT_BLOCKING_FACTOR, Table
-from repro.executor.iterators import (
-    aggregate_table,
-    hash_join,
-    linear_select,
-    nested_loop_join,
-    project_table,
+from repro.executor.physical import (
+    HASH,
+    INDEX_NESTED_LOOP,
+    NESTED_LOOP,
+    SORT_MERGE,
+    BuildSideCache,
+    ExecutionContext,
+    PhysicalOperator,
+    PhysicalPlanner,
+    materialize,
+    table_from_columns,
 )
+from repro.executor.batch import DEFAULT_BATCH_SIZE
 
-#: Join strategies the engine supports.
-NESTED_LOOP = "nested-loop"
-HASH = "hash"
-INDEX_NESTED_LOOP = "index-nested-loop"
-SORT_MERGE = "sort-merge"
+#: Execution engines.
+VECTORIZED = "vectorized"
+REFERENCE = "reference"
+
+JOIN_METHODS = (NESTED_LOOP, HASH, INDEX_NESTED_LOOP, SORT_MERGE)
+ENGINES = (VECTORIZED, REFERENCE)
 
 
 class Database:
@@ -48,17 +67,23 @@ class Database:
     (``fault_injector``), :meth:`table` hands out fault-injecting
     proxies sharing the stored rows, so seeded storage failures fire at
     the same boundary real I/O errors would.
+
+    Every registration or drop bumps the relation's *version*
+    (:meth:`version`) — the freshness epoch build-side and cost caches
+    key their validity on.
     """
 
     def __init__(self) -> None:
         self.io = IOCounter()
         self._tables: Dict[str, Table] = {}
+        self._versions: Dict[str, int] = {}
         self.fault_injector = None
 
     def register(self, name: str, table: Table) -> Table:
         """Register ``table`` under ``name``, adopting the shared counter."""
         table.io = self.io
         self._tables[name] = table
+        self._versions[name] = self._versions.get(name, 0) + 1
         return table
 
     def table(self, name: str) -> Table:
@@ -73,7 +98,12 @@ class Database:
         return table
 
     def drop(self, name: str) -> None:
-        self._tables.pop(name, None)
+        if self._tables.pop(name, None) is not None:
+            self._versions[name] = self._versions.get(name, 0) + 1
+
+    def version(self, name: str) -> int:
+        """Monotonic registration epoch for ``name`` (0 = never seen)."""
+        return self._versions.get(name, 0)
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables
@@ -86,65 +116,49 @@ class Database:
 class ExecutionEngine:
     """Executes logical plans against a :class:`Database`."""
 
-    def __init__(self, database: Database, join_method: str = NESTED_LOOP):
-        if join_method not in (NESTED_LOOP, HASH, INDEX_NESTED_LOOP, SORT_MERGE):
+    def __init__(
+        self,
+        database: Database,
+        join_method: str = NESTED_LOOP,
+        engine: str = VECTORIZED,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        if join_method not in JOIN_METHODS:
             raise ExecutionError(f"unknown join method {join_method!r}")
+        if engine not in ENGINES:
+            raise ExecutionError(f"unknown execution engine {engine!r}")
+        if batch_size < 1:
+            raise ExecutionError(f"batch size must be >= 1: {batch_size}")
         self.database = database
         self.join_method = join_method
+        self.engine = engine
+        self.batch_size = batch_size
+        self.build_cache = BuildSideCache()
         from repro.executor.indexes import IndexManager
 
         self.indexes = IndexManager()
 
-    def execute(self, plan: Operator) -> Table:
-        """Run ``plan`` and return its result table (I/O is accumulated)."""
-        if not obs.enabled():
-            return self._execute(plan)
-        before = self.database.io.snapshot()
-        result = self._execute(plan)
-        registry = obs.metrics()
-        operator = type(plan).__name__.lower()
-        registry.counter(
-            "executor.rows_produced", operator=operator
-        ).inc(result.cardinality)
-        # Inclusive per-operator block I/O (children included) — the
-        # measured side of the calibration layer's operator breakdown.
-        registry.histogram("executor.operator_io", operator=operator).observe(
-            float(self.database.io.since(before).total)
-        )
-        return result
+    # ------------------------------------------------------------ public API
+    def execute(self, plan: Operator, *, engine: Optional[str] = None) -> Table:
+        """Run ``plan`` and return its result table (I/O is accumulated).
 
-    def _execute(self, plan: Operator) -> Table:
-        if isinstance(plan, Relation):
-            table = self.database.table(plan.name)
-            self._check_schema(plan, table)
-            return table
-        if isinstance(plan, Select):
-            return linear_select(self.execute(plan.child), plan.predicate)
-        if isinstance(plan, Project):
-            return project_table(self.execute(plan.child), plan.attributes, plan.distinct)
-        if isinstance(plan, Join):
-            return self._execute_join(plan)
-        if isinstance(plan, Aggregate):
-            return aggregate_table(
-                self.execute(plan.child), plan.group_by, plan.aggregates, plan.schema
-            )
-        if isinstance(plan, Sort):
-            from repro.executor.iterators import sort_table
+        ``engine`` overrides the engine chosen at construction for this
+        one call — the hook the equivalence suite and ``--engine`` CLI
+        flag use.
+        """
+        if self._resolve_engine(engine) == REFERENCE:
+            return self._reference_execute(plan)
+        return self._vectorized_execute(plan)
 
-            return sort_table(self.execute(plan.child), plan.keys)
-        if isinstance(plan, Limit):
-            from repro.executor.iterators import limit_table
-
-            return limit_table(self.execute(plan.child), plan.count)
-        raise ExecutionError(f"cannot execute operator {type(plan).__name__}")
-
-    def run(self, plan: Operator) -> Tuple[Table, IOSnapshot]:
+    def run(
+        self, plan: Operator, *, engine: Optional[str] = None
+    ) -> Tuple[Table, IOSnapshot]:
         """Execute ``plan`` and return (result, I/O consumed by this run)."""
         with obs.span(
             "execution.query", join_method=self.join_method
         ) as span:
             before = self.database.io.snapshot()
-            result = self.execute(plan)
+            result = self.execute(plan, engine=engine)
             io = self.database.io.since(before)
             span.set(
                 blocks_read=io.reads,
@@ -158,19 +172,154 @@ class ExecutionEngine:
                 registry.histogram("executor.query_io").observe(io.total)
         return result, io
 
-    # ------------------------------------------------------------------ join
-    def _execute_join(self, plan: Join) -> Table:
-        outer = self.execute(plan.left)
-        inner = self.execute(plan.right)
+    def explain(self, plan: Operator, *, engine: Optional[str] = None) -> str:
+        """The plan as the chosen engine would run it.
+
+        The vectorized engine shows the *physical* operator tree
+        (lowered without requiring tables to be loaded); the reference
+        engine shows the logical tree it walks directly.
+        """
+        if self._resolve_engine(engine) == REFERENCE:
+            return plan.describe()
+        return self.physical_plan(plan, require_tables=False).describe()
+
+    def physical_plan(
+        self, plan: Operator, require_tables: bool = True
+    ) -> PhysicalOperator:
+        """Lower ``plan`` to this engine's physical operator tree."""
+        planner = PhysicalPlanner(
+            self.database, self.join_method, require_tables=require_tables
+        )
+        return planner.lower(plan)
+
+    def _resolve_engine(self, engine: Optional[str]) -> str:
+        if engine is None:
+            return self.engine
+        if engine not in ENGINES:
+            raise ExecutionError(f"unknown execution engine {engine!r}")
+        return engine
+
+    # ------------------------------------------------------------ vectorized
+    def _vectorized_execute(self, plan: Operator) -> Table:
+        recording = obs.enabled()
+        if isinstance(plan, Relation):
+            table = self.database.table(plan.name)
+            self._check_schema(plan, table)
+            self._record_root(plan, table.cardinality, 0.0, recording)
+            return table
+        before = self.database.io.snapshot() if recording else None
+        root = self.physical_plan(plan)
+        ctx = ExecutionContext(
+            io=self.database.io,
+            batch_size=self.batch_size,
+            cache=(
+                self.build_cache
+                if self.database.fault_injector is None
+                else None
+            ),
+            database=self.database,
+            indexes=self.indexes,
+            record=recording,
+        )
+        columns, length = materialize(root, ctx)
+        result = table_from_columns(
+            root.schema, root.blocking_factor, columns, length, self.database.io
+        )
+        if before is not None:
+            self._record_root(
+                plan,
+                result.cardinality,
+                float(self.database.io.since(before).total),
+                recording,
+            )
+        return result
+
+    @staticmethod
+    def _record_root(
+        plan: Operator, rows: int, io_total: float, recording: bool
+    ) -> None:
+        if not recording:
+            return
+        registry = obs.metrics()
+        operator = type(plan).__name__.lower()
+        registry.counter("executor.rows_produced", operator=operator).inc(rows)
+        registry.histogram("executor.operator_io", operator=operator).observe(
+            io_total
+        )
+
+    # ------------------------------------------------------------- reference
+    def _reference_execute(self, plan: Operator) -> Table:
+        """The row-at-a-time oracle path (per-node obs, like always)."""
+        if not obs.enabled():
+            return self._reference_node(plan)
+        before = self.database.io.snapshot()
+        result = self._reference_node(plan)
+        registry = obs.metrics()
+        operator = type(plan).__name__.lower()
+        registry.counter(
+            "executor.rows_produced", operator=operator
+        ).inc(result.cardinality)
+        # Inclusive per-operator block I/O (children included) — the
+        # measured side of the calibration layer's operator breakdown.
+        registry.histogram("executor.operator_io", operator=operator).observe(
+            float(self.database.io.since(before).total)
+        )
+        return result
+
+    def _reference_node(self, plan: Operator) -> Table:
+        from repro.executor.iterators import (
+            _aggregate_table,
+            _limit_table,
+            _linear_select,
+            _project_table,
+            _sort_table,
+        )
+
+        if isinstance(plan, Relation):
+            table = self.database.table(plan.name)
+            self._check_schema(plan, table)
+            return table
+        if isinstance(plan, Select):
+            return _linear_select(
+                self._reference_execute(plan.child), plan.predicate
+            )
+        if isinstance(plan, Project):
+            return _project_table(
+                self._reference_execute(plan.child),
+                plan.attributes,
+                plan.distinct,
+            )
+        if isinstance(plan, Join):
+            return self._reference_join(plan)
+        if isinstance(plan, Aggregate):
+            return _aggregate_table(
+                self._reference_execute(plan.child),
+                plan.group_by,
+                plan.aggregates,
+                plan.schema,
+            )
+        if isinstance(plan, Sort):
+            return _sort_table(self._reference_execute(plan.child), plan.keys)
+        if isinstance(plan, Limit):
+            return _limit_table(self._reference_execute(plan.child), plan.count)
+        raise ExecutionError(f"cannot execute operator {type(plan).__name__}")
+
+    def _reference_join(self, plan: Join) -> Table:
+        from repro.executor.iterators import (
+            _hash_join,
+            _nested_loop_join,
+            _sort_merge_join,
+        )
+
+        outer = self._reference_execute(plan.left)
+        inner = self._reference_execute(plan.right)
         if self.join_method == NESTED_LOOP:
-            return nested_loop_join(outer, inner, plan.condition)
+            return _nested_loop_join(outer, inner, plan.condition)
         equi, residual = self._split_condition(plan)
         if not equi:
-            return nested_loop_join(outer, inner, plan.condition)
+            return _nested_loop_join(outer, inner, plan.condition)
         if self.join_method == SORT_MERGE:
-            from repro.executor.iterators import sort_merge_join
-
-            return sort_merge_join(outer, inner, equi, residual)
+            return _sort_merge_join(outer, inner, equi, residual)
         if self.join_method == INDEX_NESTED_LOOP and isinstance(
             plan.right, Relation
         ):
@@ -189,24 +338,13 @@ class ExecutionEngine:
             )
             index = self.indexes.ensure(plan.right.name, inner, first[1])
             return index_nested_loop_join(outer, index, first, leftover)
-        return hash_join(outer, inner, equi, residual)
+        return _hash_join(outer, inner, equi, residual)
 
-    def _split_condition(self, plan: Join):
-        equi = []
-        residual_parts = []
-        outer_columns = set(plan.left.schema.attribute_names)
-        for conjunct in P.conjuncts(plan.condition):
-            if P.is_join_predicate(conjunct):
-                left_name = conjunct.left.name  # type: ignore[union-attr]
-                right_name = conjunct.right.name  # type: ignore[union-attr]
-                if left_name in outer_columns:
-                    equi.append((left_name, right_name))
-                    continue
-                if right_name in outer_columns:
-                    equi.append((right_name, left_name))
-                    continue
-            residual_parts.append(conjunct)
-        return equi, P.conjunction(residual_parts)
+    @staticmethod
+    def _split_condition(plan: Join):
+        from repro.executor.physical import split_join_condition
+
+        return split_join_condition(plan)
 
     @staticmethod
     def _check_schema(plan: Relation, table: Table) -> None:

@@ -77,6 +77,7 @@ class DesignConfig:
     lint: bool = False
     resilience: Optional[ResilienceConfig] = None
     adaptive: Optional[Any] = None
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.resilience is not None and not isinstance(
@@ -108,6 +109,14 @@ class DesignConfig:
             raise MVPPError(
                 f"unknown maintenance trigger: {self.maintenance_trigger!r}"
             )
+        if self.engine is not None:
+            from repro.executor.engine import ENGINES
+
+            if self.engine not in ENGINES:
+                raise MVPPError(
+                    f"unknown execution engine {self.engine!r}; "
+                    f"expected one of {ENGINES}"
+                )
 
     # ------------------------------------------------------------- resolution
     def resolved_trigger(self, default: str = PER_PERIOD) -> str:

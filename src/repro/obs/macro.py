@@ -73,6 +73,7 @@ class MacroConfig:
     windows: int = 4  # drift-replay observation windows
     seed: int = 0
     smoke: bool = False
+    engine: Optional[str] = None  # None = the warehouse default
 
     def validate(self) -> None:
         if self.scale <= 0:
@@ -81,6 +82,14 @@ class MacroConfig:
             raise ValueError(f"repeats must be >= 1: {self.repeats}")
         if self.windows < 2:
             raise ValueError(f"windows must be >= 2: {self.windows}")
+        if self.engine is not None:
+            from repro.executor.engine import ENGINES
+
+            if self.engine not in ENGINES:
+                raise ValueError(
+                    f"unknown execution engine {self.engine!r}; "
+                    f"expected one of {ENGINES}"
+                )
 
 
 def _workload_rows(name: str, scale: float, seed: int):
@@ -148,7 +157,10 @@ def run_macro(config: Optional[MacroConfig] = None) -> Dict[str, Any]:
         workload, rows = _workload_rows(
             config.workload, config.scale, config.seed
         )
-        warehouse = DataWarehouse.from_workload(workload)
+        engine_kwargs = (
+            {} if config.engine is None else {"engine": config.engine}
+        )
+        warehouse = DataWarehouse.from_workload(workload, **engine_kwargs)
         recorder = _PhaseRecorder(warehouse.database, smoke)
 
         # Replay pacing mirrors `repro adapt`: one event per unit of
@@ -237,6 +249,7 @@ def run_macro(config: Optional[MacroConfig] = None) -> Dict[str, Any]:
                 "repeats": config.repeats,
                 "windows": config.windows,
                 "seed": config.seed,
+                "engine": config.engine or warehouse.engine.engine,
             },
             "smoke": smoke,
             "phases": recorder.phases,

@@ -231,6 +231,7 @@ class FaultyTable(Table):
         self.blocking_factor = inner.blocking_factor
         self.io = inner.io
         self._rows = inner._rows  # shared: the proxy IS the stored table
+        self._colcache = inner.column_view()  # shared columnar cache
         self._name = name
         self._injector = injector
 

@@ -1,0 +1,85 @@
+"""Columnar chunk views over block-structured tables.
+
+The vectorized executor (``repro.executor.physical``) consumes tables
+column-at-a-time.  :class:`ColumnView` is a lazily built, cached
+transposition of a :class:`~repro.storage.table.Table`'s rows: one
+Python list per attribute, built on first access and invalidated by the
+table whenever its rows change (:meth:`Table.insert`,
+:meth:`Table.insert_many`, :meth:`Table.clear`).
+
+The view is purely an in-memory access path — it never touches the
+table's :class:`~repro.storage.block.IOCounter`.  Block I/O accounting
+stays exactly where the row engine put it: operators charge reads and
+writes at scan/materialize boundaries, whether they then iterate rows
+or columns.
+
+Fault-injecting proxies (:class:`repro.resilience.faults.FaultyTable`)
+share the wrapped table's view instance, so a mutation through either
+handle invalidates the one cache both sides read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class ColumnView:
+    """A cached column-major view of one table's rows.
+
+    Columns are plain Python lists aligned by row position; ``None``
+    marks SQL NULL exactly as in the row representation.  The cache
+    maps attribute *names* (the table schema's qualified names) to
+    columns and is rebuilt per column on demand after invalidation.
+    """
+
+    __slots__ = ("_table", "_columns", "_cardinality")
+
+    def __init__(self, table) -> None:
+        self._table = table
+        self._columns: Dict[str, List[object]] = {}
+        self._cardinality: int = -1
+
+    def invalidate(self) -> None:
+        """Drop all cached columns (called by the owning table)."""
+        self._columns.clear()
+        self._cardinality = -1
+
+    @property
+    def cardinality(self) -> int:
+        """Row count the cached columns correspond to."""
+        return len(self._table._rows)
+
+    def column(self, name: str) -> List[object]:
+        """The values of attribute ``name`` in row order (cached).
+
+        ``name`` must be an exact qualified attribute name from the
+        table's schema (callers resolve short names first, with the
+        same rules the row engine uses).
+        """
+        rows = self._table._rows
+        if self._cardinality != len(rows):
+            # Stale for a reason invalidation didn't see (defensive —
+            # direct ``_rows`` mutation); rebuild everything lazily.
+            self.invalidate()
+            self._cardinality = len(rows)
+        column = self._columns.get(name)
+        if column is None:
+            column = [row[name] for row in rows]
+            self._columns[name] = column
+        return column
+
+    def columns(self, names) -> List[List[object]]:
+        """Columns for ``names`` (exact qualified names), in order."""
+        return [self.column(name) for name in names]
+
+    def has_cached(self, name: str) -> bool:
+        """Whether ``name`` is currently materialized (for tests)."""
+        return name in self._columns
+
+
+def column_view_of(table) -> Optional[ColumnView]:
+    """The table's view if it supports one (``None`` otherwise)."""
+    getter = getattr(table, "column_view", None)
+    if getter is None:
+        return None
+    return getter()

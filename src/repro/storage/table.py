@@ -34,6 +34,7 @@ class Table:
         self.blocking_factor = blocking_factor
         self.io = io if io is not None else IOCounter()
         self._rows: List[Dict[str, Any]] = []
+        self._colcache = None  # lazily created ColumnView
 
     # ---------------------------------------------------------------- sizing
     @property
@@ -52,6 +53,8 @@ class Table:
         """Insert one row (validated against the schema's types)."""
         normalized = self._normalize(row)
         self._rows.append(normalized)
+        if self._colcache is not None:
+            self._colcache.invalidate()
         if count_io:
             self.io.write_blocks(1)
 
@@ -61,6 +64,8 @@ class Table:
         for row in rows:
             self._rows.append(self._normalize(row))
         added = len(self._rows) - before
+        if added and self._colcache is not None:
+            self._colcache.invalidate()
         if count_io and added:
             self.io.write_blocks(block_count(added, self.blocking_factor))
         return added
@@ -92,6 +97,21 @@ class Table:
 
     def clear(self) -> None:
         self._rows.clear()
+        if self._colcache is not None:
+            self._colcache.invalidate()
+
+    def column_view(self):
+        """The cached columnar view of this table's rows.
+
+        Created on first use and invalidated automatically whenever the
+        rows change.  Fault-injecting proxies share the wrapped table's
+        view, so both handles always observe the same cache.
+        """
+        if self._colcache is None:
+            from repro.storage.columnar import ColumnView
+
+            self._colcache = ColumnView(self)
+        return self._colcache
 
     def qualified(self, relation_name: Optional[str] = None) -> "Table":
         """A view of this table with attribute names qualified.

@@ -18,7 +18,7 @@ from repro import obs
 from repro.algebra.operators import Aggregate, Operator, Project, Relation
 from repro.errors import WarehouseError
 from repro.executor.engine import Database, ExecutionEngine
-from repro.executor.iterators import materialize_table
+from repro.executor.physical import charge_materialize
 from repro.storage.block import IOSnapshot
 from repro.storage.table import Table
 from repro.warehouse.view import MaterializedView
@@ -83,7 +83,7 @@ class ViewMaintainer:
             result = self.engine.execute(view.plan)
             stored = Table(result.schema, result.blocking_factor, io=self.database.io)
             stored.insert_many(result.rows(), count_io=False)
-            materialize_table(stored)
+            charge_materialize(stored)
             self.database.register(view.name, stored)
             report = RefreshReport(
                 view=view.name,
@@ -149,7 +149,12 @@ class ViewMaintainer:
             before = self.database.io.snapshot()
             delta_table = self._delta_table(relation, delta_rows)
             overlay = _OverlayDatabase(self.database, {relation: delta_table})
-            delta_engine = ExecutionEngine(overlay, self.engine.join_method)
+            delta_engine = ExecutionEngine(
+                overlay,
+                self.engine.join_method,
+                engine=self.engine.engine,
+                batch_size=self.engine.batch_size,
+            )
             delta_result = delta_engine.execute(view.plan)
 
             stored = self.database.table(view.name)
@@ -201,6 +206,10 @@ class _OverlayDatabase(Database):
     def __init__(self, base: Database, overrides: Dict[str, Table]):
         super().__init__()
         self.io = base.io  # share accounting with the real database
+        # Forward the injector: the vectorized engine keys build-side
+        # caching (and FaultyTable wrapping) off this attribute, so a
+        # delta evaluation must fail exactly like a direct one would.
+        self.fault_injector = base.fault_injector
         self._base = base
         self._overrides = overrides
 

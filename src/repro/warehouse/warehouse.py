@@ -27,7 +27,12 @@ from repro import obs
 from repro.catalog.schema import Catalog
 from repro.catalog.statistics import StatisticsCatalog
 from repro.errors import WarehouseError
-from repro.executor.engine import ExecutionEngine, Database, NESTED_LOOP
+from repro.executor.engine import (
+    ExecutionEngine,
+    Database,
+    NESTED_LOOP,
+    VECTORIZED,
+)
 from repro.mvpp.config import DesignConfig, coerce_design_config
 from repro.mvpp.cost import (
     CostBreakdown,
@@ -113,6 +118,7 @@ class DataWarehouse:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         maintenance_trigger: str = PER_PERIOD,
         join_method: str = NESTED_LOOP,
+        engine: str = VECTORIZED,
     ):
         self.catalog = catalog
         self.statistics = statistics
@@ -120,7 +126,7 @@ class DataWarehouse:
         self.maintenance_trigger = maintenance_trigger
         self.estimator = CardinalityEstimator(statistics)
         self.database = Database()
-        self.engine = ExecutionEngine(self.database, join_method)
+        self.engine = ExecutionEngine(self.database, join_method, engine=engine)
         self.maintainer = ViewMaintainer(self.database, self.engine)
         self._queries: List[QuerySpec] = []
         self._update_frequencies: Dict[str, float] = {}
@@ -223,6 +229,8 @@ class DataWarehouse:
             # Remember as the default policy for scheduler() / serve().
             self._resilience_config = config.resilience
             self._scheduler = None
+        if config.engine is not None:
+            self.engine.engine = config.engine
         result = run_design(
             self.workload,
             config,
@@ -378,6 +386,9 @@ class DataWarehouse:
         injector = FaultInjector(policy)
         self.fault_injector = injector
         self.database.fault_injector = injector
+        # Build-side reuse is disabled while faults are injected (a
+        # cache hit would skip the build's seeded fault draws).
+        self.engine.build_cache.invalidate()
         self._scheduler = None  # rebuilt with the new injector on demand
         return injector
 
@@ -702,6 +713,8 @@ class DataWarehouse:
         if config.resilience is not None:
             self._resilience_config = config.resilience
             self._scheduler = None
+        if config.engine is not None:
+            self.engine.engine = config.engine
         result = run_design(
             self.workload,
             config,
@@ -766,6 +779,7 @@ class DataWarehouse:
                             self.database.drop(done.name)
                             self._view_versions.pop(done.name, None)
                             self.engine.indexes.invalidate(done.name)
+                            self.engine.build_cache.invalidate(done.name)
                         self._view_versions.pop(view.name, None)
                         raise WarehouseError(
                             f"migration aborted: view {view.name!r} failed "
@@ -788,6 +802,7 @@ class DataWarehouse:
             self.database.drop(view.name)
             self._committed_cards.pop(view.name, None)
             self.engine.indexes.invalidate(view.name)
+            self.engine.build_cache.invalidate(view.name)
         # Register the new views' estimated sizes so rewritten plans
         # (reading mv_* relations) remain estimable, e.g. by explain().
         for vertex in result.materialized:
@@ -913,6 +928,7 @@ class DataWarehouse:
             self.database.table(relation).insert_many(rows)
             self._base_versions[relation] = self._base_versions.get(relation, 0) + 1
             self.engine.indexes.invalidate(relation)
+            self.engine.build_cache.invalidate(relation)
             reports: List[RefreshReport] = []
             if policy == "defer":
                 self._note_update(
@@ -932,6 +948,7 @@ class DataWarehouse:
                     reports.append(self.maintainer.materialize(view))
                 self._mark_fresh(view)
                 self.engine.indexes.invalidate(view.name)
+                self.engine.build_cache.invalidate(view.name)
             span.set(views_refreshed=len(reports))
             self._note_update(relation, self.database.io.since(io_before).total)
         return reports

@@ -187,7 +187,8 @@ class TestLegacyCallShapes:
         )
         config = design_config(args)
         assert config == DesignConfig(
-            strategy="greedy", workers=4, executor="thread", cache=False
+            strategy="greedy", workers=4, executor="thread", cache=False,
+            engine="vectorized",
         )
 
 
