@@ -343,7 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
              "the chosen design, or all three (default: all)",
     )
     lint_parser.add_argument(
-        "--format", choices=("text", "json", "sarif"), default="text",
+        "--format", choices=("text", "json", "sarif", "github"), default="text",
         help="output format (default: text)",
     )
     lint_parser.add_argument(
@@ -353,6 +353,31 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--rules", action="store_true",
         help="list the rule catalog and exit",
+    )
+    lint_parser.add_argument(
+        "--cache-dir", metavar="DIR", nargs="?", default=None,
+        const=".repro-lint-cache",
+        help="cache per-file results under DIR keyed by content hash "
+             "(--self only; default DIR: .repro-lint-cache)",
+    )
+    lint_parser.add_argument(
+        "--diff", metavar="REV", default=None,
+        help="restrict per-file analysis to files changed since the git "
+             "revision REV (--self only; package-wide rules still run)",
+    )
+    lint_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan uncached files out over N worker threads (--self only)",
+    )
+    lint_parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="hide findings listed in this baseline file; expired "
+             "entries (no longer matching) are reported",
+    )
+    lint_parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="write the surviving findings to FILE as the new baseline "
+             "and exit 0",
     )
 
     calibrate_parser = commands.add_parser(
@@ -883,7 +908,17 @@ def command_lint(args: argparse.Namespace) -> int:
                 [Path(p) for p in args.path], base=Path.cwd()
             )
         else:
-            report = lint_mod.lint_self()
+            changed = None
+            if args.diff:
+                import repro
+
+                package_base = Path(repro.__file__).resolve().parent.parent
+                changed = lint_mod.changed_files(args.diff, base=package_base)
+            report = lint_mod.lint_self_incremental(
+                cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+                changed=changed,
+                jobs=args.jobs,
+            )
     else:
         workload = resolve_workload(args)
         config = design_config(args)
@@ -912,11 +947,23 @@ def command_lint(args: argparse.Namespace) -> int:
             report.merge(design_report)
         report.diagnostics = report.sorted()
 
+    expired = []
+    if args.baseline:
+        entries = lint_mod.load_baseline(Path(args.baseline))
+        expired = lint_mod.apply_baseline(report, entries)
+
+    if args.write_baseline:
+        count = lint_mod.write_baseline(report, Path(args.write_baseline))
+        print(f"baseline with {count} entr(y/ies) written to {args.write_baseline}")
+        return 0
+
     report.publish()
     if args.format == "json":
         text = json.dumps(lint_mod.report_to_json(report), indent=2)
     elif args.format == "sarif":
         text = json.dumps(lint_mod.report_to_sarif(report), indent=2)
+    elif args.format == "github":
+        text = lint_mod.render_github(report)
     else:
         text = lint_mod.render_text(report)
     if args.output:
@@ -925,6 +972,12 @@ def command_lint(args: argparse.Namespace) -> int:
         print(f"lint report written to {args.output}")
     else:
         print(text)
+    for entry in expired:
+        print(
+            f"baseline entry expired (no longer matches): "
+            f"{entry.get('rule', '?')} at {entry.get('path', '?')} "
+            f"[{entry.get('fingerprint', '')}] — refresh with --write-baseline"
+        )
     return report.exit_code
 
 

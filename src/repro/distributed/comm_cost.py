@@ -81,7 +81,9 @@ class DistributedCostCalculator(MVPPCostCalculator):
                 self._access(child, materialized, cache)
                 for child in self.mvpp.children_of(vertex)
             )
-        cache[vertex.vertex_id] = cost
+        # The memo dict is created by access_cost() for exactly this
+        # traversal — writing it is the memoization, not caller state.
+        cache[vertex.vertex_id] = cost  # lint: ignore[E203]
         return cost
 
     def maintenance_cost(self, materialized: FrozenSet[int]) -> float:

@@ -122,6 +122,7 @@ class ExecutionEngine:
         join_method: str = NESTED_LOOP,
         engine: str = VECTORIZED,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        lint: bool = False,
     ):
         if join_method not in JOIN_METHODS:
             raise ExecutionError(f"unknown join method {join_method!r}")
@@ -133,6 +134,9 @@ class ExecutionEngine:
         self.join_method = join_method
         self.engine = engine
         self.batch_size = batch_size
+        #: When set (``DesignConfig.lint``), every lowering runs the plan
+        #: verifier and error-severity findings raise ``LintError``.
+        self.lint = lint
         self.build_cache = BuildSideCache()
         from repro.executor.indexes import IndexManager
 
@@ -147,6 +151,15 @@ class ExecutionEngine:
         flag use.
         """
         if self._resolve_engine(engine) == REFERENCE:
+            if self.lint:
+                # The reference path never lowers, so it verifies the
+                # logical plan directly (P001-P007; P008 is a lowering
+                # property and does not apply).
+                from repro.lint.plans import verify_plan
+
+                report = verify_plan(plan, name=plan.schema.name)
+                report.publish()
+                report.raise_on_errors()
             return self._reference_execute(plan)
         return self._vectorized_execute(plan)
 
@@ -177,18 +190,43 @@ class ExecutionEngine:
 
         The vectorized engine shows the *physical* operator tree
         (lowered without requiring tables to be loaded); the reference
-        engine shows the logical tree it walks directly.
+        engine shows the logical tree it walks directly.  Plan-verifier
+        findings (rules P001-P008) are appended as ``plan diagnostics``
+        lines — explain reports problems instead of raising on them.
         """
+        from repro.lint.plans import verify_lowering, verify_plan
+
         if self._resolve_engine(engine) == REFERENCE:
-            return plan.describe()
-        return self.physical_plan(plan, require_tables=False).describe()
+            text = plan.describe()
+            report = verify_plan(plan, name=plan.schema.name)
+        else:
+            root = self.physical_plan(plan, require_tables=False, lint=False)
+            text = root.describe()
+            report = verify_lowering(plan, root, name=plan.schema.name)
+        if report.diagnostics:
+            lines = [d.render() for d in report.sorted()]
+            text += "\nplan diagnostics:\n" + "\n".join(
+                f"  {line}" for line in lines
+            )
+        return text
 
     def physical_plan(
-        self, plan: Operator, require_tables: bool = True
+        self,
+        plan: Operator,
+        require_tables: bool = True,
+        lint: Optional[bool] = None,
     ) -> PhysicalOperator:
-        """Lower ``plan`` to this engine's physical operator tree."""
+        """Lower ``plan`` to this engine's physical operator tree.
+
+        ``lint`` overrides the engine-level flag for this one lowering
+        (``explain`` lowers with linting off and reports findings
+        instead of raising).
+        """
         planner = PhysicalPlanner(
-            self.database, self.join_method, require_tables=require_tables
+            self.database,
+            self.join_method,
+            require_tables=require_tables,
+            lint=self.lint if lint is None else lint,
         )
         return planner.lower(plan)
 

@@ -1275,31 +1275,57 @@ class PhysicalPlanner:
         database=None,
         join_method: str = NESTED_LOOP,
         require_tables: bool = True,
+        lint: bool = False,
     ):
         self.database = database
         self.join_method = join_method
         self.require_tables = require_tables
+        self.lint = lint
 
     def lower(self, plan: L.Operator) -> PhysicalOperator:
+        if self.lint:
+            # Logical verification (rules P001-P007) runs before lowering:
+            # a corrupt plan must fail with the P-rule diagnostic, not with
+            # whatever construction error the physical operators hit first.
+            from repro.lint.plans import verify_plan
+
+            logical = verify_plan(plan, name=plan.schema.name)
+            if logical.errors:
+                logical.publish()
+                logical.raise_on_errors()
+        root = self._lower(plan)
+        if self.lint:
+            # The full pass (including the logical<->physical preservation
+            # check P008) runs once at the root, after lowering:
+            # error-severity findings abort the execute before any I/O is
+            # charged.
+            from repro.lint.plans import verify_lowering
+
+            report = verify_lowering(plan, root, name=plan.schema.name)
+            report.publish()
+            report.raise_on_errors()
+        return root
+
+    def _lower(self, plan: L.Operator) -> PhysicalOperator:
         if isinstance(plan, L.Relation):
             return self._lower_relation(plan)
         if isinstance(plan, L.Select):
-            return Filter(self.lower(plan.child), plan.predicate)
+            return Filter(self._lower(plan.child), plan.predicate)
         if isinstance(plan, L.Project):
             return Projection(
-                self.lower(plan.child), plan.attributes, plan.distinct
+                self._lower(plan.child), plan.attributes, plan.distinct
             )
         if isinstance(plan, L.Join):
             return self._lower_join(plan)
         if isinstance(plan, L.Aggregate):
             return HashAggregate(
-                self.lower(plan.child), plan.group_by, plan.aggregates,
+                self._lower(plan.child), plan.group_by, plan.aggregates,
                 plan.schema,
             )
         if isinstance(plan, L.Sort):
-            return SortOperator(self.lower(plan.child), plan.keys)
+            return SortOperator(self._lower(plan.child), plan.keys)
         if isinstance(plan, L.Limit):
-            return LimitOperator(self.lower(plan.child), plan.count)
+            return LimitOperator(self._lower(plan.child), plan.count)
         raise ExecutionError(f"cannot execute operator {type(plan).__name__}")
 
     def _lower_relation(self, plan: L.Relation) -> Scan:
@@ -1315,8 +1341,8 @@ class PhysicalPlanner:
         return Scan(plan.name, schema=plan.schema)
 
     def _lower_join(self, plan: L.Join) -> PhysicalOperator:
-        left = self.lower(plan.left)
-        right = self.lower(plan.right)
+        left = self._lower(plan.left)
+        right = self._lower(plan.right)
         if self.join_method == NESTED_LOOP:
             return NestedLoopJoin(left, right, plan.condition)
         equi, residual = split_join_condition(plan)

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -41,6 +41,7 @@ from repro.lint.diagnostics import (
     LintReport,
     Location,
     Severity,
+    fingerprint_of,
     get_rule,
     register_rule,
     rules_for,
@@ -397,6 +398,36 @@ def check_obs_names(ctx: CodeContext) -> Iterator[Diagnostic]:
 # ---------------------------------------------------------------------------
 # entry points
 # ---------------------------------------------------------------------------
+def fingerprint_diagnostics(
+    diagnostics: Sequence[Diagnostic], source_lines: Sequence[str]
+) -> List[Diagnostic]:
+    """Stamp stable fingerprints onto source-located diagnostics.
+
+    The fingerprint hashes the rule id, the path, the
+    whitespace-normalized *text* of the flagged line, and an occurrence
+    index for identical lines — never the line number — so a finding
+    keeps its identity when unrelated edits move it (the property SARIF
+    ``partialFingerprints`` and the baseline file rely on).
+    """
+    counts: Dict[Tuple[str, str, str], int] = {}
+    out: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        location = diagnostic.location
+        line_text = ""
+        if location.line is not None and 1 <= location.line <= len(source_lines):
+            line_text = " ".join(source_lines[location.line - 1].split())
+        key = (diagnostic.rule, location.file or "", line_text)
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        out.append(
+            replace(
+                diagnostic,
+                fingerprint=fingerprint_of(*key, str(index)),
+            )
+        )
+    return out
+
+
 def lint_source(source: str, path: str = "<string>") -> LintReport:
     """Run every code-scope rule over one module's source text."""
     try:
@@ -407,12 +438,16 @@ def lint_source(source: str, path: str = "<string>") -> LintReport:
         path=path, tree=tree, suppressions=Suppressions.parse(source)
     )
     report = LintReport(target=path)
+    findings: List[Diagnostic] = []
     for rule in rules_for("code"):
         for diagnostic in rule.check(ctx):
             if ctx.suppressions.covers(diagnostic.location.line, diagnostic.rule):
                 report.suppressed += 1
             else:
-                report.diagnostics.append(diagnostic)
+                findings.append(diagnostic)
+    report.diagnostics = fingerprint_diagnostics(
+        findings, source.splitlines()
+    )
     return report
 
 
@@ -444,8 +479,13 @@ def lint_paths(paths: Sequence[Path], base: Optional[Path] = None) -> LintReport
 
 
 def lint_self() -> LintReport:
-    """Lint the installed ``repro`` package sources (``--self``)."""
-    import repro
+    """Lint the installed ``repro`` package sources (``--self``).
 
-    package_root = Path(repro.__file__).resolve().parent
-    return lint_paths([package_root], base=package_root.parent)
+    Since lint v2 this runs all three source analyzers — the per-file
+    code rules plus the package-wide concurrency (X1xx) and effect
+    (E2xx) passes — by delegating to the incremental engine (uncached
+    here; the CLI threads cache/diff options through directly).
+    """
+    from repro.lint.incremental import lint_self_incremental
+
+    return lint_self_incremental()

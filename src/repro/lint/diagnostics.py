@@ -18,10 +18,22 @@ warnings and notes are informational.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import LintError
+
+
+def fingerprint_of(*parts: str) -> str:
+    """A stable 16-hex-digit fingerprint over the given identity parts.
+
+    Fingerprints deliberately exclude line numbers: a finding keeps its
+    identity when unrelated edits move it, which is what lets SARIF
+    ``partialFingerprints`` and the baseline file survive refactors.
+    """
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8"))
+    return digest.hexdigest()[:16]
 
 
 class Severity(enum.IntEnum):
@@ -82,6 +94,10 @@ class Diagnostic:
     message: str
     location: Location = field(default_factory=Location)
     hint: str = ""
+    #: Stable identity across line moves — sha256 over the rule id, the
+    #: normalized path, and the finding's source context (not its line
+    #: number).  Empty when the producing analyzer predates fingerprints.
+    fingerprint: str = ""
 
     def render(self) -> str:
         text = (
@@ -99,8 +115,13 @@ class Diagnostic:
 #: Analyzer layers a rule can belong to.  Semantic scopes (including
 #: ``adaptive``, which inspects an AdaptivePolicy) receive a
 #: :class:`repro.lint.semantic.SemanticContext`; ``code`` rules receive a
-#: :class:`repro.lint.code.CodeContext`.
-SCOPES = ("workload", "mvpp", "design", "adaptive", "code")
+#: :class:`repro.lint.code.CodeContext`; ``plan`` rules receive a
+#: :class:`repro.lint.plans.PlanContext`; ``concurrency`` and ``effect``
+#: rules receive a :class:`repro.lint.concurrency.PackageContext`.
+SCOPES = (
+    "workload", "mvpp", "design", "adaptive", "code",
+    "plan", "concurrency", "effect",
+)
 
 RuleCheck = Callable[..., Iterable[Diagnostic]]
 
@@ -202,6 +223,7 @@ class LintReport:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     target: str = ""  # human-readable description of what was linted
     suppressed: int = 0  # findings silenced by per-line suppressions
+    baselined: int = 0  # findings matched (and hidden) by a baseline file
 
     def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
         self.diagnostics.extend(diagnostics)
@@ -209,6 +231,7 @@ class LintReport:
     def merge(self, other: "LintReport") -> None:
         self.diagnostics.extend(other.diagnostics)
         self.suppressed += other.suppressed
+        self.baselined += other.baselined
 
     def by_severity(self, severity: Severity) -> List[Diagnostic]:
         return [d for d in self.diagnostics if d.severity is severity]
@@ -275,3 +298,5 @@ class LintReport:
             ).inc()
         if self.suppressed:
             registry.counter("lint.suppressed").inc(self.suppressed)
+        if self.baselined:
+            registry.counter("lint.baselined").inc(self.baselined)

@@ -1,18 +1,28 @@
-"""Rendering lint reports: human text, machine JSON, and SARIF 2.1.0.
+"""Rendering lint reports: text, JSON, SARIF 2.1.0, GitHub annotations.
 
 SARIF (Static Analysis Results Interchange Format) is what code-hosting
 CI surfaces ingest; the emitter maps :class:`Severity` onto SARIF levels
 (``error`` / ``warning`` / ``note``), semantic vertex locations onto
 logical locations, and file locations onto physical ones.  The rule
 catalog travels in ``tool.driver.rules`` so viewers can show summaries
-and paper references next to each finding.
+and paper references next to each finding, and every result carries a
+``partialFingerprints`` entry (line-number-free content hash) so SARIF
+consumers track a finding across unrelated edits instead of re-opening
+it each push.  ``--format github`` emits workflow commands
+(``::error file=...``) that annotate pull-request diffs directly.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List
 
-from repro.lint.diagnostics import Diagnostic, LintReport, Severity, all_rules
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    all_rules,
+    fingerprint_of,
+)
 
 #: Bumped when the JSON report shape changes (mirrors the obs profile
 #: document's ``schema`` field).
@@ -30,6 +40,29 @@ _SARIF_LEVELS = {
     Severity.NOTE: "note",
 }
 
+#: The ``partialFingerprints`` key; the ``/v1`` suffix versions the
+#: hashing scheme per the SARIF spec's recommendation.
+FINGERPRINT_KEY = "reproLintFingerprint/v1"
+
+
+def diagnostic_fingerprint(diagnostic: Diagnostic) -> str:
+    """The diagnostic's stable identity.
+
+    Analyzers stamp :attr:`Diagnostic.fingerprint` from their own source
+    context; for diagnostics that predate fingerprints (or semantic
+    findings located on graph vertices) fall back to a hash of the rule,
+    the path/graph coordinates, and the message — still line-number-free.
+    """
+    if diagnostic.fingerprint:
+        return diagnostic.fingerprint
+    location = diagnostic.location
+    return fingerprint_of(
+        diagnostic.rule,
+        location.file or location.mvpp or "",
+        location.vertex or "",
+        diagnostic.message,
+    )
+
 
 def render_text(report: LintReport) -> str:
     """One line per finding plus a trailing summary line."""
@@ -41,6 +74,8 @@ def render_text(report: LintReport) -> str:
     )
     if report.suppressed:
         summary += f", {report.suppressed} suppressed"
+    if report.baselined:
+        summary += f", {report.baselined} baselined"
     if report.target:
         summary += f" — {report.target}"
     lines.append(summary)
@@ -54,6 +89,7 @@ def _diagnostic_to_dict(diagnostic: Diagnostic) -> Dict[str, Any]:
         "severity": diagnostic.severity.label,
         "message": diagnostic.message,
         "hint": diagnostic.hint,
+        "fingerprint": diagnostic_fingerprint(diagnostic),
         "location": {
             "file": location.file,
             "line": location.line,
@@ -69,11 +105,59 @@ def report_to_json(report: LintReport) -> Dict[str, Any]:
     return {
         "schema": LINT_SCHEMA_VERSION,
         "target": report.target,
-        "summary": {**report.counts(), "suppressed": report.suppressed},
+        "summary": {
+            **report.counts(),
+            "suppressed": report.suppressed,
+            "baselined": report.baselined,
+        },
         "diagnostics": [
             _diagnostic_to_dict(diagnostic) for diagnostic in report.sorted()
         ],
     }
+
+
+def render_github(report: LintReport) -> str:
+    """GitHub Actions workflow commands, one annotation per finding.
+
+    ``::error file=...,line=...,col=...::message`` lines surface inline
+    on pull-request diffs without any SARIF upload step.  Findings with
+    no file location (semantic vertex findings) annotate the run itself.
+    """
+    levels = {
+        Severity.ERROR: "error",
+        Severity.WARNING: "warning",
+        Severity.NOTE: "notice",
+    }
+    lines = []
+    for diagnostic in report.sorted():
+        location = diagnostic.location
+        properties = []
+        if location.file is not None:
+            properties.append(f"file={location.file}")
+            if location.line is not None:
+                properties.append(f"line={location.line}")
+            if location.column is not None:
+                properties.append(f"col={location.column + 1}")
+        properties.append(f"title={diagnostic.rule}")
+        message = diagnostic.message
+        if diagnostic.hint:
+            message += f" (hint: {diagnostic.hint})"
+        if location.mvpp is not None or location.vertex is not None:
+            message = f"{location.render()}: {message}"
+        # Workflow commands terminate on newlines; escape per the spec.
+        message = (
+            message.replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A")
+        )
+        command = levels[diagnostic.severity]
+        lines.append(f"::{command} {','.join(properties)}::{message}")
+    counts = report.counts()
+    lines.append(
+        f"::notice title=repro-lint::{counts['error']} error(s), "
+        f"{counts['warning']} warning(s), {counts['note']} note(s)"
+    )
+    return "\n".join(lines)
 
 
 def _sarif_location(diagnostic: Diagnostic) -> Dict[str, Any]:
@@ -132,6 +216,9 @@ def report_to_sarif(
             "ruleId": diagnostic.rule,
             "level": _SARIF_LEVELS[diagnostic.severity],
             "message": {"text": message},
+            "partialFingerprints": {
+                FINGERPRINT_KEY: diagnostic_fingerprint(diagnostic)
+            },
         }
         if diagnostic.rule in rule_index:
             result["ruleIndex"] = rule_index[diagnostic.rule]

@@ -1,0 +1,518 @@
+"""Plan verifier — schema/type inference over logical and physical plans.
+
+The algebra constructors validate plans at build time, but plans do not
+stay where they were built: rotation rewrites splice subtrees, view
+rewriting substitutes materialized scans, adaptive redesign migrates
+plans across catalog versions, and tests corrupt trees on purpose.  The
+verifier re-derives every node's output schema *bottom-up and
+independently of the schema the node declares*, so any drift between
+what a plan says it produces and what its children can actually feed it
+becomes a diagnostic instead of a wrong answer at execution time.
+
+Rules:
+
+* ``P001`` — projection references a column its child cannot supply;
+* ``P002`` — duplicate output columns (projection attributes or
+  aggregate aliases collide);
+* ``P003`` — comparison/join-key type mismatch (via
+  :func:`repro.catalog.datatypes.common_type`);
+* ``P004`` — predicate or sort key references unknown columns;
+* ``P005`` — aggregate input-type error (SUM/AVG need numerics, MIN/MAX
+  need orderable inputs) or unknown aggregate/group-by attribute;
+* ``P006`` — DISTINCT/limit/presentation invariants (zero limits,
+  non-orderable sort keys, sort order destroyed by a parent);
+* ``P007`` — a node's declared schema disagrees with the schema
+  inferred from its children (the corruption detector);
+* ``P008`` — lowering broke schema preservation: the physical root does
+  not produce the logical root's schema, or the physical leaf set does
+  not cover the logical base relations.
+
+Anti-cascade contract: when a rule fires at a node, inference *adopts
+the node's declared schema* before continuing upward, so one corruption
+yields one diagnostic, not an error at every ancestor.  The hypothesis
+suite in ``tests/lint/test_plan_properties.py`` pins this down.
+
+Run automatically at :class:`repro.executor.physical.PhysicalPlanner`
+lowering time when linting is enabled (``DesignConfig.lint``), and
+unconditionally by ``explain`` so plan diagnostics travel with the
+rendered tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.algebra import operators as L
+from repro.algebra.expressions import (
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+)
+from repro.catalog.datatypes import DataType, common_type
+from repro.catalog.schema import Attribute, RelationSchema
+from repro.errors import TypeMismatchError
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Location,
+    Severity,
+    fingerprint_of,
+    get_rule,
+    register_rule,
+    rules_for,
+)
+
+
+@dataclass
+class PlanContext:
+    """One verified plan: the tree plus the findings inference produced.
+
+    Rule checks registered under the ``plan`` scope read from
+    ``findings`` — inference runs once per plan, not once per rule.
+    """
+
+    plan: L.Operator
+    name: str = "plan"
+    physical: Optional[object] = None  # PhysicalOperator, untyped to avoid import
+    findings: List[Diagnostic] = field(default_factory=list)
+
+    def location(self, node: L.Operator) -> Location:
+        return Location(mvpp=self.name, vertex=node.label)
+
+    def emit(
+        self,
+        rule_id: str,
+        message: str,
+        node: Optional[L.Operator] = None,
+        hint: str = "",
+        severity: Optional[Severity] = None,
+        vertex: str = "",
+    ) -> None:
+        location = (
+            self.location(node)
+            if node is not None
+            else Location(mvpp=self.name, vertex=vertex or None)
+        )
+        diagnostic = get_rule(rule_id).diagnostic(
+            message, location=location, hint=hint, severity=severity
+        )
+        self.findings.append(
+            Diagnostic(
+                rule=diagnostic.rule,
+                severity=diagnostic.severity,
+                message=diagnostic.message,
+                location=diagnostic.location,
+                hint=diagnostic.hint,
+                fingerprint=fingerprint_of(
+                    rule_id, self.name, location.vertex or "", message
+                ),
+            )
+        )
+
+    def errors_at(self, before: int) -> bool:
+        """Whether an error-severity finding was added since ``before``."""
+        return any(
+            d.severity >= Severity.ERROR for d in self.findings[before:]
+        )
+
+
+# ---------------------------------------------------------------------------
+# schema inference
+# ---------------------------------------------------------------------------
+def _column_type(
+    schema: RelationSchema, name: str
+) -> Optional[DataType]:
+    """The type of ``name`` in ``schema``, resolving short names; None if
+    the column is unknown or ambiguous."""
+    try:
+        return schema.attribute(name).datatype
+    except Exception:
+        return None
+
+
+def _expression_type(
+    expr: Expression, schema: RelationSchema
+) -> Optional[DataType]:
+    if isinstance(expr, Literal):
+        return expr.datatype
+    if isinstance(expr, ColumnRef):
+        return _column_type(schema, expr.name)
+    return None  # booleans have no scalar type we compare against
+
+
+def _check_predicate(
+    ctx: PlanContext,
+    node: L.Operator,
+    predicate: Expression,
+    schema: RelationSchema,
+    role: str,
+) -> None:
+    """P003/P004 over one predicate against the inferred input schema."""
+    unknown = sorted(
+        name
+        for name in predicate.columns()
+        if _column_type(schema, name) is None
+    )
+    if unknown:
+        ctx.emit(
+            "P004",
+            f"{role} references unknown column(s) {unknown} — input "
+            f"provides {list(schema.attribute_names)}",
+            node=node,
+            hint="the referenced attribute was projected away or renamed "
+            "below this node",
+        )
+    stack: List[Expression] = [predicate]
+    while stack:
+        expr = stack.pop()
+        if isinstance(expr, Comparison):
+            left = _expression_type(expr.left, schema)
+            right = _expression_type(expr.right, schema)
+            if left is not None and right is not None:
+                try:
+                    common_type(left, right)
+                except TypeMismatchError:
+                    ctx.emit(
+                        "P003",
+                        f"{role} compares incompatible types "
+                        f"{left.value} {expr.op} {right.value} "
+                        f"({expr.signature})",
+                        node=node,
+                        hint="join keys and comparison operands must share "
+                        "a common type",
+                    )
+        stack.extend(expr.children)
+
+
+def _schemas_agree(declared: RelationSchema, inferred: RelationSchema) -> bool:
+    """Positional name+type agreement (relation names are presentation)."""
+    if declared.arity != inferred.arity:
+        return False
+    return all(
+        d.name == i.name and d.datatype is i.datatype
+        for d, i in zip(declared.attributes, inferred.attributes)
+    )
+
+
+def _render_schema(schema: RelationSchema) -> str:
+    return ", ".join(f"{a.name}:{a.datatype.value}" for a in schema.attributes)
+
+
+_ORDER_DESTROYING = (L.Join, L.Aggregate)
+
+
+def _infer(
+    ctx: PlanContext, node: L.Operator, parent: Optional[L.Operator]
+) -> RelationSchema:
+    """Infer ``node``'s output schema from its children, emitting findings.
+
+    Returns the schema *adopted* for the parent: the independently
+    inferred one normally, the declared one after an error at this node
+    (the anti-cascade contract in the module docstring).
+    """
+    before = len(ctx.findings)
+
+    if isinstance(node, L.Relation):
+        # Leaves are ground truth: their declared schema is the input.
+        return node.schema
+
+    if isinstance(node, L.Select):
+        child = _infer(ctx, node.child, node)
+        _check_predicate(ctx, node, node.predicate, child, "selection predicate")
+        inferred: Optional[RelationSchema] = child
+
+    elif isinstance(node, L.Project):
+        child = _infer(ctx, node.child, node)
+        resolved: List[Attribute] = []
+        seen: Dict[str, int] = {}
+        for name in node.attributes:
+            try:
+                attribute = child.attribute(name)
+            except Exception:
+                ctx.emit(
+                    "P001",
+                    f"projection references unknown column {name!r} — "
+                    f"child provides {list(child.attribute_names)}",
+                    node=node,
+                    hint="the column was dropped or renamed below this "
+                    "projection",
+                )
+                continue
+            seen[attribute.name] = seen.get(attribute.name, 0) + 1
+            resolved.append(attribute)
+        duplicates = sorted(n for n, count in seen.items() if count > 1)
+        if duplicates:
+            ctx.emit(
+                "P002",
+                f"projection outputs duplicate column(s) {duplicates}",
+                node=node,
+                hint="alias one of the copies or project it once",
+            )
+        inferred = None
+        if not ctx.errors_at(before):
+            inferred = RelationSchema(node.schema.name, resolved)
+
+    elif isinstance(node, L.Join):
+        left = _infer(ctx, node.left, node)
+        right = _infer(ctx, node.right, node)
+        inferred = left.join(right)
+        if node.condition is not None:
+            _check_predicate(
+                ctx, node, node.condition, inferred, "join condition"
+            )
+
+    elif isinstance(node, L.Sort):
+        child = _infer(ctx, node.child, node)
+        for name, _ascending in node.keys:
+            datatype = _column_type(child, name)
+            if datatype is None:
+                ctx.emit(
+                    "P004",
+                    f"sort key {name!r} is not a column of the input — "
+                    f"input provides {list(child.attribute_names)}",
+                    node=node,
+                )
+            elif not datatype.is_orderable:
+                ctx.emit(
+                    "P006",
+                    f"sort key {name!r} has non-orderable type "
+                    f"{datatype.value}",
+                    node=node,
+                    hint="ORDER BY needs a totally ordered type",
+                )
+        if parent is not None and isinstance(parent, _ORDER_DESTROYING):
+            ctx.emit(
+                "P006",
+                f"sort order is destroyed by the enclosing "
+                f"{type(parent).__name__.lower()} — the ORDER BY has no "
+                f"effect",
+                node=node,
+                hint="move the Sort above the order-destroying operator",
+                severity=Severity.WARNING,
+            )
+        inferred = child
+
+    elif isinstance(node, L.Limit):
+        child = _infer(ctx, node.child, node)
+        if node.count < 0:
+            ctx.emit(
+                "P006",
+                f"LIMIT count is negative ({node.count})",
+                node=node,
+            )
+        elif node.count == 0:
+            ctx.emit(
+                "P006",
+                "LIMIT 0 makes this subtree produce no rows",
+                node=node,
+                hint="drop the subtree or raise the limit",
+                severity=Severity.WARNING,
+            )
+        inferred = child
+
+    elif isinstance(node, L.Aggregate):
+        child = _infer(ctx, node.child, node)
+        out: List[Attribute] = []
+        seen = {}
+        for name in node.group_by:
+            try:
+                attribute = child.attribute(name)
+            except Exception:
+                ctx.emit(
+                    "P005",
+                    f"group-by key {name!r} is not a column of the input — "
+                    f"input provides {list(child.attribute_names)}",
+                    node=node,
+                )
+                continue
+            seen[attribute.name] = seen.get(attribute.name, 0) + 1
+            out.append(attribute)
+        for spec in node.aggregates:
+            input_type: Optional[DataType] = None
+            if spec.attribute is not None:
+                input_type = _column_type(child, spec.attribute)
+                if input_type is None:
+                    ctx.emit(
+                        "P005",
+                        f"aggregate {spec.signature} reads unknown column "
+                        f"{spec.attribute!r}",
+                        node=node,
+                    )
+                    continue
+                function = spec.function
+                if function in (L.AggregateFunction.SUM, L.AggregateFunction.AVG):
+                    if not input_type.is_numeric:
+                        ctx.emit(
+                            "P005",
+                            f"{function.value}({spec.attribute}) needs a "
+                            f"numeric input, got {input_type.value}",
+                            node=node,
+                            hint="SUM/AVG are defined over numeric columns "
+                            "only",
+                        )
+                        continue
+                elif function in (L.AggregateFunction.MIN, L.AggregateFunction.MAX):
+                    if not input_type.is_orderable:
+                        ctx.emit(
+                            "P005",
+                            f"{function.value}({spec.attribute}) needs an "
+                            f"orderable input, got {input_type.value}",
+                            node=node,
+                        )
+                        continue
+            seen[spec.alias] = seen.get(spec.alias, 0) + 1
+            out.append(Attribute(spec.alias, spec.output_type(input_type)))
+        duplicates = sorted(n for n, count in seen.items() if count > 1)
+        if duplicates:
+            ctx.emit(
+                "P002",
+                f"aggregate outputs duplicate column(s) {duplicates}",
+                node=node,
+                hint="give colliding aggregates distinct aliases",
+            )
+        inferred = None
+        if not ctx.errors_at(before):
+            inferred = RelationSchema(node.schema.name, out)
+
+    else:  # unknown operator kind: trust its declaration
+        for child_node in node.children:
+            _infer(ctx, child_node, node)
+        inferred = None
+
+    if ctx.errors_at(before) or inferred is None:
+        # Anti-cascade: an already-reported problem must not re-fire at
+        # every ancestor, so the parent sees what the node promised.
+        return node.schema
+
+    if not _schemas_agree(node.schema, inferred):
+        ctx.emit(
+            "P007",
+            f"declared schema [{_render_schema(node.schema)}] disagrees "
+            f"with the schema inferred from its children "
+            f"[{_render_schema(inferred)}]",
+            node=node,
+            hint="the tree was rewritten without rebuilding this node",
+        )
+        return node.schema
+    return inferred
+
+
+def _verify_lowering(ctx: PlanContext) -> None:
+    """P008: the physical tree must preserve the logical root schema and
+    cover every logical base relation with a scan."""
+    physical = ctx.physical
+    if physical is None:
+        return
+    logical_schema = ctx.plan.schema
+    physical_schema = physical.schema  # type: ignore[attr-defined]
+    if not _schemas_agree(logical_schema, physical_schema):
+        ctx.emit(
+            "P008",
+            f"lowering changed the root schema: logical "
+            f"[{_render_schema(logical_schema)}] vs physical "
+            f"[{_render_schema(physical_schema)}]",
+            vertex=getattr(physical, "label", type(physical).__name__),
+        )
+    logical_leaves = set(ctx.plan.base_relations())
+    physical_leaves = {
+        op.relation_name
+        for op in physical.walk()  # type: ignore[attr-defined]
+        if hasattr(op, "relation_name")
+    }
+    missing = sorted(logical_leaves - physical_leaves)
+    if missing:
+        ctx.emit(
+            "P008",
+            f"lowering lost base relation(s) {missing}: logical leaves "
+            f"{sorted(logical_leaves)}, physical scans "
+            f"{sorted(physical_leaves)}",
+            vertex=getattr(physical, "label", type(physical).__name__),
+        )
+
+
+# ---------------------------------------------------------------------------
+# rules — checks read the findings the single inference pass produced
+# ---------------------------------------------------------------------------
+def _findings_for(ctx: PlanContext, rule_id: str) -> Iterator[Diagnostic]:
+    for diagnostic in ctx.findings:
+        if diagnostic.rule == rule_id:
+            yield diagnostic
+
+
+def _plan_rule(rule_id: str, severity: Severity, summary: str, paper: str):
+    @register_rule(rule_id, scope="plan", severity=severity,
+                   summary=summary, paper=paper)
+    def check(ctx: PlanContext, _rule_id: str = rule_id) -> Iterator[Diagnostic]:
+        return _findings_for(ctx, _rule_id)
+
+    return check
+
+
+_plan_rule(
+    "P001", Severity.ERROR,
+    "projection references a column its child cannot supply",
+    "Section 3.1: rewritten plans must stay well-formed",
+)
+_plan_rule(
+    "P002", Severity.ERROR,
+    "duplicate output columns in a projection or aggregate",
+    "RelationSchema forbids duplicate attributes",
+)
+_plan_rule(
+    "P003", Severity.ERROR,
+    "comparison or join key over incompatible types",
+    "join merges (Figure 4) assume type-compatible keys",
+)
+_plan_rule(
+    "P004", Severity.ERROR,
+    "predicate or sort key references unknown columns",
+    "Section 3.1: rewritten plans must stay well-formed",
+)
+_plan_rule(
+    "P005", Severity.ERROR,
+    "aggregate input-type error or unknown aggregate attribute",
+    "aggregation extension: SUM/AVG numeric, MIN/MAX orderable",
+)
+_plan_rule(
+    "P006", Severity.ERROR,
+    "DISTINCT/limit/presentation invariant violation",
+    "presentation operators must be observable in the output",
+)
+_plan_rule(
+    "P007", Severity.ERROR,
+    "declared schema disagrees with the inferred schema",
+    "corruption detector for surgically rewritten trees",
+)
+_plan_rule(
+    "P008", Severity.ERROR,
+    "lowering broke logical-to-physical schema preservation",
+    "PR 7 contract: lowering preserves schema and base relations",
+)
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+def verify_plan(plan: L.Operator, name: str = "plan") -> LintReport:
+    """Run schema/type inference over one logical plan."""
+    ctx = PlanContext(plan=plan, name=name)
+    _infer(ctx, plan, None)
+    report = LintReport(target=f"plan {name}")
+    for rule in rules_for("plan"):
+        report.extend(rule.check(ctx))
+    return report
+
+
+def verify_lowering(
+    logical: L.Operator, physical: object, name: str = "plan"
+) -> LintReport:
+    """Verify a logical plan *and* its lowered physical tree (P008)."""
+    ctx = PlanContext(plan=logical, name=name, physical=physical)
+    _infer(ctx, logical, None)
+    _verify_lowering(ctx)
+    report = LintReport(target=f"plan {name}")
+    for rule in rules_for("plan"):
+        report.extend(rule.check(ctx))
+    return report

@@ -184,7 +184,8 @@ class MVPPCostCalculator:
             key = self._cache_key(vertex, materialized)
             shared = self.cache.lookup(key)
             if shared is not None:
-                cache[vertex.vertex_id] = shared
+                # Per-call memo owned by access_cost(), not caller state.
+                cache[vertex.vertex_id] = shared  # lint: ignore[E203]
                 return shared
         if vertex.vertex_id in materialized and vertex.stats is not None:
             cost = float(vertex.stats.blocks)
@@ -197,7 +198,8 @@ class MVPPCostCalculator:
             )
         if key is not None:
             self.cache.store(key, cost)
-        cache[vertex.vertex_id] = cost
+        # Per-call memo owned by access_cost(), not caller state.
+        cache[vertex.vertex_id] = cost  # lint: ignore[E203]
         return cost
 
     def _closure(self, vertex: Vertex) -> FrozenSet[int]:

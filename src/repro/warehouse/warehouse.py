@@ -231,6 +231,9 @@ class DataWarehouse:
             self._scheduler = None
         if config.engine is not None:
             self.engine.engine = config.engine
+        # Plan verification follows the design-time lint gate: a linted
+        # design keeps verifying every lowering the warehouse performs.
+        self.engine.lint = bool(config.lint)
         result = run_design(
             self.workload,
             config,
@@ -715,6 +718,7 @@ class DataWarehouse:
             self._scheduler = None
         if config.engine is not None:
             self.engine.engine = config.engine
+        self.engine.lint = bool(config.lint)
         result = run_design(
             self.workload,
             config,

@@ -1,0 +1,139 @@
+"""Property tests (hypothesis) for the plan verifier.
+
+Two properties pin the verifier's contract:
+
+* **soundness on well-formed plans** — any plan the constructors build
+  (random SPJ + aggregate/sort/limit shapes) verifies with zero
+  diagnostics;
+* **single-error corruption detection** — surgically corrupting one node
+  (dropping a declared output column, retyping a join key under the
+  join) produces *exactly one* error naming the expected P-rule: the
+  anti-cascade contract means one corruption never snowballs into an
+  error at every ancestor.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.expressions import column, compare, literal
+from repro.algebra.operators import (
+    Aggregate,
+    AggregateFunction,
+    AggregateSpec,
+    Join,
+    Limit,
+    Project,
+    Relation,
+    Select,
+    Sort,
+)
+from repro.catalog.datatypes import DataType
+from repro.catalog.schema import Attribute, RelationSchema
+from repro.lint.plans import verify_plan
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+def schema_a():
+    return RelationSchema(
+        "A",
+        [
+            Attribute("A.id", DataType.INTEGER),
+            Attribute("A.v", DataType.INTEGER),
+        ],
+    )
+
+
+def schema_b():
+    return RelationSchema(
+        "B",
+        [
+            Attribute("B.id", DataType.INTEGER),
+            Attribute("B.a_fk", DataType.INTEGER),
+            Attribute("B.w", DataType.INTEGER),
+        ],
+    )
+
+
+@st.composite
+def spj_plans(draw):
+    """A well-formed SPJ(+aggregate/sort/limit) plan; also returns the
+    join's right leaf so corruption strategies can reach it."""
+    leaf_b = Relation("B", schema_b())
+    plan = Join(
+        Relation("A", schema_a()),
+        leaf_b,
+        compare("B.a_fk", "=", column("A.id")),
+    )
+    if draw(st.booleans()):
+        op = draw(st.sampled_from([">", "<", "=", "!=", ">=", "<="]))
+        col = draw(st.sampled_from(["A.v", "B.w"]))
+        plan = Select(plan, compare(col, op, literal(draw(st.integers(0, 5)))))
+    shape = draw(st.integers(min_value=0, max_value=2))
+    if shape == 0:
+        plan = Aggregate(
+            plan,
+            ["A.v"],
+            [
+                AggregateSpec(AggregateFunction.COUNT, None, "n"),
+                AggregateSpec(AggregateFunction.SUM, "B.w", "s"),
+                AggregateSpec(AggregateFunction.MIN, "B.w", "lo"),
+            ],
+        )
+    elif shape == 1:
+        plan = Project(
+            plan, ["A.id", "A.v", "B.w"], distinct=draw(st.booleans())
+        )
+    if draw(st.booleans()):
+        plan = Sort(plan, [(plan.schema.attribute_names[0], draw(st.booleans()))])
+    if draw(st.booleans()):
+        plan = Limit(plan, draw(st.integers(1, 6)))
+    return plan, leaf_b
+
+
+@SETTINGS
+@given(spj_plans())
+def test_well_formed_plans_verify_clean(built):
+    plan, _leaf = built
+    report = verify_plan(plan)
+    assert report.diagnostics == []
+
+
+@SETTINGS
+@given(spj_plans())
+def test_dropped_column_yields_exactly_one_p007(built):
+    plan, _leaf = built
+    # Wrap the plan in a projection of its full output, then drop the
+    # last column from the *declared* schema only — the classic symptom
+    # of a rewrite that rebuilt the attribute list but not the schema.
+    root = Project(plan, list(plan.schema.attribute_names))
+    root._schema = RelationSchema(
+        root.schema.name, list(root.schema.attributes[:-1])
+    )
+    root._signature = None
+    root._hash = None
+    report = verify_plan(root)
+    errors = report.errors
+    assert len(errors) == 1
+    assert errors[0].rule == "P007"
+
+
+@SETTINGS
+@given(spj_plans())
+def test_retyped_join_key_yields_exactly_one_p003(built):
+    plan, leaf = built
+    leaf._schema = RelationSchema(
+        "B",
+        [
+            Attribute(
+                a.name,
+                DataType.STRING if a.name == "B.a_fk" else a.datatype,
+            )
+            for a in schema_b().attributes
+        ],
+    )
+    leaf._signature = None
+    leaf._hash = None
+    report = verify_plan(plan)
+    errors = report.errors
+    assert len(errors) == 1
+    assert errors[0].rule == "P003"

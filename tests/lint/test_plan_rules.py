@@ -1,0 +1,271 @@
+"""Unit tests for the plan verifier (rules P001-P008).
+
+Plans are corrupted the way rewrites corrupt them in the wild: by
+assigning directly into the operator slots (``_schema``, ``attributes``)
+after construction, bypassing the constructors' own validation — the
+verifier exists precisely because constructors cannot protect a tree
+that is edited after the fact.
+"""
+
+import pytest
+
+from repro.algebra.expressions import column, compare, literal
+from repro.algebra.operators import (
+    Aggregate,
+    AggregateFunction,
+    AggregateSpec,
+    Join,
+    Limit,
+    Project,
+    Relation,
+    Select,
+    Sort,
+)
+from repro.catalog.datatypes import DataType
+from repro.catalog.schema import Attribute, RelationSchema
+from repro.errors import LintError
+from repro.executor.engine import (
+    REFERENCE,
+    VECTORIZED,
+    Database,
+    ExecutionEngine,
+)
+from repro.lint.plans import verify_lowering, verify_plan
+from repro.storage.table import Table
+
+
+def schema_a():
+    return RelationSchema(
+        "A",
+        [
+            Attribute("A.id", DataType.INTEGER),
+            Attribute("A.v", DataType.INTEGER),
+        ],
+    )
+
+
+def schema_b():
+    return RelationSchema(
+        "B",
+        [
+            Attribute("B.id", DataType.INTEGER),
+            Attribute("B.a_fk", DataType.INTEGER),
+        ],
+    )
+
+
+def joined_plan():
+    return Join(
+        Relation("A", schema_a()),
+        Relation("B", schema_b()),
+        compare("B.a_fk", "=", column("A.id")),
+    )
+
+
+def retype(schema, name, datatype):
+    return RelationSchema(
+        schema.name,
+        [
+            Attribute(a.name, datatype if a.name == name else a.datatype)
+            for a in schema.attributes
+        ],
+    )
+
+
+def corrupt_schema(node, schema):
+    """Overwrite a node's declared schema in place (slot assignment)."""
+    node._schema = schema
+    node._signature = None
+    node._hash = None
+
+
+def rules_of(report):
+    return [d.rule for d in report.diagnostics]
+
+
+class TestCleanPlans:
+    def test_spj_plan_verifies_clean(self):
+        plan = Project(
+            Select(joined_plan(), compare("A.v", ">", literal(1))),
+            ["A.id", "B.a_fk"],
+        )
+        report = verify_plan(plan)
+        assert report.diagnostics == []
+        assert report.exit_code == 0
+
+    def test_aggregate_plan_verifies_clean(self):
+        plan = Aggregate(
+            joined_plan(),
+            ["A.v"],
+            [
+                AggregateSpec(AggregateFunction.COUNT, None, "n"),
+                AggregateSpec(AggregateFunction.SUM, "B.a_fk", "s"),
+            ],
+        )
+        assert verify_plan(plan).diagnostics == []
+
+    def test_sort_limit_plan_verifies_clean(self):
+        plan = Limit(Sort(joined_plan(), [("A.id", True)]), 5)
+        assert verify_plan(plan).diagnostics == []
+
+
+class TestPlanRules:
+    def test_p001_unknown_projection_column(self):
+        plan = Project(Relation("A", schema_a()), ["A.id"])
+        plan.attributes = ("A.id", "A.missing")
+        plan._signature = None
+        report = verify_plan(plan)
+        assert rules_of(report) == ["P001"]
+        assert "A.missing" in report.diagnostics[0].message
+
+    def test_p002_duplicate_projection_columns(self):
+        plan = Project(Relation("A", schema_a()), ["A.id", "A.v"])
+        plan.attributes = ("A.id", "A.id")
+        plan._signature = None
+        assert rules_of(verify_plan(plan)) == ["P002"]
+
+    def test_p003_join_key_type_mismatch(self):
+        plan = joined_plan()
+        b_leaf = plan.right
+        corrupt_schema(b_leaf, retype(schema_b(), "B.a_fk", DataType.STRING))
+        report = verify_plan(plan)
+        assert rules_of(report) == ["P003"]
+        assert "string" in report.diagnostics[0].message
+
+    def test_p004_predicate_unknown_column(self):
+        plan = Select(Relation("A", schema_a()), compare("A.v", ">", literal(1)))
+        plan.predicate = compare("A.gone", ">", literal(1))
+        plan._signature = None
+        report = verify_plan(plan)
+        assert rules_of(report) == ["P004"]
+
+    def test_p005_sum_over_string(self):
+        relation = Relation("A", retype(schema_a(), "A.v", DataType.STRING))
+        plan = Aggregate(
+            relation,
+            ["A.id"],
+            [AggregateSpec(AggregateFunction.COUNT, None, "n")],
+        )
+        plan.aggregates = (AggregateSpec(AggregateFunction.SUM, "A.v", "s"),)
+        plan._signature = None
+        report = verify_plan(plan)
+        assert "P005" in rules_of(report)
+        assert "numeric" in report.diagnostics[0].message
+
+    def test_p005_unknown_group_by(self):
+        plan = Aggregate(
+            Relation("A", schema_a()),
+            ["A.id"],
+            [AggregateSpec(AggregateFunction.COUNT, None, "n")],
+        )
+        plan.group_by = ("A.nope",)
+        plan._signature = None
+        assert "P005" in rules_of(verify_plan(plan))
+
+    def test_p006_limit_zero_warns(self):
+        plan = Limit(Relation("A", schema_a()), 1)
+        plan.count = 0
+        plan._signature = None
+        report = verify_plan(plan)
+        assert rules_of(report) == ["P006"]
+        assert report.exit_code == 0  # warning, not error
+
+    def test_p006_sort_under_aggregate_warns(self):
+        plan = Aggregate(
+            Sort(Relation("A", schema_a()), [("A.id", True)]),
+            ["A.v"],
+            [AggregateSpec(AggregateFunction.COUNT, None, "n")],
+        )
+        report = verify_plan(plan)
+        assert rules_of(report) == ["P006"]
+        assert "destroyed" in report.diagnostics[0].message
+
+    def test_p007_dropped_schema_column(self):
+        plan = Project(joined_plan(), ["A.id", "B.a_fk"])
+        corrupt_schema(
+            plan,
+            RelationSchema(plan.schema.name, [plan.schema.attributes[0]]),
+        )
+        report = verify_plan(plan)
+        assert rules_of(report) == ["P007"]
+
+    def test_anti_cascade_single_error_under_ancestors(self):
+        # The corruption sits below a Select and a Project; only the
+        # corrupted node reports.
+        inner = Project(joined_plan(), ["A.id", "A.v"])
+        corrupt_schema(
+            inner,
+            retype(inner.schema, "A.v", DataType.STRING),
+        )
+        plan = Project(
+            Select(inner, compare("A.id", ">", literal(0))), ["A.id"]
+        )
+        report = verify_plan(plan)
+        assert rules_of(report) == ["P007"]
+
+
+class TestLoweringVerification:
+    def load(self):
+        database = Database()
+        for name, schema in (("A", schema_a()), ("B", schema_b())):
+            database.register(name, Table(schema, blocking_factor=3))
+        return database
+
+    def test_clean_lowering_passes(self):
+        engine = ExecutionEngine(self.load(), engine=VECTORIZED, lint=True)
+        plan = Project(joined_plan(), ["A.id", "B.a_fk"])
+        root = engine.physical_plan(plan)
+        assert verify_lowering(plan, root).diagnostics == []
+
+    def test_p008_root_schema_drift(self):
+        engine = ExecutionEngine(self.load(), engine=VECTORIZED)
+        plan = Project(joined_plan(), ["A.id", "B.a_fk"])
+        root = engine.physical_plan(plan)
+        # Pretend the logical root promised something else.
+        other = Project(joined_plan(), ["A.id"])
+        report = verify_lowering(other, root)
+        assert "P008" in rules_of(report)
+
+    def test_corrupted_plan_fails_lowering_with_lint_error(self):
+        engine = ExecutionEngine(self.load(), engine=VECTORIZED, lint=True)
+        plan = Project(joined_plan(), ["A.id", "B.a_fk"])
+        corrupt_schema(
+            plan,
+            RelationSchema(plan.schema.name, [plan.schema.attributes[0]]),
+        )
+        with pytest.raises(LintError, match="P007"):
+            engine.physical_plan(plan)
+
+    def test_corrupted_plan_fails_reference_execute(self):
+        engine = ExecutionEngine(self.load(), engine=REFERENCE, lint=True)
+        plan = joined_plan()
+        corrupt_schema(
+            plan.right, retype(schema_b(), "B.a_fk", DataType.STRING)
+        )
+        with pytest.raises(LintError, match="P003"):
+            engine.execute(plan)
+
+    def test_lint_off_does_not_verify(self):
+        engine = ExecutionEngine(self.load(), engine=VECTORIZED, lint=False)
+        plan = Project(joined_plan(), ["A.id", "B.a_fk"])
+        corrupt_schema(
+            plan,
+            RelationSchema(plan.schema.name, [plan.schema.attributes[0]]),
+        )
+        engine.physical_plan(plan)  # no raise
+
+    def test_explain_reports_diagnostics_without_raising(self):
+        engine = ExecutionEngine(self.load(), engine=VECTORIZED)
+        plan = Project(joined_plan(), ["A.id", "B.a_fk"])
+        corrupt_schema(
+            plan,
+            RelationSchema(plan.schema.name, [plan.schema.attributes[0]]),
+        )
+        text = engine.explain(plan)
+        assert "plan diagnostics" in text
+        assert "P007" in text
+
+    def test_explain_clean_plan_has_no_diagnostics_section(self):
+        engine = ExecutionEngine(self.load(), engine=VECTORIZED)
+        plan = Project(joined_plan(), ["A.id", "B.a_fk"])
+        assert "plan diagnostics" not in engine.explain(plan)
