@@ -145,6 +145,9 @@ class StatisticsCatalog:
         self._join_selectivities: Dict[frozenset, float] = {}
         # qualified attribute -> histogram (numeric/date columns)
         self._histograms: Dict[str, "EquiWidthHistogram"] = {}
+        # relation -> PartitionScheme (horizontal sharding; see
+        # repro.distributed.partition)
+        self._partitions: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # registration
@@ -201,6 +204,39 @@ class StatisticsCatalog:
     def set_histogram(self, attribute: str, histogram: "EquiWidthHistogram") -> None:
         """Attach a histogram (qualified attribute name)."""
         self._histograms[attribute] = histogram
+
+    def set_partition_scheme(self, scheme: "PartitionScheme") -> None:
+        """Record a relation's horizontal partition scheme.
+
+        The scheme rides with the statistics (the paper's Table-1 route)
+        so cost calculators and what-if analyses see the same shard map
+        the storage layer routes by.
+        """
+        self._partitions[scheme.relation] = scheme
+
+    def partition_scheme(self, relation: str) -> Optional["PartitionScheme"]:
+        return self._partitions.get(relation)
+
+    def shard_statistics(
+        self, relation: str, shard: int, fraction: Optional[float] = None
+    ) -> RelationStatistics:
+        """Statistics of one shard of a partitioned relation.
+
+        Defaults to a uniform split of the relation's registered
+        statistics across its scheme's shards; pass ``fraction`` to
+        model skew.  Blocks shrink proportionally, never below one
+        block for a non-empty shard (same rule as :meth:`RelationStatistics.scaled`).
+        """
+        scheme = self._partitions.get(relation)
+        if scheme is None:
+            raise CatalogError(f"relation {relation!r} is not partitioned")
+        if not 0 <= shard < scheme.shards:
+            raise CatalogError(
+                f"shard {shard} out of range for {relation!r}"
+            )
+        if fraction is None:
+            fraction = 1.0 / scheme.shards
+        return self.relation(relation).scaled(fraction)
 
     def histogram(self, attribute: str) -> Optional["EquiWidthHistogram"]:
         return self._histograms.get(attribute)

@@ -174,6 +174,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(design_parser)
     design_parser.add_argument("--json", metavar="FILE", default=None,
                                help="write the design result as JSON")
+    design_parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="also cost the design over N-way horizontal partitions "
+             "(keys derived from the workload's own predicates)",
+    )
+    design_parser.add_argument(
+        "--replicas", type=int, default=1, metavar="R",
+        help="with --shards: read replicas per shard (default 1)",
+    )
 
     explain_parser = commands.add_parser(
         "explain",
@@ -287,6 +296,15 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="output format (default: text)",
+    )
+    simulate_parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run the sharding simulation instead: N-way partitions, "
+             "pruned vs unpruned serving, partition-wise refresh",
+    )
+    simulate_parser.add_argument(
+        "--replicas", type=int, default=2,
+        help="with --shards: read replicas per shard (default 2)",
     )
     simulate_parser.add_argument(
         "--drift", action="store_true",
@@ -475,11 +493,91 @@ def command_design(args: argparse.Namespace) -> int:
             f"cost cache: {stats['hits']:g} hits / {stats['misses']:g} misses "
             f"(hit ratio {stats['hit_ratio']:.0%}, {stats['size']:g} entries)"
         )
+    sharding_doc = None
+    if getattr(args, "shards", 0):
+        sharding_doc = _design_sharding(args, workload, result)
     if args.json:
+        document = design_to_dict(result)
+        if sharding_doc is not None:
+            document["sharding"] = sharding_doc
         with open(args.json, "w") as handle:
-            json.dump(design_to_dict(result), handle, indent=2)
+            json.dump(document, handle, indent=2)
         print(f"design written to {args.json}")
     return 0
+
+
+def _design_sharding(
+    args: argparse.Namespace, workload, result
+) -> Dict[str, object]:
+    """Cost the finished design over horizontal partitions.
+
+    Builds an N-way shard catalog (partition keys derived from the
+    workload's predicates, round-robin placement with replicas) and
+    reports the distributed per-period cost with and without partition
+    awareness — the difference is what per-shard update locality and
+    pruned access buy at design time.
+    """
+    from repro.distributed import (
+        DistributedCostCalculator,
+        ShardCatalog,
+        Topology,
+    )
+    from repro.distributed.simulate import choose_schemes
+
+    if args.shards < 1:
+        raise ReproError(f"--shards must be >= 1: {args.shards}")
+    replicas = args.replicas
+    if replicas < 1:
+        raise ReproError(f"--replicas must be >= 1: {replicas}")
+    schemes = choose_schemes(workload, {}, args.shards)
+    sites = tuple(f"site{i}" for i in range(max(2, replicas)))
+    topology = Topology(("warehouse",) + sites)
+    catalog = ShardCatalog.build(
+        schemes, topology=topology, sites=sites, replication=replicas
+    )
+    leaves = sorted(leaf.name for leaf in result.mvpp.leaves)
+    placement = {
+        name: sites[index % len(sites)]
+        for index, name in enumerate(leaves)
+    }
+    whole = DistributedCostCalculator(
+        result.mvpp, topology, placement, warehouse_site="warehouse"
+    )
+    partitioned = DistributedCostCalculator(
+        result.mvpp, topology, placement, warehouse_site="warehouse",
+        sharding=catalog,
+    )
+    whole_total = whole.total_cost(result.materialized)
+    partitioned_total = partitioned.total_cost(result.materialized)
+    print(
+        f"sharding: {args.shards}-way partitions, {replicas} replica(s) "
+        f"over sites {', '.join(sites)}"
+    )
+    for scheme in schemes:
+        print(f"  {scheme.relation}: {scheme.kind} on {scheme.key}")
+    print(
+        f"  distributed per-period cost: "
+        f"whole-object={format_blocks(whole_total)} "
+        f"partition-aware={format_blocks(partitioned_total)}"
+    )
+    return {
+        "shards": args.shards,
+        "replicas": replicas,
+        "schemes": [
+            {
+                "relation": s.relation,
+                "key": s.key,
+                "kind": s.kind,
+                "shards": s.shards,
+            }
+            for s in schemes
+        ],
+        "catalog": catalog.describe(),
+        "cost": {
+            "whole_object": whole_total,
+            "partition_aware": partitioned_total,
+        },
+    }
 
 
 def command_explain(args: argparse.Namespace) -> int:
@@ -749,6 +847,8 @@ def command_refresh(args: argparse.Namespace) -> int:
 def command_simulate(args: argparse.Namespace) -> int:
     if args.drift:
         return _simulate_drift(args)
+    if getattr(args, "shards", 0):
+        return _simulate_sharding(args)
 
     from repro.resilience import simulate_faults
 
@@ -785,6 +885,51 @@ def command_simulate(args: argparse.Namespace) -> int:
           f"({queries['consistency_violations']} consistency violations)")
     print(f"  converged: {result.converged} "
           f"(epochs {result.final_epochs}, {result.final_ticks:.1f} ticks)")
+    return 0 if result.ok else 1
+
+
+def _simulate_sharding(args: argparse.Namespace) -> int:
+    from repro.distributed.simulate import simulate_sharding
+
+    if args.shards < 1:
+        raise ReproError(f"--shards must be >= 1: {args.shards}")
+    if args.replicas < 1:
+        raise ReproError(f"--replicas must be >= 1: {args.replicas}")
+    if args.scale <= 0:
+        raise ReproError(f"--scale must be positive: {args.scale}")
+    workload, rows = resolve_workload_rows(args, args.scale)
+    result = simulate_sharding(
+        shards=args.shards,
+        replication=args.replicas,
+        seed=args.seed,
+        workload=workload,
+        rows=rows,
+    )
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.ok else 1
+    print(
+        f"sharded {result.workload} {result.shards} ways "
+        f"(replication {result.replication}, seed {result.seed}):"
+    )
+    for scheme in result.schemes:
+        print(f"  {scheme['relation']}: {scheme['kind']} on {scheme['key']}")
+    for report in result.queries:
+        print(
+            f"  {report['query']}: io {report['io_pruned']:g} pruned vs "
+            f"{report['io_unpruned']:g} unpruned "
+            f"({report['partitions_pruned']} partitions pruned)"
+        )
+    print(
+        f"  rows identical: {result.rows_identical}; selective queries "
+        f"read strictly fewer blocks: {result.pruning_wins} "
+        f"({result.selective_queries} selective)"
+    )
+    print(
+        f"  refresh: affected shards only={result.refresh_affected_only}, "
+        f"bit-identical across workers {list(result.refresh_workers)}="
+        f"{result.refresh_identical}"
+    )
     return 0 if result.ok else 1
 
 

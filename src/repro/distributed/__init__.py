@@ -1,6 +1,15 @@
-"""Distributed-warehouse extension: sites, transfer costs, mirroring."""
+"""Distributed-warehouse extension: sites, transfer costs, mirroring,
+horizontal partitioning with replicas."""
 
 from repro.distributed.comm_cost import DistributedCostCalculator
+from repro.distributed.partition import (
+    HASH,
+    RANGE,
+    PartitionScheme,
+    range_bounds,
+    shard_table_name,
+    stable_hash,
+)
 from repro.distributed.placement import (
     MIRROR,
     REMOTE,
@@ -8,16 +17,25 @@ from repro.distributed.placement import (
     assign_round_robin,
     mirror_decisions,
 )
+from repro.distributed.sharding import LOCAL_SITE, ShardCatalog
 from repro.distributed.sites import DEFAULT_LINK_COST, Site, Topology
 
 __all__ = [
     "DEFAULT_LINK_COST",
     "DistributedCostCalculator",
+    "HASH",
+    "LOCAL_SITE",
     "MIRROR",
     "MirrorDecision",
+    "PartitionScheme",
+    "RANGE",
     "REMOTE",
+    "ShardCatalog",
     "Site",
     "Topology",
     "assign_round_robin",
     "mirror_decisions",
+    "range_bounds",
+    "shard_table_name",
+    "stable_hash",
 ]

@@ -6,17 +6,39 @@ computing anything at the warehouse from a *virtual* (non-materialized)
 lineage requires shipping the involved base relations' blocks from their
 member-database sites; refreshing a materialized view does the same, once
 per refresh trigger.  Materialized views live at the warehouse site, so
-reading them incurs no communication.
+reading them incurs no communication — with or without synced statistics
+(a stats-less stored view is priced as a warehouse-local recompute, the
+same proxy the centralized calculator uses).
+
+With a :class:`~repro.distributed.sharding.ShardCatalog` the model
+becomes partition-aware:
+
+* **access** — a partitioned base relation ships per shard, each from
+  its own primary site, weighted by the catalog's per-shard query
+  weight (the probability a query execution needs the shard; pass an
+  explicit surviving-shard map for a concrete pruned query);
+* **refresh** — a view co-partitioned with one partitioned base pays
+  per *affected* partition: each shard contributes its update-weight
+  share of the trigger times (its fraction of the view recompute plus
+  shipping that one shard and the whole of every other lineage
+  relation).  With a single partition this degenerates exactly to the
+  whole-object formula, and with zero transfer costs to the centralized
+  calculator.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Mapping
+from typing import FrozenSet, Mapping, Optional, Sequence
 
+from repro.distributed.sharding import LOCAL_SITE, ShardCatalog
 from repro.distributed.sites import Topology
 from repro.errors import DistributedError
 from repro.mvpp.cost import MVPPCostCalculator, PER_PERIOD
 from repro.mvpp.graph import MVPP, Vertex
+
+#: Surviving shards per relation, as produced by
+#: :func:`repro.warehouse.rewriter.prune_shards`.
+PrunedShards = Mapping[str, Sequence[int]]
 
 
 class DistributedCostCalculator(MVPPCostCalculator):
@@ -29,6 +51,7 @@ class DistributedCostCalculator(MVPPCostCalculator):
         placement: Mapping[str, str],
         warehouse_site: str,
         maintenance_trigger: str = PER_PERIOD,
+        sharding: Optional[ShardCatalog] = None,
     ):
         super().__init__(mvpp, maintenance_trigger)
         if warehouse_site not in topology:
@@ -45,46 +68,169 @@ class DistributedCostCalculator(MVPPCostCalculator):
             raise DistributedError(
                 f"no site assigned for base relations: {sorted(missing)}"
             )
+        if sharding is not None:
+            for relation in sharding.relations:
+                scheme = sharding.require_scheme(relation)
+                for shard in scheme.all_shards:
+                    for site in sharding.sites_for(relation, shard):
+                        if site != LOCAL_SITE and site not in topology:
+                            raise DistributedError(
+                                f"shard {relation!r}#{shard} placed at "
+                                f"unknown site {site!r}"
+                            )
         self.topology = topology
         self.placement = dict(placement)
         self.warehouse_site = warehouse_site
+        self.sharding = sharding
 
     # ------------------------------------------------------------- transfers
-    def leaf_transfer_cost(self, leaf: Vertex) -> float:
-        """Cost of shipping one copy of a base relation to the warehouse."""
+    def _shard_site(self, relation: str, shard: int) -> str:
+        """Where one shard's primary copy lives (placement fallback)."""
+        assert self.sharding is not None
+        primary = self.sharding.primary(relation, shard)
+        if primary in self.topology:
+            return primary
+        return self.placement[relation]
+
+    def _shard_transfer_cost(self, leaf: Vertex, shard: int) -> float:
+        """Shipping one shard of a partitioned base to the warehouse."""
         if leaf.stats is None:
             return 0.0
+        assert self.sharding is not None
+        blocks = leaf.stats.blocks * self.sharding.shard_fraction(
+            leaf.name, shard
+        )
         return self.topology.transfer_cost(
-            self.placement[leaf.name], self.warehouse_site, leaf.stats.blocks
+            self._shard_site(leaf.name, shard), self.warehouse_site, blocks
         )
 
-    def lineage_transfer_cost(self, vertex: Vertex) -> float:
-        """Transfer cost of every base relation feeding ``vertex``."""
+    def leaf_transfer_cost(
+        self, leaf: Vertex, surviving: Optional[Sequence[int]] = None
+    ) -> float:
+        """Cost of shipping one copy of a base relation to the warehouse.
+
+        For a partitioned relation this sums per shard: over the
+        ``surviving`` shards when given (a concrete pruned query), else
+        over every shard weighted by the catalog's per-shard query
+        weight (the design-time expectation).
+        """
+        scheme = (
+            self.sharding.scheme(leaf.name)
+            if self.sharding is not None
+            else None
+        )
+        if scheme is None:
+            if leaf.stats is None:
+                return 0.0
+            return self.topology.transfer_cost(
+                self.placement[leaf.name], self.warehouse_site,
+                leaf.stats.blocks,
+            )
+        if surviving is not None:
+            return sum(
+                self._shard_transfer_cost(leaf, shard)
+                for shard in sorted(surviving)
+            )
         return sum(
-            self.leaf_transfer_cost(leaf)
-            for leaf in self.mvpp.base_relations_of(vertex)
+            self.sharding.query_weight(leaf.name, shard)
+            * self._shard_transfer_cost(leaf, shard)
+            for shard in scheme.all_shards
+        )
+
+    def lineage_transfer_cost(
+        self, vertex: Vertex, pruned: Optional[PrunedShards] = None
+    ) -> float:
+        """Transfer cost of every base relation feeding ``vertex``.
+
+        ``pruned`` maps relation names to their surviving shard ids
+        (absent relations ship in full) — access cost becomes the sum
+        over partitions surviving pruning.
+        """
+        total = 0.0
+        for leaf in sorted(
+            self.mvpp.base_relations_of(vertex), key=lambda v: v.name
+        ):
+            surviving = None if pruned is None else pruned.get(leaf.name)
+            total += self.leaf_transfer_cost(leaf, surviving)
+        return total
+
+    def _maintenance_transfer_cost(self, leaf: Vertex) -> float:
+        """Shipping a whole lineage relation for one refresh (unweighted)."""
+        scheme = (
+            self.sharding.scheme(leaf.name)
+            if self.sharding is not None
+            else None
+        )
+        if scheme is None:
+            if leaf.stats is None:
+                return 0.0
+            return self.topology.transfer_cost(
+                self.placement[leaf.name], self.warehouse_site,
+                leaf.stats.blocks,
+            )
+        return sum(
+            self._shard_transfer_cost(leaf, shard)
+            for shard in scheme.all_shards
         )
 
     # --------------------------------------------------- overridden costing
-    def _access(
-        self, vertex: Vertex, materialized: FrozenSet[int], cache: Dict[int, float]
-    ) -> float:
-        cached = cache.get(vertex.vertex_id)
-        if cached is not None:
-            return cached
-        if vertex.vertex_id in materialized and vertex.stats is not None:
-            cost = float(vertex.stats.blocks)  # stored at the warehouse
-        elif vertex.is_leaf:
-            cost = self.leaf_transfer_cost(vertex)
-        else:
-            cost = vertex.local_cost + sum(
-                self._access(child, materialized, cache)
-                for child in self.mvpp.children_of(vertex)
+    def _leaf_access_cost(self, vertex: Vertex) -> float:
+        """Reading a base relation ships it from its member site(s)."""
+        return self.leaf_transfer_cost(vertex)
+
+    def _copartition_base(
+        self, leaves: Sequence[Vertex]
+    ) -> Optional[Vertex]:
+        """The partitioned base a view's refresh fans out over.
+
+        A view is refreshed partition-wise along exactly one partitioned
+        lineage relation; with several partitioned bases the name-least
+        one is chosen (deterministic, matching the storage layer's
+        co-partitioning rule of requiring a single partitioned base).
+        """
+        if self.sharding is None:
+            return None
+        partitioned = sorted(
+            (leaf for leaf in leaves if leaf.name in self.sharding),
+            key=lambda v: v.name,
+        )
+        return partitioned[0] if partitioned else None
+
+    def _per_refresh_cost(self, vertex: Vertex) -> float:
+        """Refresh cost per trigger unit, partition-aware.
+
+        Without sharding (or with no partitioned lineage): recompute the
+        view and ship its whole lineage.  With a co-partition base ``b``:
+        ``Σ_s w_u(b,s) · (Cm·fraction(b,s) + T(b,s) + Σ_{l≠b} T(l))`` —
+        only the partition named by an update batch refreshes, so each
+        shard contributes its update-weight share of recomputing its
+        fraction of the view plus shipping that one shard (and the whole
+        of every other lineage relation it joins against).
+        """
+        leaves = sorted(
+            self.mvpp.base_relations_of(vertex), key=lambda v: v.name
+        )
+        base = self._copartition_base(leaves)
+        if base is None:
+            return vertex.maintenance_cost + sum(
+                self._maintenance_transfer_cost(leaf) for leaf in leaves
             )
-        # The memo dict is created by access_cost() for exactly this
-        # traversal — writing it is the memoization, not caller state.
-        cache[vertex.vertex_id] = cost  # lint: ignore[E203]
-        return cost
+        scheme = self.sharding.require_scheme(base.name)
+        others = sum(
+            self._maintenance_transfer_cost(leaf)
+            for leaf in leaves
+            if leaf.name != base.name
+        )
+        total = 0.0
+        for shard in scheme.all_shards:
+            weight = self.sharding.update_weight(base.name, shard)
+            fraction = self.sharding.shard_fraction(base.name, shard)
+            total += weight * (
+                vertex.maintenance_cost * fraction
+                + self._shard_transfer_cost(base, shard)
+                + others
+            )
+        return total
 
     def maintenance_cost(self, materialized: FrozenSet[int]) -> float:
         total = 0.0
@@ -92,8 +238,9 @@ class DistributedCostCalculator(MVPPCostCalculator):
             vertex = self.mvpp.vertex(vertex_id)
             if vertex.is_leaf:
                 continue
-            per_refresh = vertex.maintenance_cost + self.lineage_transfer_cost(vertex)
-            total += self.refresh_trigger(vertex) * per_refresh
+            total += self.refresh_trigger(vertex) * self._per_refresh_cost(
+                vertex
+            )
         return total
 
     def weight(self, vertex: Vertex) -> float:
@@ -103,8 +250,9 @@ class DistributedCostCalculator(MVPPCostCalculator):
         saving = sum(
             q.frequency for q in self.mvpp.queries_using(vertex)
         ) * distributed_ca
-        per_refresh = vertex.maintenance_cost + self.lineage_transfer_cost(vertex)
-        return saving - self.refresh_trigger(vertex) * per_refresh
+        return saving - self.refresh_trigger(vertex) * self._per_refresh_cost(
+            vertex
+        )
 
     def incremental_saving(
         self, vertex: Vertex, materialized: FrozenSet[int]
@@ -121,5 +269,6 @@ class DistributedCostCalculator(MVPPCostCalculator):
         saving = sum(
             q.frequency for q in self.mvpp.queries_using(vertex)
         ) * effective
-        per_refresh = vertex.maintenance_cost + self.lineage_transfer_cost(vertex)
-        return saving - self.refresh_trigger(vertex) * per_refresh
+        return saving - self.refresh_trigger(vertex) * self._per_refresh_cost(
+            vertex
+        )

@@ -1,0 +1,229 @@
+"""Horizontal partitioning: deterministic shard maps over key attributes.
+
+The paper's Figure-1 architecture separates member-database sites from
+the warehouse; this module extends that model below the relation level.
+A :class:`PartitionScheme` splits one relation into ``shards`` horizontal
+fragments on a *partition key* attribute, either by a stable hash or by
+range bounds.  The shard map is a pure function of the key value — no
+process-salted ``hash()``, no randomness — so every component (catalog,
+cost model, rewriter, refresh scheduler) derives the same placement from
+the same scheme, across processes and runs.
+
+Pruning: given a comparison ``key <op> literal`` the scheme can name the
+subset of shards that may hold satisfying rows (:meth:`PartitionScheme.
+shards_for`).  Hash schemes prune only equalities; range schemes also
+prune inequalities via their ordered bounds.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from repro.errors import DistributedError
+
+__all__ = [
+    "HASH",
+    "RANGE",
+    "PartitionScheme",
+    "range_bounds",
+    "shard_table_name",
+    "stable_hash",
+]
+
+#: Partitioning kinds.
+HASH = "hash"
+RANGE = "range"
+
+#: Separator between a relation name and its shard ordinal in stored
+#: shard-table names (``Order#3``).  ``#`` cannot appear in SQL
+#: identifiers, so shard tables never collide with catalog relations.
+SHARD_SEPARATOR = "#"
+
+
+def stable_hash(value: Any) -> int:
+    """A process-independent hash of a partition-key value.
+
+    Python's built-in ``hash()`` is salted per process for strings, so a
+    shard map built on it would differ between runs.  This uses CRC-32
+    over a type-tagged canonical encoding instead; integral floats hash
+    like the equal int so ``5`` and ``5.0`` land on the same shard.
+    """
+    if isinstance(value, bool):
+        tag = f"i:{int(value)}"
+    elif isinstance(value, int):
+        tag = f"i:{value}"
+    elif isinstance(value, float):
+        tag = f"i:{int(value)}" if value.is_integer() else f"f:{value!r}"
+    elif isinstance(value, str):
+        tag = f"s:{value}"
+    elif value is None:
+        tag = "n:"
+    else:
+        tag = f"o:{value!r}"  # dates etc. repr deterministically
+    return zlib.crc32(tag.encode("utf-8"))
+
+
+def shard_table_name(relation: str, shard: int) -> str:
+    """Stored-table name of one shard (``Order`` + 3 → ``Order#3``)."""
+    return f"{relation}{SHARD_SEPARATOR}{shard}"
+
+
+def range_bounds(values: Iterable[Any], shards: int) -> Tuple[Any, ...]:
+    """Evenly-spaced quantile bounds for a RANGE scheme over ``values``.
+
+    Returns ``shards - 1`` strictly increasing split points taken from
+    the sorted distinct values (deterministic; no interpolation).  Fewer
+    distinct values than shards is rejected — a range scheme needs a
+    distinct bound per split.
+    """
+    if shards < 1:
+        raise DistributedError(f"need at least one shard: {shards}")
+    distinct = sorted(dict.fromkeys(values))
+    if shards == 1:
+        return ()
+    if len(distinct) < shards:
+        raise DistributedError(
+            f"cannot derive {shards} range partitions from "
+            f"{len(distinct)} distinct values"
+        )
+    step = len(distinct) / shards
+    bounds = []
+    for index in range(1, shards):
+        bounds.append(distinct[int(index * step)])
+    if len(set(bounds)) != len(bounds):
+        raise DistributedError(
+            "derived range bounds are not strictly increasing; "
+            "values are too skewed for this shard count"
+        )
+    return tuple(bounds)
+
+
+@dataclass(frozen=True)
+class PartitionScheme:
+    """A deterministic shard map for one relation.
+
+    ``key`` names the partition-key attribute (qualified or short; shard
+    routing resolves it by short name against stored rows).  HASH maps
+    ``stable_hash(value) % shards``; RANGE uses ``bounds`` — a strictly
+    increasing tuple of ``shards - 1`` split points where shard ``i``
+    holds values in ``[bounds[i-1], bounds[i])``-style buckets computed
+    with :func:`bisect.bisect_right` (values at or above the last bound
+    go to the last shard).
+    """
+
+    relation: str
+    key: str
+    shards: int
+    kind: str = HASH
+    bounds: Tuple[Any, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise DistributedError("partition scheme needs a relation name")
+        if not self.key:
+            raise DistributedError("partition scheme needs a key attribute")
+        if self.shards < 1:
+            raise DistributedError(
+                f"need at least one shard: {self.shards}"
+            )
+        if self.kind not in (HASH, RANGE):
+            raise DistributedError(f"unknown partition kind {self.kind!r}")
+        object.__setattr__(self, "bounds", tuple(self.bounds))
+        if self.kind == HASH:
+            if self.bounds:
+                raise DistributedError("hash partitioning takes no bounds")
+            return
+        if len(self.bounds) != self.shards - 1:
+            raise DistributedError(
+                f"range partitioning over {self.shards} shards needs "
+                f"{self.shards - 1} bounds, got {len(self.bounds)}"
+            )
+        for low, high in zip(self.bounds, self.bounds[1:]):
+            if not low < high:
+                raise DistributedError(
+                    "range bounds must be strictly increasing"
+                )
+
+    # ------------------------------------------------------------- routing
+    @property
+    def key_short(self) -> str:
+        """The key's unqualified attribute name."""
+        return self.key.split(".")[-1]
+
+    @property
+    def all_shards(self) -> Tuple[int, ...]:
+        return tuple(range(self.shards))
+
+    def shard_of(self, value: Any) -> int:
+        """The shard holding rows whose key equals ``value``."""
+        if self.kind == HASH:
+            return stable_hash(value) % self.shards
+        try:
+            return bisect_right(self.bounds, value)
+        except TypeError:
+            raise DistributedError(
+                f"value {value!r} is not comparable with the range bounds "
+                f"of {self.relation!r}"
+            ) from None
+
+    # ------------------------------------------------------------- pruning
+    def shards_for(self, op: str, value: Any) -> Tuple[int, ...]:
+        """Shards that may hold rows satisfying ``key <op> value``.
+
+        Sound over-approximation: a shard absent from the result holds
+        no satisfying row.  Equality prunes under both kinds; range
+        comparisons prune only under RANGE; anything unprunable returns
+        every shard.
+        """
+        if op == "=":
+            return (self.shard_of(value),)
+        if self.kind != RANGE or op not in ("<", "<=", ">", ">="):
+            return self.all_shards
+        try:
+            pivot = bisect_right(self.bounds, value)
+        except TypeError:
+            return self.all_shards
+        if op in ("<", "<="):
+            return tuple(range(0, pivot + 1))
+        return tuple(range(pivot, self.shards))
+
+    # ------------------------------------------------------------ row split
+    def key_value(self, row: Mapping[str, Any]) -> Any:
+        """Extract the partition-key value from a (possibly qualified) row."""
+        if self.key in row:
+            return row[self.key]
+        short = self.key_short
+        matches = [
+            row[name]
+            for name in sorted(row)
+            if name.split(".")[-1] == short
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        raise DistributedError(
+            f"cannot resolve partition key {self.key!r} of "
+            f"{self.relation!r} in row with columns {sorted(row)}"
+        )
+
+    def split_rows(
+        self, rows: Iterable[Mapping[str, Any]]
+    ) -> Dict[int, List[Mapping[str, Any]]]:
+        """Group ``rows`` by destination shard (order preserved per shard)."""
+        out: Dict[int, List[Mapping[str, Any]]] = {
+            shard: [] for shard in self.all_shards
+        }
+        for row in rows:
+            out[self.shard_of(self.key_value(row))].append(row)
+        return out
+
+    def shard_table(self, shard: int) -> str:
+        """Stored-table name of one of this scheme's shards."""
+        if not 0 <= shard < self.shards:
+            raise DistributedError(
+                f"shard {shard} out of range for {self.relation!r} "
+                f"({self.shards} shards)"
+            )
+        return shard_table_name(self.relation, shard)

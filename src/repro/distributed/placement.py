@@ -12,12 +12,13 @@ period) or access it remotely (pay its transfer once per query use).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Mapping, Sequence, Tuple
 
 from repro import obs
 from repro.distributed.sites import Topology
-from repro.errors import DistributedError
+from repro.errors import DistributedError, WorkloadWarning
 from repro.mvpp.graph import MVPP
 
 MIRROR = "mirror"
@@ -26,12 +27,18 @@ REMOTE = "remote"
 
 @dataclass(frozen=True)
 class MirrorDecision:
-    """Outcome for one base relation."""
+    """Outcome for one base relation.
+
+    ``stats_known`` is False when the relation had no synced statistics:
+    both candidate costs are then 0.0 and the MIRROR choice is the tie
+    default, not a cost-justified decision.
+    """
 
     relation: str
     choice: str  # MIRROR | REMOTE
     mirror_cost: float  # per-period cost if mirrored at the warehouse
     remote_cost: float  # per-period cost if accessed remotely
+    stats_known: bool = True
 
     @property
     def saving(self) -> float:
@@ -41,9 +48,22 @@ class MirrorDecision:
 def assign_round_robin(
     relations: Sequence[str], sites: Sequence[str]
 ) -> Dict[str, str]:
-    """Spread base relations across member-database sites round-robin."""
+    """Spread base relations across member-database sites round-robin.
+
+    Duplicate relation names are rejected: the dict comprehension would
+    keep only the last occurrence, silently skewing the spread.
+    """
     if not sites:
         raise DistributedError("need at least one site")
+    seen: set = set()
+    duplicates = sorted(
+        dict.fromkeys(r for r in relations if r in seen or seen.add(r))
+    )
+    if duplicates:
+        raise DistributedError(
+            f"duplicate relation names in round-robin placement: "
+            f"{duplicates}"
+        )
     return {
         relation: sites[index % len(sites)]
         for index, relation in enumerate(relations)
@@ -74,7 +94,19 @@ def mirror_decisions(
         for leaf in sorted(mvpp.leaves, key=lambda v: v.name):
             if leaf.name not in placement:
                 raise DistributedError(f"no site assigned for {leaf.name!r}")
-            blocks = leaf.stats.blocks if leaf.stats is not None else 0
+            stats_known = leaf.stats is not None
+            if not stats_known:
+                warnings.warn(
+                    WorkloadWarning(
+                        f"relation {leaf.name!r} has no statistics; its "
+                        f"mirror-vs-remote costs are both 0.0 and the "
+                        f"MIRROR choice is a tie default, not "
+                        f"cost-justified — sync statistics before "
+                        f"trusting this placement"
+                    ),
+                    stacklevel=2,
+                )
+            blocks = leaf.stats.blocks if stats_known else 0
             transfer = topology.transfer_cost(
                 placement[leaf.name], warehouse_site, blocks
             )
@@ -84,7 +116,10 @@ def mirror_decisions(
             mirror_cost = leaf.frequency * transfer
             remote_cost = total_query_frequency * transfer
             choice = MIRROR if mirror_cost <= remote_cost else REMOTE
-            decision = MirrorDecision(leaf.name, choice, mirror_cost, remote_cost)
+            decision = MirrorDecision(
+                leaf.name, choice, mirror_cost, remote_cost,
+                stats_known=stats_known,
+            )
             decisions.append(decision)
             if emit:
                 site = placement[leaf.name]
@@ -99,6 +134,7 @@ def mirror_decisions(
                     choice=choice,
                     mirror_cost=mirror_cost,
                     remote_cost=remote_cost,
+                    stats_known=stats_known,
                 )
         span.set(relations=len(decisions))
     return tuple(decisions)

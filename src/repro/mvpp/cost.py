@@ -187,10 +187,10 @@ class MVPPCostCalculator:
                 # Per-call memo owned by access_cost(), not caller state.
                 cache[vertex.vertex_id] = shared  # lint: ignore[E203]
                 return shared
-        if vertex.vertex_id in materialized and vertex.stats is not None:
-            cost = float(vertex.stats.blocks)
+        if vertex.vertex_id in materialized:
+            cost = self._materialized_access_cost(vertex, materialized)
         elif vertex.is_leaf:
-            cost = 0.0  # base relations are stored; Ca(leaf) = 0 per paper
+            cost = self._leaf_access_cost(vertex)
         else:
             cost = vertex.local_cost + sum(
                 self._access(child, materialized, cache)
@@ -201,6 +201,48 @@ class MVPPCostCalculator:
         # Per-call memo owned by access_cost(), not caller state.
         cache[vertex.vertex_id] = cost  # lint: ignore[E203]
         return cost
+
+    # Overridable costing rules shared with the distributed calculator
+    # (repro.distributed.comm_cost): subclasses change *where* data lives,
+    # never the traversal, so the two models stay structurally identical.
+    def _materialized_access_cost(
+        self, vertex: Vertex, materialized: FrozenSet[int]
+    ) -> float:
+        """Scanning a materialized vertex (stored at the warehouse).
+
+        Without synced statistics the stored size is unknown, so the
+        scan is priced as a warehouse-local recomputation — never with a
+        transfer term, because the stored copy lives at the warehouse
+        regardless of where its lineage does.
+        """
+        if vertex.stats is not None:
+            return float(vertex.stats.blocks)
+        return self._local_recompute_cost(vertex, materialized)
+
+    def _leaf_access_cost(self, vertex: Vertex) -> float:
+        """Reading a base relation (0 in the centralized model)."""
+        return 0.0
+
+    def _local_recompute_cost(
+        self, vertex: Vertex, materialized: FrozenSet[int]
+    ) -> float:
+        """Recompute ``vertex`` entirely at the warehouse (no transfers).
+
+        Materialized descendants with known sizes cut the recursion at a
+        stored scan; stats-less ones recurse (their stored size is just
+        as unknown from here); base relations cost 0 — this prices the
+        local proxy for scanning an unknown-size stored view, so no
+        communication term may enter.
+        """
+        if vertex.is_leaf:
+            return 0.0
+        total = vertex.local_cost
+        for child in self.mvpp.children_of(vertex):
+            if child.vertex_id in materialized and child.stats is not None:
+                total += float(child.stats.blocks)
+            else:
+                total += self._local_recompute_cost(child, materialized)
+        return total
 
     def _closure(self, vertex: Vertex) -> FrozenSet[int]:
         """``{v} ∪ S*{v}`` as ids, memoized per calculator."""

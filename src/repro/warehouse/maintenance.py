@@ -220,3 +220,8 @@ class _OverlayDatabase(Database):
 
     def __contains__(self, name: str) -> bool:
         return name in self._overrides or name in self._base
+
+
+#: Public alias: the sharded serving path substitutes shard-union tables
+#: through the same overlay mechanism incremental maintenance uses.
+OverlayDatabase = _OverlayDatabase

@@ -20,10 +20,18 @@ Matching is top-down, so the largest applicable view wins.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.algebra import predicates as P
-from repro.algebra.operators import Operator, Relation, Select
+from repro.algebra.expressions import ColumnRef, Comparison, Expression, Literal, Or
+from repro.algebra.operators import (
+    Aggregate,
+    Limit,
+    Operator,
+    Relation,
+    Select,
+)
+from repro.distributed.partition import PartitionScheme
 from repro.warehouse.view import MaterializedView
 
 
@@ -86,3 +94,130 @@ def rewrite_with_views(
         return node.with_children(children)
 
     return descend(plan), used
+
+
+# ---------------------------------------------------------------------------
+# Partition pruning
+# ---------------------------------------------------------------------------
+
+def _key_comparison(
+    conjunct: Expression, relation: Relation, scheme: "PartitionScheme"
+) -> Optional[Tuple[str, object]]:
+    """``(op, literal)`` if ``conjunct`` constrains this relation's key.
+
+    The comparison must be ``column <op> literal`` (canonicalization puts
+    literals on the right), the column must *resolve in this relation's
+    schema* (so ``Customer.city`` never prunes a ``Division.city`` key),
+    and its short name must equal the partition key's.
+    """
+    if not isinstance(conjunct, Comparison):
+        return None
+    if not isinstance(conjunct.left, ColumnRef):
+        return None
+    if not isinstance(conjunct.right, Literal):
+        return None
+    try:
+        resolved = relation.schema.attribute(conjunct.left.name)
+    except Exception:
+        return None
+    if resolved.name.rsplit(".", 1)[-1] != scheme.key_short:
+        return None
+    return conjunct.op, conjunct.right.value
+
+
+def _surviving_shards(
+    relation: Relation,
+    scheme: "PartitionScheme",
+    conjuncts: Tuple[Expression, ...],
+) -> Set[int]:
+    """Shards of ``relation`` that may contribute rows under ``conjuncts``."""
+    surviving = set(scheme.all_shards)
+    for conjunct in conjuncts:
+        if isinstance(conjunct, Or):
+            # An OR prunes only when *every* disjunct constrains the key:
+            # the union of the per-disjunct shard sets then covers all
+            # possibly-satisfying rows.
+            union: Set[int] = set()
+            for disjunct in conjunct.children:
+                match = _key_comparison(disjunct, relation, scheme)
+                if match is None:
+                    union = set(scheme.all_shards)
+                    break
+                union.update(scheme.shards_for(*match))
+            surviving &= union
+            continue
+        match = _key_comparison(conjunct, relation, scheme)
+        if match is not None:
+            surviving &= set(scheme.shards_for(*match))
+    return surviving
+
+
+def prune_shards(
+    plan: Operator, schemes: Mapping[str, "PartitionScheme"]
+) -> Dict[str, Tuple[int, ...]]:
+    """Per partitioned relation, the shards ``plan`` may need to read.
+
+    Walks the plan top-down accumulating selection conjuncts, and at each
+    :class:`Relation` leaf intersects the shard sets admitted by the
+    conjuncts that constrain that relation's partition key.  The result
+    is a sound over-approximation: a shard absent from a relation's entry
+    holds no row that can influence the plan's output.
+
+    Pushdown rules keep it sound:
+
+    * ``Select`` adds its conjuncts (selection commutes with reading
+      fewer shards);
+    * ``Join`` also pushes its condition's conjuncts — under inner-join
+      semantics a row failing a condition conjunct yields no output;
+    * ``Limit`` *clears* inherited conjuncts: LIMIT picks the first rows
+      of its unfiltered input, so pruning below it would change which
+      rows it sees;
+    * ``Aggregate`` keeps only conjuncts over group-by columns
+      (selection on a grouping key commutes with grouping; predicates on
+      aggregate outputs do not);
+    * everything else (Project/Sort) passes conjuncts through unchanged.
+
+    Relations appearing several times (self-joins) get the *union* of
+    each occurrence's surviving shards.
+    """
+    out: Dict[str, Set[int]] = {}
+
+    def descend(node: Operator, conjuncts: Tuple[Expression, ...]) -> None:
+        if isinstance(node, Relation):
+            scheme = schemes.get(node.name)
+            if scheme is None:
+                return
+            surviving = _surviving_shards(node, scheme, conjuncts)
+            if node.name in out:
+                out[node.name] |= surviving
+            else:
+                out[node.name] = surviving
+            return
+        if isinstance(node, Select):
+            descend(node.child, conjuncts + P.conjuncts(node.predicate))
+            return
+        if isinstance(node, Limit):
+            descend(node.child, ())
+            return
+        if isinstance(node, Aggregate):
+            keys = set(node.group_by)
+            short_keys = {k.rsplit(".", 1)[-1] for k in keys}
+            kept = tuple(
+                c
+                for c in conjuncts
+                if all(
+                    col in keys or col.rsplit(".", 1)[-1] in short_keys
+                    for col in c.columns()
+                )
+            )
+            descend(node.child, kept)
+            return
+        extra: Tuple[Expression, ...] = ()
+        condition = getattr(node, "condition", None)
+        if condition is not None:
+            extra = P.conjuncts(condition)
+        for child in node.children:
+            descend(child, conjuncts + extra)
+
+    descend(plan, ())
+    return {name: tuple(sorted(shards)) for name, shards in out.items()}

@@ -58,7 +58,7 @@ from repro.warehouse.view import MaterializedView
 from repro.workload.spec import QuerySpec, Workload
 
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -70,6 +70,11 @@ class ServedResult:
     update batches).  ``degraded`` is True when at least one installed
     view was excluded from the rewrite because its circuit breaker is
     open — the answer fell back (partly or fully) to base relations.
+
+    On a sharded warehouse, ``partitions_read`` maps each partitioned
+    relation (or shard-stored view) the plan touched to the shard ids it
+    actually read, and ``partitions_pruned`` counts the shards partition
+    pruning skipped.
     """
 
     query: str
@@ -78,6 +83,8 @@ class ServedResult:
     views_used: Tuple[str, ...]
     staleness: Mapping[str, int]
     degraded: bool
+    partitions_read: Mapping[str, Tuple[int, ...]] = field(default_factory=dict)
+    partitions_pruned: int = 0
 
     @property
     def max_staleness(self) -> int:
@@ -149,6 +156,8 @@ class DataWarehouse:
         # Adaptive: lazily-built controller; when present, the query and
         # update paths report every event to its workload monitor.
         self._controller = None
+        # Horizontal sharding: a ShardManager once enable_sharding() ran.
+        self.sharding = None
 
     # --------------------------------------------------------------- queries
     def add_query(self, name: str, sql: str, frequency: float) -> QuerySpec:
@@ -291,6 +300,68 @@ class DataWarehouse:
         """The design's predicted per-period cost breakdown."""
         return self.design_result.breakdown
 
+    # -------------------------------------------------------------- sharding
+    def enable_sharding(
+        self,
+        schemes,
+        sites: Tuple[str, ...] = (),
+        replication: int = 1,
+        topology=None,
+    ) -> "ShardManager":
+        """Partition base relations horizontally per ``schemes``.
+
+        ``schemes`` is an iterable of
+        :class:`~repro.distributed.partition.PartitionScheme`; each is
+        recorded in the statistics catalog (so cost calculators see the
+        same shard map the storage layer routes by) and any
+        already-loaded relation is split immediately.  ``sites`` and
+        ``replication`` optionally place the shards round-robin with
+        read replicas on a
+        :class:`~repro.distributed.sites.Topology`.
+        """
+        from repro.distributed.sharding import ShardCatalog
+        from repro.warehouse.sharding import ShardManager
+
+        scheme_list = list(schemes)
+        for scheme in scheme_list:
+            if scheme.relation not in self.catalog:
+                raise WarehouseError(
+                    f"cannot partition unknown relation {scheme.relation!r}"
+                )
+        catalog = ShardCatalog.build(
+            scheme_list, topology=topology, sites=tuple(sites),
+            replication=replication,
+        )
+        for scheme in scheme_list:
+            self.statistics.set_partition_scheme(scheme)
+        self.sharding = ShardManager(self, catalog)
+        for scheme in scheme_list:
+            if scheme.relation in self.database:
+                self.sharding.partition_relation(scheme.relation)
+        return self.sharding
+
+    def refresh_partitions(
+        self, workers: int = 1, executor: str = "auto"
+    ) -> List["RefreshOutcome"]:
+        """Partition-wise refresh of every co-partitioned view's stale
+        shards, through the resilient scheduler (per-partition breakers
+        and freshness epochs).  ``workers > 1`` computes shard refreshes
+        in parallel and commits them serially in shard order, so results
+        and measured I/O are bit-identical to a serial run."""
+        if self.sharding is None:
+            raise WarehouseError("call enable_sharding() first")
+        outcomes: List["RefreshOutcome"] = []
+        scheduler = self.scheduler()
+        for view in sorted(
+            self.sharding.shardable_views(), key=lambda v: v.name
+        ):
+            outcomes.extend(
+                scheduler.refresh_partitions(
+                    view, workers=workers, executor=executor
+                )
+            )
+        return outcomes
+
     # ------------------------------------------------------------------ data
     def load(
         self,
@@ -311,7 +382,10 @@ class DataWarehouse:
         for row in rows:
             table.insert(row)
         self._base_versions[relation] = self._base_versions.get(relation, 0) + 1
-        return self.database.register(relation, table)
+        registered = self.database.register(relation, table)
+        if self.sharding is not None:
+            self.sharding.on_load(relation)
+        return registered
 
     def sync_statistics(self) -> None:
         """Overwrite registered relation statistics with loaded actuals.
@@ -344,6 +418,33 @@ class DataWarehouse:
             self._committed_cards[view.name] = self.database.table(
                 view.name
             ).cardinality
+
+    def _view_available(self, view: MaterializedView) -> bool:
+        """Whether serving can read this view — as a whole stored table
+        or (sharded mode) as a complete set of shard tables."""
+        if view.name in self.database:
+            return True
+        return self.sharding is not None and (
+            self.sharding.view_shards_available(view)
+        )
+
+    def _view_is_fresh(self, view: MaterializedView) -> bool:
+        if view.name in self.database:
+            return self.is_fresh(view)
+        if self.sharding is not None and (
+            self.sharding.view_shards_available(view)
+        ):
+            return not self.sharding.stale_shards(view)
+        return False
+
+    def _view_staleness(self, view: MaterializedView) -> int:
+        if view.name in self._view_versions:
+            return self.staleness(view)
+        if self.sharding is not None and (
+            self.sharding.view_shards_available(view)
+        ):
+            return self.sharding.view_staleness(view)
+        return 0
 
     def is_fresh(self, view: MaterializedView) -> bool:
         """Whether a view reflects the current base-relation contents."""
@@ -572,7 +673,9 @@ class DataWarehouse:
         self._note_query(name, io.total)
         return result, io
 
-    def serve(self, name: str, freshness: str = "any") -> ServedResult:
+    def serve(
+        self, name: str, freshness: str = "any", prune: bool = True
+    ) -> ServedResult:
         """Answer a query with explicit freshness provenance.
 
         The fault-tolerant face of :meth:`execute`: the result is
@@ -586,6 +689,10 @@ class DataWarehouse:
         shadow table and swapped atomically, so a served view is either
         its previous committed contents or its new committed contents —
         never a mix.
+
+        On a sharded warehouse (:meth:`enable_sharding`), equality and
+        range predicates on a partition key route the plan to only the
+        relevant shards; ``prune=False`` forces the unpruned baseline.
         """
         spec = next((q for q in self._queries if q.name == name), None)
         if spec is None:
@@ -603,29 +710,48 @@ class DataWarehouse:
                     self.estimator,
                     self.cost_model,
                 )
-            views = [v for v in self._views if v.name in self.database]
+            views = [v for v in self._views if self._view_available(v)]
             if freshness == "refresh":
                 for view in self.stale_views():
                     if view.name in self.database:
                         self.maintainer.materialize(view)
                         self._mark_fresh(view)
+                if self.sharding is not None:
+                    for view in self.sharding.shardable_views():
+                        if self.sharding.view_shards_available(view):
+                            for shard in self.sharding.stale_shards(view):
+                                self.maintainer.materialize(
+                                    self.sharding.shard_view(view, shard)
+                                )
+                                self.sharding.record_fresh(view, shard)
             elif freshness == "fresh":
-                views = [v for v in views if self.is_fresh(v)]
+                views = [v for v in views if self._view_is_fresh(v)]
             available = [v for v in views if self._breaker_allows(v.name)]
             degraded = len(available) < len(views)
             rewritten, used = rewrite_with_views(plan, available)
+            partitions_read: Mapping[str, Tuple[int, ...]] = {}
+            partitions_pruned = 0
+            overrides: Dict[str, Table] = {}
+            if self.sharding is not None:
+                overrides, partitions_read, partitions_pruned = (
+                    self.sharding.bind(rewritten, prune=prune)
+                )
             missing = [
-                r for r in rewritten.base_relations() if r not in self.database
+                r for r in rewritten.base_relations()
+                if r not in self.database and r not in overrides
             ]
             if missing:
                 raise WarehouseError(
                     f"load base data before executing: missing {sorted(missing)}"
                 )
-            result, io = self.engine.run(rewritten)
+            if overrides:
+                result, io = self.sharding.run(rewritten, overrides)
+            else:
+                result, io = self.engine.run(rewritten)
             by_name = {v.name: v for v in self._views}
             used_names = sorted(dict.fromkeys(v.name for v in used))
             staleness = {
-                view_name: self.staleness(by_name[view_name])
+                view_name: self._view_staleness(by_name[view_name])
                 for view_name in used_names
             }
             served = ServedResult(
@@ -635,6 +761,8 @@ class DataWarehouse:
                 views_used=tuple(used_names),
                 staleness=staleness,
                 degraded=degraded,
+                partitions_read=partitions_read,
+                partitions_pruned=partitions_pruned,
             )
             span.set(
                 measured_io=io.total,
@@ -933,6 +1061,9 @@ class DataWarehouse:
             self._base_versions[relation] = self._base_versions.get(relation, 0) + 1
             self.engine.indexes.invalidate(relation)
             self.engine.build_cache.invalidate(relation)
+            if self.sharding is not None:
+                affected = self.sharding.on_update(relation, rows)
+                span.set(shards_affected=list(affected))
             reports: List[RefreshReport] = []
             if policy == "defer":
                 self._note_update(

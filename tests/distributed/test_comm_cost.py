@@ -1,8 +1,11 @@
 """Unit tests for site-aware MVPP costing."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.distributed.comm_cost import DistributedCostCalculator
+from repro.distributed.partition import PartitionScheme
+from repro.distributed.sharding import ShardCatalog
 from repro.distributed.sites import Topology
 from repro.errors import DistributedError
 from repro.mvpp.cost import MVPPCostCalculator
@@ -100,3 +103,201 @@ class TestCosting:
         result = select_views(paper_mvpp, calculator)
         chosen = calculator.breakdown(result.materialized).total
         assert chosen <= calculator.breakdown(()).total
+
+
+class TestCentralizedAgreement:
+    """With zero transfer cost the two calculators must agree exactly.
+
+    The distributed calculator only relocates data — it inherits the
+    traversal (including the stats-presence guards) from
+    ``MVPPCostCalculator``, so free links collapse it to the
+    centralized model for *every* materialization choice.
+    """
+
+    @pytest.fixture()
+    def free_links(self, paper_mvpp):
+        topology = Topology(["wh", "s1", "s2"], default_link_cost=0.0)
+        placement = {
+            "Product": "s1",
+            "Division": "s1",
+            "Order": "s2",
+            "Customer": "s2",
+            "Part": "s1",
+        }
+        return DistributedCostCalculator(
+            paper_mvpp, topology, placement, warehouse_site="wh"
+        )
+
+    def test_empty_set_agrees(self, paper_mvpp, free_links):
+        centralized = MVPPCostCalculator(paper_mvpp)
+        assert free_links.query_processing_cost(
+            frozenset()
+        ) == centralized.query_processing_cost(frozenset())
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_agrees_for_any_materialized_set(self, data, paper_mvpp):
+        """Zero transfer ⇒ distributed == centralized, for *random*
+        materialized sets (the property form of the _access-guard fix)."""
+        topology = Topology(["wh", "s1"], default_link_cost=0.0)
+        placement = {leaf.name: "s1" for leaf in paper_mvpp.leaves}
+        distributed = DistributedCostCalculator(
+            paper_mvpp, topology, placement, warehouse_site="wh"
+        )
+        centralized = MVPPCostCalculator(paper_mvpp)
+        ids = [v.vertex_id for v in paper_mvpp.operations]
+        materialized = frozenset(
+            data.draw(st.sets(st.sampled_from(ids)))
+        )
+        assert distributed.query_processing_cost(
+            materialized
+        ) == pytest.approx(
+            centralized.query_processing_cost(materialized)
+        )
+        assert distributed.maintenance_cost(
+            materialized
+        ) == pytest.approx(centralized.maintenance_cost(materialized))
+
+    def test_agrees_for_sampled_materialized_sets(
+        self, paper_mvpp, free_links
+    ):
+        centralized = MVPPCostCalculator(paper_mvpp)
+        operations = list(paper_mvpp.operations)
+        # Every singleton plus a few mixed sets: stats-less vertices
+        # included, which is exactly where the _access guards must match.
+        candidate_sets = [frozenset()]
+        candidate_sets += [
+            frozenset({v.vertex_id}) for v in operations
+        ]
+        candidate_sets += [
+            frozenset(v.vertex_id for v in operations[::2]),
+            frozenset(v.vertex_id for v in operations[1::2]),
+            frozenset(v.vertex_id for v in operations),
+        ]
+        for materialized in candidate_sets:
+            assert free_links.query_processing_cost(
+                materialized
+            ) == pytest.approx(
+                centralized.query_processing_cost(materialized)
+            )
+            assert free_links.maintenance_cost(
+                materialized
+            ) == pytest.approx(
+                centralized.maintenance_cost(materialized)
+            )
+
+    def test_weights_agree_with_free_links(self, paper_mvpp, free_links):
+        centralized = MVPPCostCalculator(paper_mvpp)
+        for vertex in paper_mvpp.operations:
+            assert free_links.weight(vertex) == pytest.approx(
+                centralized.weight(vertex)
+            )
+
+
+class TestPartitionAwareCosting:
+    """Shard-level transfer and refresh accounting (the tentpole)."""
+
+    PLACEMENT = {
+        "Product": "s1",
+        "Division": "s1",
+        "Order": "s2",
+        "Customer": "s2",
+        "Part": "s1",
+    }
+
+    def catalog(self, shards, sites=("s1", "s2"), replication=1):
+        schemes = [
+            PartitionScheme(
+                relation="Order", key="Order.quantity", shards=shards
+            )
+        ]
+        return ShardCatalog.build(
+            schemes, sites=tuple(sites), replication=replication
+        )
+
+    def build(self, paper_mvpp, shards, link_cost=2.0):
+        topology = Topology(["wh", "s1", "s2"], default_link_cost=link_cost)
+        return DistributedCostCalculator(
+            paper_mvpp,
+            topology,
+            self.PLACEMENT,
+            warehouse_site="wh",
+            sharding=self.catalog(shards),
+        )
+
+    def test_single_partition_reproduces_whole_object(self, paper_mvpp):
+        """One shard holding the full fraction is the whole relation:
+        the partition-aware calculator must agree with the unsharded one
+        everywhere (acceptance criterion)."""
+        topology = Topology(["wh", "s1", "s2"], default_link_cost=2.0)
+        whole = DistributedCostCalculator(
+            paper_mvpp, topology, self.PLACEMENT, warehouse_site="wh"
+        )
+        sharded = self.build(paper_mvpp, shards=1)
+        ids = [v.vertex_id for v in paper_mvpp.operations]
+        for materialized in (
+            frozenset(),
+            frozenset(ids[:1]),
+            frozenset(ids[::2]),
+            frozenset(ids),
+        ):
+            assert sharded.query_processing_cost(
+                materialized
+            ) == pytest.approx(whole.query_processing_cost(materialized))
+            assert sharded.maintenance_cost(
+                materialized
+            ) == pytest.approx(whole.maintenance_cost(materialized))
+        for vertex in paper_mvpp.operations:
+            assert sharded.weight(vertex) == pytest.approx(
+                whole.weight(vertex)
+            )
+
+    def test_single_partition_zero_transfer_is_centralized(self, paper_mvpp):
+        """Single partition + free links ⇒ exactly the centralized
+        MVPPCostCalculator (acceptance criterion)."""
+        sharded = self.build(paper_mvpp, shards=1, link_cost=0.0)
+        centralized = MVPPCostCalculator(paper_mvpp)
+        ids = [v.vertex_id for v in paper_mvpp.operations]
+        for materialized in (frozenset(), frozenset(ids)):
+            assert sharded.query_processing_cost(
+                materialized
+            ) == pytest.approx(
+                centralized.query_processing_cost(materialized)
+            )
+            assert sharded.maintenance_cost(
+                materialized
+            ) == pytest.approx(
+                centralized.maintenance_cost(materialized)
+            )
+
+    def test_sharding_preserves_total_leaf_transfer(self, paper_mvpp):
+        """Unpruned access sums shard fractions back to the whole
+        relation's blocks — splitting costs nothing by itself."""
+        whole = self.build(paper_mvpp, shards=1)
+        sharded = self.build(paper_mvpp, shards=4)
+        order = paper_mvpp.vertex_by_name("Order")
+        assert sharded.leaf_transfer_cost(order) == pytest.approx(
+            whole.leaf_transfer_cost(order)
+        )
+
+    def test_pruned_access_reads_fewer_shards(self, paper_mvpp):
+        sharded = self.build(paper_mvpp, shards=4)
+        order = paper_mvpp.vertex_by_name("Order")
+        full = sharded.leaf_transfer_cost(order)
+        pruned = sharded.leaf_transfer_cost(order, surviving=(0,))
+        assert pruned == pytest.approx(full / 4)
+        assert sharded.leaf_transfer_cost(order, surviving=()) == 0.0
+
+    def test_lineage_transfer_accepts_pruned_map(self, paper_mvpp):
+        sharded = self.build(paper_mvpp, shards=4)
+        vertex = next(
+            v
+            for v in paper_mvpp.operations
+            if "Order"
+            in {leaf.name for leaf in paper_mvpp.base_relations_of(v)}
+        )
+        full = sharded.lineage_transfer_cost(vertex)
+        pruned = sharded.lineage_transfer_cost(
+            vertex, pruned={"Order": (0,)}
+        )
+        assert pruned < full

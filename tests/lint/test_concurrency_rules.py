@@ -354,8 +354,10 @@ class TestRealPackageIsClean:
         assert concurrency.diagnostics == []
         assert effects.diagnostics == []
         # The documented CostCache memo-dict contract is suppressed in
-        # place, not silently ignored.
-        assert effects.suppressed >= 3
+        # place, not silently ignored.  Exactly the two writes in
+        # MVPPCostCalculator: the distributed calculator shares the
+        # traversal through hooks instead of duplicating the cache.
+        assert effects.suppressed >= 2
 
     def test_submission_sites_resolve(self):
         from pathlib import Path

@@ -441,3 +441,82 @@ class TestBenchCommand:
     def test_bad_knobs_rejected(self, capsys):
         assert main(["bench", "--suite", "macro", "--windows", "1"]) == 1
         assert "windows" in capsys.readouterr().err
+
+
+class TestShardingSimulation:
+    def test_sharded_lifecycle_passes(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--shards", "4",
+                    "--workload", "paper",
+                    "--scale", "0.02",
+                    "--seed", "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "rows identical: True" in out
+        assert "affected shards only=True" in out
+
+    def test_json_format_reports_contracts(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--shards", "4",
+                    "--workload", "paper",
+                    "--scale", "0.02",
+                    "--format", "json",
+                ]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        assert document["rows_identical"] is True
+        assert document["pruning_wins"] is True
+        assert document["refresh"]["identical_across_workers"] is True
+        assert document["selective_queries"] >= 2
+
+    def test_bad_shard_count_rejected(self, capsys):
+        assert main(["simulate", "--shards", "-2"]) == 1
+        assert "--shards" in capsys.readouterr().err
+
+
+class TestDesignSharding:
+    def test_design_reports_partition_aware_cost(self, capsys):
+        assert (
+            main(["design", "--workload", "paper", "--shards", "8"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "8-way partitions" in out
+        assert "partition-aware=" in out
+
+    def test_json_includes_shard_catalog(self, tmp_path, capsys):
+        target = tmp_path / "design.json"
+        assert (
+            main(
+                [
+                    "design",
+                    "--workload", "paper",
+                    "--shards", "4",
+                    "--replicas", "2",
+                    "--json", str(target),
+                ]
+            )
+            == 0
+        )
+        document = json.loads(target.read_text())
+        sharding = document["sharding"]
+        assert sharding["shards"] == 4
+        assert sharding["replicas"] == 2
+        assert set(sharding["catalog"]) == {
+            s["relation"] for s in sharding["schemes"]
+        }
+        assert (
+            sharding["cost"]["partition_aware"]
+            <= sharding["cost"]["whole_object"]
+        )
