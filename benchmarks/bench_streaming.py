@@ -1,0 +1,321 @@
+"""Streaming vs batch maintenance under an equal staleness bound.
+
+Two identical warehouses replay the same ingest trajectory (inserts and
+deletes on the two hottest relations of the paper workload) and are
+held to the same staleness bound: both must be fully caught up at the
+end of every round.  The streaming warehouse catches up by draining its
+change logs (coalesced delta propagation); the batch warehouse by
+recomputing its stale views.  The suite asserts the paper-level claim
+behind deferred maintenance — at an equal bound, incremental catch-up
+costs strictly less block I/O than batch recompute — and that both
+strategies end bit-identical.
+
+The run emits a schema-versioned document (committed as
+``BENCH_streaming.json`` at the repo root) with per-phase wall/IO
+buckets compatible with :func:`repro.obs.macro.compare_bench`, plus
+staleness percentiles sampled before every catch-up.  With
+``REPRO_BENCH_SMOKE=1`` wall readings are zeroed and the document is a
+pure function of the seed, so CI regenerates it bit-compatibly and
+gates ``io_blocks`` against the committed baseline.
+
+Regenerate the baseline with::
+
+    REPRO_BENCH_SMOKE=1 python benchmarks/bench_streaming.py
+"""
+
+import json
+import math
+import os
+import time
+
+from repro.cdc import StreamingPolicy
+from repro.mvpp.config import DesignConfig
+from repro.obs.macro import BENCH_SCHEMA_VERSION, compare_bench, smoke_mode
+from repro.resilience.config import ResilienceConfig
+from repro.warehouse import DataWarehouse
+from repro.workload import paper_workload
+from repro.workload.datagen import paper_rows
+
+SMOKE = smoke_mode()
+BASELINE = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_streaming.json"
+)
+
+SCALE = 0.02
+ROUNDS = 6
+SEED = 0
+#: Catch-up happens at the end of every round in both variants, so the
+#: staleness bound is the per-round record count; the policy's record
+#: bound sits above it so backpressure never drains mid-round.
+POLICY = StreamingPolicy(max_lag_records=256, coalesce_records=16)
+
+STREAMING_PHASES = (
+    "streaming_ingest",
+    "streaming_maintenance",
+    "batch_ingest",
+    "batch_maintenance",
+)
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    return float(ordered[rank])
+
+
+def _build_warehouse(workload, rows):
+    warehouse = DataWarehouse.from_workload(workload)
+    warehouse.design(DesignConfig(seed=SEED))
+    for relation, relation_rows in sorted(rows.items()):
+        warehouse.load(relation, relation_rows)
+    warehouse.materialize()
+    warehouse.scheduler(ResilienceConfig(seed=SEED))
+    return warehouse
+
+
+def _trajectory(workload, rows):
+    """The shared ingest script: (relation, insert_rows, delete_rows)."""
+    hot = sorted(
+        rows, key=lambda name: (-workload.update_frequency(name), name)
+    )[:2]
+    deletable = {name: list(rows[name]) for name in hot}
+    script = []
+    for round_index in range(ROUNDS):
+        steps = []
+        for relation in hot:
+            pool = rows[relation]
+            width = max(1, len(pool) // 50)
+            start = (round_index * width) % len(pool)
+            inserts = [
+                dict(pool[(start + k) % len(pool)]) for k in range(width)
+            ]
+            deletes = [dict(inserts[0])]
+            if deletable[relation]:
+                deletes.append(dict(deletable[relation].pop(0)))
+            steps.append((relation, inserts, deletes))
+        script.append(steps)
+    return script
+
+
+class _Bucket:
+    """Accumulates wall/IO across the repeated phases of one variant."""
+
+    def __init__(self, database):
+        self._database = database
+        self.wall = 0.0
+        self.io = 0.0
+        self.counts = {}
+
+    def run(self, fn):
+        before = self._database.io.snapshot()
+        started = 0.0 if SMOKE else time.perf_counter()
+        result = fn()
+        if not SMOKE:
+            self.wall += time.perf_counter() - started
+        self.io += float(self._database.io.since(before).total)
+        return result
+
+    def to_dict(self):
+        bucket = {
+            "wall_ms": 0.0 if SMOKE else round(self.wall * 1000, 3),
+            "io_blocks": self.io,
+        }
+        bucket.update(self.counts)
+        return bucket
+
+
+def run_streaming_bench():
+    workload = paper_workload()
+    rows = paper_rows(scale=SCALE, seed=SEED)
+    script = _trajectory(workload, rows)
+
+    # --- streaming variant -------------------------------------------------
+    streaming_wh = _build_warehouse(workload, rows)
+    streaming = streaming_wh.enable_streaming(POLICY)
+    s_ingest = _Bucket(streaming_wh.database)
+    s_maint = _Bucket(streaming_wh.database)
+    staleness_samples = []
+    records = 0
+    for steps in script:
+        for relation, inserts, deletes in steps:
+            s_ingest.run(
+                lambda r=relation, i=inserts: streaming_wh.apply_update(
+                    r, i, policy="stream"
+                )
+            )
+            s_ingest.run(
+                lambda r=relation, d=deletes: streaming_wh.apply_delete(
+                    r, d, policy="stream"
+                )
+            )
+            records += len(inserts) + len(deletes)
+        lags = streaming.staleness()
+        staleness_samples.append(max(lags.values()) if lags else 0)
+        s_maint.run(streaming.drain)
+        staleness_samples.append(streaming.max_lag())
+    s_ingest.counts["records"] = float(records)
+    s_maint.counts["drains"] = float(streaming.drains)
+    s_maint.counts["coalesced"] = float(streaming.coalesced_total)
+
+    # --- batch variant (same trajectory, same bound) -----------------------
+    batch_wh = _build_warehouse(workload, rows)
+    b_ingest = _Bucket(batch_wh.database)
+    b_maint = _Bucket(batch_wh.database)
+    refreshes = 0
+    for steps in script:
+        for relation, inserts, deletes in steps:
+            b_ingest.run(
+                lambda r=relation, i=inserts: batch_wh.apply_update(
+                    r, i, policy="defer"
+                )
+            )
+            b_ingest.run(
+                lambda r=relation, d=deletes: batch_wh.apply_delete(
+                    r, d, policy="defer"
+                )
+            )
+        outcomes = b_maint.run(batch_wh.refresh_resilient)
+        refreshes += sum(1 for outcome in outcomes if outcome.ok)
+    b_ingest.counts["records"] = float(records)
+    b_maint.counts["refreshes"] = float(refreshes)
+
+    # Both strategies must land on identical view contents.
+    identical = True
+    for view in streaming_wh.views:
+        mine = _multiset(streaming_wh.database.table(view.name).rows())
+        theirs = _multiset(batch_wh.database.table(view.name).rows())
+        if mine != theirs:
+            identical = False
+    converged = (
+        not streaming_wh.stale_views()
+        and not batch_wh.stale_views()
+        and streaming.max_lag() == 0
+    )
+
+    maintenance_wall = s_ingest.wall + s_maint.wall
+    document = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "suite": "streaming",
+        "workload": workload.name,
+        "smoke": SMOKE,
+        "config": {
+            "scale": SCALE,
+            "rounds": ROUNDS,
+            "seed": SEED,
+            "max_lag_records": POLICY.max_lag_records,
+            "coalesce_records": POLICY.coalesce_records,
+        },
+        "phases": {
+            "streaming_ingest": s_ingest.to_dict(),
+            "streaming_maintenance": s_maint.to_dict(),
+            "batch_ingest": b_ingest.to_dict(),
+            "batch_maintenance": b_maint.to_dict(),
+        },
+        "staleness": {
+            "p50": _percentile(staleness_samples, 0.50),
+            "p95": _percentile(staleness_samples, 0.95),
+            "p99": _percentile(staleness_samples, 0.99),
+            "max": float(max(staleness_samples, default=0)),
+            "samples": len(staleness_samples),
+        },
+        "throughput": {
+            "records": float(records),
+            "updates_per_sec": (
+                0.0
+                if SMOKE or maintenance_wall <= 0
+                else round(records / maintenance_wall, 3)
+            ),
+        },
+        "io_ratio": (
+            round(s_maint.io / b_maint.io, 6) if b_maint.io else 0.0
+        ),
+        "rows_identical": identical,
+        "converged": converged,
+    }
+    return document
+
+
+def _multiset(rows):
+    return sorted(tuple(sorted(row.items())) for row in rows)
+
+
+def validate_streaming_bench(document):
+    """Schema check for a streaming-bench document (empty list = ok)."""
+    problems = []
+    if document.get("schema") != BENCH_SCHEMA_VERSION:
+        problems.append(f"schema must be {BENCH_SCHEMA_VERSION}")
+    if document.get("suite") != "streaming":
+        problems.append(f"suite must be 'streaming': {document.get('suite')!r}")
+    phases = document.get("phases", {})
+    for name in STREAMING_PHASES:
+        bucket = phases.get(name)
+        if not isinstance(bucket, dict):
+            problems.append(f"missing phase {name!r}")
+            continue
+        for key in ("wall_ms", "io_blocks"):
+            if key not in bucket:
+                problems.append(f"phase {name!r} missing {key!r}")
+    staleness = document.get("staleness", {})
+    for key in ("p50", "p95", "p99", "max", "samples"):
+        if key not in staleness:
+            problems.append(f"staleness missing {key!r}")
+    return problems
+
+
+def test_streaming_suite(benchmark):
+    document = benchmark.pedantic(run_streaming_bench, rounds=1, iterations=1)
+
+    assert validate_streaming_bench(document) == []
+    assert compare_bench(document, document) == []
+    assert document["rows_identical"], (
+        "streaming maintenance diverged from batch recompute"
+    )
+    assert document["converged"]
+    phases = document["phases"]
+    # The headline claim: incremental catch-up beats batch recompute on
+    # block I/O at the same staleness bound.
+    assert (
+        phases["streaming_maintenance"]["io_blocks"]
+        < phases["batch_maintenance"]["io_blocks"]
+    ), "streaming maintenance I/O is not below batch refresh"
+    assert document["staleness"]["max"] <= POLICY.max_lag_records
+
+    if SMOKE and os.path.exists(BASELINE):
+        with open(BASELINE) as handle:
+            baseline = json.load(handle)
+        assert compare_bench(baseline, document) == [], (
+            "streaming suite regressed against BENCH_streaming.json"
+        )
+        assert json.dumps(baseline, sort_keys=True) == json.dumps(
+            document, sort_keys=True
+        ), "smoke-mode document is no longer bit-compatible with baseline"
+
+    benchmark.extra_info["phases"] = phases
+    benchmark.extra_info["staleness"] = document["staleness"]
+
+    print()
+    print(f"{'phase':<22} {'wall_ms':>10} {'io_blocks':>10}")
+    for name in STREAMING_PHASES:
+        bucket = phases[name]
+        print(
+            f"{name:<22} {bucket['wall_ms']:>10.3f} "
+            f"{bucket['io_blocks']:>10.0f}"
+        )
+    print(
+        f"staleness p50/p95/p99: {document['staleness']['p50']:g}/"
+        f"{document['staleness']['p95']:g}/{document['staleness']['p99']:g} "
+        f"(io ratio {document['io_ratio']:g})"
+    )
+
+
+if __name__ == "__main__":
+    result = run_streaming_bench()
+    problems = validate_streaming_bench(result)
+    if problems:
+        raise SystemExit("; ".join(problems))
+    with open(BASELINE, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.abspath(BASELINE)}")

@@ -1,0 +1,85 @@
+"""Streaming-maintenance policy knobs.
+
+A :class:`StreamingPolicy` travels on
+:attr:`repro.mvpp.config.DesignConfig.streaming` and controls the
+:class:`~repro.cdc.streaming.StreamingMaintainer`'s queue-based load
+leveling: how many pending change records a view may lag behind
+(``max_lag_records``), how stale in logical ticks it may get
+(``max_lag_ticks``), how many log records one delta evaluation coalesces
+(``coalesce_records``), and how much history each relation's change-log
+ring retains (``retention``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Dict
+
+from repro.errors import StreamingError
+
+__all__ = ["StreamingPolicy", "DEFAULT_STREAMING_POLICY"]
+
+
+@dataclass(frozen=True)
+class StreamingPolicy:
+    """Bounded-staleness and load-leveling knobs for CDC maintenance.
+
+    ``max_lag_records``
+        Backpressure bound: when any maintained view's LSN lag exceeds
+        this many pending records, ingest triggers a drain before
+        returning (queue-based load leveling).
+    ``max_lag_ticks``
+        The same bound in logical-clock ticks: a view whose oldest
+        unabsorbed record is older than this forces a drain.  ``inf``
+        disables the tick bound.
+    ``coalesce_records``
+        Batch coalescing: up to this many consecutive same-relation log
+        records merge into one delta evaluation (insert/delete pairs for
+        identical rows cancel exactly).
+    ``retention``
+        Ring capacity per relation's change log.  A retention smaller
+        than ``max_lag_records`` cannot honour the lag bound — records a
+        lagging view still needs may be evicted first (lint rule S001).
+    """
+
+    max_lag_records: int = 256
+    max_lag_ticks: float = 512.0
+    coalesce_records: int = 64
+    retention: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_lag_records < 0:
+            raise StreamingError(
+                f"max_lag_records must be >= 0: {self.max_lag_records}"
+            )
+        if not (self.max_lag_ticks > 0):  # rejects NaN too
+            raise StreamingError(
+                f"max_lag_ticks must be > 0: {self.max_lag_ticks}"
+            )
+        if self.coalesce_records < 1:
+            raise StreamingError(
+                f"coalesce_records must be >= 1: {self.coalesce_records}"
+            )
+        if self.retention < 1:
+            raise StreamingError(f"retention must be >= 1: {self.retention}")
+
+    @property
+    def covers_lag_bound(self) -> bool:
+        """Whether the ring can retain a full lag window (S001 check)."""
+        return self.retention >= self.max_lag_records
+
+    def replace(self, **changes: Any) -> "StreamingPolicy":
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        ticks = self.max_lag_ticks
+        return {
+            "max_lag_records": self.max_lag_records,
+            "max_lag_ticks": None if math.isinf(ticks) else ticks,
+            "coalesce_records": self.coalesce_records,
+            "retention": self.retention,
+        }
+
+
+DEFAULT_STREAMING_POLICY = StreamingPolicy()

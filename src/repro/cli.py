@@ -31,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro import __version__, obs
@@ -320,6 +321,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--windows-per-phase", type=int, default=4,
         help="with --drift: observation windows per workload phase "
              "(default 4; the replay runs three phases)",
+    )
+
+    stream_parser = commands.add_parser(
+        "stream",
+        help="CDC streaming maintenance: ingest, coalesce, drain, verify",
+    )
+    _add_workload_arguments(stream_parser)
+    stream_parser.add_argument(
+        "--faults", action="store_true",
+        help="inject seeded storage faults during delta propagation",
+    )
+    stream_parser.add_argument(
+        "--failure-rate", type=float, default=0.3,
+        help="injected failure rate when --faults is on (default 0.3)",
+    )
+    stream_parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="ingest/serve/drain rounds to simulate (default 3)",
+    )
+    stream_parser.add_argument(
+        "--scale", type=float, default=0.02,
+        help="fraction of the statistics' cardinalities to load (default 0.02)",
+    )
+    stream_parser.add_argument(
+        "--max-lag", type=int, default=None, metavar="N",
+        help="StreamingPolicy.max_lag_records backpressure bound",
+    )
+    stream_parser.add_argument(
+        "--coalesce", type=int, default=None, metavar="N",
+        help="StreamingPolicy.coalesce_records batch size",
+    )
+    stream_parser.add_argument(
+        "--retention", type=int, default=None, metavar="N",
+        help="change-log ring capacity per relation",
+    )
+    stream_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
     )
 
     adapt_parser = commands.add_parser(
@@ -653,6 +692,22 @@ def _run_instrumented_lifecycle(args: argparse.Namespace, scale: float):
     delta = rows[target][: max(1, len(rows[target]) // 100)]
     warehouse.apply_update(target, delta, policy="defer")
     warehouse.refresh_resilient()
+    # Streaming segment: CDC capture, stream ingest, drain.  Retention
+    # is sized below the appended record count so the journal also
+    # carries the cdc.dropped / degradation story.
+    from repro.cdc import StreamingPolicy
+
+    streaming = warehouse.enable_streaming(
+        StreamingPolicy(
+            retention=max(1, len(delta) // 2), coalesce_records=8
+        )
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # retention drop is intentional
+        warehouse.apply_update(target, delta, policy="stream")
+        warehouse.apply_delete(target, [delta[0]], policy="stream")
+        streaming.drain()
+    warehouse.refresh_resilient()
     warehouse.adapt()
     return workload, warehouse
 
@@ -885,6 +940,65 @@ def command_simulate(args: argparse.Namespace) -> int:
           f"({queries['consistency_violations']} consistency violations)")
     print(f"  converged: {result.converged} "
           f"(epochs {result.final_epochs}, {result.final_ticks:.1f} ticks)")
+    return 0 if result.ok else 1
+
+
+def command_stream(args: argparse.Namespace) -> int:
+    from repro.cdc import DEFAULT_STREAMING_POLICY
+    from repro.cdc.simulate import simulate_streaming
+
+    if args.rounds < 1:
+        raise ReproError(f"--rounds must be >= 1: {args.rounds}")
+    if args.scale <= 0:
+        raise ReproError(f"--scale must be positive: {args.scale}")
+    failure_rate = args.failure_rate if args.faults else 0.0
+    if not 0.0 <= failure_rate <= 1.0:
+        raise ReproError(f"--failure-rate must be in [0, 1]: {failure_rate}")
+    overrides = {}
+    if args.max_lag is not None:
+        overrides["max_lag_records"] = args.max_lag
+    if args.coalesce is not None:
+        overrides["coalesce_records"] = args.coalesce
+    if args.retention is not None:
+        overrides["retention"] = args.retention
+    policy = DEFAULT_STREAMING_POLICY
+    if overrides:
+        policy = policy.replace(**overrides)
+    workload, rows = resolve_workload_rows(args, args.scale)
+    result = simulate_streaming(
+        failure_rate=failure_rate,
+        seed=args.seed,
+        rounds=args.rounds,
+        policy=policy,
+        workload=workload,
+        rows=rows,
+    )
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.ok else 1
+    document = result.to_dict()
+    print(f"streamed {result.rounds} rounds on {result.workload} "
+          f"(failure rate {failure_rate:g}, seed {result.seed}):")
+    changes = document["changes"]
+    print(f"  changes: {changes['appended']} appended "
+          f"({changes['inserts']} inserts / {changes['deletes']} deletes), "
+          f"{changes['dropped']} dropped")
+    drains = document["drains"]
+    print(f"  drains: {drains['total']} total "
+          f"({drains['backpressure']} from backpressure), "
+          f"{drains['coalesced']} records coalesced away")
+    print(f"  views: {drains['views_updated']} delta-updated / "
+          f"{drains['views_recomputed']} degraded to batch / "
+          f"{drains['views_failed']} failed")
+    print(f"  staleness: max {result.staleness_max} records "
+          f"(samples {result.staleness_samples})")
+    if result.faults_injected:
+        print(f"  faults injected: "
+              f"{result.faults_injected.get('storage_faults', 0):g} storage")
+    print(f"  consistency: {result.consistency_violations} violations, "
+          f"{result.partial_writes} partial writes")
+    print(f"  converged: {result.converged} "
+          f"({result.final_ticks:.1f} ticks, digest {result.digest})")
     return 0 if result.ok else 1
 
 
@@ -1233,6 +1347,7 @@ COMMANDS = {
     "dot": command_dot,
     "refresh": command_refresh,
     "simulate": command_simulate,
+    "stream": command_stream,
     "adapt": command_adapt,
     "lint": command_lint,
     "calibrate": command_calibrate,

@@ -94,6 +94,41 @@ class WarehouseError(ReproError):
     """Data warehouse facade misuse (unknown query, missing data, ...)."""
 
 
+class DeltaSchemaError(WarehouseError):
+    """Delta rows do not match the base relation's schema.
+
+    Raised by the maintenance/update path *before* any row reaches the
+    overlay executor, naming exactly which columns are unknown and which
+    required attributes are missing, so callers see the bad input —
+    not a failure deep inside a delta evaluation.
+    """
+
+    def __init__(
+        self,
+        relation: str,
+        unknown: "tuple[str, ...]" = (),
+        missing: "tuple[str, ...]" = (),
+        row_index: int = 0,
+    ):
+        parts = []
+        if unknown:
+            parts.append(f"unknown column(s) {sorted(unknown)}")
+        if missing:
+            parts.append(f"missing attribute(s) {sorted(missing)}")
+        detail = " and ".join(parts) or "schema mismatch"
+        super().__init__(
+            f"delta row {row_index} for relation {relation!r} has {detail}"
+        )
+        self.relation = relation
+        self.unknown = tuple(sorted(unknown))
+        self.missing = tuple(sorted(missing))
+        self.row_index = row_index
+
+
+class StreamingError(ReproError):
+    """CDC/streaming-maintenance misuse (bad policy, no capture, ...)."""
+
+
 class LintError(ReproError):
     """Static analysis failed, or a lint gate found error-severity findings."""
 

@@ -78,12 +78,19 @@ class Database:
         self._tables: Dict[str, Table] = {}
         self._versions: Dict[str, int] = {}
         self.fault_injector = None
+        #: Optional :class:`repro.cdc.changelog.ChangeLogSet` capturing
+        #: writes on registered base relations; :meth:`register` notifies
+        #: it so hooks survive table replacement (a reload registers a
+        #: brand-new Table object).
+        self.change_capture = None
 
     def register(self, name: str, table: Table) -> Table:
         """Register ``table`` under ``name``, adopting the shared counter."""
         table.io = self.io
         self._tables[name] = table
         self._versions[name] = self._versions.get(name, 0) + 1
+        if self.change_capture is not None:
+            self.change_capture.on_register(name, table)
         return table
 
     def table(self, name: str) -> Table:

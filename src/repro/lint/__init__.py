@@ -62,6 +62,7 @@ from repro.lint.semantic import (
     lint_adaptive_policy,
     lint_design,
     lint_mvpp,
+    lint_streaming_policy,
     lint_workload,
 )
 from repro.lint.plans import verify_lowering, verify_plan
@@ -104,6 +105,7 @@ __all__ = [
     "lint_self",
     "lint_self_incremental",
     "lint_source",
+    "lint_streaming_policy",
     "lint_workload",
     "load_baseline",
     "register_rule",

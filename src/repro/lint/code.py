@@ -92,9 +92,9 @@ OBS_NAME_METHODS = {
 
 #: Subsystem prefixes an obs metric/event name may start with.
 OBS_NAME_PREFIXES = {
-    "adaptive", "bench", "calibration", "cost_cache", "distributed",
-    "execution", "executor", "generation", "journal", "lint",
-    "maintenance", "obs", "parallel", "resilience", "selection",
+    "adaptive", "bench", "calibration", "cdc", "cost_cache",
+    "distributed", "execution", "executor", "generation", "journal",
+    "lint", "maintenance", "obs", "parallel", "resilience", "selection",
     "storage", "warehouse",
 }
 

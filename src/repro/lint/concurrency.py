@@ -77,6 +77,7 @@ CACHE_SITE_SUFFIXES = (
     "repro/warehouse/warehouse.py", # sync_statistics / load / update sites
     "repro/resilience/scheduler.py",  # refresh commit invalidation
     "repro/mvpp/generation.py",     # design-run cache ownership
+    "repro/cdc/streaming.py",       # streaming delta commit invalidation
 )
 
 #: Raw concurrency primitives X106 bans outside repro.parallel/repro.obs.

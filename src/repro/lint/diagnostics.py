@@ -119,7 +119,7 @@ class Diagnostic:
 #: :class:`repro.lint.plans.PlanContext`; ``concurrency`` and ``effect``
 #: rules receive a :class:`repro.lint.concurrency.PackageContext`.
 SCOPES = (
-    "workload", "mvpp", "design", "adaptive", "code",
+    "workload", "mvpp", "design", "adaptive", "streaming", "code",
     "plan", "concurrency", "effect",
 )
 

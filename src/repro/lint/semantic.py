@@ -73,6 +73,7 @@ class SemanticContext:
     materialized: Optional[Sequence[Vertex]] = None
     calculator: Optional[MVPPCostCalculator] = None
     policy: Optional[Any] = None  # AdaptivePolicy (lazy import)
+    streaming: Optional[Any] = None  # StreamingPolicy (lazy import)
 
     def location(self, vertex: Optional[Vertex] = None) -> Location:
         return Location(
@@ -526,6 +527,74 @@ def check_benefit_margin(ctx: SemanticContext) -> Iterator[Diagnostic]:
 
 
 # ---------------------------------------------------------------------------
+# streaming-policy rules
+# ---------------------------------------------------------------------------
+@register_rule(
+    "S001",
+    scope="streaming",
+    severity=Severity.WARNING,
+    summary="staleness bound not covered by change-log retention",
+    paper="beyond the paper: docs/streaming.md (bounded staleness)",
+)
+def check_lag_vs_retention(ctx: SemanticContext) -> Iterator[Diagnostic]:
+    rule = get_rule("S001")
+    assert ctx.streaming is not None
+    policy = ctx.streaming
+    if not policy.covers_lag_bound:
+        yield rule.diagnostic(
+            f"max_lag_records={policy.max_lag_records} exceeds the "
+            f"change-log retention ({policy.retention} records per "
+            f"relation); a view can drift past the ring's history while "
+            f"still inside its staleness bound, forcing a batch recompute "
+            f"exactly when the bound promised an incremental catch-up",
+            hint="raise retention to at least max_lag_records, or tighten "
+            "the lag bound",
+        )
+
+
+@register_rule(
+    "S002",
+    scope="streaming",
+    severity=Severity.WARNING,
+    summary="streaming view with no incrementally maintainable edge",
+    paper="beyond the paper: docs/streaming.md (delta propagation rules)",
+)
+def check_streamable_edges(ctx: SemanticContext) -> Iterator[Diagnostic]:
+    rule = get_rule("S002")
+    assert ctx.streaming is not None
+    if not ctx.materialized:
+        return
+    from repro.cdc.propagation import MODE_DELTA, PropagationGraph
+    from repro.warehouse.view import MaterializedView
+
+    views = [
+        MaterializedView(name=vertex.name, plan=vertex.operator)
+        for vertex in ctx.materialized
+    ]
+    graph = PropagationGraph(views)
+    for view in views:
+        edges = [
+            graph.rule(view.name, relation)
+            for relation in sorted(view.base_relations)
+        ]
+        if edges and all(
+            edge is not None and edge.mode != MODE_DELTA for edge in edges
+        ):
+            reasons = sorted(
+                {edge.reason for edge in edges if edge.reason}, key=str
+            )
+            yield rule.diagnostic(
+                f"view {view.name!r} falls back to a full recompute for "
+                f"every base-relation delta "
+                f"({', '.join(reasons) or 'no delta rule applies'}); "
+                f"streaming maintenance degrades it to batch refresh on "
+                f"each drain",
+                hint="materialize a delta-friendly ancestor instead, or "
+                "exclude the view from the streaming tier",
+            )
+
+
+# ---------------------------------------------------------------------------
 # entry points
 # ---------------------------------------------------------------------------
 def _run_rules(
@@ -557,11 +626,14 @@ def lint_design(
     calculator: Optional[MVPPCostCalculator] = None,
     workload: Optional[Workload] = None,
     policy: Optional[Any] = None,
+    streaming: Optional[Any] = None,
 ) -> LintReport:
     """Run the MVPP- and design-scope rules over a finished design.
 
     With ``policy`` (an :class:`~repro.adaptive.policy.AdaptivePolicy`,
-    e.g. ``DesignConfig.adaptive``), the adaptive-scope rules run too.
+    e.g. ``DesignConfig.adaptive``), the adaptive-scope rules run too;
+    with ``streaming`` (a :class:`~repro.cdc.policy.StreamingPolicy`,
+    e.g. ``DesignConfig.streaming``), the streaming-scope rules do.
     """
     ctx = SemanticContext(
         workload=workload,
@@ -569,10 +641,13 @@ def lint_design(
         materialized=list(materialized),
         calculator=calculator,
         policy=policy,
+        streaming=streaming,
     )
-    scopes = ("mvpp", "design") if policy is None else (
-        "mvpp", "design", "adaptive"
-    )
+    scopes: List[str] = ["mvpp", "design"]
+    if policy is not None:
+        scopes.append("adaptive")
+    if streaming is not None:
+        scopes.append("streaming")
     return _run_rules(scopes, ctx, target=f"design on MVPP {mvpp.name!r}")
 
 
@@ -584,3 +659,18 @@ def lint_adaptive_policy(policy: Any) -> LintReport:
         raise LintError(f"not an AdaptivePolicy: {policy!r}")
     ctx = SemanticContext(policy=policy)
     return _run_rules(("adaptive",), ctx, target="adaptive policy")
+
+
+def lint_streaming_policy(policy: Any) -> LintReport:
+    """Run the streaming-scope rules over one StreamingPolicy.
+
+    Without a design in hand only the policy-shape rules (S001) can
+    fire; run :func:`lint_design` with ``streaming=`` to also check the
+    chosen views' delta edges (S002).
+    """
+    from repro.cdc.policy import StreamingPolicy
+
+    if not isinstance(policy, StreamingPolicy):
+        raise LintError(f"not a StreamingPolicy: {policy!r}")
+    ctx = SemanticContext(streaming=policy)
+    return _run_rules(("streaming",), ctx, target="streaming policy")

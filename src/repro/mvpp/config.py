@@ -63,6 +63,12 @@ class DesignConfig:
     by :meth:`DataWarehouse.controller
     <repro.warehouse.warehouse.DataWarehouse.controller>`: drift
     detection windows, hysteresis, and the cost-gated migration rule.
+
+    ``streaming`` (a :class:`~repro.cdc.policy.StreamingPolicy`, or
+    ``None``) is the default bounded-staleness / load-leveling policy
+    :meth:`DataWarehouse.enable_streaming
+    <repro.warehouse.warehouse.DataWarehouse.enable_streaming>` applies
+    for CDC-driven streaming maintenance.
     """
 
     strategy: str = "heuristic"
@@ -78,6 +84,7 @@ class DesignConfig:
     resilience: Optional[ResilienceConfig] = None
     adaptive: Optional[Any] = None
     engine: Optional[str] = None
+    streaming: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.resilience is not None and not isinstance(
@@ -86,6 +93,14 @@ class DesignConfig:
             raise MVPPError(
                 f"resilience must be a ResilienceConfig: {self.resilience!r}"
             )
+        if self.streaming is not None:
+            # Imported lazily: repro.cdc depends on this module's users.
+            from repro.cdc.policy import StreamingPolicy
+
+            if not isinstance(self.streaming, StreamingPolicy):
+                raise MVPPError(
+                    f"streaming must be a StreamingPolicy: {self.streaming!r}"
+                )
         if self.adaptive is not None:
             # Imported lazily: repro.adaptive depends on this module.
             from repro.adaptive.policy import AdaptivePolicy

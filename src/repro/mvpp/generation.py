@@ -492,6 +492,7 @@ def design(
                 calculator=best.calculator,
                 workload=workload,
                 policy=config.adaptive,
+                streaming=config.streaming,
             )
             best.lint_report = report
             report.publish()

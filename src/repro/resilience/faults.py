@@ -232,6 +232,9 @@ class FaultyTable(Table):
         self.io = inner.io
         self._rows = inner._rows  # shared: the proxy IS the stored table
         self._colcache = inner.column_view()  # shared columnar cache
+        # Change capture rides through the proxy: a write that survives
+        # injection must emit exactly the records a direct write would.
+        self.write_hook = inner.write_hook
         self._name = name
         self._injector = injector
 
@@ -252,6 +255,12 @@ class FaultyTable(Table):
     ) -> int:
         self._injector.maybe_fail_storage(self._name, "write")
         return super().insert_many(rows, count_io)
+
+    def delete_many(
+        self, rows: Iterable[Mapping[str, Any]], count_io: bool = True
+    ) -> list:
+        self._injector.maybe_fail_storage(self._name, "delete")
+        return super().delete_many(rows, count_io)
 
 
 class FaultyTopology:

@@ -468,6 +468,34 @@ class RefreshScheduler:
             self.clock.advance(self.config.breaker.reset_ticks)
         return outcomes
 
+    # ------------------------------------------------------------- streaming
+    def note_io(self, blocks: float) -> float:
+        """Advance the logical clock for I/O performed outside a refresh.
+
+        The CDC drain loop evaluates deltas itself (no
+        :meth:`refresh_view` call) but must still move shared time — the
+        breakers' reset windows and the bounded-staleness tick clock all
+        read this clock.  Injected delay ticks accumulated meanwhile are
+        drained as well.  Returns the new time.
+        """
+        self.clock.advance(float(blocks))
+        self._drain_delays()
+        return self.clock.now
+
+    def degrade(self, view: "MaterializedView", reason: str) -> RefreshOutcome:
+        """Fall back from streaming to a batch refresh of ``view``.
+
+        Called by the :class:`~repro.cdc.streaming.StreamingMaintainer`
+        when a view cannot absorb a delta (propagation fault, retention
+        gap, recompute-only edge).  Records the failure against the
+        view's circuit breaker only when the cause was a fault — a
+        planned recompute is not an error — then runs the normal
+        retry/backoff refresh path.
+        """
+        self._counter("cdc.degraded", view=view.name, reason=reason)
+        self._journal("cdc.degrade", view=view.name, reason=reason)
+        return self.refresh_view(view)
+
     # --------------------------------------------------------------- metrics
     def _drain_delays(self) -> None:
         if self.injector is not None:

@@ -22,6 +22,13 @@ DEFAULT_BLOCKING_FACTOR = 10
 class Table:
     """A heap table: a schema, rows, and a blocking factor."""
 
+    #: Optional change-capture callback ``hook(op, rows)`` with ``op`` in
+    #: ``("insert", "delete")`` and ``rows`` the normalized rows written
+    #: or removed.  Fired *after* a successful mutation (a fault-aborted
+    #: write emits nothing), so a change log never records a write that
+    #: did not happen.  Class-level default keeps proxies cheap.
+    write_hook = None
+
     def __init__(
         self,
         schema: RelationSchema,
@@ -57,6 +64,8 @@ class Table:
             self._colcache.invalidate()
         if count_io:
             self.io.write_blocks(1)
+        if self.write_hook is not None:
+            self.write_hook("insert", [normalized])
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]], count_io: bool = True) -> int:
         """Bulk insert; charges one write per *block* appended."""
@@ -68,7 +77,49 @@ class Table:
             self._colcache.invalidate()
         if count_io and added:
             self.io.write_blocks(block_count(added, self.blocking_factor))
+        if added and self.write_hook is not None:
+            self.write_hook("insert", self._rows[before:])
         return added
+
+    def delete_many(
+        self, rows: Iterable[Mapping[str, Any]], count_io: bool = True
+    ) -> List[Dict[str, Any]]:
+        """Remove one stored occurrence per given row (bag semantics).
+
+        Rows are matched after normalization (short or qualified column
+        names accepted), so the caller can pass exactly what it inserted.
+        Returns the rows actually removed — a row with no stored match is
+        skipped, not an error.  Charges one read per block scanned plus
+        one write per block of removed rows.
+        """
+        wanted: Dict[tuple, int] = {}
+        for row in rows:
+            key = tuple(sorted(self._normalize(row).items()))
+            wanted[key] = wanted.get(key, 0) + 1
+        if not wanted:
+            return []
+        if count_io:
+            self.io.read_blocks(self.num_blocks)
+        kept: List[Dict[str, Any]] = []
+        removed: List[Dict[str, Any]] = []
+        for stored in self._rows:
+            key = tuple(sorted(stored.items()))
+            if wanted.get(key, 0) > 0:
+                wanted[key] -= 1
+                removed.append(stored)
+            else:
+                kept.append(stored)
+        if removed:
+            self._rows[:] = kept
+            if self._colcache is not None:
+                self._colcache.invalidate()
+            if count_io:
+                self.io.write_blocks(
+                    block_count(len(removed), self.blocking_factor)
+                )
+            if self.write_hook is not None:
+                self.write_hook("delete", removed)
+        return removed
 
     def _normalize(self, row: Mapping[str, Any]) -> Dict[str, Any]:
         out: Dict[str, Any] = {}

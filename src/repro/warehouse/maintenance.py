@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro import obs
 from repro.algebra.operators import Aggregate, Operator, Project, Relation
-from repro.errors import WarehouseError
+from repro.errors import DeltaSchemaError, WarehouseError
 from repro.executor.engine import Database, ExecutionEngine
 from repro.executor.physical import charge_materialize
 from repro.storage.block import IOSnapshot
@@ -25,6 +25,38 @@ from repro.warehouse.view import MaterializedView
 
 RECOMPUTE = "recompute"
 INCREMENTAL = "incremental"
+
+
+def validate_delta_rows(
+    schema, rows: Iterable[Mapping[str, object]], relation: str
+) -> List[Mapping[str, object]]:
+    """Check delta rows against the base relation's schema up front.
+
+    Every attribute must be present (by qualified or short name) and no
+    extra columns are allowed — a misspelt column would otherwise either
+    vanish silently during normalization or blow up deep inside the
+    overlay executor.  Raises :class:`~repro.errors.DeltaSchemaError`
+    naming the offending row and columns; returns the rows as a list so
+    one-shot iterables survive validation.
+    """
+    names = {attribute.name for attribute in schema}
+    shorts = {attribute.short_name for attribute in schema}
+    out: List[Mapping[str, object]] = []
+    for index, row in enumerate(rows):
+        unknown = [
+            key for key in row if key not in names and key not in shorts
+        ]
+        missing = [
+            attribute.name
+            for attribute in schema
+            if attribute.name not in row and attribute.short_name not in row
+        ]
+        if unknown or missing:
+            raise DeltaSchemaError(
+                relation, tuple(unknown), tuple(missing), index
+            )
+        out.append(row)
+    return out
 
 
 def _record_refresh(
@@ -190,7 +222,7 @@ class ViewMaintainer:
     ) -> Table:
         base = self.database.table(relation)
         delta = Table(base.schema, base.blocking_factor, io=self.database.io)
-        for row in delta_rows:
+        for row in validate_delta_rows(base.schema, delta_rows, relation):
             delta.insert(row)
         return delta
 

@@ -158,6 +158,10 @@ class DataWarehouse:
         self._controller = None
         # Horizontal sharding: a ShardManager once enable_sharding() ran.
         self.sharding = None
+        # Streaming: a StreamingMaintainer once enable_streaming() ran;
+        # the policy remembered from the design's config block.
+        self.streaming = None
+        self._streaming_policy = None
 
     # --------------------------------------------------------------- queries
     def add_query(self, name: str, sql: str, frequency: float) -> QuerySpec:
@@ -238,6 +242,9 @@ class DataWarehouse:
             # Remember as the default policy for scheduler() / serve().
             self._resilience_config = config.resilience
             self._scheduler = None
+        if config.streaming is not None:
+            # Remembered as the default policy for enable_streaming().
+            self._streaming_policy = config.streaming
         if config.engine is not None:
             self.engine.engine = config.engine
         # Plan verification follows the design-time lint gate: a linted
@@ -252,6 +259,9 @@ class DataWarehouse:
         )
         self._design = result
         self._views = [self._view_from_vertex(vertex) for vertex in result.materialized]
+        if self.streaming is not None:
+            # The propagation graph is compiled per installed design.
+            self.streaming.recompile()
         # A fresh design invalidates freshness records: views must be
         # (re)materialized before they count as fresh.  redesign()
         # restores the records of views it keeps.
@@ -418,6 +428,9 @@ class DataWarehouse:
             self._committed_cards[view.name] = self.database.table(
                 view.name
             ).cardinality
+        if self.streaming is not None:
+            # A committed recompute reflects the head of the change logs.
+            self.streaming.note_refresh(view.name)
 
     def _view_available(self, view: MaterializedView) -> bool:
         """Whether serving can read this view — as a whole stored table
@@ -438,6 +451,10 @@ class DataWarehouse:
         return False
 
     def _view_staleness(self, view: MaterializedView) -> int:
+        if self.streaming is not None:
+            # Streaming warehouses answer staleness in LSN lag: change
+            # records the view has not absorbed (see docs/streaming.md).
+            return self.streaming.lag_records(view.name)
         if view.name in self._view_versions:
             return self.staleness(view)
         if self.sharding is not None and (
@@ -524,6 +541,47 @@ class DataWarehouse:
     def refresh_resilient(self) -> List["RefreshOutcome"]:
         """One scheduler pass over every view (retry/backoff/breaker)."""
         return self.scheduler().refresh_all()
+
+    # -------------------------------------------------------------- streaming
+    def enable_streaming(self, policy=None) -> "StreamingMaintainer":
+        """Turn on CDC-driven streaming maintenance for this warehouse.
+
+        Installs change capture on every base relation the current views
+        depend on and compiles the delta propagation graph (recompiled
+        automatically on ``design()`` / ``install_design()``).  ``policy``
+        is a :class:`repro.cdc.StreamingPolicy`; when omitted, the
+        design's ``DesignConfig.streaming`` block applies, else the
+        defaults.  Returns the
+        :class:`~repro.cdc.streaming.StreamingMaintainer`; calling again
+        with a policy rebuilds it (watermarks reset — views resync at
+        their next refresh or drain).
+        """
+        from repro.cdc import DEFAULT_STREAMING_POLICY, StreamingPolicy
+        from repro.cdc.streaming import StreamingMaintainer
+
+        if policy is None and self.streaming is not None:
+            return self.streaming
+        resolved = policy or self._streaming_policy or DEFAULT_STREAMING_POLICY
+        if not isinstance(resolved, StreamingPolicy):
+            raise WarehouseError(f"not a StreamingPolicy: {resolved!r}")
+        if self.streaming is not None:
+            self.streaming.changes.detach()
+        self.streaming = StreamingMaintainer(self, resolved)
+        return self.streaming
+
+    def disable_streaming(self) -> None:
+        """Remove change capture and drop the streaming maintainer."""
+        if self.streaming is not None:
+            self.streaming.changes.detach()
+            self.streaming = None
+
+    def drain_changes(self) -> "DrainReport":
+        """Force a catch-up drain of every pending change record."""
+        if self.streaming is None:
+            raise WarehouseError(
+                "streaming is not enabled; call enable_streaming() first"
+            )
+        return self.streaming.drain()
 
     # --------------------------------------------------------------- adaptive
     def controller(self, policy=None, config=None) -> "AdaptiveController":
@@ -674,7 +732,11 @@ class DataWarehouse:
         return result, io
 
     def serve(
-        self, name: str, freshness: str = "any", prune: bool = True
+        self,
+        name: str,
+        freshness: str = "any",
+        prune: bool = True,
+        max_staleness: Optional[int] = None,
     ) -> ServedResult:
         """Answer a query with explicit freshness provenance.
 
@@ -693,12 +755,29 @@ class DataWarehouse:
         On a sharded warehouse (:meth:`enable_sharding`), equality and
         range predicates on a partition key route the plan to only the
         relevant shards; ``prune=False`` forces the unpruned baseline.
+
+        With streaming enabled (:meth:`enable_streaming`), ``staleness``
+        values are LSN lags — pending change records each view has not
+        absorbed — and ``max_staleness`` bounds them: when any
+        materialized view lags more than that many records, a catch-up
+        drain runs before the query executes.
         """
         spec = next((q for q in self._queries if q.name == name), None)
         if spec is None:
             raise WarehouseError(f"unknown query {name!r}")
         if freshness not in ("any", "fresh", "refresh"):
             raise WarehouseError(f"unknown freshness policy {freshness!r}")
+        if max_staleness is not None:
+            if self.streaming is None:
+                raise WarehouseError(
+                    "max_staleness requires enable_streaming() first"
+                )
+            if max_staleness < 0:
+                raise WarehouseError(
+                    f"max_staleness must be >= 0: {max_staleness}"
+                )
+            if self.streaming.max_lag() > max_staleness:
+                self.streaming.drain()
         with obs.span(
             "execution.serve", query=name, freshness=freshness
         ) as span:
@@ -944,6 +1023,10 @@ class DataWarehouse:
                     vertex.stats.cardinality,
                     vertex.stats.blocks,
                 )
+        if self.streaming is not None:
+            # New view set, new propagation graph (and change capture
+            # for any base relations the new views introduce).
+            self.streaming.recompile()
         return migration
 
     def explain(
@@ -1046,16 +1129,30 @@ class DataWarehouse:
         With ``policy="defer"`` no view is touched: affected views become
         stale (see :meth:`stale_views`) until the next refresh or a
         ``freshness="refresh"`` query.
+
+        With ``policy="stream"`` (requires :meth:`enable_streaming`) the
+        rows are captured in the relation's change log and views are
+        maintained by the streaming drain loop — immediately only if the
+        backpressure bound trips, otherwise at the next
+        :meth:`drain_changes` / bounded-staleness serve.
         """
+        from repro.warehouse.maintenance import validate_delta_rows
+
         if relation not in self.database:
             raise WarehouseError(f"relation {relation!r} has no loaded data")
-        if policy not in (RECOMPUTE, INCREMENTAL, "defer"):
+        if policy not in (RECOMPUTE, INCREMENTAL, "defer", "stream"):
             raise WarehouseError(f"unknown maintenance policy {policy!r}")
+        if policy == "stream" and self.streaming is None:
+            raise WarehouseError(
+                "policy='stream' requires enable_streaming() first"
+            )
         with obs.span(
             "maintenance.update", relation=relation, policy=policy
         ) as span:
             io_before = self.database.io.snapshot()
-            rows = list(rows)
+            rows = validate_delta_rows(
+                self.database.table(relation).schema, rows, relation
+            )
             span.set(delta_rows=len(rows))
             self.database.table(relation).insert_many(rows)
             self._base_versions[relation] = self._base_versions.get(relation, 0) + 1
@@ -1065,6 +1162,12 @@ class DataWarehouse:
                 affected = self.sharding.on_update(relation, rows)
                 span.set(shards_affected=list(affected))
             reports: List[RefreshReport] = []
+            if policy == "stream":
+                self.streaming.on_ingest()
+                self._note_update(
+                    relation, self.database.io.since(io_before).total
+                )
+                return reports
             if policy == "defer":
                 self._note_update(
                     relation, self.database.io.since(io_before).total
@@ -1084,6 +1187,62 @@ class DataWarehouse:
                 self._mark_fresh(view)
                 self.engine.indexes.invalidate(view.name)
                 self.engine.build_cache.invalidate(view.name)
+            span.set(views_refreshed=len(reports))
+            self._note_update(relation, self.database.io.since(io_before).total)
+        return reports
+
+    def apply_delete(
+        self,
+        relation: str,
+        rows: Iterable[Mapping[str, object]],
+        policy: str = "stream",
+    ) -> List[RefreshReport]:
+        """Remove rows from a base relation and maintain affected views.
+
+        Rows are matched by value (one stored occurrence removed per
+        given row, bag semantics).  ``policy`` is ``"stream"`` (capture
+        the deletes in the change log; default), ``"recompute"`` (batch
+        recompute every affected view now) or ``"defer"``.
+        """
+        from repro.warehouse.maintenance import validate_delta_rows
+
+        if relation not in self.database:
+            raise WarehouseError(f"relation {relation!r} has no loaded data")
+        if policy not in (RECOMPUTE, "defer", "stream"):
+            raise WarehouseError(f"unknown delete policy {policy!r}")
+        if policy == "stream" and self.streaming is None:
+            raise WarehouseError(
+                "policy='stream' requires enable_streaming() first"
+            )
+        if self.sharding is not None:
+            raise WarehouseError(
+                "apply_delete is not supported on a sharded warehouse"
+            )
+        with obs.span(
+            "maintenance.delete", relation=relation, policy=policy
+        ) as span:
+            io_before = self.database.io.snapshot()
+            rows = validate_delta_rows(
+                self.database.table(relation).schema, rows, relation
+            )
+            removed = self.database.table(relation).delete_many(rows)
+            span.set(delta_rows=len(rows), removed=len(removed))
+            self._base_versions[relation] = self._base_versions.get(relation, 0) + 1
+            self.engine.indexes.invalidate(relation)
+            self.engine.build_cache.invalidate(relation)
+            reports: List[RefreshReport] = []
+            if policy == "stream":
+                self.streaming.on_ingest()
+            elif policy == RECOMPUTE:
+                for view in self.views:
+                    if not view.depends_on(relation):
+                        continue
+                    if view.name not in self.database:
+                        continue
+                    reports.append(self.maintainer.materialize(view))
+                    self._mark_fresh(view)
+                    self.engine.indexes.invalidate(view.name)
+                    self.engine.build_cache.invalidate(view.name)
             span.set(views_refreshed=len(reports))
             self._note_update(relation, self.database.io.since(io_before).total)
         return reports

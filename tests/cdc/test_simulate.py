@@ -1,0 +1,77 @@
+"""Smoke tests for the seeded streaming simulation (the `repro stream`
+backend): convergence, zero violations, and per-seed determinism."""
+
+import pytest
+
+from repro.cdc import StreamingPolicy, simulate_streaming
+from repro.errors import StreamingError
+
+
+class TestFaultFree:
+    def test_converges_without_violations(self):
+        result = simulate_streaming(seed=7, rounds=2, scale=0.02)
+        assert result.ok
+        assert result.converged
+        assert result.consistency_violations == 0
+        assert result.partial_writes == 0
+        assert result.faults_injected == {}
+        assert result.records_appended > 0
+        assert result.drains >= result.rounds
+        assert result.queries_run > 0
+
+    def test_deterministic_per_seed(self):
+        first = simulate_streaming(seed=7, rounds=2, scale=0.02)
+        second = simulate_streaming(seed=7, rounds=2, scale=0.02)
+        assert first.digest == second.digest
+        assert first.to_dict() == second.to_dict()
+
+    def test_seed_changes_digest(self):
+        a = simulate_streaming(seed=7, rounds=2, scale=0.02)
+        b = simulate_streaming(seed=8, rounds=2, scale=0.02)
+        assert a.digest != b.digest
+
+    def test_tight_retention_drops_records(self):
+        policy = StreamingPolicy(retention=2, max_lag_records=2)
+        with pytest.warns(Warning):
+            result = simulate_streaming(
+                seed=7, rounds=2, scale=0.02, policy=policy
+            )
+        assert result.records_dropped > 0
+        assert result.ok  # dropped history degrades to recompute, not loss
+
+
+class TestFaulted:
+    def test_converges_under_faults(self):
+        result = simulate_streaming(
+            failure_rate=0.3, seed=7, rounds=2, scale=0.02
+        )
+        assert result.ok
+        assert result.converged
+        assert result.consistency_violations == 0
+        assert result.partial_writes == 0
+        assert sum(result.faults_injected.values()) > 0
+
+    def test_faulted_run_deterministic(self):
+        first = simulate_streaming(
+            failure_rate=0.3, seed=7, rounds=2, scale=0.02
+        )
+        second = simulate_streaming(
+            failure_rate=0.3, seed=7, rounds=2, scale=0.02
+        )
+        assert first.digest == second.digest
+
+
+class TestValidation:
+    def test_rejects_bad_failure_rate(self):
+        with pytest.raises(StreamingError):
+            simulate_streaming(failure_rate=1.5)
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(StreamingError):
+            simulate_streaming(rounds=0)
+
+    def test_to_dict_sections(self):
+        document = simulate_streaming(seed=7, rounds=2, scale=0.02).to_dict()
+        assert document["ok"] is True
+        for section in ("changes", "drains", "staleness", "queries"):
+            assert section in document, section

@@ -100,7 +100,7 @@ class TestDesignConfigLint:
         import repro.lint.semantic as semantic
 
         def inject(mvpp, materialized, calculator=None, workload=None,
-                   policy=None):
+                   policy=None, streaming=None):
             from repro.lint import LintReport, Severity, get_rule
 
             report = LintReport(target="injected")

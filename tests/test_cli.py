@@ -520,3 +520,71 @@ class TestDesignSharding:
             sharding["cost"]["partition_aware"]
             <= sharding["cost"]["whole_object"]
         )
+
+
+class TestStreamCommand:
+    def test_fault_free_run_converges(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--workload", "paper",
+                    "--scale", "0.02",
+                    "--rounds", "2",
+                    "--seed", "7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "converged: True" in out
+        assert "0 violations" in out
+        assert "0 partial writes" in out
+
+    def test_faulted_json_is_machine_readable(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--faults",
+                    "--failure-rate", "0.3",
+                    "--workload", "paper",
+                    "--scale", "0.02",
+                    "--rounds", "2",
+                    "--seed", "7",
+                    "--format", "json",
+                ]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        assert document["converged"] is True
+        assert document["consistency_violations"] == 0
+        assert document["partial_writes"] == 0
+        assert sum(document["faults_injected"].values()) > 0
+
+    def test_policy_overrides_accepted(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--workload", "paper",
+                    "--scale", "0.02",
+                    "--rounds", "1",
+                    "--seed", "7",
+                    "--max-lag", "4",
+                    "--coalesce", "8",
+                    "--retention", "64",
+                    "--format", "json",
+                ]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        assert document["drains"]["total"] >= 1
+
+    def test_bad_rounds_rejected(self, capsys):
+        assert main(["stream", "--rounds", "0"]) == 1
+        assert "--rounds" in capsys.readouterr().err
